@@ -1,0 +1,136 @@
+//! The Mess pointer-chase: the latency probe of the benchmark (paper Appendix A.1).
+//!
+//! A chain of dependent loads over a randomly permuted array that exceeds the last-level
+//! cache. Because each load's address comes from the previous load's data, the loads execute
+//! serially and the average load-to-use latency is simply `elapsed / loads` — which is exactly
+//! how [`mess_cpu::RunReport::dependent_load_latency`] computes it for the probe core.
+
+use mess_cpu::{Op, OpStream};
+use mess_types::CACHE_LINE_BYTES;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the pointer-chase array; kept away from the traffic generator's arrays.
+const CHASE_BASE: u64 = 0x40_0000_0000;
+
+/// Configuration of the pointer-chase probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointerChaseConfig {
+    /// Size of the chased array in bytes; must exceed the LLC so every hop misses.
+    pub array_bytes: u64,
+    /// Number of dependent loads the probe executes before finishing.
+    pub loads: u64,
+    /// Seed of the permutation.
+    pub seed: u64,
+}
+
+impl PointerChaseConfig {
+    /// The benchmark default: an array of four times the LLC, traversed with `loads` hops.
+    pub fn sized_against_llc(llc_bytes: u64, loads: u64) -> Self {
+        PointerChaseConfig { array_bytes: llc_bytes * 4, loads, seed: 0x6d65_7373 }
+    }
+
+    /// Builds the probe's op stream.
+    pub fn stream(&self) -> PointerChaseStream {
+        PointerChaseStream::new(*self)
+    }
+}
+
+/// The dependent-load op stream of the pointer-chase probe.
+#[derive(Debug, Clone)]
+pub struct PointerChaseStream {
+    next_line: Vec<u32>,
+    current: u32,
+    remaining: u64,
+    label: String,
+}
+
+impl PointerChaseStream {
+    /// Creates the probe stream, building the single-cycle permutation.
+    pub fn new(config: PointerChaseConfig) -> Self {
+        let lines = (config.array_bytes / CACHE_LINE_BYTES).max(2) as u32;
+        PointerChaseStream {
+            next_line: single_cycle_permutation(lines, config.seed),
+            current: 0,
+            remaining: config.loads,
+            label: "mess:pointer-chase".to_string(),
+        }
+    }
+}
+
+impl OpStream for PointerChaseStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = CHASE_BASE + self.current as u64 * CACHE_LINE_BYTES;
+        self.current = self.next_line[self.current as usize];
+        Some(Op::dependent_load(addr))
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Builds a permutation of `0..n` that forms a single cycle, so a chase starting anywhere
+/// visits every line exactly once per lap.
+fn single_cycle_permutation(n: u32, seed: u64) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut next = vec![0u32; n as usize];
+    for i in 0..n as usize {
+        next[order[i] as usize] = order[(i + 1) % n as usize];
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn chase_emits_only_dependent_loads_and_stops() {
+        let mut s = PointerChaseConfig { array_bytes: 1 << 16, loads: 333, seed: 1 }.stream();
+        let mut n = 0;
+        while let Some(op) = s.next_op() {
+            assert!(matches!(op, Op::Load { dependent: true, .. }));
+            n += 1;
+        }
+        assert_eq!(n, 333);
+    }
+
+    #[test]
+    fn one_lap_visits_every_line_once() {
+        let lines = 512u64;
+        let config = PointerChaseConfig {
+            array_bytes: lines * CACHE_LINE_BYTES,
+            loads: lines,
+            seed: 99,
+        };
+        let mut s = config.stream();
+        let mut seen = HashSet::new();
+        while let Some(Op::Load { addr, .. }) = s.next_op() {
+            assert!(seen.insert(addr));
+        }
+        assert_eq!(seen.len(), lines as usize);
+    }
+
+    #[test]
+    fn same_seed_gives_the_same_walk() {
+        let config = PointerChaseConfig { array_bytes: 1 << 15, loads: 64, seed: 5 };
+        let walk = |mut s: PointerChaseStream| {
+            let mut v = Vec::new();
+            while let Some(Op::Load { addr, .. }) = s.next_op() {
+                v.push(addr);
+            }
+            v
+        };
+        assert_eq!(walk(config.stream()), walk(config.stream()));
+    }
+}

@@ -1,0 +1,331 @@
+//! The Mess benchmark driver: sweeping traffic mix and intensity into a curve family.
+//!
+//! One measurement point runs the pointer-chase probe on core 0 and the traffic generator on
+//! every remaining core, exactly like the real benchmark runs one latency-measuring thread
+//! and `N − 1` bandwidth-generating threads. The memory bandwidth is read from the memory
+//! model's counters (the simulator stand-in for uncore PMU counters) and the latency from the
+//! probe's dependent loads. Sweeping the store mix selects the curve; sweeping the pause
+//! (`nopCount`) moves along the curve from unloaded to fully saturated.
+
+use crate::chase::PointerChaseConfig;
+use crate::traffic::TrafficConfig;
+use mess_core::{Curve, CurveFamily, CurvePoint};
+use mess_cpu::{CpuConfig, Engine, OpStream, StopCondition};
+use mess_types::{Bandwidth, Latency, MemoryBackend, MessError, RwRatio};
+use serde::{Deserialize, Serialize};
+
+/// One measured bandwidth–latency point together with the sweep coordinates that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredPoint {
+    /// Store share of the traffic-generator instruction mix that produced the point.
+    pub store_mix: f64,
+    /// Pause (dummy compute cycles per memory instruction) of the traffic generator.
+    pub pause_cycles: u32,
+    /// Memory read/write composition observed at the memory interface.
+    pub ratio: RwRatio,
+    /// Memory bandwidth observed at the memory interface.
+    pub bandwidth: Bandwidth,
+    /// Load-to-use latency measured by the pointer-chase probe.
+    pub latency: Latency,
+}
+
+/// The result of a full characterization sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Characterization {
+    /// The bandwidth–latency curve family (one curve per store mix).
+    pub family: CurveFamily,
+    /// Every raw measurement, in sweep order (the artifact's `results.csv`).
+    pub points: Vec<MeasuredPoint>,
+}
+
+impl Characterization {
+    /// Formats the raw measurements as CSV (`store_mix,pause,read_pct,bandwidth_gbs,latency_ns`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("store_mix,pause_cycles,read_percent,bandwidth_gbs,latency_ns\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.2},{},{},{:.3},{:.2}\n",
+                p.store_mix,
+                p.pause_cycles,
+                p.ratio.read_percent(),
+                p.bandwidth.as_gbs(),
+                p.latency.as_ns()
+            ));
+        }
+        out
+    }
+}
+
+/// Configuration of a characterization sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Store shares of the traffic-generator instruction mix, one curve each.
+    /// `0.0` is the 100 %-load kernel; `1.0` the 100 %-store kernel (which produces 50/50
+    /// memory traffic under write-allocate).
+    pub store_mixes: Vec<f64>,
+    /// Pause levels (dummy compute cycles per memory instruction), highest first. More levels
+    /// give more points per curve.
+    pub pause_levels: Vec<u32>,
+    /// Dependent loads executed by the pointer-chase probe per measurement point.
+    pub chase_loads: u64,
+    /// Simulated-cycle budget per measurement point.
+    pub max_cycles_per_point: u64,
+}
+
+impl SweepConfig {
+    /// A full-fidelity sweep: six store mixes (the 50–100 %-read family of the paper's
+    /// simulator studies) and twelve intensity levels.
+    pub fn full() -> Self {
+        SweepConfig {
+            store_mixes: vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+            pause_levels: vec![400, 200, 120, 80, 56, 40, 28, 20, 12, 8, 4, 0],
+            chase_loads: 400,
+            max_cycles_per_point: 3_000_000,
+        }
+    }
+
+    /// A reduced sweep for unit tests and smoke runs.
+    pub fn quick() -> Self {
+        SweepConfig {
+            store_mixes: vec![0.0, 1.0],
+            pause_levels: vec![200, 40, 0],
+            chase_loads: 120,
+            max_cycles_per_point: 600_000,
+        }
+    }
+
+    /// Validates the sweep parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessError::InvalidConfig`] when a list is empty, a store mix is outside
+    /// `[0, 1]` or the probe has no loads.
+    pub fn validate(&self) -> Result<(), MessError> {
+        if self.store_mixes.is_empty() || self.pause_levels.is_empty() {
+            return Err(MessError::InvalidConfig("sweep lists must not be empty".into()));
+        }
+        if self.store_mixes.iter().any(|m| !(0.0..=1.0).contains(m)) {
+            return Err(MessError::InvalidConfig("store mixes must lie in [0, 1]".into()));
+        }
+        if self.chase_loads == 0 {
+            return Err(MessError::InvalidConfig("the probe needs at least one load".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Shifts a shared memory model's clock so that successive engine runs (which each restart
+/// their cycle count at zero) keep issuing requests in the model's future instead of its past.
+struct OffsetBackend<'a, B: ?Sized> {
+    inner: &'a mut B,
+    offset: u64,
+}
+
+impl<B: MemoryBackend + ?Sized> MemoryBackend for OffsetBackend<'_, B> {
+    fn tick(&mut self, now: mess_types::Cycle) {
+        self.inner.tick(mess_types::Cycle::new(now.as_u64() + self.offset));
+    }
+
+    fn try_enqueue(&mut self, request: mess_types::Request) -> Result<(), mess_types::EnqueueError> {
+        let shifted = mess_types::Request {
+            issue_cycle: mess_types::Cycle::new(request.issue_cycle.as_u64() + self.offset),
+            ..request
+        };
+        self.inner.try_enqueue(shifted)
+    }
+
+    fn drain_completed(&mut self, out: &mut Vec<mess_types::Completion>) {
+        let start = out.len();
+        self.inner.drain_completed(out);
+        for c in &mut out[start..] {
+            c.issue_cycle = mess_types::Cycle::new(c.issue_cycle.as_u64().saturating_sub(self.offset));
+            c.complete_cycle =
+                mess_types::Cycle::new(c.complete_cycle.as_u64().saturating_sub(self.offset));
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+
+    fn stats(&self) -> &mess_types::MemoryStats {
+        self.inner.stats()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Runs one measurement point: pointer-chase on core 0, traffic lanes on the other cores.
+///
+/// The backend keeps its state between points (like the real machine does between runs); the
+/// bandwidth is computed from the statistics delta of this run only. The backend's internal
+/// clock must not be ahead of cycle zero — [`characterize`] takes care of this when reusing
+/// one model across many points.
+pub fn measure_point<B: MemoryBackend + ?Sized>(
+    cpu: &CpuConfig,
+    backend: &mut B,
+    store_mix: f64,
+    pause_cycles: u32,
+    chase_loads: u64,
+    max_cycles: u64,
+) -> MeasuredPoint {
+    let llc_bytes = cpu.llc.capacity_bytes.max(1 << 20);
+    let chase = PointerChaseConfig::sized_against_llc(llc_bytes, chase_loads);
+    let traffic = TrafficConfig::new(store_mix, pause_cycles, llc_bytes);
+
+    let mut streams: Vec<Box<dyn OpStream>> = Vec::with_capacity(cpu.cores as usize);
+    streams.push(Box::new(chase.stream()));
+    streams.extend(traffic.lanes(cpu.cores.saturating_sub(1)));
+
+    let mut engine = Engine::from_boxed(*cpu, streams);
+    let report = engine.run(backend, StopCondition::CoreDone(0), max_cycles);
+
+    let latency = report.dependent_load_latency(0).unwrap_or(cpu.on_chip_latency);
+    MeasuredPoint {
+        store_mix,
+        pause_cycles,
+        ratio: report.rw_ratio(),
+        bandwidth: report.bandwidth,
+        latency,
+    }
+}
+
+/// Runs a full characterization sweep of `backend` under the CPU described by `cpu`.
+///
+/// # Errors
+///
+/// Returns an error if the sweep configuration is invalid or the measured points cannot form
+/// a curve family (which cannot happen for a valid sweep).
+pub fn characterize<B: MemoryBackend + ?Sized>(
+    name: impl Into<String>,
+    cpu: &CpuConfig,
+    backend: &mut B,
+    sweep: &SweepConfig,
+) -> Result<Characterization, MessError> {
+    sweep.validate()?;
+    let mut points = Vec::new();
+    let mut curves: Vec<Curve> = Vec::new();
+    let mut clock_offset = 0u64;
+    for &store_mix in &sweep.store_mixes {
+        let mut curve_points = Vec::new();
+        let mut ratios = Vec::new();
+        for &pause in &sweep.pause_levels {
+            let mut shifted = OffsetBackend { inner: &mut *backend, offset: clock_offset };
+            let p = measure_point(
+                cpu,
+                &mut shifted,
+                store_mix,
+                pause,
+                sweep.chase_loads,
+                sweep.max_cycles_per_point,
+            );
+            // The next point restarts its engine clock at zero; advance the shared model's
+            // clock past anything this point can have scheduled.
+            clock_offset += sweep.max_cycles_per_point + 1_000_000;
+            curve_points.push(CurvePoint::new(p.bandwidth, p.latency));
+            ratios.push(p.ratio.read_fraction());
+            points.push(p);
+        }
+        let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let mut fraction = mean_ratio.clamp(0.0, 1.0);
+        // Two sweeps can measure the same mean composition (e.g. both fully read-dominated);
+        // nudge the later one so every curve in the family keeps a distinct ratio key.
+        while curves.iter().any(|c| (c.ratio().read_fraction() - fraction).abs() < 1e-9) {
+            fraction = (fraction - 1e-4).max(0.0);
+        }
+        let ratio = RwRatio::from_read_fraction(fraction).expect("fraction stays in [0, 1]");
+        curves.push(Curve::new(ratio, curve_points)?);
+    }
+    let family = CurveFamily::new(name, curves)?;
+    Ok(Characterization { family, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_cpu::CacheConfig;
+    use mess_memmodels::{FixedLatencyModel, Md1QueueModel};
+    use mess_types::Frequency;
+
+    fn small_cpu(cores: u32) -> CpuConfig {
+        CpuConfig {
+            llc: CacheConfig::new(512 * 1024, 8),
+            ..CpuConfig::server_class(cores, Frequency::from_ghz(2.0))
+        }
+    }
+
+    #[test]
+    fn sweep_config_validation_rejects_bad_input() {
+        let mut bad = SweepConfig::quick();
+        bad.store_mixes.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = SweepConfig::quick();
+        bad.store_mixes = vec![1.5];
+        assert!(bad.validate().is_err());
+        let mut bad = SweepConfig::quick();
+        bad.chase_loads = 0;
+        assert!(bad.validate().is_err());
+        assert!(SweepConfig::full().validate().is_ok());
+    }
+
+    #[test]
+    fn fixed_latency_backend_yields_flat_curves() {
+        let cpu = small_cpu(4);
+        let mut backend = FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+        let c = characterize("fixed", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
+        assert_eq!(c.family.len(), 2);
+        for curve in c.family.curves() {
+            let spread = curve.max_latency().as_ns() - curve.unloaded_latency().as_ns();
+            assert!(spread < 30.0, "fixed-latency curves must stay flat, spread {spread} ns");
+        }
+        // The load-to-use latency must include the memory and on-chip components.
+        assert!(c.family.unloaded_latency().as_ns() > 60.0);
+    }
+
+    #[test]
+    fn queueing_backend_shows_rising_latency_and_lower_pause_gives_more_bandwidth() {
+        let cpu = small_cpu(6);
+        let mut backend =
+            Md1QueueModel::new(Latency::from_ns(60.0), Bandwidth::from_gbs(20.0), cpu.frequency);
+        let c = characterize("md1", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
+        for mix_points in c.points.chunks(SweepConfig::quick().pause_levels.len()) {
+            let first = mix_points.first().unwrap();
+            let last = mix_points.last().unwrap();
+            assert!(
+                last.bandwidth.as_gbs() > first.bandwidth.as_gbs(),
+                "removing the pause must increase bandwidth: {first:?} vs {last:?}"
+            );
+        }
+        let curve = c.family.closest_curve(RwRatio::ALL_READS);
+        assert!(curve.max_latency() > curve.unloaded_latency());
+    }
+
+    #[test]
+    fn store_mix_shifts_the_measured_ratio() {
+        // A small LLC so the store traffic reaches its dirty-eviction steady state quickly.
+        let cpu = CpuConfig {
+            llc: CacheConfig::new(64 * 1024, 8),
+            ..CpuConfig::server_class(4, Frequency::from_ghz(2.0))
+        };
+        let mut backend = FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+        let c = characterize("ratios", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
+        // The all-load sweep stays read-only; the all-store sweep approaches 50/50 at full
+        // intensity because every store turns into a fill read plus an eventual writeback.
+        assert!(c.points.iter().any(|p| p.store_mix == 0.0 && p.ratio.read_percent() >= 95));
+        assert!(c.points.iter().any(|p| p.store_mix == 1.0 && p.ratio.read_percent() <= 75));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point_plus_header() {
+        let cpu = small_cpu(2);
+        let mut backend = FixedLatencyModel::new(Latency::from_ns(50.0), cpu.frequency);
+        let sweep = SweepConfig::quick();
+        let c = characterize("csv", &cpu, &mut backend, &sweep).unwrap();
+        let csv = c.to_csv();
+        let rows: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(rows.len(), 1 + sweep.store_mixes.len() * sweep.pause_levels.len());
+        assert!(rows[0].starts_with("store_mix"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Memory-trace capture and trace-driven replay (paper §IV-D).
+//!
+//! To exclude the CPU simulator and its memory interface from the error analysis, the paper
+//! replays Mess memory traces directly into DRAMsim3, Ramulator and Ramulator 2. The same
+//! methodology is reproduced here: [`RecordingBackend`] wraps any memory model and captures
+//! every accepted request with its issue cycle; [`replay`] feeds a captured [`Trace`]
+//! straight into another memory model, preserving the inter-request gaps, and reports the
+//! bandwidth–latency point observed at the memory controller.
+
+use mess_types::{
+    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Latency, MemoryBackend, MemoryStats,
+    Request, CACHE_LINE_BYTES,
+};
+use serde::{Deserialize, Serialize};
+
+/// One request of a captured memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// CPU cycle at which the request reached the memory interface.
+    pub cycle: u64,
+    /// Cache-line address.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A captured memory trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Records in issue order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The read/write composition of the trace.
+    pub fn rw_ratio(&self) -> mess_types::RwRatio {
+        let reads = self.records.iter().filter(|r| r.kind.is_read()).count() as u64;
+        let writes = self.records.len() as u64 - reads;
+        mess_types::RwRatio::from_counts(reads, writes)
+    }
+}
+
+/// A pass-through memory backend that records every accepted request.
+#[derive(Debug)]
+pub struct RecordingBackend<B> {
+    inner: B,
+    trace: Trace,
+}
+
+impl<B: MemoryBackend> RecordingBackend<B> {
+    /// Wraps `inner`, recording every request it accepts.
+    pub fn new(inner: B) -> Self {
+        RecordingBackend { inner, trace: Trace::default() }
+    }
+
+    /// Consumes the wrapper and returns the inner backend and the captured trace.
+    pub fn into_parts(self) -> (B, Trace) {
+        (self.inner, self.trace)
+    }
+
+    /// The trace captured so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl<B: MemoryBackend> MemoryBackend for RecordingBackend<B> {
+    fn tick(&mut self, now: Cycle) {
+        self.inner.tick(now);
+    }
+
+    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
+        self.inner.try_enqueue(request)?;
+        self.trace.records.push(TraceRecord {
+            cycle: request.issue_cycle.as_u64(),
+            addr: request.addr,
+            kind: request.kind,
+        });
+        Ok(())
+    }
+
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
+        self.inner.drain_completed(out);
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+
+    fn stats(&self) -> &MemoryStats {
+        self.inner.stats()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// The bandwidth–latency point observed while replaying a trace into a memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayResult {
+    /// Bandwidth over the replay (bytes moved / elapsed simulated time).
+    pub bandwidth: Bandwidth,
+    /// Average read round-trip latency reported by the memory model.
+    pub latency: Latency,
+    /// Number of requests replayed (requests rejected by a full queue are retried, not lost).
+    pub requests: u64,
+}
+
+/// Replays `trace` into `backend`, preserving the captured inter-request spacing scaled by
+/// `speed` (1.0 = as captured; 2.0 = twice the injection rate).
+pub fn replay<B: MemoryBackend + ?Sized>(
+    trace: &Trace,
+    backend: &mut B,
+    cpu_frequency: mess_types::Frequency,
+    speed: f64,
+) -> ReplayResult {
+    let speed = if speed > 0.0 { speed } else { 1.0 };
+    let start_stats = *backend.stats();
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    let mut next = 0usize;
+    let mut id = 0u64;
+    let base_cycle = trace.records.first().map(|r| r.cycle).unwrap_or(0);
+    let horizon = 400_000_000u64;
+    while next < trace.records.len() && now < horizon {
+        backend.tick(Cycle::new(now));
+        out.clear();
+        backend.drain_completed(&mut out);
+        while next < trace.records.len() {
+            let rec = trace.records[next];
+            let due = ((rec.cycle - base_cycle) as f64 / speed) as u64;
+            if due > now {
+                break;
+            }
+            let request = Request {
+                id: mess_types::RequestId(id),
+                addr: rec.addr,
+                kind: rec.kind,
+                issue_cycle: Cycle::new(now),
+                core: 0,
+            };
+            if backend.try_enqueue(request).is_ok() {
+                id += 1;
+                next += 1;
+            } else {
+                break;
+            }
+        }
+        now += 1;
+    }
+    // Let the tail drain.
+    let tail_deadline = now + 4_000_000;
+    while backend.pending() > 0 && now < tail_deadline {
+        backend.tick(Cycle::new(now));
+        out.clear();
+        backend.drain_completed(&mut out);
+        now += 1;
+    }
+    let delta = backend.stats().delta(&start_stats);
+    let elapsed = Cycle::new(now.max(1)).to_latency(cpu_frequency);
+    ReplayResult {
+        bandwidth: Bandwidth::from_bytes_over(
+            mess_types::Bytes::new(delta.total_completed() * CACHE_LINE_BYTES),
+            elapsed,
+        ),
+        latency: delta.avg_read_latency(cpu_frequency),
+        requests: id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_memmodels::FixedLatencyModel;
+    use mess_types::Frequency;
+
+    fn synthetic_trace(n: u64, gap: u64, write_every: Option<u64>) -> Trace {
+        let records = (0..n)
+            .map(|i| TraceRecord {
+                cycle: 1_000 + i * gap,
+                addr: i * CACHE_LINE_BYTES,
+                kind: match write_every {
+                    Some(k) if i % k == 0 => AccessKind::Write,
+                    _ => AccessKind::Read,
+                },
+            })
+            .collect();
+        Trace { records }
+    }
+
+    #[test]
+    fn recording_backend_captures_accepted_requests() {
+        let freq = Frequency::from_ghz(2.0);
+        let mut rec = RecordingBackend::new(FixedLatencyModel::new(Latency::from_ns(50.0), freq));
+        for i in 0..10u64 {
+            rec.tick(Cycle::new(i * 10));
+            rec.try_enqueue(Request::read(i, i * 64, Cycle::new(i * 10), 0)).unwrap();
+        }
+        let (_, trace) = rec.into_parts();
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.records[3].cycle, 30);
+        assert_eq!(trace.rw_ratio().read_percent(), 100);
+    }
+
+    #[test]
+    fn replay_preserves_request_count_and_mix() {
+        let freq = Frequency::from_ghz(2.0);
+        let trace = synthetic_trace(500, 20, Some(2));
+        let mut backend = FixedLatencyModel::new(Latency::from_ns(50.0), freq);
+        let result = replay(&trace, &mut backend, freq, 1.0);
+        assert_eq!(result.requests, 500);
+        let stats = backend.stats();
+        assert_eq!(stats.total_completed(), 500);
+        assert_eq!(stats.rw_ratio().read_percent(), 50);
+    }
+
+    #[test]
+    fn replay_speed_scales_the_bandwidth() {
+        let freq = Frequency::from_ghz(2.0);
+        let trace = synthetic_trace(2_000, 40, None);
+        let mut slow = FixedLatencyModel::new(Latency::from_ns(50.0), freq);
+        let r1 = replay(&trace, &mut slow, freq, 1.0);
+        let mut fast = FixedLatencyModel::new(Latency::from_ns(50.0), freq);
+        let r4 = replay(&trace, &mut fast, freq, 4.0);
+        assert!(
+            r4.bandwidth.as_gbs() > r1.bandwidth.as_gbs() * 2.5,
+            "4x replay speed should give roughly 4x bandwidth: {} vs {}",
+            r1.bandwidth,
+            r4.bandwidth
+        );
+    }
+
+    #[test]
+    fn empty_trace_replays_to_nothing() {
+        let freq = Frequency::from_ghz(2.0);
+        let mut backend = FixedLatencyModel::new(Latency::from_ns(50.0), freq);
+        let result = replay(&Trace::default(), &mut backend, freq, 1.0);
+        assert_eq!(result.requests, 0);
+        assert_eq!(result.bandwidth.as_gbs(), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmark: memory-model simulation speed (paper §V-B).
+//!
+//! The paper reports that ZSim+Mess adds only ~26 % simulation time over the fixed-latency
+//! model while being 13–15× faster than the cycle-accurate external simulators. This bench
+//! runs the same STREAM-triad-like traffic through every memory model and lets Criterion
+//! report the relative cost, which is the reproduction of that comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mess_bench::TrafficConfig;
+use mess_cpu::{Engine, OpStream, StopCondition};
+use mess_harness::runner::scaled_platform;
+use mess_harness::Fidelity;
+use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId};
+
+fn run_traffic(kind: MemoryModelKind) {
+    let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), Fidelity::Quick);
+    let curves = kind.needs_curves().then(|| platform.reference_family());
+    let mut backend = build_memory_model(kind, &platform, curves).expect("model builds");
+    let cpu = platform.cpu_config();
+    let traffic = TrafficConfig::new(0.3, 0, cpu.llc.capacity_bytes);
+    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
+    let mut engine = Engine::from_boxed(cpu, streams);
+    let report = engine.run(backend.as_mut(), StopCondition::MemoryOps(20_000), 5_000_000);
+    assert!(report.memory.total_completed() > 0);
+}
+
+fn simulation_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation-speed");
+    group.sample_size(10);
+    for kind in [
+        MemoryModelKind::FixedLatency,
+        MemoryModelKind::Md1Queue,
+        MemoryModelKind::InternalDdr,
+        MemoryModelKind::Dramsim3Like,
+        MemoryModelKind::RamulatorLike,
+        MemoryModelKind::DetailedDram,
+        MemoryModelKind::Mess,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| run_traffic(kind));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulation_speed);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Criterion benchmarks for the Mess reproduction.
+//!
+//! This crate holds no library code; its `benches/` directory contains:
+//!
+//! * `simulation_speed` — the memory-model simulation-speed comparison of paper §V-B
+//!   (fixed latency vs M/D/1 vs internal DDR vs DRAMsim3/Ramulator-like vs detailed DRAM vs
+//!   the Mess simulator);
+//! * `figures` — one timed entry point per paper figure/table, each running the corresponding
+//!   `mess-harness` experiment driver.
+
+#![warn(missing_docs)]

@@ -1,0 +1,406 @@
+//! A single bandwidth–latency curve for one read/write traffic composition.
+
+use mess_types::{Bandwidth, Latency, MessError, RwRatio};
+use serde::{Deserialize, Serialize};
+
+/// One measurement point on a bandwidth–latency curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Used memory bandwidth at this point.
+    pub bandwidth: Bandwidth,
+    /// Memory access (load-to-use) latency measured at this bandwidth.
+    pub latency: Latency,
+}
+
+impl CurvePoint {
+    /// Creates a point.
+    pub fn new(bandwidth: Bandwidth, latency: Latency) -> Self {
+        CurvePoint { bandwidth, latency }
+    }
+}
+
+/// A bandwidth–latency curve: the memory access latency as a function of used memory
+/// bandwidth, for a fixed read/write ratio.
+///
+/// Points are stored in *measurement order* — the order in which the Mess benchmark increases
+/// the traffic-generator injection rate. This preserves the "wave form" behaviour in which
+/// increasing the access rate past saturation *reduces* the measured bandwidth while latency
+/// keeps growing (paper §II-C, §III). Interpolation queries use a bandwidth-sorted view.
+///
+/// ```
+/// use mess_core::{Curve, CurvePoint};
+/// use mess_types::{Bandwidth, Latency, RwRatio};
+///
+/// let curve = Curve::new(RwRatio::ALL_READS, vec![
+///     CurvePoint::new(Bandwidth::from_gbs(5.0), Latency::from_ns(90.0)),
+///     CurvePoint::new(Bandwidth::from_gbs(60.0), Latency::from_ns(120.0)),
+///     CurvePoint::new(Bandwidth::from_gbs(110.0), Latency::from_ns(350.0)),
+/// ])?;
+/// let lat = curve.latency_at(Bandwidth::from_gbs(32.5));
+/// assert!(lat.as_ns() > 90.0 && lat.as_ns() < 120.0);
+/// # Ok::<(), mess_types::MessError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    ratio: RwRatio,
+    /// Points in measurement (injection-rate) order.
+    points: Vec<CurvePoint>,
+    /// Indices of `points` sorted by bandwidth, used for interpolation.
+    #[serde(skip)]
+    sorted: Vec<usize>,
+}
+
+impl Curve {
+    /// Creates a curve from measurement points for the given read/write ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessError::InvalidCurve`] if fewer than two points are supplied, or if any
+    /// point has a non-finite or negative coordinate.
+    pub fn new(ratio: RwRatio, points: Vec<CurvePoint>) -> Result<Self, MessError> {
+        if points.len() < 2 {
+            return Err(MessError::InvalidCurve(format!(
+                "a curve needs at least two points, got {}",
+                points.len()
+            )));
+        }
+        for (i, p) in points.iter().enumerate() {
+            let bw = p.bandwidth.as_gbs();
+            let lat = p.latency.as_ns();
+            if !bw.is_finite() || !lat.is_finite() || bw < 0.0 || lat <= 0.0 {
+                return Err(MessError::InvalidCurve(format!(
+                    "point {i} has invalid coordinates (bw={bw}, latency={lat})"
+                )));
+            }
+        }
+        let mut curve = Curve { ratio, points, sorted: Vec::new() };
+        curve.rebuild_index();
+        Ok(curve)
+    }
+
+    /// Rebuilds the bandwidth-sorted index. Called after construction and deserialization.
+    pub fn rebuild_index(&mut self) {
+        let mut idx: Vec<usize> = (0..self.points.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.points[a]
+                .bandwidth
+                .partial_cmp(&self.points[b].bandwidth)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.sorted = idx;
+    }
+
+    /// The read/write ratio this curve was measured with.
+    pub fn ratio(&self) -> RwRatio {
+        self.ratio
+    }
+
+    /// The measurement points in injection-rate order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Number of measurement points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the curve has no points (never the case for validated curves).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The unloaded memory latency: the latency of the lowest-bandwidth measurement.
+    pub fn unloaded_latency(&self) -> Latency {
+        self.points[self.sorted[0]].latency
+    }
+
+    /// The maximum latency observed on this curve.
+    pub fn max_latency(&self) -> Latency {
+        self.points
+            .iter()
+            .map(|p| p.latency)
+            .fold(Latency::ZERO, Latency::max)
+    }
+
+    /// The maximum bandwidth observed on this curve.
+    pub fn max_bandwidth(&self) -> Bandwidth {
+        self.points
+            .iter()
+            .map(|p| p.bandwidth)
+            .fold(Bandwidth::ZERO, Bandwidth::max)
+    }
+
+    /// The bandwidth at which the memory system enters the saturated area: the first
+    /// (bandwidth-ordered) point whose latency is at least `2×` the unloaded latency
+    /// (paper §II-C). Returns the maximum bandwidth if the curve never saturates.
+    pub fn saturation_onset(&self) -> Bandwidth {
+        let threshold = self.unloaded_latency() * 2.0;
+        for &i in &self.sorted {
+            if self.points[i].latency >= threshold {
+                return self.points[i].bandwidth;
+            }
+        }
+        self.max_bandwidth()
+    }
+
+    /// Interpolated memory access latency at the given bandwidth.
+    ///
+    /// * Below the lowest measured bandwidth the unloaded latency is returned.
+    /// * Between measured points, latency is linearly interpolated.
+    /// * Beyond the highest measured bandwidth the curve is extrapolated with a steep wall
+    ///   (the latency grows quadratically with the overshoot), modelling the fact that the
+    ///   memory system cannot actually sustain more than its measured maximum.
+    pub fn latency_at(&self, bandwidth: Bandwidth) -> Latency {
+        let bw = bandwidth.as_gbs();
+        let first = &self.points[self.sorted[0]];
+        if bw <= first.bandwidth.as_gbs() {
+            return first.latency;
+        }
+        let last = &self.points[*self.sorted.last().expect("validated curve is non-empty")];
+        if bw >= last.bandwidth.as_gbs() {
+            return Self::extrapolate_wall(last, bw);
+        }
+        // Binary search over the sorted view.
+        let mut lo = 0usize;
+        let mut hi = self.sorted.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.points[self.sorted[mid]].bandwidth.as_gbs() <= bw {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let a = &self.points[self.sorted[lo]];
+        let b = &self.points[self.sorted[hi]];
+        let span = b.bandwidth.as_gbs() - a.bandwidth.as_gbs();
+        if span <= f64::EPSILON {
+            return a.latency.max(b.latency);
+        }
+        let t = (bw - a.bandwidth.as_gbs()) / span;
+        Latency::from_ns(a.latency.as_ns() + t * (b.latency.as_ns() - a.latency.as_ns()))
+    }
+
+    /// Steep extrapolation beyond the last measured point.
+    fn extrapolate_wall(last: &CurvePoint, bw: f64) -> Latency {
+        let max_bw = last.bandwidth.as_gbs().max(f64::EPSILON);
+        let overshoot = (bw - max_bw) / max_bw;
+        // Latency wall: every 1 % of overshoot adds 8 % of the saturated latency, squared so
+        // that the wall becomes effectively vertical a few percent past the maximum.
+        let factor = 1.0 + 8.0 * overshoot + 40.0 * overshoot * overshoot;
+        Latency::from_ns(last.latency.as_ns() * factor)
+    }
+
+    /// Local inclination (slope) of the curve at the given bandwidth, in ns per GB/s.
+    ///
+    /// The inclination is the sensitivity of the latency to a bandwidth change; it is one of
+    /// the two components of the memory-stress score (paper §VI-B1).
+    pub fn inclination_at(&self, bandwidth: Bandwidth) -> f64 {
+        let bw = bandwidth.as_gbs();
+        let max_bw = self.max_bandwidth().as_gbs();
+        let h = (max_bw * 0.01).max(0.05);
+        let lo = (bw - h).max(0.0);
+        let hi = bw + h;
+        let lat_lo = self.latency_at(Bandwidth::from_gbs(lo)).as_ns();
+        let lat_hi = self.latency_at(Bandwidth::from_gbs(hi)).as_ns();
+        (lat_hi - lat_lo) / (hi - lo)
+    }
+
+    /// Detects the "wave form" bandwidth-decline behaviour: returns the largest bandwidth drop
+    /// (in GB/s) between the running maximum and a later measurement, considering points in
+    /// measurement order. A value of zero means the measured bandwidth never declined as the
+    /// injection rate increased.
+    pub fn max_bandwidth_decline(&self) -> Bandwidth {
+        let mut running_max = Bandwidth::ZERO;
+        let mut worst_drop = 0.0f64;
+        for p in &self.points {
+            if p.bandwidth > running_max {
+                running_max = p.bandwidth;
+            } else {
+                worst_drop = worst_drop.max(running_max.as_gbs() - p.bandwidth.as_gbs());
+            }
+        }
+        Bandwidth::from_gbs(worst_drop)
+    }
+
+    /// Returns `true` if the curve exhibits a bandwidth decline larger than
+    /// `threshold_fraction` of its maximum bandwidth.
+    pub fn has_wave(&self, threshold_fraction: f64) -> bool {
+        self.max_bandwidth_decline().as_gbs()
+            > self.max_bandwidth().as_gbs() * threshold_fraction
+    }
+
+    /// Returns a copy of this curve with every latency reduced by `delta` (used to convert
+    /// load-to-use curves into memory-controller round-trip curves and vice versa). Latencies
+    /// are clamped to at least 1 ns.
+    pub fn shifted_latency(&self, delta: Latency) -> Curve {
+        let points = self
+            .points
+            .iter()
+            .map(|p| CurvePoint::new(p.bandwidth, Latency::from_ns((p.latency.as_ns() - delta.as_ns()).max(1.0))))
+            .collect();
+        Curve::new(self.ratio, points).expect("shifting latencies preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple_curve() -> Curve {
+        Curve::new(
+            RwRatio::ALL_READS,
+            vec![
+                CurvePoint::new(Bandwidth::from_gbs(5.0), Latency::from_ns(90.0)),
+                CurvePoint::new(Bandwidth::from_gbs(40.0), Latency::from_ns(100.0)),
+                CurvePoint::new(Bandwidth::from_gbs(80.0), Latency::from_ns(140.0)),
+                CurvePoint::new(Bandwidth::from_gbs(110.0), Latency::from_ns(380.0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Curve::new(RwRatio::ALL_READS, vec![]).is_err());
+        assert!(Curve::new(
+            RwRatio::ALL_READS,
+            vec![CurvePoint::new(Bandwidth::from_gbs(1.0), Latency::from_ns(90.0))]
+        )
+        .is_err());
+        assert!(Curve::new(
+            RwRatio::ALL_READS,
+            vec![
+                CurvePoint::new(Bandwidth::from_gbs(1.0), Latency::from_ns(0.0)),
+                CurvePoint::new(Bandwidth::from_gbs(2.0), Latency::from_ns(90.0)),
+            ]
+        )
+        .is_err());
+        assert!(Curve::new(
+            RwRatio::ALL_READS,
+            vec![
+                CurvePoint::new(Bandwidth::from_gbs(f64::NAN), Latency::from_ns(10.0)),
+                CurvePoint::new(Bandwidth::from_gbs(2.0), Latency::from_ns(90.0)),
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let c = simple_curve();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!((c.unloaded_latency().as_ns() - 90.0).abs() < 1e-12);
+        assert!((c.max_latency().as_ns() - 380.0).abs() < 1e-12);
+        assert!((c.max_bandwidth().as_gbs() - 110.0).abs() < 1e-12);
+        // Latency doubles (>=180 ns) only at the last point.
+        assert!((c.saturation_onset().as_gbs() - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_below_between_and_beyond() {
+        let c = simple_curve();
+        assert!((c.latency_at(Bandwidth::from_gbs(1.0)).as_ns() - 90.0).abs() < 1e-12);
+        let mid = c.latency_at(Bandwidth::from_gbs(60.0)).as_ns();
+        assert!((mid - 120.0).abs() < 1e-9, "expected 120, got {mid}");
+        // Beyond the max the wall grows quickly and monotonically.
+        let just_past = c.latency_at(Bandwidth::from_gbs(112.0)).as_ns();
+        let far_past = c.latency_at(Bandwidth::from_gbs(130.0)).as_ns();
+        assert!(just_past > 380.0);
+        assert!(far_past > just_past);
+    }
+
+    #[test]
+    fn inclination_grows_towards_saturation() {
+        let c = simple_curve();
+        let flat = c.inclination_at(Bandwidth::from_gbs(20.0));
+        let steep = c.inclination_at(Bandwidth::from_gbs(100.0));
+        assert!(steep > flat);
+        assert!(flat >= 0.0);
+    }
+
+    #[test]
+    fn wave_detection() {
+        // Measurement order: bandwidth rises to 100 then falls back to 80 as latency climbs.
+        let c = Curve::new(
+            RwRatio::HALF,
+            vec![
+                CurvePoint::new(Bandwidth::from_gbs(10.0), Latency::from_ns(95.0)),
+                CurvePoint::new(Bandwidth::from_gbs(100.0), Latency::from_ns(250.0)),
+                CurvePoint::new(Bandwidth::from_gbs(80.0), Latency::from_ns(420.0)),
+            ],
+        )
+        .unwrap();
+        assert!((c.max_bandwidth_decline().as_gbs() - 20.0).abs() < 1e-12);
+        assert!(c.has_wave(0.1));
+        assert!(!simple_curve().has_wave(0.01));
+    }
+
+    #[test]
+    fn shifted_latency_clamps_at_one_ns() {
+        let c = simple_curve().shifted_latency(Latency::from_ns(95.0));
+        assert!((c.unloaded_latency().as_ns() - 1.0).abs() < 1e-12);
+        assert!((c.max_latency().as_ns() - 285.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let c = simple_curve();
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: Curve = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert!((back.latency_at(Bandwidth::from_gbs(60.0)).as_ns() - 120.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interpolation_within_measured_range_is_bounded(
+            bws in proptest::collection::vec(1.0f64..500.0, 3..20),
+            query in 0.0f64..600.0,
+        ) {
+            // Build a monotone curve from sorted bandwidths with increasing latencies.
+            let mut sorted = bws.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            prop_assume!(sorted.len() >= 2);
+            let points: Vec<CurvePoint> = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &bw)| CurvePoint::new(
+                    Bandwidth::from_gbs(bw),
+                    Latency::from_ns(90.0 + 10.0 * i as f64),
+                ))
+                .collect();
+            let min_lat = points.first().unwrap().latency.as_ns();
+            let max_lat = points.last().unwrap().latency.as_ns();
+            let max_bw = points.last().unwrap().bandwidth.as_gbs();
+            let curve = Curve::new(RwRatio::ALL_READS, points).unwrap();
+            let lat = curve.latency_at(Bandwidth::from_gbs(query)).as_ns();
+            if query <= max_bw {
+                prop_assert!(lat >= min_lat - 1e-9 && lat <= max_lat + 1e-9);
+            } else {
+                prop_assert!(lat >= max_lat - 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_monotone_curve_gives_monotone_interpolation(step in 1.0f64..40.0) {
+            let points: Vec<CurvePoint> = (0..8)
+                .map(|i| CurvePoint::new(
+                    Bandwidth::from_gbs(5.0 + step * i as f64),
+                    Latency::from_ns(90.0 * (1.0 + 0.3 * i as f64)),
+                ))
+                .collect();
+            let curve = Curve::new(RwRatio::ALL_READS, points).unwrap();
+            let mut prev = 0.0;
+            for q in 0..60 {
+                let lat = curve.latency_at(Bandwidth::from_gbs(q as f64 * 6.0)).as_ns();
+                prop_assert!(lat + 1e-9 >= prev);
+                prev = lat;
+            }
+        }
+    }
+}

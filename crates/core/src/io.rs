@@ -1,0 +1,159 @@
+//! Persistence of curve families: JSON (the native format) and CSV (the paper artifact's
+//! `results.csv` layout: `read_percent,bandwidth_gbs,latency_ns`).
+
+use crate::family::CurveFamily;
+use mess_types::MessError;
+use std::fs;
+use std::path::Path;
+
+/// Serializes a curve family to a pretty-printed JSON string.
+///
+/// # Errors
+///
+/// Returns [`MessError::Parse`] if serialization fails (which only happens for non-finite
+/// values, which validated curves cannot contain).
+pub fn to_json(family: &CurveFamily) -> Result<String, MessError> {
+    serde_json::to_string_pretty(family).map_err(|e| MessError::Parse(e.to_string()))
+}
+
+/// Deserializes a curve family from JSON and rebuilds its interpolation indices.
+///
+/// # Errors
+///
+/// Returns [`MessError::Parse`] if the JSON is malformed.
+pub fn from_json(json: &str) -> Result<CurveFamily, MessError> {
+    let mut family: CurveFamily =
+        serde_json::from_str(json).map_err(|e| MessError::Parse(e.to_string()))?;
+    family.rebuild_indices();
+    Ok(family)
+}
+
+/// Writes a curve family to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`MessError::Parse`] on serialization or I/O failure.
+pub fn save_json(family: &CurveFamily, path: &Path) -> Result<(), MessError> {
+    let json = to_json(family)?;
+    fs::write(path, json).map_err(|e| MessError::Parse(format!("writing {}: {e}", path.display())))
+}
+
+/// Reads a curve family from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`MessError::Parse`] on I/O or parse failure.
+pub fn load_json(path: &Path) -> Result<CurveFamily, MessError> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| MessError::Parse(format!("reading {}: {e}", path.display())))?;
+    from_json(&json)
+}
+
+/// Serializes a curve family to CSV with a `read_percent,bandwidth_gbs,latency_ns` header,
+/// matching the artifact's processed-measurement files.
+pub fn to_csv(family: &CurveFamily) -> String {
+    let mut out = String::from("read_percent,bandwidth_gbs,latency_ns\n");
+    for (pct, bw, lat) in family.to_rows() {
+        out.push_str(&format!("{pct},{bw:.4},{lat:.4}\n"));
+    }
+    out
+}
+
+/// Parses a curve family from the CSV format produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`MessError::Parse`] for malformed rows and [`MessError::InvalidCurve`] /
+/// [`MessError::EmptyCurveFamily`] if the rows do not form valid curves.
+pub fn from_csv(name: &str, csv: &str) -> Result<CurveFamily, MessError> {
+    let mut rows = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with("read_percent")) {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parse_err = |what: &str| MessError::Parse(format!("line {}: bad {what}: {line}", lineno + 1));
+        let pct: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("read_percent"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("read_percent"))?;
+        let bw: f64 = parts
+            .next()
+            .ok_or_else(|| parse_err("bandwidth"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bandwidth"))?;
+        let lat: f64 = parts
+            .next()
+            .ok_or_else(|| parse_err("latency"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("latency"))?;
+        rows.push((pct, bw, lat));
+    }
+    CurveFamily::from_rows(name, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_family, SyntheticFamilySpec};
+    use mess_types::{Bandwidth, RwRatio};
+
+    fn family() -> CurveFamily {
+        generate_family(&SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0))
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_interpolation() {
+        let fam = family();
+        let json = to_json(&fam).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), fam.len());
+        for pct in [50, 70, 100] {
+            let r = RwRatio::from_read_percent(pct).unwrap();
+            let bw = Bandwidth::from_gbs(55.0);
+            assert!((back.latency_at(r, bw).as_ns() - fam.latency_at(r, bw).as_ns()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let fam = family();
+        let csv = to_csv(&fam);
+        assert!(csv.starts_with("read_percent,bandwidth_gbs,latency_ns"));
+        let back = from_csv(fam.name(), &csv).unwrap();
+        assert_eq!(back.len(), fam.len());
+        let bw = Bandwidth::from_gbs(80.0);
+        let r = RwRatio::ALL_READS;
+        assert!((back.latency_at(r, bw).as_ns() - fam.latency_at(r, bw).as_ns()).abs() < 0.01);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        assert!(from_csv("x", "read_percent,bandwidth_gbs,latency_ns\n100,notanumber,5").is_err());
+        assert!(from_csv("x", "100,12.0").is_err());
+        assert!(from_csv("x", "").is_err(), "no rows means no curves");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mess-core-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("family.json");
+        let fam = family();
+        save_json(&fam, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.name(), fam.name());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_parse_error() {
+        let err = load_json(Path::new("/nonexistent/mess/family.json")).unwrap_err();
+        assert!(matches!(err, MessError::Parse(_)));
+    }
+}

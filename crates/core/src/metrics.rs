@@ -1,0 +1,266 @@
+//! Quantitative memory-system metrics derived from a curve family (paper Table I).
+
+use crate::curve::Curve;
+use crate::family::CurveFamily;
+use mess_types::{Bandwidth, Latency};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Metrics of a single bandwidth–latency curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurveMetrics {
+    /// Read percentage of the curve.
+    pub read_percent: u32,
+    /// Latency of the lowest-bandwidth measurement.
+    pub unloaded_latency: Latency,
+    /// Highest latency on the curve.
+    pub max_latency: Latency,
+    /// Highest bandwidth reached on the curve.
+    pub max_bandwidth: Bandwidth,
+    /// Bandwidth at which latency first doubles the unloaded latency.
+    pub saturation_onset: Bandwidth,
+    /// Largest bandwidth decline observed as the injection rate increased ("wave form").
+    pub bandwidth_decline: Bandwidth,
+}
+
+impl CurveMetrics {
+    /// Computes the metrics of one curve.
+    pub fn compute(curve: &Curve) -> Self {
+        CurveMetrics {
+            read_percent: curve.ratio().read_percent(),
+            unloaded_latency: curve.unloaded_latency(),
+            max_latency: curve.max_latency(),
+            max_bandwidth: curve.max_bandwidth(),
+            saturation_onset: curve.saturation_onset(),
+            bandwidth_decline: curve.max_bandwidth_decline(),
+        }
+    }
+}
+
+/// A closed interval of bandwidths expressed as a fraction of the theoretical maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthRange {
+    /// Lower bound in GB/s.
+    pub low: Bandwidth,
+    /// Upper bound in GB/s.
+    pub high: Bandwidth,
+    /// Lower bound as a fraction of the theoretical maximum bandwidth.
+    pub low_fraction: f64,
+    /// Upper bound as a fraction of the theoretical maximum bandwidth.
+    pub high_fraction: f64,
+}
+
+impl fmt::Display for BandwidthRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}-{:.0} GB/s ({:.0}-{:.0}% of theoretical)",
+            self.low.as_gbs(),
+            self.high.as_gbs(),
+            self.low_fraction * 100.0,
+            self.high_fraction * 100.0
+        )
+    }
+}
+
+/// A closed interval of latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyRange {
+    /// Lower bound.
+    pub low: Latency,
+    /// Upper bound.
+    pub high: Latency,
+}
+
+impl fmt::Display for LatencyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}-{:.0} ns", self.low.as_ns(), self.high.as_ns())
+    }
+}
+
+/// The Table I metrics of a memory system: the summary the Mess benchmark prints for every
+/// platform under study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyMetrics {
+    /// Name of the characterized memory system.
+    pub name: String,
+    /// Theoretical peak bandwidth used for normalisation.
+    pub theoretical_bandwidth: Bandwidth,
+    /// Unloaded memory latency (minimum across curves).
+    pub unloaded_latency: Latency,
+    /// Range of maximum latencies across all read/write ratios.
+    pub max_latency_range: LatencyRange,
+    /// Saturated bandwidth range: from the earliest saturation onset across curves to the
+    /// highest bandwidth achieved by any curve.
+    pub saturated_bandwidth_range: BandwidthRange,
+    /// Per-curve metrics, sorted by ascending read percentage.
+    pub per_curve: Vec<CurveMetrics>,
+    /// `true` if any curve exhibits a bandwidth decline larger than 2 % of its maximum.
+    pub has_wave: bool,
+}
+
+impl FamilyMetrics {
+    /// Fraction of the curves' maximum bandwidth decline used for wave detection.
+    pub const WAVE_THRESHOLD: f64 = 0.02;
+
+    /// Computes the Table I metrics for a curve family, normalising bandwidths against
+    /// `theoretical_bandwidth`.
+    pub fn compute(family: &CurveFamily, theoretical_bandwidth: Bandwidth) -> Self {
+        let per_curve: Vec<CurveMetrics> = family.curves().iter().map(CurveMetrics::compute).collect();
+        let unloaded_latency = family.unloaded_latency();
+
+        let min_max_lat = per_curve
+            .iter()
+            .map(|m| m.max_latency)
+            .fold(Latency::from_ns(f64::MAX), Latency::min);
+        let max_max_lat = per_curve
+            .iter()
+            .map(|m| m.max_latency)
+            .fold(Latency::ZERO, Latency::max);
+
+        let sat_low = per_curve
+            .iter()
+            .map(|m| m.saturation_onset)
+            .fold(Bandwidth::from_gbs(f64::MAX), Bandwidth::min);
+        let sat_high = per_curve
+            .iter()
+            .map(|m| m.max_bandwidth)
+            .fold(Bandwidth::ZERO, Bandwidth::max);
+
+        let has_wave = family
+            .curves()
+            .iter()
+            .any(|c| c.has_wave(Self::WAVE_THRESHOLD));
+
+        FamilyMetrics {
+            name: family.name().to_string(),
+            theoretical_bandwidth,
+            unloaded_latency,
+            max_latency_range: LatencyRange { low: min_max_lat, high: max_max_lat },
+            saturated_bandwidth_range: BandwidthRange {
+                low: sat_low,
+                high: sat_high,
+                low_fraction: sat_low.fraction_of(theoretical_bandwidth),
+                high_fraction: sat_high.fraction_of(theoretical_bandwidth),
+            },
+            per_curve,
+            has_wave,
+        }
+    }
+
+    /// Formats the metrics as a row matching the layout of paper Table I.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<28} sat-bw {:>3.0}-{:>3.0}%  unloaded {:>5.0} ns  max-lat {:>4.0}-{:>4.0} ns  wave {}",
+            self.name,
+            self.saturated_bandwidth_range.low_fraction * 100.0,
+            self.saturated_bandwidth_range.high_fraction * 100.0,
+            self.unloaded_latency.as_ns(),
+            self.max_latency_range.low.as_ns(),
+            self.max_latency_range.high.as_ns(),
+            if self.has_wave { "yes" } else { "no" }
+        )
+    }
+}
+
+impl fmt::Display for FamilyMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "memory system: {}", self.name)?;
+        writeln!(f, "  theoretical bandwidth:     {}", self.theoretical_bandwidth)?;
+        writeln!(f, "  unloaded latency:          {}", self.unloaded_latency)?;
+        writeln!(f, "  maximum latency range:     {}", self.max_latency_range)?;
+        writeln!(f, "  saturated bandwidth range: {}", self.saturated_bandwidth_range)?;
+        writeln!(f, "  bandwidth-decline (wave):  {}", if self.has_wave { "detected" } else { "not detected" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurvePoint;
+    use crate::synthetic::{generate_family, SyntheticFamilySpec};
+    use mess_types::RwRatio;
+
+    fn family() -> CurveFamily {
+        let mk = |pct: u32, max_bw: f64, unloaded: f64, max_lat: f64| {
+            Curve::new(
+                RwRatio::from_read_percent(pct).unwrap(),
+                vec![
+                    CurvePoint::new(Bandwidth::from_gbs(4.0), Latency::from_ns(unloaded)),
+                    CurvePoint::new(Bandwidth::from_gbs(max_bw * 0.7), Latency::from_ns(unloaded * 2.1)),
+                    CurvePoint::new(Bandwidth::from_gbs(max_bw), Latency::from_ns(max_lat)),
+                ],
+            )
+            .unwrap()
+        };
+        CurveFamily::new(
+            "skylake-like",
+            vec![mk(50, 92.0, 93.0, 391.0), mk(100, 116.0, 89.0, 242.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_style_metrics() {
+        let m = FamilyMetrics::compute(&family(), Bandwidth::from_gbs(128.0));
+        assert!((m.unloaded_latency.as_ns() - 89.0).abs() < 1e-12);
+        assert!((m.max_latency_range.low.as_ns() - 242.0).abs() < 1e-12);
+        assert!((m.max_latency_range.high.as_ns() - 391.0).abs() < 1e-12);
+        // Saturation onset = 0.7 * 92 = 64.4 GB/s for the 50% curve (first point >= 2x unloaded).
+        assert!((m.saturated_bandwidth_range.low.as_gbs() - 64.4).abs() < 1e-9);
+        assert!((m.saturated_bandwidth_range.high.as_gbs() - 116.0).abs() < 1e-9);
+        assert!((m.saturated_bandwidth_range.low_fraction - 64.4 / 128.0).abs() < 1e-9);
+        assert!(!m.has_wave);
+    }
+
+    #[test]
+    fn display_and_table_row() {
+        let m = FamilyMetrics::compute(&family(), Bandwidth::from_gbs(128.0));
+        let row = m.table_row();
+        assert!(row.contains("skylake-like"));
+        assert!(row.contains("wave no"));
+        let text = m.to_string();
+        assert!(text.contains("unloaded latency"));
+        assert!(text.contains("saturated bandwidth range"));
+    }
+
+    #[test]
+    fn per_curve_metrics_sorted_and_complete() {
+        let m = FamilyMetrics::compute(&family(), Bandwidth::from_gbs(128.0));
+        assert_eq!(m.per_curve.len(), 2);
+        assert_eq!(m.per_curve[0].read_percent, 50);
+        assert_eq!(m.per_curve[1].read_percent, 100);
+        assert!(m.per_curve[0].max_bandwidth < m.per_curve[1].max_bandwidth);
+    }
+
+    #[test]
+    fn synthetic_ddr_family_has_expected_shape() {
+        let spec = SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0);
+        let fam = generate_family(&spec);
+        let m = FamilyMetrics::compute(&fam, Bandwidth::from_gbs(128.0));
+        // Unloaded latency is close to the requested one.
+        assert!((m.unloaded_latency.as_ns() - 89.0).abs() < 5.0);
+        // Saturated range within the 55-100% band reported across the paper's platforms.
+        assert!(m.saturated_bandwidth_range.low_fraction > 0.4);
+        assert!(m.saturated_bandwidth_range.high_fraction <= 1.0);
+        // 100%-read curve achieves the highest bandwidth.
+        let best = m.per_curve.iter().max_by(|a, b| a.max_bandwidth.partial_cmp(&b.max_bandwidth).unwrap()).unwrap();
+        assert_eq!(best.read_percent, 100);
+    }
+
+    #[test]
+    fn wave_detected_for_declining_curve() {
+        let declining = Curve::new(
+            RwRatio::HALF,
+            vec![
+                CurvePoint::new(Bandwidth::from_gbs(10.0), Latency::from_ns(90.0)),
+                CurvePoint::new(Bandwidth::from_gbs(100.0), Latency::from_ns(260.0)),
+                CurvePoint::new(Bandwidth::from_gbs(90.0), Latency::from_ns(380.0)),
+            ],
+        )
+        .unwrap();
+        let fam = CurveFamily::new("wavy", vec![declining]).unwrap();
+        let m = FamilyMetrics::compute(&fam, Bandwidth::from_gbs(128.0));
+        assert!(m.has_wave);
+    }
+}

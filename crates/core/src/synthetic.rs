@@ -1,0 +1,320 @@
+//! Analytic bandwidth–latency curve-family generators.
+//!
+//! Two situations call for curves that are not measured by running the Mess benchmark on a
+//! simulated platform:
+//!
+//! * unit tests of the curve machinery, the Mess simulator and the profiler need small,
+//!   deterministic, well-understood families;
+//! * some devices' curves are supplied externally — in the paper the CXL memory-expander
+//!   curves come from the manufacturer's SystemC model. [`SyntheticFamilySpec::cxl_like`]
+//!   plays that role here.
+//!
+//! The generator produces the qualitative shape the paper reports for every DDR/HBM platform:
+//! an initially flat latency, a knee, a steep saturated region, lower achievable bandwidth and
+//! earlier saturation as the write share grows — or, for duplex (CXL) links, best behaviour at
+//! balanced read/write traffic.
+
+use crate::curve::{Curve, CurvePoint};
+use crate::family::CurveFamily;
+use mess_types::{ratio::standard_sweep, Bandwidth, Latency, RwRatio};
+use serde::{Deserialize, Serialize};
+
+/// How the write share of the traffic affects achievable bandwidth and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteImpact {
+    /// DDR/HBM-like: writes add timing constraints (tWR, tWTR, write-to-read turnarounds), so
+    /// efficiency is highest for 100 %-read traffic and decreases with the write share.
+    HalfDuplexDdr,
+    /// CXL-like full-duplex link: reads and writes use independent directions, so balanced
+    /// traffic achieves the highest aggregate bandwidth and unbalanced traffic saturates one
+    /// direction early.
+    FullDuplex,
+    /// Zen2-like anomaly: 100 %-read and maximum-write traffic both perform well while mixed
+    /// traffic suffers the largest penalty (paper §III).
+    MixedWorst,
+}
+
+/// Specification of a synthetic curve family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticFamilySpec {
+    /// Name given to the generated family.
+    pub name: String,
+    /// Theoretical peak bandwidth of the memory system.
+    pub theoretical_bandwidth: Bandwidth,
+    /// Unloaded (load-to-use) latency for 100 %-read traffic.
+    pub unloaded_latency: Latency,
+    /// Fraction of the theoretical bandwidth achievable with 100 %-read traffic.
+    pub read_efficiency: f64,
+    /// Fraction of the theoretical bandwidth achievable at the most write-heavy measured
+    /// ratio (50 %-read for write-allocate systems).
+    pub write_efficiency: f64,
+    /// Latency at saturation as a multiple of the unloaded latency, for 100 %-read traffic.
+    pub read_saturated_latency_factor: f64,
+    /// Latency at saturation as a multiple of the unloaded latency, at the most write-heavy
+    /// ratio.
+    pub write_saturated_latency_factor: f64,
+    /// Additional unloaded latency (ns) per unit of write fraction, modelling write-induced
+    /// queueing visible even at low load.
+    pub write_unloaded_penalty_ns: f64,
+    /// Read/write ratios to generate (defaults to the standard 50–100 % sweep).
+    pub ratios: Vec<RwRatio>,
+    /// Number of measurement points per curve.
+    pub points_per_curve: usize,
+    /// Bandwidth fraction (of the per-ratio maximum) at which the latency knee sits.
+    pub knee_fraction: f64,
+    /// How writes shape the family.
+    pub write_impact: WriteImpact,
+    /// If positive, generate a "wave": the last points of write-heavy curves lose this
+    /// fraction of bandwidth while latency keeps rising (row-buffer-miss-induced decline).
+    pub wave_magnitude: f64,
+}
+
+impl SyntheticFamilySpec {
+    /// A DDR4/DDR5-like server memory system.
+    pub fn ddr_like(theoretical_bandwidth: Bandwidth, unloaded_ns: f64) -> Self {
+        SyntheticFamilySpec {
+            name: "synthetic-ddr".to_string(),
+            theoretical_bandwidth,
+            unloaded_latency: Latency::from_ns(unloaded_ns),
+            read_efficiency: 0.91,
+            write_efficiency: 0.72,
+            read_saturated_latency_factor: 2.7,
+            write_saturated_latency_factor: 4.3,
+            write_unloaded_penalty_ns: 4.0,
+            ratios: standard_sweep(10),
+            points_per_curve: 24,
+            knee_fraction: 0.62,
+            write_impact: WriteImpact::HalfDuplexDdr,
+            wave_magnitude: 0.0,
+        }
+    }
+
+    /// An HBM2/HBM2E-like device: same shape as DDR but with a higher unloaded latency and
+    /// a wider saturated range.
+    pub fn hbm_like(theoretical_bandwidth: Bandwidth, unloaded_ns: f64) -> Self {
+        SyntheticFamilySpec {
+            name: "synthetic-hbm".to_string(),
+            read_efficiency: 0.92,
+            write_efficiency: 0.72,
+            read_saturated_latency_factor: 3.3,
+            write_saturated_latency_factor: 3.5,
+            ..SyntheticFamilySpec::ddr_like(theoretical_bandwidth, unloaded_ns)
+        }
+    }
+
+    /// A CXL memory-expander-like device behind a full-duplex link (paper §V-C): the
+    /// manufacturer-model stand-in. The ratio sweep covers 0–100 % reads because streaming
+    /// (non-allocating) writes can reach the device directly.
+    pub fn cxl_like(theoretical_bandwidth: Bandwidth, unloaded_ns: f64) -> Self {
+        let mut ratios = Vec::new();
+        let mut p = 0;
+        while p <= 100 {
+            ratios.push(RwRatio::from_read_percent(p).expect("percent in range"));
+            p += 10;
+        }
+        SyntheticFamilySpec {
+            name: "synthetic-cxl".to_string(),
+            theoretical_bandwidth,
+            unloaded_latency: Latency::from_ns(unloaded_ns),
+            read_efficiency: 0.62,
+            write_efficiency: 0.62,
+            read_saturated_latency_factor: 4.5,
+            write_saturated_latency_factor: 4.5,
+            write_unloaded_penalty_ns: 0.0,
+            ratios,
+            points_per_curve: 20,
+            knee_fraction: 0.55,
+            write_impact: WriteImpact::FullDuplex,
+            wave_magnitude: 0.0,
+        }
+    }
+
+    /// A Zen2-like system in which mixed read/write traffic performs worst.
+    pub fn mixed_worst_like(theoretical_bandwidth: Bandwidth, unloaded_ns: f64) -> Self {
+        SyntheticFamilySpec {
+            name: "synthetic-mixed-worst".to_string(),
+            read_efficiency: 0.71,
+            write_efficiency: 0.68,
+            write_impact: WriteImpact::MixedWorst,
+            ..SyntheticFamilySpec::ddr_like(theoretical_bandwidth, unloaded_ns)
+        }
+    }
+
+    /// Per-ratio bandwidth efficiency (fraction of the theoretical peak reachable).
+    pub fn efficiency(&self, ratio: RwRatio) -> f64 {
+        let w = ratio.write_fraction();
+        match self.write_impact {
+            WriteImpact::HalfDuplexDdr => {
+                // Linear in the write share between read and write efficiency.
+                self.read_efficiency + (self.write_efficiency - self.read_efficiency) * (w / 0.5).min(1.0)
+            }
+            WriteImpact::FullDuplex => {
+                // Aggregate duplex throughput peaks at balanced traffic: with read share r and
+                // duplex directions each able to carry `eff/2 * theoretical`, the aggregate is
+                // limited by the busier direction.
+                let r = ratio.read_fraction();
+                let dominant = r.max(w).max(1e-9);
+                // At r = 0.5 the full efficiency is reachable; at r = 1.0 only half the link.
+                self.read_efficiency * 0.5 / dominant
+            }
+            WriteImpact::MixedWorst => {
+                // Best at the extremes (pure read or max write), worst in the middle.
+                let mix = 1.0 - (2.0 * (ratio.read_fraction() - 0.75)).abs().min(1.0);
+                self.read_efficiency - (self.read_efficiency - self.write_efficiency) * mix
+            }
+        }
+    }
+
+    /// Per-ratio saturated-latency factor.
+    fn saturated_factor(&self, ratio: RwRatio) -> f64 {
+        let w = (ratio.write_fraction() / 0.5).min(1.0);
+        self.read_saturated_latency_factor
+            + (self.write_saturated_latency_factor - self.read_saturated_latency_factor) * w
+    }
+
+    /// Per-ratio unloaded latency.
+    fn unloaded(&self, ratio: RwRatio) -> f64 {
+        self.unloaded_latency.as_ns() + self.write_unloaded_penalty_ns * ratio.write_fraction()
+    }
+}
+
+/// Generates a curve family from a specification.
+///
+/// The per-curve latency model is
+/// `lat(u) = unloaded + linear·u + contention·u^3/(1.05 − u)` with `u` the fraction of the
+/// per-ratio maximum bandwidth, which yields the flat-knee-wall shape seen in paper Fig. 2/3.
+pub fn generate_family(spec: &SyntheticFamilySpec) -> CurveFamily {
+    let mut curves = Vec::with_capacity(spec.ratios.len());
+    for &ratio in &spec.ratios {
+        curves.push(generate_curve(spec, ratio));
+    }
+    CurveFamily::new(spec.name.clone(), curves).expect("synthetic spec always yields valid curves")
+}
+
+/// Generates the curve for a single ratio.
+pub fn generate_curve(spec: &SyntheticFamilySpec, ratio: RwRatio) -> Curve {
+    let n = spec.points_per_curve.max(4);
+    let max_bw = spec.theoretical_bandwidth.as_gbs() * spec.efficiency(ratio);
+    let unloaded = spec.unloaded(ratio);
+    let saturated = unloaded * spec.saturated_factor(ratio);
+    let knee = spec.knee_fraction.clamp(0.05, 0.95);
+
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        // Utilisation from ~2% to 100% of the per-ratio maximum.
+        let u = 0.02 + 0.98 * (i as f64 / (n - 1) as f64);
+        let linear = 0.25 * (saturated - unloaded) * (u / knee).min(1.0);
+        let contention = if u > knee {
+            let x = (u - knee) / (1.0 - knee);
+            0.75 * (saturated - unloaded) * x * x * x / (1.05 - u).max(0.03)
+        } else {
+            0.0
+        };
+        let lat = unloaded + linear + contention;
+        points.push(CurvePoint::new(Bandwidth::from_gbs(max_bw * u), Latency::from_ns(lat)));
+    }
+
+    // Optionally append "wave" points: injection rate keeps rising, measured bandwidth drops.
+    if spec.wave_magnitude > 0.0 && ratio.write_fraction() >= 0.3 {
+        let last = *points.last().expect("at least four points");
+        let drop = spec.wave_magnitude.clamp(0.0, 0.5);
+        for k in 1..=3 {
+            let f = k as f64 / 3.0;
+            points.push(CurvePoint::new(
+                Bandwidth::from_gbs(last.bandwidth.as_gbs() * (1.0 - drop * f)),
+                Latency::from_ns(last.latency.as_ns() * (1.0 + 0.25 * f)),
+            ));
+        }
+    }
+
+    Curve::new(ratio, points).expect("generated points are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::FamilyMetrics;
+
+    #[test]
+    fn ddr_family_write_traffic_is_slower_and_saturates_earlier() {
+        let spec = SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0);
+        let fam = generate_family(&spec);
+        let reads = fam.closest_curve(RwRatio::ALL_READS);
+        let half = fam.closest_curve(RwRatio::HALF);
+        assert!(reads.max_bandwidth() > half.max_bandwidth());
+        assert!(reads.saturation_onset() > half.saturation_onset());
+        assert!(half.max_latency() > reads.max_latency());
+        // At a common mid-range bandwidth the write-heavy curve is slower.
+        let bw = Bandwidth::from_gbs(60.0);
+        assert!(half.latency_at(bw) > reads.latency_at(bw));
+    }
+
+    #[test]
+    fn cxl_family_is_best_at_balanced_traffic() {
+        let spec = SyntheticFamilySpec::cxl_like(Bandwidth::from_gbs(43.6), 400.0);
+        let fam = generate_family(&spec);
+        let balanced = fam.closest_curve(RwRatio::HALF).max_bandwidth();
+        let all_reads = fam.closest_curve(RwRatio::ALL_READS).max_bandwidth();
+        let all_writes = fam.closest_curve(RwRatio::ALL_WRITES).max_bandwidth();
+        assert!(balanced.as_gbs() > all_reads.as_gbs() * 1.5);
+        assert!(balanced.as_gbs() > all_writes.as_gbs() * 1.5);
+    }
+
+    #[test]
+    fn mixed_worst_family_matches_zen2_anomaly() {
+        let spec = SyntheticFamilySpec::mixed_worst_like(Bandwidth::from_gbs(204.0), 113.0);
+        let fam = generate_family(&spec);
+        let reads = fam.closest_curve(RwRatio::ALL_READS).max_bandwidth().as_gbs();
+        let half = fam.closest_curve(RwRatio::HALF).max_bandwidth().as_gbs();
+        let mixed = fam
+            .closest_curve(RwRatio::from_read_percent(70).unwrap())
+            .max_bandwidth()
+            .as_gbs();
+        assert!(mixed < reads);
+        assert!(mixed < half);
+    }
+
+    #[test]
+    fn wave_magnitude_produces_bandwidth_decline() {
+        let mut spec = SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0);
+        spec.wave_magnitude = 0.15;
+        let fam = generate_family(&spec);
+        let m = FamilyMetrics::compute(&fam, Bandwidth::from_gbs(128.0));
+        assert!(m.has_wave);
+        // The 100%-read curve is unaffected.
+        assert!(!fam.closest_curve(RwRatio::ALL_READS).has_wave(0.02));
+    }
+
+    #[test]
+    fn efficiency_is_within_unit_interval() {
+        for spec in [
+            SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0),
+            SyntheticFamilySpec::hbm_like(Bandwidth::from_gbs(1024.0), 122.0),
+            SyntheticFamilySpec::cxl_like(Bandwidth::from_gbs(43.6), 400.0),
+            SyntheticFamilySpec::mixed_worst_like(Bandwidth::from_gbs(204.0), 113.0),
+        ] {
+            for pct in (0..=100).step_by(5) {
+                let e = spec.efficiency(RwRatio::from_read_percent(pct).unwrap());
+                assert!(e > 0.0 && e <= 1.0, "{}: efficiency {e} at {pct}%", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_curves_have_requested_point_count() {
+        let spec = SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0);
+        let fam = generate_family(&spec);
+        assert_eq!(fam.len(), spec.ratios.len());
+        for c in fam.curves() {
+            assert_eq!(c.len(), spec.points_per_curve);
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_close_to_spec() {
+        let spec = SyntheticFamilySpec::hbm_like(Bandwidth::from_gbs(1024.0), 122.0);
+        let fam = generate_family(&spec);
+        let m = FamilyMetrics::compute(&fam, Bandwidth::from_gbs(1024.0));
+        assert!((m.unloaded_latency.as_ns() - 122.0).abs() < 10.0);
+    }
+}

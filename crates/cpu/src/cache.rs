@@ -1,0 +1,351 @@
+//! The shared last-level cache with a write-allocate, write-back policy.
+//!
+//! Only the LLC is modelled explicitly: the Mess experiments are about main-memory behaviour,
+//! and the private L1/L2 levels are folded into the configurable on-chip latency. What matters
+//! — and what this model implements — is the *traffic transformation* the LLC performs:
+//!
+//! * a load miss produces one memory read;
+//! * a store miss produces one memory read (the write-allocate fill) and marks the line dirty;
+//! * evicting a dirty line produces one memory write.
+//!
+//! This is why a 100 %-store kernel generates 50 %-read/50 %-write memory traffic (paper
+//! §II-A) and why Mess bandwidth exceeds STREAM's application-level estimate (§III).
+
+use mess_types::CACHE_LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// `true` if the line was present.
+    pub hit: bool,
+    /// Address of a dirty line that was evicted to make room (must be written back).
+    pub writeback: Option<u64>,
+}
+
+/// Configuration of the last-level cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// If `false` the cache is disabled and every access misses without allocating
+    /// (used to model GPUs' streaming behaviour and for targeted unit tests).
+    pub enabled: bool,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways or capacity smaller than one way of
+    /// cache lines).
+    pub fn new(capacity_bytes: u64, ways: u32) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(
+            capacity_bytes >= ways as u64 * CACHE_LINE_BYTES,
+            "cache must hold at least one line per way"
+        );
+        CacheConfig { capacity_bytes, ways, enabled: true }
+    }
+
+    /// A disabled cache: every access is a miss and nothing is allocated.
+    pub fn disabled() -> Self {
+        CacheConfig { capacity_bytes: CACHE_LINE_BYTES, ways: 1, enabled: false }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        let lines = (self.capacity_bytes / CACHE_LINE_BYTES).max(1);
+        let sets = (lines / self.ways as u64).max(1);
+        // Round down to a power of two for cheap indexing.
+        let mut p = 1u64;
+        while p * 2 <= sets {
+            p *= 2;
+        }
+        p as usize
+    }
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Load hits.
+    pub load_hits: u64,
+    /// Load misses.
+    pub load_misses: u64,
+    /// Store hits.
+    pub store_hits: u64,
+    /// Store misses (each causes a write-allocate fill).
+    pub store_misses: u64,
+    /// Dirty evictions (each causes a memory write).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Overall miss ratio across loads and stores.
+    pub fn miss_ratio(&self) -> f64 {
+        let misses = self.load_misses + self.store_misses;
+        let total = misses + self.load_hits + self.store_hits;
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+}
+
+/// One cache line's tag state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU timestamp (monotone access counter).
+    last_used: u64,
+    valid: bool,
+}
+
+impl Line {
+    const INVALID: Line = Line { tag: 0, dirty: false, last_used: 0, valid: false };
+}
+
+/// A set-associative, write-allocate, write-back last-level cache model.
+#[derive(Debug, Clone)]
+pub struct LastLevelCache {
+    config: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl LastLevelCache {
+    /// Builds the cache described by `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        LastLevelCache {
+            config,
+            sets,
+            lines: vec![Line::INVALID; sets * config.ways as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / CACHE_LINE_BYTES;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line / self.sets as u64;
+        (set, tag)
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        let ways = self.config.ways as usize;
+        &mut self.lines[set * ways..(set + 1) * ways]
+    }
+
+    /// Performs a load or store access.
+    ///
+    /// On a miss the line is allocated immediately (the fill request is issued by the caller);
+    /// if the victim was dirty its address is returned so the caller can issue the writeback.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> AccessResult {
+        if !self.config.enabled {
+            if is_store {
+                self.stats.store_misses += 1;
+            } else {
+                self.stats.load_misses += 1;
+            }
+            return AccessResult { hit: false, writeback: None };
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.index(addr);
+        let sets = self.sets;
+        let lines = self.set_slice(set);
+
+        // Hit path.
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_used = clock;
+            if is_store {
+                line.dirty = true;
+                self.stats.store_hits += 1;
+            } else {
+                self.stats.load_hits += 1;
+            }
+            return AccessResult { hit: true, writeback: None };
+        }
+
+        // Miss: pick the LRU victim (or an invalid way).
+        let victim_idx = lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.last_used + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("cache sets have at least one way");
+        let victim = lines[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            // Reconstruct the victim's address from its tag and this set index.
+            Some((victim.tag * sets as u64 + set as u64) * CACHE_LINE_BYTES)
+        } else {
+            None
+        };
+        lines[victim_idx] = Line { tag, dirty: is_store, last_used: clock, valid: true };
+
+        if is_store {
+            self.stats.store_misses += 1;
+        } else {
+            self.stats.load_misses += 1;
+        }
+        if writeback.is_some() {
+            self.stats.writebacks += 1;
+        }
+        AccessResult { hit: false, writeback }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_cache() -> LastLevelCache {
+        // 64 KiB, 4-way: 256 sets.
+        LastLevelCache::new(CacheConfig::new(64 * 1024, 4))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(64 * 1024, 4);
+        assert_eq!(c.sets(), 256);
+        let odd = CacheConfig::new(33 * 1024 * 1024, 11);
+        assert!(odd.sets().is_power_of_two());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = CacheConfig::new(1024, 0);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1020, false).hit, "same line, different offset");
+        assert_eq!(c.stats().load_hits, 2);
+        assert_eq!(c.stats().load_misses, 1);
+    }
+
+    #[test]
+    fn store_miss_allocates_and_dirty_eviction_writes_back() {
+        let mut c = small_cache();
+        // Store to a line: write-allocate marks it dirty.
+        assert!(!c.access(0x2000, true).hit);
+        // Fill the same set with clean loads until the dirty line is evicted.
+        // Set index of 0x2000: line = 0x80, set = 0x80 & 255 = 128. Conflicting addresses are
+        // 0x2000 + k * sets * 64 = 0x2000 + k * 0x4000.
+        let mut writebacks = Vec::new();
+        for k in 1..=4u64 {
+            let r = c.access(0x2000 + k * 0x4000, false);
+            if let Some(wb) = r.writeback {
+                writebacks.push(wb);
+            }
+        }
+        assert_eq!(writebacks, vec![0x2000]);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_evictions_do_not_write_back() {
+        let mut c = small_cache();
+        for k in 0..16u64 {
+            let r = c.access(0x1000 + k * 0x4000, false);
+            assert_eq!(r.writeback, None);
+        }
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_line() {
+        let mut c = small_cache();
+        c.access(0x0000, false); // way A
+        c.access(0x4000, false); // way B (same set)
+        c.access(0x8000, false); // way C
+        c.access(0xC000, false); // way D — set now full
+        // Touch A again so B becomes LRU.
+        c.access(0x0000, false);
+        // New conflicting line evicts B, not A.
+        c.access(0x1_0000, false);
+        assert!(c.access(0x0000, false).hit, "A must survive");
+        assert!(!c.access(0x4000, false).hit, "B must have been evicted");
+    }
+
+    #[test]
+    fn disabled_cache_always_misses_without_writebacks() {
+        let mut c = LastLevelCache::new(CacheConfig::disabled());
+        for _ in 0..10 {
+            let r = c.access(0x40, true);
+            assert!(!r.hit);
+            assert_eq!(r.writeback, None);
+        }
+        assert_eq!(c.stats().store_misses, 10);
+        assert_eq!(c.stats().miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn streaming_store_traffic_becomes_half_reads_half_writes() {
+        // A working set much larger than the cache, written sequentially twice: in steady
+        // state every store misses (1 read fill) and evicts a dirty line (1 write).
+        let mut c = LastLevelCache::new(CacheConfig::new(16 * 1024, 4));
+        let lines = 4 * 1024; // 256 KiB worth of lines, 16x the cache
+        for pass in 0..2u64 {
+            for i in 0..lines {
+                c.access(pass * 0 + i * 64, true);
+            }
+        }
+        let s = c.stats();
+        let fills = s.store_misses;
+        let writes = s.writebacks;
+        let ratio = writes as f64 / fills as f64;
+        assert!(ratio > 0.9, "steady-state writeback/fill ratio {ratio} should approach 1");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hits_plus_misses_equals_accesses(addrs in proptest::collection::vec(0u64..1u64 << 24, 1..500)) {
+            let mut c = small_cache();
+            for (i, &a) in addrs.iter().enumerate() {
+                c.access(a, i % 3 == 0);
+            }
+            let s = c.stats();
+            prop_assert_eq!(
+                s.load_hits + s.load_misses + s.store_hits + s.store_misses,
+                addrs.len() as u64
+            );
+            prop_assert!(s.writebacks <= s.store_hits + s.store_misses);
+        }
+
+        #[test]
+        fn prop_miss_ratio_in_unit_interval(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+            let mut c = small_cache();
+            for &a in &addrs {
+                c.access(a, false);
+            }
+            let r = c.stats().miss_ratio();
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

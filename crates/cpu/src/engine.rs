@@ -1,0 +1,586 @@
+//! The cycle-level execution engine: cores + LLC + memory backend.
+
+use crate::cache::{CacheConfig, CacheStats, LastLevelCache};
+use crate::core::{Core, CoreStats};
+use crate::ops::{Op, OpStream};
+use mess_types::{
+    AccessKind, Bandwidth, Completion, Cycle, Frequency, Latency, MemoryBackend, MemoryStats,
+    Request, RequestId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the simulated CPU.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of cores (one op stream per core).
+    pub cores: u32,
+    /// Core clock frequency; also the clock of the memory interface.
+    pub frequency: Frequency,
+    /// Shared last-level cache geometry.
+    pub llc: CacheConfig,
+    /// Miss-status holding registers per core: the core's memory-level parallelism limit.
+    pub mshrs_per_core: u32,
+    /// LLC hit latency (load-to-use for a hit).
+    pub llc_hit_latency: Latency,
+    /// On-chip latency added to every memory access on top of the backend's latency
+    /// (request path through the cache hierarchy and NoC plus the return path).
+    pub on_chip_latency: Latency,
+}
+
+impl CpuConfig {
+    /// A server-class out-of-order core configuration (Skylake/Graviton-like): generous MSHRs
+    /// and a large shared LLC.
+    pub fn server_class(cores: u32, frequency: Frequency) -> Self {
+        CpuConfig {
+            cores,
+            frequency,
+            llc: CacheConfig::new(8 * 1024 * 1024, 16),
+            mshrs_per_core: 12,
+            llc_hit_latency: Latency::from_ns(18.0),
+            on_chip_latency: Latency::from_ns(45.0),
+        }
+    }
+
+    /// A small in-order core configuration (OpenPiton Ariane-like): two MSHRs and a small LLC,
+    /// which caps the achievable memory bandwidth regardless of the memory device.
+    pub fn in_order_ariane(cores: u32, frequency: Frequency) -> Self {
+        CpuConfig {
+            cores,
+            frequency,
+            llc: CacheConfig::new(4 * 1024 * 1024, 4),
+            mshrs_per_core: 2,
+            llc_hit_latency: Latency::from_ns(10.0),
+            on_chip_latency: Latency::from_ns(30.0),
+        }
+    }
+
+    /// A GPU-streaming-multiprocessor-like configuration: many outstanding requests per lane
+    /// and a cache that does not help (streaming working sets), with a long on-chip latency.
+    pub fn gpu_sm_class(sms: u32, frequency: Frequency) -> Self {
+        CpuConfig {
+            cores: sms,
+            frequency,
+            llc: CacheConfig::disabled(),
+            mshrs_per_core: 48,
+            llc_hit_latency: Latency::from_ns(30.0),
+            on_chip_latency: Latency::from_ns(250.0),
+        }
+    }
+}
+
+/// When the engine should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// Stop when every core's stream is exhausted and all memory requests have drained.
+    AllStreamsDone,
+    /// Stop when the given core's stream is exhausted (background cores may still be running).
+    /// This is how the Mess benchmark stops: the pointer-chase core finishes its fixed number
+    /// of loads while the traffic-generator cores loop forever.
+    CoreDone(usize),
+    /// Stop once this many memory requests have completed.
+    MemoryOps(u64),
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Core frequency (for unit conversions).
+    pub frequency: Frequency,
+    /// Per-core statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-system statistics accumulated during the run (delta, not cumulative).
+    pub memory: MemoryStats,
+    /// Memory bandwidth achieved over the run.
+    pub bandwidth: Bandwidth,
+    /// LLC statistics.
+    pub llc: CacheStats,
+    /// Total retired instructions across cores.
+    pub total_instructions: u64,
+    /// Whether the run hit the cycle limit before its stop condition.
+    pub hit_cycle_limit: bool,
+}
+
+impl RunReport {
+    /// Elapsed wall-clock time of the simulated run.
+    pub fn elapsed(&self) -> Latency {
+        Cycle::new(self.cycles).to_latency(self.frequency)
+    }
+
+    /// Aggregate instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average load-to-use latency of the dependent loads executed by `core` (the
+    /// pointer-chase measurement of the Mess benchmark).
+    pub fn dependent_load_latency(&self, core: usize) -> Option<Latency> {
+        let stats = self.core_stats.get(core)?;
+        if stats.dependent_loads == 0 {
+            return None;
+        }
+        Some(Latency::from_ns(
+            stats.avg_dependent_load_latency_cycles() / self.frequency.as_ghz(),
+        ))
+    }
+
+    /// The read/write composition of the memory traffic observed during the run.
+    pub fn rw_ratio(&self) -> mess_types::RwRatio {
+        self.memory.rw_ratio()
+    }
+}
+
+/// Bookkeeping for an in-flight read fill.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    core: usize,
+    dependent: bool,
+    issued_at: u64,
+}
+
+/// The cycle-level engine tying cores, the LLC and a memory backend together.
+pub struct Engine {
+    config: CpuConfig,
+    cores: Vec<Core>,
+    streams: Vec<Box<dyn OpStream>>,
+    llc: LastLevelCache,
+    next_request_id: u64,
+    in_flight: HashMap<RequestId, InFlight>,
+    /// Memory requests that were rejected (queue full) and must be retried, per core fills.
+    retry_fills: Vec<(usize, Request, bool)>,
+    /// Dirty writebacks waiting to be accepted by the backend.
+    retry_writebacks: Vec<Request>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cores", &self.cores.len())
+            .field("in_flight", &self.in_flight.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine from homogeneous streams (one per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of streams does not match `config.cores`.
+    pub fn new<S: OpStream + 'static>(config: CpuConfig, streams: Vec<S>) -> Self {
+        let boxed: Vec<Box<dyn OpStream>> =
+            streams.into_iter().map(|s| Box::new(s) as Box<dyn OpStream>).collect();
+        Engine::from_boxed(config, boxed)
+    }
+
+    /// Creates an engine from heterogeneous (boxed) streams, one per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of streams does not match `config.cores`.
+    pub fn from_boxed(config: CpuConfig, streams: Vec<Box<dyn OpStream>>) -> Self {
+        assert_eq!(
+            streams.len(),
+            config.cores as usize,
+            "one op stream per core is required"
+        );
+        Engine {
+            cores: (0..config.cores).map(Core::new).collect(),
+            llc: LastLevelCache::new(config.llc),
+            next_request_id: 0,
+            in_flight: HashMap::new(),
+            retry_fills: Vec::new(),
+            retry_writebacks: Vec::new(),
+            streams,
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    fn fresh_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Runs the engine against `backend` until `stop` is met or `max_cycles` elapse.
+    pub fn run<B: MemoryBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+        stop: StopCondition,
+        max_cycles: u64,
+    ) -> RunReport {
+        let hit_cycles = self.config.llc_hit_latency.to_cycles(self.config.frequency).as_u64().max(1);
+        let on_chip_cycles = self.config.on_chip_latency.to_cycles(self.config.frequency).as_u64();
+        let start_stats = *backend.stats();
+        let mut completed_memory_ops = 0u64;
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut now = 0u64;
+        let mut hit_cycle_limit = true;
+
+        while now < max_cycles {
+            backend.tick(Cycle::new(now));
+
+            // Collect completions and unblock cores.
+            completions.clear();
+            backend.drain_completed(&mut completions);
+            for c in &completions {
+                completed_memory_ops += 1;
+                if c.kind == AccessKind::Write {
+                    continue;
+                }
+                if let Some(meta) = self.in_flight.remove(&c.id) {
+                    let core = &mut self.cores[meta.core];
+                    core.outstanding = core.outstanding.saturating_sub(1);
+                    if meta.dependent && core.blocked_on == Some(c.id) {
+                        // Data usable after the on-chip return path.
+                        let usable = c.complete_cycle.as_u64() + on_chip_cycles;
+                        core.busy_until = core.busy_until.max(usable);
+                        core.blocked_on = None;
+                        let latency = usable.saturating_sub(meta.issued_at);
+                        core.stats.dependent_load_latency_cycles += latency;
+                        core.stats.stall_cycles += usable.saturating_sub(meta.issued_at);
+                    }
+                }
+            }
+
+            // Retry previously rejected writebacks, then fills.
+            self.retry_writebacks.retain(|req| backend.try_enqueue(*req).is_err());
+            let mut still_pending = Vec::new();
+            for (core_idx, req, dependent) in std::mem::take(&mut self.retry_fills) {
+                match backend.try_enqueue(req) {
+                    Ok(()) => {
+                        self.in_flight.insert(
+                            req.id,
+                            InFlight { core: core_idx, dependent, issued_at: req.issue_cycle.as_u64() },
+                        );
+                    }
+                    Err(_) => still_pending.push((core_idx, req, dependent)),
+                }
+            }
+            self.retry_fills = still_pending;
+
+            // Advance cores.
+            for core_idx in 0..self.cores.len() {
+                // A core with a rejected fill outstanding must wait for the retry to succeed.
+                if self.retry_fills.iter().any(|(c, _, _)| *c == core_idx) {
+                    continue;
+                }
+                let can_issue = self.cores[core_idx].can_issue(now, self.config.mshrs_per_core);
+                if !can_issue {
+                    continue;
+                }
+                let Some(op) = self.streams[core_idx].next_op() else {
+                    let core = &mut self.cores[core_idx];
+                    if !core.done {
+                        core.done = true;
+                        core.stats.finished_at = now;
+                    }
+                    continue;
+                };
+                self.execute(core_idx, op, now, hit_cycles, backend);
+            }
+
+            // Stop-condition evaluation.
+            let stop_now = match stop {
+                StopCondition::AllStreamsDone => {
+                    self.cores.iter().all(|c| c.done)
+                        && self.in_flight.is_empty()
+                        && self.retry_fills.is_empty()
+                        && self.retry_writebacks.is_empty()
+                        && backend.pending() == 0
+                }
+                StopCondition::CoreDone(idx) => self.cores.get(idx).map(|c| c.done).unwrap_or(true),
+                StopCondition::MemoryOps(n) => completed_memory_ops >= n,
+            };
+            if stop_now {
+                hit_cycle_limit = false;
+                now += 1;
+                break;
+            }
+            now += 1;
+        }
+
+        let end_stats = *backend.stats();
+        let memory = end_stats.delta(&start_stats);
+        let bandwidth = memory.bandwidth_over(Cycle::new(now.max(1)), self.config.frequency);
+        RunReport {
+            cycles: now,
+            frequency: self.config.frequency,
+            core_stats: self.cores.iter().map(|c| c.stats).collect(),
+            memory,
+            bandwidth,
+            llc: *self.llc.stats(),
+            total_instructions: self.cores.iter().map(|c| c.stats.instructions).sum(),
+            hit_cycle_limit,
+        }
+    }
+
+    /// Executes one operation on one core at cycle `now`.
+    fn execute<B: MemoryBackend + ?Sized>(
+        &mut self,
+        core_idx: usize,
+        op: Op,
+        now: u64,
+        hit_cycles: u64,
+        backend: &mut B,
+    ) {
+        let request_path_cycles = 1u64;
+        match op {
+            Op::Compute { cycles } => {
+                let core = &mut self.cores[core_idx];
+                core.stats.instructions += cycles as u64;
+                core.busy_until = now + cycles as u64;
+            }
+            Op::Load { addr, dependent } => {
+                self.cores[core_idx].stats.instructions += 1;
+                self.cores[core_idx].stats.loads += 1;
+                if dependent {
+                    self.cores[core_idx].stats.dependent_loads += 1;
+                }
+                let result = self.llc.access(addr, false);
+                if result.hit {
+                    let core = &mut self.cores[core_idx];
+                    if dependent {
+                        core.busy_until = now + hit_cycles;
+                        core.stats.dependent_load_latency_cycles += hit_cycles;
+                    } else {
+                        core.busy_until = now + 1;
+                    }
+                } else {
+                    self.issue_fill(core_idx, addr, dependent, now + request_path_cycles, backend);
+                }
+                if let Some(victim) = result.writeback {
+                    self.issue_writeback(core_idx, victim, now + request_path_cycles, backend);
+                }
+            }
+            Op::Store { addr } => {
+                {
+                    let core = &mut self.cores[core_idx];
+                    core.stats.instructions += 1;
+                    core.stats.stores += 1;
+                    core.busy_until = now + 1;
+                }
+                let result = self.llc.access(addr, true);
+                if !result.hit {
+                    // Write-allocate: the fill read is issued on behalf of the store, but the
+                    // core does not wait for it.
+                    self.issue_fill(core_idx, addr, false, now + request_path_cycles, backend);
+                }
+                if let Some(victim) = result.writeback {
+                    self.issue_writeback(core_idx, victim, now + request_path_cycles, backend);
+                }
+            }
+        }
+    }
+
+    fn issue_fill<B: MemoryBackend + ?Sized>(
+        &mut self,
+        core_idx: usize,
+        addr: u64,
+        dependent: bool,
+        issue_cycle: u64,
+        backend: &mut B,
+    ) {
+        let id = self.fresh_id();
+        let request = Request {
+            id,
+            addr,
+            kind: AccessKind::Read,
+            issue_cycle: Cycle::new(issue_cycle),
+            core: core_idx as u32,
+        };
+        let core = &mut self.cores[core_idx];
+        core.outstanding += 1;
+        core.stats.memory_reads += 1;
+        if dependent {
+            core.blocked_on = Some(id);
+            core.blocked_since = issue_cycle;
+        }
+        match backend.try_enqueue(request) {
+            Ok(()) => {
+                self.in_flight
+                    .insert(id, InFlight { core: core_idx, dependent, issued_at: issue_cycle });
+            }
+            Err(_) => {
+                self.retry_fills.push((core_idx, request, dependent));
+            }
+        }
+    }
+
+    fn issue_writeback<B: MemoryBackend + ?Sized>(
+        &mut self,
+        core_idx: usize,
+        addr: u64,
+        issue_cycle: u64,
+        backend: &mut B,
+    ) {
+        let id = self.fresh_id();
+        let request = Request {
+            id,
+            addr,
+            kind: AccessKind::Write,
+            issue_cycle: Cycle::new(issue_cycle),
+            core: core_idx as u32,
+        };
+        self.cores[core_idx].stats.memory_writes += 1;
+        if backend.try_enqueue(request).is_err() {
+            self.retry_writebacks.push(request);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::VecStream;
+    use mess_memmodels::FixedLatencyModel;
+    use mess_types::CACHE_LINE_BYTES;
+
+    fn fixed_backend(ns: f64, freq: Frequency) -> FixedLatencyModel {
+        FixedLatencyModel::new(Latency::from_ns(ns), freq)
+    }
+
+    #[test]
+    fn compute_only_stream_retires_one_instruction_per_cycle() {
+        let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
+        let mut backend = fixed_backend(60.0, config.frequency);
+        let mut engine = Engine::new(config, vec![VecStream::new(vec![Op::compute(1000)])]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 100_000);
+        assert!(!report.hit_cycle_limit);
+        assert_eq!(report.total_instructions, 1000);
+        assert!(report.ipc() > 0.9, "compute IPC should approach 1, got {}", report.ipc());
+        assert_eq!(report.memory.total_completed(), 0);
+    }
+
+    #[test]
+    fn pointer_chase_latency_is_memory_plus_on_chip() {
+        let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
+        let mut backend = fixed_backend(50.0, config.frequency);
+        // 200 dependent loads, each to a new line far apart (always missing).
+        let ops: Vec<Op> = (0..200).map(|i| Op::dependent_load(i * 1024 * 1024)).collect();
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
+        let lat = report.dependent_load_latency(0).expect("dependent loads executed");
+        // 50 ns memory + 45 ns on-chip = ~95 ns (+1 cycle request path).
+        assert!((lat.as_ns() - 95.0).abs() < 5.0, "load-to-use {lat}");
+        assert_eq!(report.core_stats[0].dependent_loads, 200);
+    }
+
+    #[test]
+    fn llc_hits_are_fast_and_do_not_reach_memory() {
+        let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
+        let mut backend = fixed_backend(50.0, config.frequency);
+        // Two passes over a tiny working set: the second pass hits.
+        let mut ops = Vec::new();
+        for _pass in 0..2 {
+            for i in 0..64u64 {
+                ops.push(Op::dependent_load(i * CACHE_LINE_BYTES));
+            }
+        }
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
+        assert_eq!(report.llc.load_misses, 64);
+        assert_eq!(report.llc.load_hits, 64);
+        assert_eq!(report.memory.reads_completed, 64);
+    }
+
+    #[test]
+    fn store_stream_generates_half_read_half_write_memory_traffic() {
+        let config = CpuConfig {
+            llc: CacheConfig::new(256 * 1024, 8),
+            ..CpuConfig::server_class(1, Frequency::from_ghz(2.0))
+        };
+        let mut backend = fixed_backend(50.0, config.frequency);
+        // Stream stores over a working set 8x the LLC, twice, so dirty evictions reach steady state.
+        let lines = 2 * 256 * 1024 / CACHE_LINE_BYTES * 8;
+        let ops: Vec<Op> = (0..lines).map(|i| Op::store(i * CACHE_LINE_BYTES)).collect();
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 50_000_000);
+        let ratio = report.rw_ratio();
+        assert!(
+            (ratio.read_fraction() - 0.5).abs() < 0.03,
+            "write-allocate store traffic should be ~50/50, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn mshr_limit_caps_memory_level_parallelism() {
+        // With a fixed-latency backend the achieved bandwidth is proportional to the MSHR
+        // count (Little's law), which is how the OpenPiton Ariane cores cap at low bandwidth.
+        let freq = Frequency::from_ghz(2.0);
+        let run_with = |mshrs: u32| {
+            let config = CpuConfig {
+                mshrs_per_core: mshrs,
+                llc: CacheConfig::disabled(),
+                ..CpuConfig::server_class(1, freq)
+            };
+            let mut backend = fixed_backend(100.0, freq);
+            let ops: Vec<Op> = (0..4000u64).map(|i| Op::load(i * CACHE_LINE_BYTES)).collect();
+            let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+            let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
+            report.bandwidth.as_gbs()
+        };
+        let bw2 = run_with(2);
+        let bw16 = run_with(16);
+        assert!(bw16 > bw2 * 4.0, "MSHRs should scale bandwidth: {bw2} vs {bw16}");
+    }
+
+    #[test]
+    fn core_done_stop_condition_leaves_background_cores_running() {
+        let config = CpuConfig::server_class(2, Frequency::from_ghz(2.0));
+        let mut backend = fixed_backend(50.0, config.frequency);
+        let primary: Vec<Op> = (0..100).map(|i| Op::dependent_load(i * 4096)).collect();
+        let background: Vec<Op> = (0..1_000_000).map(|i| Op::load(1 << 30 | (i * 64))).collect();
+        let streams: Vec<Box<dyn OpStream>> = vec![
+            Box::new(VecStream::new(primary)),
+            Box::new(VecStream::new(background)),
+        ];
+        let mut engine = Engine::from_boxed(config, streams);
+        let report = engine.run(&mut backend, StopCondition::CoreDone(0), 10_000_000);
+        assert!(!report.hit_cycle_limit);
+        assert_eq!(report.core_stats[0].dependent_loads, 100);
+        assert!(report.core_stats[1].loads > 0, "background core must have made progress");
+        assert!(report.core_stats[1].finished_at == 0, "background core never finishes");
+    }
+
+    #[test]
+    fn memory_ops_stop_condition() {
+        let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
+        let mut backend = fixed_backend(50.0, config.frequency);
+        let ops: Vec<Op> = (0..10_000u64).map(|i| Op::load(i * 1024 * 64)).collect();
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::MemoryOps(500), 10_000_000);
+        assert!(!report.hit_cycle_limit);
+        assert!(report.memory.total_completed() >= 500);
+        assert!(report.memory.total_completed() < 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "one op stream per core")]
+    fn stream_count_must_match_cores() {
+        let config = CpuConfig::server_class(4, Frequency::from_ghz(2.0));
+        let _ = Engine::new(config, vec![VecStream::new(vec![Op::compute(1)])]);
+    }
+
+    #[test]
+    fn cycle_limit_is_reported() {
+        let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
+        let mut backend = fixed_backend(50.0, config.frequency);
+        let ops: Vec<Op> = (0..100_000u64).map(|i| Op::dependent_load(i * 64 * 1024)).collect();
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 1_000);
+        assert!(report.hit_cycle_limit);
+        assert_eq!(report.cycles, 1_000);
+    }
+}

@@ -1,0 +1,42 @@
+//! Multi-core CPU front-end used to drive memory models.
+//!
+//! This crate plays the role of ZSim/gem5/OpenPiton in the reproduction: it executes abstract
+//! operation streams ([`Op`]) on a configurable number of cores, through a shared last-level
+//! cache with a **write-allocate, write-back** policy, against any
+//! [`mess_types::MemoryBackend`]. It models exactly the microarchitectural features the Mess
+//! experiments depend on:
+//!
+//! * MSHR-limited memory-level parallelism per core (2 entries for Ariane-like in-order cores,
+//!   tens for server-class cores);
+//! * dependent loads that serialize (the pointer-chase latency measurement);
+//! * write-allocate stores: a store miss issues a fill read and a later dirty eviction issues
+//!   the memory write, so a 100 %-store kernel produces 50 %-read/50 %-write memory traffic;
+//! * the on-chip (cache + NoC) latency component of the load-to-use latency.
+//!
+//! # Example
+//!
+//! ```
+//! use mess_cpu::{CpuConfig, Engine, Op, StopCondition, VecStream};
+//! use mess_memmodels::FixedLatencyModel;
+//! use mess_types::{Frequency, Latency};
+//!
+//! let config = CpuConfig::server_class(4, Frequency::from_ghz(2.0));
+//! let mut backend = FixedLatencyModel::new(Latency::from_ns(60.0), config.frequency);
+//! let streams = vec![VecStream::new(vec![Op::load(0x1000), Op::compute(10)]); 4];
+//! let mut engine = Engine::new(config, streams);
+//! let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 1_000_000);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod core;
+pub mod engine;
+pub mod ops;
+
+pub use cache::{CacheConfig, CacheStats, LastLevelCache};
+pub use core::{Core, CoreStats};
+pub use engine::{CpuConfig, Engine, RunReport, StopCondition};
+pub use ops::{Op, OpStream, VecStream};

@@ -1,0 +1,187 @@
+//! Abstract operations executed by the simulated cores.
+
+use serde::{Deserialize, Serialize};
+
+/// One operation of a core's instruction stream.
+///
+/// The Mess benchmark kernels, the STREAM/LMbench/multichase workloads and the SPEC-like
+/// synthetic suite are all expressed as streams of these operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// A load from `addr`. If `dependent` is `true`, the core blocks until the data returns
+    /// (a pointer-chase link); otherwise the load only occupies an MSHR.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+        /// Whether the next operation depends on this load's data.
+        dependent: bool,
+    },
+    /// A store to `addr`. Stores never block the core (store-buffer semantics) but interact
+    /// with the cache's write-allocate policy.
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// `cycles` cycles of computation that neither access memory nor stall on it (the
+    /// traffic generator's configurable `nop` loop).
+    Compute {
+        /// Number of busy cycles.
+        cycles: u32,
+    },
+}
+
+impl Op {
+    /// An independent (non-blocking) load.
+    pub const fn load(addr: u64) -> Op {
+        Op::Load { addr, dependent: false }
+    }
+
+    /// A dependent load: the core cannot proceed until the data arrives.
+    pub const fn dependent_load(addr: u64) -> Op {
+        Op::Load { addr, dependent: true }
+    }
+
+    /// A store.
+    pub const fn store(addr: u64) -> Op {
+        Op::Store { addr }
+    }
+
+    /// A block of computation.
+    pub const fn compute(cycles: u32) -> Op {
+        Op::Compute { cycles }
+    }
+
+    /// Number of retired instructions this operation represents (compute blocks retire one
+    /// instruction per cycle, memory operations one each).
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Load { .. } | Op::Store { .. } => 1,
+            Op::Compute { cycles } => *cycles as u64,
+        }
+    }
+
+    /// `true` if this operation touches memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. })
+    }
+}
+
+/// A source of operations for one core.
+///
+/// Streams are pulled one operation at a time; returning `None` means the core has finished
+/// its work (infinite background streams simply never return `None`).
+pub trait OpStream {
+    /// Produces the next operation, or `None` when the stream is exhausted.
+    fn next_op(&mut self) -> Option<Op>;
+
+    /// A short label used in reports.
+    fn label(&self) -> &str {
+        "stream"
+    }
+}
+
+/// A finite stream backed by a vector of operations.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    ops: std::vec::IntoIter<Op>,
+    label: String,
+}
+
+impl VecStream {
+    /// Creates a stream that yields `ops` once, in order.
+    pub fn new(ops: Vec<Op>) -> Self {
+        VecStream { ops: ops.into_iter(), label: "vec".to_string() }
+    }
+
+    /// Creates a labelled stream.
+    pub fn with_label(ops: Vec<Op>, label: impl Into<String>) -> Self {
+        VecStream { ops: ops.into_iter(), label: label.into() }
+    }
+}
+
+impl OpStream for VecStream {
+    fn next_op(&mut self) -> Option<Op> {
+        self.ops.next()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A stream that repeats a generating closure forever (used for background traffic lanes).
+pub struct FnStream<F: FnMut() -> Op> {
+    f: F,
+    label: String,
+}
+
+impl<F: FnMut() -> Op> FnStream<F> {
+    /// Creates an infinite stream driven by `f`.
+    pub fn new(f: F, label: impl Into<String>) -> Self {
+        FnStream { f, label: label.into() }
+    }
+}
+
+impl<F: FnMut() -> Op> OpStream for FnStream<F> {
+    fn next_op(&mut self) -> Option<Op> {
+        Some((self.f)())
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for FnStream<fn() -> Op> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnStream").field("label", &self.label).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors() {
+        assert_eq!(Op::load(0x40), Op::Load { addr: 0x40, dependent: false });
+        assert_eq!(Op::dependent_load(0x40), Op::Load { addr: 0x40, dependent: true });
+        assert_eq!(Op::store(0x80), Op::Store { addr: 0x80 });
+        assert_eq!(Op::compute(7), Op::Compute { cycles: 7 });
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        assert_eq!(Op::load(0).instructions(), 1);
+        assert_eq!(Op::store(0).instructions(), 1);
+        assert_eq!(Op::compute(25).instructions(), 25);
+        assert!(Op::load(0).is_memory());
+        assert!(!Op::compute(1).is_memory());
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order_then_ends() {
+        let mut s = VecStream::with_label(vec![Op::load(0), Op::store(64)], "t");
+        assert_eq!(s.label(), "t");
+        assert_eq!(s.next_op(), Some(Op::load(0)));
+        assert_eq!(s.next_op(), Some(Op::store(64)));
+        assert_eq!(s.next_op(), None);
+        assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn fn_stream_is_infinite() {
+        let mut n = 0u64;
+        let mut s = FnStream::new(
+            move || {
+                n += 64;
+                Op::load(n)
+            },
+            "gen",
+        );
+        for _ in 0..1000 {
+            assert!(s.next_op().is_some());
+        }
+        assert_eq!(s.label(), "gen");
+    }
+}

@@ -1,0 +1,26 @@
+//! CXL memory-expander modelling (paper §V-C and Appendix B).
+//!
+//! The paper simulates CXL memory expanders using bandwidth–latency curves provided by the
+//! memory manufacturer's SystemC model — a CXL 2.0 ×8 (PCIe 5.0) device in front of one
+//! DDR5-5600 DIMM with a theoretical peak of 43.6 GB/s. That proprietary model is not
+//! available, so this crate provides:
+//!
+//! * [`manufacturer_curves`] — an analytic stand-in for the manufacturer's curve family,
+//!   reproducing the defining CXL behaviour: a full-duplex link whose aggregate bandwidth
+//!   peaks for balanced read/write traffic and drops sharply for one-sided traffic;
+//! * [`CxlExpanderModel`] — a queueing [`mess_types::MemoryBackend`] of the expander
+//!   (independent read/write link directions + a DDR5 backend server), used to validate that
+//!   the analytic curves match an executable model;
+//! * [`remote_socket`] — the remote-NUMA-socket emulation that industry studies use in place
+//!   of real CXL hardware, for the comparison of Figs. 17 and 18.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod expander;
+pub mod manufacturer;
+pub mod remote_socket;
+
+pub use expander::{CxlExpanderConfig, CxlExpanderModel};
+pub use manufacturer::manufacturer_curves;
+pub use remote_socket::{remote_socket_curves, RemoteSocketConfig};

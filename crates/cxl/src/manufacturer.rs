@@ -1,0 +1,82 @@
+//! The manufacturer-model curve family for the CXL expander.
+//!
+//! In the paper these curves come from Micron's proprietary SystemC model of the expander
+//! (front end, central controller and memory controller in SystemC TLM), plotted in
+//! Fig. 14(a). Here they are generated analytically with the full-duplex synthetic model and
+//! calibrated to the same headline numbers: 43.6 GB/s theoretical peak, round-trip latency
+//! from the host pins in the hundreds of nanoseconds, best behaviour for balanced traffic and
+//! a sharp drop for 100 %-read or 100 %-write streams.
+
+use mess_core::synthetic::{generate_family, SyntheticFamilySpec};
+use mess_core::CurveFamily;
+use mess_types::{Bandwidth, Latency};
+
+/// Theoretical peak `CXL.mem` bandwidth of the modelled device (paper Fig. 14).
+pub const CXL_THEORETICAL_BANDWIDTH_GBS: f64 = 43.6;
+
+/// Round-trip latency from the CXL host input pins at low load.
+pub const CXL_UNLOADED_LATENCY_NS: f64 = 220.0;
+
+/// Host-side round trip between the CPU core and the CXL host interface (measured with
+/// Intel MLC in the paper); add it to the device curves to obtain load-to-use latencies.
+pub const HOST_TO_CXL_LATENCY_NS: f64 = 180.0;
+
+/// Generates the manufacturer's bandwidth–latency curve family for the CXL expander, as
+/// measured at the CXL host input pins (device round-trip, excluding the host CPU path).
+pub fn manufacturer_curves() -> CurveFamily {
+    let mut spec = SyntheticFamilySpec::cxl_like(
+        Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
+        CXL_UNLOADED_LATENCY_NS,
+    );
+    spec.name = "cxl-expander (manufacturer model)".to_string();
+    generate_family(&spec)
+}
+
+/// The manufacturer curves shifted to load-to-use latencies for a host whose CPU-to-CXL-port
+/// round trip is `host_path` (defaults to [`HOST_TO_CXL_LATENCY_NS`] when measured with MLC).
+pub fn load_to_use_curves(host_path: Latency) -> CurveFamily {
+    // shifted_latency subtracts; to add the host path we shift by a negative delta.
+    manufacturer_curves().shifted_latency(Latency::from_ns(-host_path.as_ns()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_core::metrics::FamilyMetrics;
+    use mess_types::RwRatio;
+
+    #[test]
+    fn peak_bandwidth_is_for_balanced_traffic() {
+        let fam = manufacturer_curves();
+        let balanced = fam.closest_curve(RwRatio::HALF).max_bandwidth().as_gbs();
+        let reads = fam.closest_curve(RwRatio::ALL_READS).max_bandwidth().as_gbs();
+        let writes = fam.closest_curve(RwRatio::ALL_WRITES).max_bandwidth().as_gbs();
+        assert!(balanced > reads && balanced > writes);
+        assert!(balanced <= CXL_THEORETICAL_BANDWIDTH_GBS);
+        assert!(balanced > CXL_THEORETICAL_BANDWIDTH_GBS * 0.5);
+    }
+
+    #[test]
+    fn unloaded_latency_matches_the_device_class() {
+        let m = FamilyMetrics::compute(&manufacturer_curves(), Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS));
+        assert!(m.unloaded_latency.as_ns() > 180.0 && m.unloaded_latency.as_ns() < 280.0);
+    }
+
+    #[test]
+    fn load_to_use_curves_add_the_host_path() {
+        let device = manufacturer_curves();
+        let ltu = load_to_use_curves(Latency::from_ns(HOST_TO_CXL_LATENCY_NS));
+        let d = device.unloaded_latency().as_ns();
+        let l = ltu.unloaded_latency().as_ns();
+        assert!((l - d - HOST_TO_CXL_LATENCY_NS).abs() < 1e-6);
+    }
+
+    #[test]
+    fn family_covers_the_full_ratio_range() {
+        let fam = manufacturer_curves();
+        let ratios = fam.ratios();
+        assert_eq!(ratios.first().unwrap().read_percent(), 0);
+        assert_eq!(ratios.last().unwrap().read_percent(), 100);
+        assert!(fam.len() >= 10);
+    }
+}

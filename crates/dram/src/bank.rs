@@ -1,0 +1,207 @@
+//! Per-bank state machine.
+//!
+//! Each bank tracks its open row and the earliest cycles at which the next column access,
+//! precharge and activate commands may be issued, enforcing tRCD, tRP, tRAS and tWR.
+
+use crate::timing::TimingCycles;
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer outcome of an access, before the access is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The requested row is already open.
+    Hit,
+    /// The bank is precharged; an activate is needed.
+    Empty,
+    /// A different row is open; precharge + activate are needed.
+    Miss,
+}
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Earliest cycle a column command to the open row may issue (tRCD after activate).
+    column_ready: u64,
+    /// Earliest cycle a precharge may issue (tRAS after activate, tWR after a write burst).
+    precharge_ready: u64,
+    /// Earliest cycle an activate may issue (tRP after precharge).
+    activate_ready: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank { open_row: None, column_ready: 0, precharge_ready: 0, activate_ready: 0 }
+    }
+}
+
+impl Bank {
+    /// Creates a precharged, idle bank.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Classifies an access to `row` against the current bank state.
+    pub fn classify(&self, row: u64) -> RowOutcome {
+        match self.open_row {
+            Some(open) if open == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Miss,
+            None => RowOutcome::Empty,
+        }
+    }
+
+    /// Earliest cycle at which a column command for `row` can issue, assuming any required
+    /// precharge/activate commands are issued as early as the bank state allows, starting no
+    /// earlier than `not_before` (which encodes channel-level constraints such as tRRD/tFAW
+    /// and refresh blocking for the activate).
+    pub fn earliest_column(&self, row: u64, not_before: u64, t: &TimingCycles) -> u64 {
+        match self.classify(row) {
+            RowOutcome::Hit => self.column_ready.max(not_before),
+            RowOutcome::Empty => {
+                let act = self.activate_ready.max(not_before);
+                act + t.rcd
+            }
+            RowOutcome::Miss => {
+                let pre = self.precharge_ready.max(not_before);
+                let act = (pre + t.rp).max(self.activate_ready);
+                act + t.rcd
+            }
+        }
+    }
+
+    /// Performs the access: updates the bank state as if precharge/activate were issued as in
+    /// [`Bank::earliest_column`] and the column command issued at `column_cycle`.
+    ///
+    /// `is_write` controls the write-recovery constraint on the following precharge.
+    /// Returns the outcome that was in effect before the access.
+    pub fn access(
+        &mut self,
+        row: u64,
+        column_cycle: u64,
+        is_write: bool,
+        t: &TimingCycles,
+    ) -> RowOutcome {
+        let outcome = self.classify(row);
+        if outcome != RowOutcome::Hit {
+            // An activate happened tRCD before the column command.
+            let activate_cycle = column_cycle.saturating_sub(t.rcd);
+            self.precharge_ready = activate_cycle + t.ras;
+            self.open_row = Some(row);
+        }
+        // Column-to-column spacing within this bank.
+        self.column_ready = self.column_ready.max(column_cycle + t.ccd);
+        // A write delays the earliest precharge by the write recovery time after its data.
+        if is_write {
+            self.precharge_ready = self.precharge_ready.max(column_cycle + t.cwl + t.burst + t.wr);
+        } else {
+            self.precharge_ready = self.precharge_ready.max(column_cycle + t.cl + t.burst);
+        }
+        outcome
+    }
+
+    /// Closes the bank (refresh or explicit precharge) at `cycle`.
+    pub fn precharge(&mut self, cycle: u64, t: &TimingCycles) {
+        let pre = self.precharge_ready.max(cycle);
+        self.open_row = None;
+        self.activate_ready = self.activate_ready.max(pre + t.rp);
+    }
+
+    /// Blocks the bank until `cycle` (used for refresh).
+    pub fn block_until(&mut self, cycle: u64) {
+        self.open_row = None;
+        self.activate_ready = self.activate_ready.max(cycle);
+        self.column_ready = self.column_ready.max(cycle);
+        self.precharge_ready = self.precharge_ready.max(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::DramPreset;
+    use mess_types::Frequency;
+
+    fn timing() -> TimingCycles {
+        DramPreset::Ddr4_2666.timing().to_cpu_cycles(Frequency::from_ghz(2.0))
+    }
+
+    #[test]
+    fn classification_follows_open_row() {
+        let t = timing();
+        let mut b = Bank::new();
+        assert_eq!(b.classify(7), RowOutcome::Empty);
+        b.access(7, 100, false, &t);
+        assert_eq!(b.open_row(), Some(7));
+        assert_eq!(b.classify(7), RowOutcome::Hit);
+        assert_eq!(b.classify(8), RowOutcome::Miss);
+    }
+
+    #[test]
+    fn hit_is_faster_than_empty_is_faster_than_miss() {
+        let t = timing();
+        // Empty bank.
+        let empty = Bank::new().earliest_column(5, 1000, &t);
+        // Bank with the target row open and column-ready in the past.
+        let mut hitting = Bank::new();
+        hitting.access(5, 100, false, &t);
+        let hit = hitting.earliest_column(5, 1000, &t);
+        // Bank with a different row open.
+        let mut missing = Bank::new();
+        missing.access(9, 100, false, &t);
+        let miss = missing.earliest_column(5, 1000, &t);
+        assert!(hit < empty, "hit {hit} should precede empty {empty}");
+        assert!(empty < miss, "empty {empty} should precede miss {miss}");
+        assert_eq!(empty - 1000, t.rcd);
+        assert!(miss - 1000 >= t.rp + t.rcd);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let t = timing();
+        let mut after_read = Bank::new();
+        after_read.access(3, 1000, false, &t);
+        let mut after_write = Bank::new();
+        after_write.access(3, 1000, true, &t);
+        // A subsequent miss (to row 4) must precharge, which a write pushes further out.
+        let read_next = after_read.earliest_column(4, 1000, &t);
+        let write_next = after_write.earliest_column(4, 1000, &t);
+        assert!(write_next > read_next);
+    }
+
+    #[test]
+    fn tras_respected_on_fast_row_switch() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.access(1, 10, false, &t);
+        // A miss right away cannot precharge before tRAS expires (activate was at 10 - rcd,
+        // clamped to 0, so precharge_ready >= activate + tRAS).
+        let col = b.earliest_column(2, 11, &t);
+        assert!(col >= t.ras.saturating_sub(t.rcd) + t.rp + t.rcd);
+    }
+
+    #[test]
+    fn block_until_closes_row_and_delays_everything() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.access(1, 10, false, &t);
+        b.block_until(5000);
+        assert_eq!(b.open_row(), None);
+        assert!(b.earliest_column(1, 0, &t) >= 5000 + t.rcd);
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.access(1, 10, false, &t);
+        b.precharge(500, &t);
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.classify(1), RowOutcome::Empty);
+    }
+}

@@ -1,0 +1,51 @@
+//! Cycle-level DRAM memory-system simulator.
+//!
+//! This crate is the "actual hardware" stand-in of the reproduction: a multi-channel DRAM
+//! model with banks, row buffers, FR-FCFS scheduling, write-drain watermarks, refresh and the
+//! JEDEC-style timing constraints (tRCD, tRP, CL/CWL, tWR, tWTR, tCCD, tFAW, tRFC/tREFI) that
+//! produce the memory behaviour the Mess paper characterizes: latency that rises with load,
+//! writes that reduce achievable bandwidth and saturate earlier, and row-buffer misses that
+//! can make the measured bandwidth *decline* while latency keeps growing.
+//!
+//! Modules:
+//!
+//! * [`timing`] — DRAM timing parameters and presets (DDR4-2666/3200, DDR5-4800/5600, HBM2,
+//!   HBM2E, an Optane-like device).
+//! * [`address`] — physical-address to channel/rank/bank-group/bank/row/column mapping.
+//! * [`bank`] — per-bank state machine.
+//! * [`controller`] — a single-channel memory controller with FR-FCFS scheduling.
+//! * [`system`] — [`DramSystem`], the multi-channel [`mess_types::MemoryBackend`].
+//! * [`approx`] — deliberately simplified models reproducing the error modes the paper
+//!   attributes to DRAMsim3, Ramulator and Ramulator 2.
+//!
+//! # Example
+//!
+//! ```
+//! use mess_dram::{DramConfig, DramSystem, timing::DramPreset};
+//! use mess_types::{Cycle, Frequency, MemoryBackend, Request};
+//!
+//! let config = DramConfig::new(DramPreset::Ddr4_2666, 6, Frequency::from_ghz(2.1));
+//! let mut dram = DramSystem::new(config);
+//! dram.try_enqueue(Request::read(0, 0x4000, Cycle::new(0), 0)).unwrap();
+//! // The controller issues DRAM commands as simulated time advances; a later tick lets the
+//! // completed data burst become visible to the CPU side.
+//! dram.tick(Cycle::new(1_000));
+//! dram.tick(Cycle::new(2_000));
+//! let mut done = Vec::new();
+//! dram.drain_completed(&mut done);
+//! assert_eq!(done.len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod address;
+pub mod approx;
+pub mod bank;
+pub mod controller;
+pub mod system;
+pub mod timing;
+
+pub use approx::{ApproxDramSim, ApproxProfile};
+pub use system::{DramConfig, DramSystem};
+pub use timing::{DramPreset, DramTiming};

@@ -1,0 +1,342 @@
+//! The multi-channel DRAM system: the [`mess_types::MemoryBackend`] used as the "actual
+//! hardware" reference throughout the reproduction.
+
+use crate::address::AddressMapping;
+use crate::bank::RowOutcome;
+use crate::controller::{ChannelCompletion, ChannelController, ControllerConfig};
+use crate::timing::{DramPreset, DramTiming};
+use mess_types::{
+    Bandwidth, Completion, Cycle, EnqueueError, Frequency, MemoryBackend, MemoryStats, Request,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`DramSystem`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Device preset (timing + geometry of one channel).
+    pub preset: DramPreset,
+    /// Number of memory channels.
+    pub channels: u32,
+    /// CPU clock frequency (the clock domain of [`MemoryBackend::tick`]).
+    pub cpu_frequency: Frequency,
+    /// Read/write queue depths and scheduling policy.
+    #[serde(skip)]
+    pub controller: ControllerConfig,
+}
+
+impl DramConfig {
+    /// Creates a configuration with default controller parameters.
+    pub fn new(preset: DramPreset, channels: u32, cpu_frequency: Frequency) -> Self {
+        DramConfig { preset, channels, cpu_frequency, controller: ControllerConfig::default() }
+    }
+
+    /// Theoretical peak bandwidth of the whole memory system.
+    pub fn theoretical_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_gbs(self.preset.channel_bandwidth().as_gbs() * self.channels as f64)
+    }
+
+    /// The timing parameters of the configured device.
+    pub fn timing(&self) -> DramTiming {
+        self.preset.timing()
+    }
+}
+
+/// A multi-channel DRAM memory system.
+#[derive(Debug)]
+pub struct DramSystem {
+    config: DramConfig,
+    mapping: AddressMapping,
+    channels: Vec<ChannelController>,
+    now: Cycle,
+    stats: MemoryStats,
+    name: String,
+    scratch: Vec<ChannelCompletion>,
+    ready: Vec<Completion>,
+}
+
+impl DramSystem {
+    /// Builds the DRAM system described by `config`.
+    pub fn new(config: DramConfig) -> Self {
+        let timing = config.preset.timing();
+        let cycles = timing.to_cpu_cycles(config.cpu_frequency);
+        let mapping = AddressMapping::new(
+            config.channels,
+            timing.ranks,
+            timing.banks_per_channel,
+            timing.row_bytes,
+        );
+        let channels = (0..config.channels)
+            .map(|_| {
+                ChannelController::new(cycles, timing.banks_per_channel, timing.ranks, config.controller)
+            })
+            .collect();
+        let name = format!("{} x{}", timing.name, config.channels);
+        DramSystem {
+            mapping,
+            channels,
+            now: Cycle::ZERO,
+            stats: MemoryStats::default(),
+            name,
+            scratch: Vec::new(),
+            ready: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Theoretical peak bandwidth of the system.
+    pub fn theoretical_bandwidth(&self) -> Bandwidth {
+        self.config.theoretical_bandwidth()
+    }
+
+    /// Aggregated row-buffer statistics across channels, also available through
+    /// [`MemoryBackend::stats`].
+    pub fn row_stats(&self) -> mess_types::RowBufferStats {
+        let mut total = mess_types::RowBufferStats::default();
+        for ch in &self.channels {
+            let s = ch.row_stats();
+            total.hits += s.hits;
+            total.empties += s.empties;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    fn collect(&mut self) {
+        let now = self.now.as_u64();
+        for ch in &mut self.channels {
+            self.scratch.clear();
+            ch.drain_completed(now, &mut self.scratch);
+            for cc in &self.scratch {
+                // Row-buffer outcome statistics are folded into the shared stats block so that
+                // experiments (Fig. 7) read them through the common interface.
+                match cc.outcome {
+                    RowOutcome::Hit => self.stats.row_buffer.hits += 1,
+                    RowOutcome::Empty => self.stats.row_buffer.empties += 1,
+                    RowOutcome::Miss => self.stats.row_buffer.misses += 1,
+                }
+                self.stats.record_completion(&cc.completion);
+                self.ready.push(cc.completion);
+            }
+        }
+    }
+}
+
+impl MemoryBackend for DramSystem {
+    fn tick(&mut self, now: Cycle) {
+        if now > self.now {
+            self.now = now;
+        }
+        let cycle = self.now.as_u64();
+        for ch in &mut self.channels {
+            ch.tick(cycle);
+        }
+        self.collect();
+    }
+
+    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
+        let coord = self.mapping.decode(request.addr);
+        let ch = &mut self.channels[coord.channel as usize];
+        if !ch.can_accept(request.kind) {
+            self.stats.record_rejection();
+            return Err(EnqueueError::Full);
+        }
+        ch.enqueue(request, coord, self.now.as_u64());
+        Ok(())
+    }
+
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.ready);
+    }
+
+    fn pending(&self) -> usize {
+        self.channels.iter().map(|c| c.pending()).sum::<usize>() + self.ready.len()
+    }
+
+    fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_types::{AccessKind, Latency, CACHE_LINE_BYTES};
+
+    fn system(preset: DramPreset, channels: u32) -> DramSystem {
+        DramSystem::new(DramConfig::new(preset, channels, Frequency::from_ghz(2.0)))
+    }
+
+    /// Drives the DRAM system with `lanes` independent sequential streams until `total`
+    /// requests complete; returns (bandwidth GB/s, average read latency ns).
+    /// Drives the system with `lanes` sequential streams, each keeping up to `depth` requests
+    /// in flight (the memory-level parallelism a core's MSHRs would provide).
+    fn stream(
+        sys: &mut DramSystem,
+        lanes: usize,
+        depth: usize,
+        total: u64,
+        write_every: Option<u64>,
+    ) -> (f64, f64) {
+        let freq = sys.config.cpu_frequency;
+        let mut next_addr: Vec<u64> = (0..lanes).map(|l| (l as u64) << 30).collect();
+        let mut inflight: Vec<usize> = vec![0; lanes];
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        let mut now = 0u64;
+        let mut out = Vec::new();
+        while completed < total && now < 80_000_000 {
+            sys.tick(Cycle::new(now));
+            out.clear();
+            sys.drain_completed(&mut out);
+            for c in &out {
+                completed += 1;
+                let lane = c.core as usize;
+                if lane < lanes {
+                    inflight[lane] = inflight[lane].saturating_sub(1);
+                }
+            }
+            for lane in 0..lanes {
+                while inflight[lane] < depth {
+                    let addr = next_addr[lane];
+                    let kind = match write_every {
+                        Some(k) if issued % k == 0 => AccessKind::Write,
+                        _ => AccessKind::Read,
+                    };
+                    let req = Request { id: mess_types::RequestId(issued), addr, kind, issue_cycle: Cycle::new(now), core: lane as u32 };
+                    if sys.try_enqueue(req).is_ok() {
+                        issued += 1;
+                        inflight[lane] += 1;
+                        next_addr[lane] += CACHE_LINE_BYTES;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            now += 1;
+        }
+        let elapsed = Cycle::new(now).to_latency(freq);
+        let bytes = completed * CACHE_LINE_BYTES;
+        let bw = bytes as f64 / elapsed.as_ns();
+        let lat = sys.stats().avg_read_latency(freq).as_ns();
+        (bw, lat)
+    }
+
+    #[test]
+    fn unloaded_latency_is_tens_of_nanoseconds() {
+        let mut sys = system(DramPreset::Ddr4_2666, 6);
+        let (_, lat) = stream(&mut sys, 1, 1, 200, None);
+        assert!(lat > 30.0 && lat < 90.0, "unloaded DRAM latency {lat} ns");
+    }
+
+    #[test]
+    fn more_parallelism_gives_more_bandwidth_and_latency() {
+        let mut low = system(DramPreset::Ddr4_2666, 6);
+        let (bw_low, lat_low) = stream(&mut low, 4, 1, 3_000, None);
+        let mut high = system(DramPreset::Ddr4_2666, 6);
+        let (bw_high, lat_high) = stream(&mut high, 96, 1, 20_000, None);
+        assert!(bw_high > bw_low * 2.0, "bandwidth should scale: {bw_low} -> {bw_high}");
+        assert!(lat_high > lat_low, "latency should grow with load: {lat_low} -> {lat_high}");
+    }
+
+    #[test]
+    fn bandwidth_stays_below_theoretical_peak() {
+        let mut sys = system(DramPreset::Ddr4_2666, 6);
+        let theoretical = sys.theoretical_bandwidth().as_gbs();
+        // 24 streams with 16 outstanding lines each: the regime of a many-core CPU whose MSHRs
+        // provide memory-level parallelism within each sequential stream.
+        let (bw, _) = stream(&mut sys, 24, 16, 40_000, None);
+        assert!(bw < theoretical, "measured {bw} must stay below theoretical {theoretical}");
+        assert!(bw > theoretical * 0.5, "a saturating stream should exceed half the peak, got {bw}");
+    }
+
+    #[test]
+    fn write_traffic_reduces_read_bandwidth() {
+        let mut reads = system(DramPreset::Ddr4_2666, 6);
+        let (bw_reads, _) = stream(&mut reads, 24, 8, 20_000, None);
+        let mut mixed = system(DramPreset::Ddr4_2666, 6);
+        let (bw_mixed, _) = stream(&mut mixed, 24, 8, 20_000, Some(2));
+        assert!(
+            bw_mixed < bw_reads,
+            "50/50 traffic ({bw_mixed}) must achieve less bandwidth than pure reads ({bw_reads})"
+        );
+    }
+
+    #[test]
+    fn row_buffer_hits_dominate_sequential_streams() {
+        let mut sys = system(DramPreset::Ddr4_2666, 6);
+        let _ = stream(&mut sys, 8, 1, 5_000, None);
+        let rb = sys.row_stats();
+        assert!(rb.total() >= 5_000);
+        assert!(rb.hit_rate() > 0.6, "sequential streams should mostly hit, got {}", rb.hit_rate());
+        // The controllers count outcomes at command issue, the shared stats at completion
+        // drain, so a handful of issued-but-not-yet-drained accesses may remain.
+        assert!(rb.total() >= sys.stats().row_buffer.total());
+        assert!(rb.total() - sys.stats().row_buffer.total() < 100);
+    }
+
+    #[test]
+    fn hbm_outperforms_ddr4_in_bandwidth() {
+        let mut ddr = system(DramPreset::Ddr4_2666, 6);
+        let (bw_ddr, _) = stream(&mut ddr, 24, 8, 20_000, None);
+        let mut hbm = system(DramPreset::Hbm2, 32);
+        let (bw_hbm, _) = stream(&mut hbm, 64, 8, 20_000, None);
+        assert!(bw_hbm > bw_ddr * 1.5, "HBM {bw_hbm} should beat DDR4 {bw_ddr}");
+    }
+
+    #[test]
+    fn optane_is_much_slower_than_dram() {
+        let mut opt = system(DramPreset::OptaneLike, 2);
+        let (_, lat) = stream(&mut opt, 1, 1, 100, None);
+        // A sequential probe mostly row-hits, so the average pays CAS + overhead but not tRCD;
+        // even so the media latency keeps it far above DRAM (~36 ns in the DDR4 test above).
+        assert!(lat > 200.0, "Optane-like unloaded latency should exceed 200 ns, got {lat}");
+        let mut ddr = system(DramPreset::Ddr4_2666, 2);
+        let (_, ddr_lat) = stream(&mut ddr, 1, 1, 100, None);
+        assert!(lat > ddr_lat * 3.0, "Optane ({lat} ns) should be several times slower than DDR4 ({ddr_lat} ns)");
+    }
+
+    #[test]
+    fn rejects_when_queues_full_and_recovers() {
+        let mut sys = system(DramPreset::Ddr4_2666, 1);
+        // Flood channel 0 without ever ticking: queue must eventually reject.
+        let mut rejected = false;
+        for i in 0..1000u64 {
+            let req = Request::read(i, i * 64, Cycle::ZERO, 0);
+            if sys.try_enqueue(req).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected);
+        assert!(sys.stats().rejected > 0);
+        // After draining, the queue accepts again. The controller issues commands as simulated
+        // time advances, so step the clock rather than jumping once.
+        let mut out = Vec::new();
+        for now in (0..200_000u64).step_by(10) {
+            sys.tick(Cycle::new(now));
+            sys.drain_completed(&mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(sys.try_enqueue(Request::read(9999, 0, Cycle::new(200_000), 0)).is_ok());
+    }
+
+    #[test]
+    fn latency_unit_sanity() {
+        // The average read latency reported in ns should match cycles / frequency.
+        let mut sys = system(DramPreset::Ddr4_2666, 6);
+        let _ = stream(&mut sys, 1, 1, 50, None);
+        let s = sys.stats();
+        let by_hand = s.read_latency_cycles as f64 / s.reads_completed as f64 / 2.0;
+        assert!((s.avg_read_latency(Frequency::from_ghz(2.0)).as_ns() - by_hand).abs() < 1e-9);
+        assert!(Latency::from_ns(by_hand).as_ns() > 0.0);
+    }
+}

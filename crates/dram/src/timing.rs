@@ -1,0 +1,360 @@
+//! DRAM device timing parameters and presets.
+//!
+//! Timings are specified in nanoseconds (the unit manufacturers quote for most constraints)
+//! together with the data-rate of the interface. [`DramTiming::to_cpu_cycles`] converts them
+//! to the CPU clock domain once, so the controller never performs clock-domain crossings at
+//! run time.
+
+use mess_types::{Bandwidth, Frequency, Latency};
+use serde::{Deserialize, Serialize};
+
+/// Named device presets used by the platform configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DramPreset {
+    /// DDR4-2666 (Skylake / Cascade Lake / Power9 class servers).
+    Ddr4_2666,
+    /// DDR4-3200 (Zen2 class servers).
+    Ddr4_3200,
+    /// DDR5-4800 (Graviton 3 / Sapphire Rapids class servers).
+    Ddr5_4800,
+    /// DDR5-5600 (CXL memory-expander backend).
+    Ddr5_5600,
+    /// One HBM2 stack channel group (A64FX class).
+    Hbm2,
+    /// One HBM2E stack channel group (H100 class).
+    Hbm2e,
+    /// An Optane-like persistent memory DIMM (slow writes, media latency dominated).
+    OptaneLike,
+}
+
+impl DramPreset {
+    /// All presets, for exhaustive tests.
+    pub const ALL: [DramPreset; 7] = [
+        DramPreset::Ddr4_2666,
+        DramPreset::Ddr4_3200,
+        DramPreset::Ddr5_4800,
+        DramPreset::Ddr5_5600,
+        DramPreset::Hbm2,
+        DramPreset::Hbm2e,
+        DramPreset::OptaneLike,
+    ];
+
+    /// The timing parameter set of this preset.
+    pub fn timing(self) -> DramTiming {
+        match self {
+            DramPreset::Ddr4_2666 => DramTiming {
+                name: "DDR4-2666",
+                data_rate_mtps: 2666.0,
+                bus_bytes: 8,
+                burst_length: 8,
+                banks_per_channel: 16,
+                bank_groups: 4,
+                ranks: 2,
+                row_bytes: 8192,
+                t_cl_ns: 14.25,
+                t_rcd_ns: 14.25,
+                t_rp_ns: 14.25,
+                t_ras_ns: 32.0,
+                t_wr_ns: 15.0,
+                t_wtr_ns: 7.5,
+                t_ccd_ns: 3.0,
+                t_rrd_ns: 4.9,
+                t_faw_ns: 25.0,
+                t_refi_ns: 7800.0,
+                t_rfc_ns: 350.0,
+                cwl_ns: 10.5,
+                controller_overhead_ns: 16.0,
+                write_latency_multiplier: 1.0,
+            },
+            DramPreset::Ddr4_3200 => DramTiming {
+                name: "DDR4-3200",
+                data_rate_mtps: 3200.0,
+                t_cl_ns: 13.75,
+                t_rcd_ns: 13.75,
+                t_rp_ns: 13.75,
+                ..DramPreset::Ddr4_2666.timing()
+            },
+            DramPreset::Ddr5_4800 => DramTiming {
+                name: "DDR5-4800",
+                data_rate_mtps: 4800.0,
+                bus_bytes: 4,
+                burst_length: 16,
+                banks_per_channel: 32,
+                bank_groups: 8,
+                t_cl_ns: 16.6,
+                t_rcd_ns: 16.6,
+                t_rp_ns: 16.6,
+                t_ras_ns: 32.0,
+                t_refi_ns: 3900.0,
+                t_rfc_ns: 295.0,
+                controller_overhead_ns: 18.0,
+                ..DramPreset::Ddr4_2666.timing()
+            },
+            DramPreset::Ddr5_5600 => DramTiming {
+                name: "DDR5-5600",
+                data_rate_mtps: 5600.0,
+                t_cl_ns: 16.4,
+                t_rcd_ns: 16.4,
+                t_rp_ns: 16.4,
+                ..DramPreset::Ddr5_4800.timing()
+            },
+            DramPreset::Hbm2 => DramTiming {
+                name: "HBM2",
+                // Modelled as one 128-byte-wide pseudo-channel group delivering 32 GB/s.
+                data_rate_mtps: 2000.0,
+                bus_bytes: 16,
+                burst_length: 4,
+                banks_per_channel: 32,
+                bank_groups: 8,
+                ranks: 1,
+                row_bytes: 2048,
+                t_cl_ns: 14.0,
+                t_rcd_ns: 14.0,
+                t_rp_ns: 14.0,
+                t_ras_ns: 28.0,
+                t_wr_ns: 16.0,
+                t_wtr_ns: 8.0,
+                t_ccd_ns: 2.0,
+                t_rrd_ns: 4.0,
+                t_faw_ns: 16.0,
+                t_refi_ns: 3900.0,
+                t_rfc_ns: 260.0,
+                cwl_ns: 7.0,
+                controller_overhead_ns: 24.0,
+                write_latency_multiplier: 1.0,
+            },
+            DramPreset::Hbm2e => DramTiming {
+                name: "HBM2E",
+                data_rate_mtps: 3200.0,
+                controller_overhead_ns: 30.0,
+                ..DramPreset::Hbm2.timing()
+            },
+            DramPreset::OptaneLike => DramTiming {
+                name: "Optane-like",
+                data_rate_mtps: 2666.0,
+                bus_bytes: 8,
+                burst_length: 8,
+                banks_per_channel: 16,
+                bank_groups: 4,
+                ranks: 1,
+                row_bytes: 4096,
+                t_cl_ns: 170.0,
+                t_rcd_ns: 120.0,
+                t_rp_ns: 60.0,
+                t_ras_ns: 200.0,
+                t_wr_ns: 300.0,
+                t_wtr_ns: 40.0,
+                t_ccd_ns: 12.0,
+                t_rrd_ns: 12.0,
+                t_faw_ns: 60.0,
+                t_refi_ns: 1.0e9,
+                t_rfc_ns: 0.0,
+                cwl_ns: 100.0,
+                controller_overhead_ns: 40.0,
+                write_latency_multiplier: 3.0,
+            },
+        }
+    }
+
+    /// Theoretical peak bandwidth of one channel of this preset.
+    pub fn channel_bandwidth(self) -> Bandwidth {
+        self.timing().channel_bandwidth()
+    }
+}
+
+/// DRAM timing and geometry parameters for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Interface data rate in mega-transfers per second.
+    pub data_rate_mtps: f64,
+    /// Data-bus width in bytes.
+    pub bus_bytes: u32,
+    /// Burst length in transfers (a cache line is `bus_bytes * burst_length` bytes).
+    pub burst_length: u32,
+    /// Banks per channel (across all bank groups).
+    pub banks_per_channel: u32,
+    /// Bank groups per channel.
+    pub bank_groups: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u64,
+    /// CAS latency.
+    pub t_cl_ns: f64,
+    /// RAS-to-CAS delay (activate to column command).
+    pub t_rcd_ns: f64,
+    /// Row precharge time.
+    pub t_rp_ns: f64,
+    /// Minimum row-active time.
+    pub t_ras_ns: f64,
+    /// Write recovery time (write burst end to precharge).
+    pub t_wr_ns: f64,
+    /// Write-to-read turnaround.
+    pub t_wtr_ns: f64,
+    /// Column-to-column delay (same bank group).
+    pub t_ccd_ns: f64,
+    /// Activate-to-activate delay (different banks).
+    pub t_rrd_ns: f64,
+    /// Four-activate window.
+    pub t_faw_ns: f64,
+    /// Average refresh interval.
+    pub t_refi_ns: f64,
+    /// Refresh cycle time (channel blocked).
+    pub t_rfc_ns: f64,
+    /// CAS write latency.
+    pub cwl_ns: f64,
+    /// Fixed controller + PHY + on-package interconnect overhead added to every access.
+    pub controller_overhead_ns: f64,
+    /// Multiplier applied to write-related service times (used by the Optane-like preset).
+    pub write_latency_multiplier: f64,
+}
+
+impl DramTiming {
+    /// Duration of one full cache-line burst on the data bus.
+    pub fn burst_time_ns(&self) -> f64 {
+        // Two transfers per clock on DDR interfaces: transfer time = BL / data-rate.
+        self.burst_length as f64 / (self.data_rate_mtps * 1e6) * 1e9
+    }
+
+    /// Bytes transferred per burst.
+    pub fn burst_bytes(&self) -> u64 {
+        self.bus_bytes as u64 * self.burst_length as u64
+    }
+
+    /// Theoretical peak bandwidth of one channel in GB/s.
+    pub fn channel_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_gbs(self.data_rate_mtps * 1e6 * self.bus_bytes as f64 / 1e9)
+    }
+
+    /// Unloaded read service time: activate + CAS + burst + controller overhead.
+    pub fn unloaded_read_ns(&self) -> f64 {
+        self.t_rcd_ns + self.t_cl_ns + self.burst_time_ns() + self.controller_overhead_ns
+    }
+
+    /// Converts this timing set to CPU-clock cycles at the given frequency.
+    pub fn to_cpu_cycles(&self, cpu: Frequency) -> TimingCycles {
+        let c = |ns: f64| -> u64 { Latency::from_ns(ns).to_cycles(cpu).as_u64().max(1) };
+        TimingCycles {
+            cl: c(self.t_cl_ns),
+            rcd: c(self.t_rcd_ns),
+            rp: c(self.t_rp_ns),
+            ras: c(self.t_ras_ns),
+            wr: c(self.t_wr_ns * self.write_latency_multiplier),
+            wtr: c(self.t_wtr_ns),
+            ccd: c(self.t_ccd_ns),
+            rrd: c(self.t_rrd_ns),
+            faw: c(self.t_faw_ns),
+            refi: c(self.t_refi_ns),
+            rfc: if self.t_rfc_ns <= 0.0 { 0 } else { c(self.t_rfc_ns) },
+            cwl: c(self.cwl_ns),
+            burst: c(self.burst_time_ns()),
+            overhead: c(self.controller_overhead_ns),
+        }
+    }
+}
+
+/// Timing parameters converted to CPU-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingCycles {
+    /// CAS latency.
+    pub cl: u64,
+    /// Activate-to-column delay.
+    pub rcd: u64,
+    /// Precharge time.
+    pub rp: u64,
+    /// Minimum row-active time.
+    pub ras: u64,
+    /// Write recovery.
+    pub wr: u64,
+    /// Write-to-read turnaround.
+    pub wtr: u64,
+    /// Column-to-column delay.
+    pub ccd: u64,
+    /// Activate-to-activate delay.
+    pub rrd: u64,
+    /// Four-activate window.
+    pub faw: u64,
+    /// Refresh interval.
+    pub refi: u64,
+    /// Refresh cycle time (zero disables refresh).
+    pub rfc: u64,
+    /// CAS write latency.
+    pub cwl: u64,
+    /// Data-bus burst occupancy.
+    pub burst: u64,
+    /// Fixed controller overhead.
+    pub overhead: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_bandwidths_match_jedec_peaks() {
+        let cases = [
+            (DramPreset::Ddr4_2666, 21.3),
+            (DramPreset::Ddr4_3200, 25.6),
+            (DramPreset::Ddr5_4800, 19.2), // 32-bit DDR5 sub-channel
+            (DramPreset::Hbm2, 32.0),
+            (DramPreset::Hbm2e, 51.2),
+        ];
+        for (preset, expected) in cases {
+            let bw = preset.channel_bandwidth().as_gbs();
+            assert!(
+                (bw - expected).abs() / expected < 0.02,
+                "{:?}: expected ~{expected} GB/s, got {bw}",
+                preset
+            );
+        }
+    }
+
+    #[test]
+    fn burst_moves_a_cache_line() {
+        for preset in DramPreset::ALL {
+            let t = preset.timing();
+            assert_eq!(t.burst_bytes(), 64, "{}", t.name);
+            assert!(t.burst_time_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unloaded_read_latency_is_realistic() {
+        // DDR4 device read latency ~45-60 ns including controller overhead.
+        let t = DramPreset::Ddr4_2666.timing();
+        let lat = t.unloaded_read_ns();
+        assert!(lat > 35.0 && lat < 70.0, "unloaded read {lat} ns");
+        // Optane is an order of magnitude slower.
+        let o = DramPreset::OptaneLike.timing();
+        assert!(o.unloaded_read_ns() > 300.0);
+    }
+
+    #[test]
+    fn cycle_conversion_is_positive_and_scales_with_frequency(){
+        let t = DramPreset::Ddr5_4800.timing();
+        let at2 = t.to_cpu_cycles(Frequency::from_ghz(2.0));
+        let at3 = t.to_cpu_cycles(Frequency::from_ghz(3.0));
+        assert!(at3.cl > at2.cl);
+        assert!(at2.rcd >= 1 && at2.rp >= 1 && at2.burst >= 1);
+        assert!(at2.refi > at2.rfc);
+    }
+
+    #[test]
+    fn writes_are_penalised_relative_to_reads() {
+        for preset in [DramPreset::Ddr4_2666, DramPreset::Ddr5_4800, DramPreset::Hbm2] {
+            let t = preset.timing();
+            assert!(t.t_wr_ns > 0.0 && t.t_wtr_ns > 0.0, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let mut names: Vec<&str> = DramPreset::ALL.iter().map(|p| p.timing().name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), DramPreset::ALL.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! Experiments of paper §III: Mess characterization of the actual platforms.
+//!
+//! * `fig2` — the annotated Skylake curve family (unloaded latency, saturated-bandwidth range,
+//!   maximum-latency range, STREAM reference bandwidths);
+//! * `fig3` / `table1` — the curve families and quantitative metrics of the eight Table I
+//!   platforms, with the paper's measured values side by side.
+
+use crate::report::{ExperimentReport, Fidelity};
+use crate::runner::{run_streams, scaled_platform};
+use mess_bench::sweep::{characterize, Characterization, SweepConfig};
+use mess_core::metrics::FamilyMetrics;
+use mess_platforms::{PlatformId, PlatformSpec};
+use mess_workloads::stream::{StreamConfig, StreamKernel};
+
+fn sweep_for(fidelity: Fidelity) -> SweepConfig {
+    match fidelity {
+        Fidelity::Quick => SweepConfig {
+            store_mixes: vec![0.0, 1.0],
+            pause_levels: vec![200, 40, 8, 0],
+            chase_loads: 150,
+            max_cycles_per_point: 800_000,
+        },
+        Fidelity::Full => SweepConfig::full(),
+    }
+}
+
+/// Characterizes one platform's detailed-DRAM reference memory with the Mess benchmark.
+pub fn characterize_platform(
+    platform: &PlatformSpec,
+    fidelity: Fidelity,
+) -> Characterization {
+    let mut dram = platform.build_dram();
+    characterize(platform.name, &platform.cpu_config(), &mut dram, &sweep_for(fidelity))
+        .expect("the sweep configuration is valid")
+}
+
+/// Measures the STREAM kernels' sustained bandwidth on the platform (the dashed reference
+/// lines of Figs. 2 and 3), using STREAM's own application-level accounting.
+pub fn stream_bandwidths(platform: &PlatformSpec, fidelity: Fidelity) -> Vec<(StreamKernel, f64)> {
+    let cpu = platform.cpu_config();
+    let scale = match fidelity {
+        Fidelity::Quick => 2,
+        Fidelity::Full => 6,
+    };
+    StreamKernel::ALL
+        .into_iter()
+        .map(|kernel| {
+            let config = StreamConfig {
+                kernel,
+                array_bytes: (cpu.llc.capacity_bytes * scale).max(1 << 22),
+                iterations: 1,
+                cores: cpu.cores,
+            };
+            let mut dram = platform.build_dram();
+            let report =
+                run_streams(platform, config.streams(), &mut dram, 80_000_000);
+            let gbs = config.stream_bytes() as f64 / report.elapsed().as_ns();
+            (kernel, gbs)
+        })
+        .collect()
+}
+
+/// Paper Fig. 2: the Skylake bandwidth–latency family with its headline metrics.
+pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
+    let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), fidelity);
+    let c = characterize_platform(&platform, fidelity);
+    let metrics = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+
+    let mut report = ExperimentReport::new(
+        "fig2",
+        "Mess bandwidth-latency curves of the Skylake reference platform",
+        &["read_percent", "bandwidth_gbs", "latency_ns"],
+    );
+    for (pct, bw, lat) in c.family.to_rows() {
+        report.push_row(vec![pct.to_string(), format!("{bw:.2}"), format!("{lat:.1}")]);
+    }
+    report.note(metrics.table_row());
+    for (kernel, gbs) in stream_bandwidths(&platform, fidelity) {
+        report.note(format!("STREAM {kernel}: {gbs:.1} GB/s (application-level)"));
+    }
+    if let Some(r) = &platform.reference {
+        report.note(format!(
+            "paper reference: unloaded {} ns, saturated {}-{}% of theoretical, max latency {}-{} ns",
+            r.unloaded_latency_ns,
+            r.saturated_bw_low_pct,
+            r.saturated_bw_high_pct,
+            r.max_latency_low_ns,
+            r.max_latency_high_ns
+        ));
+    }
+    report
+}
+
+/// Paper Fig. 3 and Table I: metrics of every platform under study.
+pub fn table1(fidelity: Fidelity) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table1",
+        "Quantitative memory performance comparison (paper Table I / Fig. 3)",
+        &[
+            "platform",
+            "theoretical_gbs",
+            "unloaded_ns",
+            "unloaded_ns_paper",
+            "sat_bw_low_pct",
+            "sat_bw_high_pct",
+            "sat_bw_paper",
+            "max_lat_range_ns",
+            "max_lat_paper",
+            "stream_pct",
+            "stream_paper",
+        ],
+    );
+    let platforms: Vec<PlatformId> = match fidelity {
+        Fidelity::Quick => vec![PlatformId::IntelSkylake, PlatformId::AmazonGraviton3],
+        Fidelity::Full => PlatformId::TABLE_ONE.to_vec(),
+    };
+    for id in platforms {
+        let platform = scaled_platform(&id.spec(), fidelity);
+        let theoretical = platform.theoretical_bandwidth();
+        let c = characterize_platform(&platform, fidelity);
+        let m = FamilyMetrics::compute(&c.family, theoretical);
+        let streams = stream_bandwidths(&platform, fidelity);
+        let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
+        let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+        let r = platform.reference;
+        report.push_row(vec![
+            id.key().to_string(),
+            format!("{:.0}", theoretical.as_gbs()),
+            format!("{:.0}", m.unloaded_latency.as_ns()),
+            r.map(|r| format!("{:.0}", r.unloaded_latency_ns)).unwrap_or_default(),
+            format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
+            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+            r.map(|r| format!("{:.0}-{:.0}", r.saturated_bw_low_pct, r.saturated_bw_high_pct))
+                .unwrap_or_default(),
+            format!(
+                "{:.0}-{:.0}",
+                m.max_latency_range.low.as_ns(),
+                m.max_latency_range.high.as_ns()
+            ),
+            r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
+                .unwrap_or_default(),
+            format!(
+                "{:.0}-{:.0}",
+                stream_low / theoretical.as_gbs() * 100.0,
+                stream_high / theoretical.as_gbs() * 100.0
+            ),
+            r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
+                .unwrap_or_default(),
+        ]);
+    }
+    report.note(
+        "Quick fidelity characterizes a scaled-down platform (fewer cores/channels); \
+         full fidelity runs the paper configuration.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_types::RwRatio;
+
+    #[test]
+    fn skylake_characterization_produces_rising_write_sensitive_curves() {
+        let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), Fidelity::Quick);
+        let c = characterize_platform(&platform, Fidelity::Quick);
+        assert_eq!(c.family.len(), 2);
+        let reads = c.family.closest_curve(RwRatio::ALL_READS);
+        assert!(reads.max_latency() > reads.unloaded_latency());
+        // Write-heavy traffic must achieve less bandwidth than pure reads (paper §II-C).
+        let writes = c.family.closest_curve(RwRatio::HALF);
+        assert!(writes.max_bandwidth() < reads.max_bandwidth());
+        // And the whole family stays below the theoretical peak.
+        assert!(c.family.max_bandwidth().as_gbs() <= platform.theoretical_bandwidth().as_gbs());
+    }
+
+    #[test]
+    fn fig2_report_has_points_and_metrics() {
+        let r = fig2(Fidelity::Quick);
+        assert!(r.rows.len() >= 8);
+        assert!(r.notes.iter().any(|n| n.contains("STREAM")));
+        assert!(r.notes.iter().any(|n| n.contains("paper reference")));
+    }
+
+    #[test]
+    fn table1_quick_covers_two_platforms() {
+        let r = table1(Fidelity::Quick);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.headers.len(), r.rows[0].len());
+    }
+}

@@ -1,0 +1,69 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! mess-harness --experiment fig5            # one experiment at full fidelity
+//! mess-harness --experiment all --quick     # smoke-run everything
+//! mess-harness --list                       # show the experiment index
+//! mess-harness --experiment fig2 --csv      # machine-readable output
+//! ```
+
+use mess_harness::{run_experiment, Fidelity, EXPERIMENTS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut fidelity = Fidelity::Full;
+    let mut csv = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => experiment = iter.next().cloned(),
+            "--quick" => fidelity = Fidelity::Quick,
+            "--full" => fidelity = Fidelity::Full,
+            "--csv" => csv = true,
+            "--list" => {
+                for id in EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: mess-harness --experiment <id|all> [--quick|--full] [--csv] [--list]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        eprintln!("missing --experiment <id|all>; use --list to see the available experiments");
+        return ExitCode::FAILURE;
+    };
+
+    let ids: Vec<&str> = if experiment == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![experiment.as_str()]
+    };
+    for id in ids {
+        match run_experiment(id, fidelity) {
+            Some(report) => {
+                if csv {
+                    print!("{}", report.to_csv());
+                } else {
+                    println!("{report}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,239 @@
+//! Experiments of paper §V-A/B: the Mess analytical simulator.
+//!
+//! * `fig10` / `fig12` — bandwidth–latency curves simulated by the Mess model for DDR4, DDR5
+//!   and HBM2, compared with the curves it was fed;
+//! * `fig11` / `fig13` — IPC error of every memory model against the detailed-DRAM reference
+//!   for the six validation workloads (ZSim-style and gem5-style model sets).
+
+use crate::report::{ExperimentReport, Fidelity};
+use crate::runner::{ipc_error_percent, scaled_platform, workload_ipc, ValidationWorkload};
+use mess_bench::sweep::{characterize, SweepConfig};
+use mess_core::metrics::FamilyMetrics;
+use mess_core::{MessSimulator, MessSimulatorConfig};
+use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId, PlatformSpec};
+
+fn sweep_for(fidelity: Fidelity) -> SweepConfig {
+    match fidelity {
+        Fidelity::Quick => SweepConfig {
+            store_mixes: vec![0.0, 1.0],
+            pause_levels: vec![120, 20, 0],
+            chase_loads: 120,
+            max_cycles_per_point: 600_000,
+        },
+        Fidelity::Full => SweepConfig::full(),
+    }
+}
+
+/// Builds a Mess simulator for `platform` from its reference curve family.
+fn mess_backend(platform: &PlatformSpec) -> MessSimulator {
+    let config = MessSimulatorConfig::new(
+        platform.reference_family(),
+        platform.frequency,
+        platform.cpu.on_chip_latency,
+    );
+    MessSimulator::new(config).expect("reference families are valid")
+}
+
+/// Characterizes the Mess simulator itself with the Mess benchmark and compares the result to
+/// the curves it was configured with (paper Figs. 10 and 12).
+fn mess_curve_experiment(
+    id: &str,
+    title: &str,
+    platforms: &[PlatformId],
+    fidelity: Fidelity,
+) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        id,
+        title,
+        &[
+            "platform",
+            "input_unloaded_ns",
+            "simulated_unloaded_ns",
+            "input_max_bw_gbs",
+            "simulated_max_bw_gbs",
+            "max_bw_error_pct",
+        ],
+    );
+    for &id in platforms {
+        let platform = scaled_platform(&id.spec(), fidelity);
+        let input = platform.reference_family();
+        let mut mess = mess_backend(&platform);
+        let c = characterize("mess", &platform.cpu_config(), &mut mess, &sweep_for(fidelity))
+            .expect("sweep configuration is valid");
+        let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+        let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
+        let bw_err = ipc_error_percent(
+            simulated.saturated_bandwidth_range.high.as_gbs(),
+            input_metrics.saturated_bandwidth_range.high.as_gbs(),
+        );
+        report.push_row(vec![
+            id.key().to_string(),
+            format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
+            format!("{:.0}", simulated.unloaded_latency.as_ns()),
+            format!("{:.0}", input_metrics.saturated_bandwidth_range.high.as_gbs()),
+            format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
+            format!("{bw_err:.1}"),
+        ]);
+    }
+    report.note(
+        "the simulated curves are measured by running the Mess benchmark against the Mess \
+         simulator, exactly like the ZSim+Mess / gem5+Mess runs of the paper",
+    );
+    report
+}
+
+/// Paper Fig. 10: ZSim-style host running the Mess simulator for DDR4, DDR5 and HBM2.
+pub fn fig10(fidelity: Fidelity) -> ExperimentReport {
+    let platforms = match fidelity {
+        Fidelity::Quick => vec![PlatformId::IntelSkylake],
+        Fidelity::Full => vec![
+            PlatformId::IntelSkylake,
+            PlatformId::AmazonGraviton3,
+            PlatformId::FujitsuA64fx,
+        ],
+    };
+    mess_curve_experiment(
+        "fig10",
+        "Mess simulator curves vs the curves it was fed (DDR4/DDR5/HBM2, paper Fig. 10)",
+        &platforms,
+        fidelity,
+    )
+}
+
+/// Paper Fig. 12: gem5-style host (fewer cores, one channel) running the Mess simulator.
+pub fn fig12(fidelity: Fidelity) -> ExperimentReport {
+    let platforms = match fidelity {
+        Fidelity::Quick => vec![PlatformId::AmazonGraviton3],
+        Fidelity::Full => vec![PlatformId::AmazonGraviton3, PlatformId::FujitsuA64fx],
+    };
+    mess_curve_experiment(
+        "fig12",
+        "Mess simulator in a gem5-style host (paper Fig. 12)",
+        &platforms,
+        fidelity,
+    )
+}
+
+/// IPC-error comparison for a platform and a set of memory models (paper Figs. 11 and 13).
+fn ipc_error_experiment(
+    id: &str,
+    title: &str,
+    platform_id: PlatformId,
+    models: &[MemoryModelKind],
+    fidelity: Fidelity,
+) -> ExperimentReport {
+    let platform = scaled_platform(&platform_id.spec(), fidelity);
+    let workloads: Vec<ValidationWorkload> = match fidelity {
+        Fidelity::Quick => vec![ValidationWorkload::StreamTriad, ValidationWorkload::Multichase],
+        Fidelity::Full => ValidationWorkload::ALL.to_vec(),
+    };
+    let mut headers: Vec<String> = vec!["memory_model".to_string()];
+    headers.extend(workloads.iter().map(|w| w.label().to_string()));
+    headers.push("average".to_string());
+    let mut report = ExperimentReport::new(id, title, &[]);
+    report.headers = headers;
+
+    // Reference IPCs from the detailed DRAM model.
+    let reference: Vec<f64> = workloads
+        .iter()
+        .map(|&w| {
+            let mut dram = platform.build_dram();
+            workload_ipc(w, &platform, &mut dram, fidelity)
+        })
+        .collect();
+
+    for &kind in models {
+        let mut errors = Vec::new();
+        let mut cells = vec![kind.label().to_string()];
+        for (i, &w) in workloads.iter().enumerate() {
+            let curves = kind.needs_curves().then(|| platform.reference_family());
+            let mut backend = build_memory_model(kind, &platform, curves)
+                .expect("model construction is valid here");
+            let ipc = workload_ipc(w, &platform, backend.as_mut(), fidelity);
+            let err = ipc_error_percent(ipc, reference[i]);
+            errors.push(err);
+            cells.push(format!("{err:.1}"));
+        }
+        let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+        cells.push(format!("{avg:.1}"));
+        report.push_row(cells);
+    }
+    report.note(format!(
+        "absolute IPC error in percent against the detailed-DRAM reference on {}",
+        platform.name
+    ));
+    report
+}
+
+/// Paper Fig. 11: ZSim-style IPC error of six memory models on the Skylake platform.
+pub fn fig11(fidelity: Fidelity) -> ExperimentReport {
+    let models = match fidelity {
+        Fidelity::Quick => vec![MemoryModelKind::FixedLatency, MemoryModelKind::Mess],
+        Fidelity::Full => MemoryModelKind::ZSIM_IPC_SET.to_vec(),
+    };
+    ipc_error_experiment(
+        "fig11",
+        "IPC error of ZSim-style memory models (paper Fig. 11)",
+        PlatformId::IntelSkylake,
+        &models,
+        fidelity,
+    )
+}
+
+/// Paper Fig. 13: gem5-style IPC error of four memory models on the Graviton 3 platform.
+pub fn fig13(fidelity: Fidelity) -> ExperimentReport {
+    let models = match fidelity {
+        Fidelity::Quick => vec![MemoryModelKind::Ramulator2Like, MemoryModelKind::Mess],
+        Fidelity::Full => MemoryModelKind::GEM5_IPC_SET.to_vec(),
+    };
+    ipc_error_experiment(
+        "fig13",
+        "IPC error of gem5-style memory models (paper Fig. 13)",
+        PlatformId::AmazonGraviton3,
+        &models,
+        fidelity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_mess_simulator_tracks_its_input_curves() {
+        let r = fig10(Fidelity::Quick);
+        assert_eq!(r.rows.len(), 1);
+        let row = &r.rows[0];
+        let input_unloaded: f64 = row[1].parse().unwrap();
+        let simulated_unloaded: f64 = row[2].parse().unwrap();
+        // The simulated unloaded load-to-use latency stays in the neighbourhood of the input
+        // curves (the CPU model adds its on-chip component back on top).
+        assert!(
+            (simulated_unloaded - input_unloaded).abs() / input_unloaded < 0.45,
+            "unloaded {simulated_unloaded} vs input {input_unloaded}"
+        );
+        let bw_err: f64 = row[5].parse().unwrap();
+        assert!(bw_err < 60.0, "bandwidth error {bw_err}%");
+    }
+
+    #[test]
+    fn fig11_mess_beats_the_fixed_latency_model() {
+        let r = fig11(Fidelity::Quick);
+        let avg_of = |name: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .expect("row exists")
+                .last()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let fixed = avg_of("fixed-latency");
+        let mess = avg_of("mess");
+        assert!(
+            mess <= fixed + 1e-9,
+            "the Mess model must not be less accurate than fixed latency: {mess}% vs {fixed}%"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Experiments of paper §IV: Mess characterization of memory simulators.
+//!
+//! * `fig4` — gem5-style memory models against the Graviton 3 reference;
+//! * `fig5` — ZSim-style memory models against the Skylake reference;
+//! * `fig6` — trace-driven evaluation of the external DRAM-simulator stand-ins;
+//! * `fig7` — row-buffer hit/empty/miss statistics, actual versus approximate models.
+
+use crate::report::{ExperimentReport, Fidelity};
+use crate::runner::scaled_platform;
+use mess_bench::sweep::{characterize, SweepConfig};
+use mess_bench::trace::{replay, RecordingBackend, Trace};
+use mess_bench::TrafficConfig;
+use mess_core::metrics::FamilyMetrics;
+use mess_cpu::{Engine, OpStream, StopCondition};
+use mess_dram::{ApproxDramSim, ApproxProfile};
+use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId, PlatformSpec};
+use mess_types::MemoryBackend;
+
+fn sweep_for(fidelity: Fidelity) -> SweepConfig {
+    match fidelity {
+        Fidelity::Quick => SweepConfig {
+            store_mixes: vec![0.0, 1.0],
+            pause_levels: vec![120, 20, 0],
+            chase_loads: 120,
+            max_cycles_per_point: 600_000,
+        },
+        Fidelity::Full => SweepConfig::full(),
+    }
+}
+
+/// Characterizes one memory model for `platform` and appends its per-model summary rows.
+fn model_rows(
+    report: &mut ExperimentReport,
+    platform: &PlatformSpec,
+    kind: MemoryModelKind,
+    fidelity: Fidelity,
+) {
+    let curves = kind.needs_curves().then(|| platform.reference_family());
+    let mut backend =
+        build_memory_model(kind, platform, curves).expect("model construction is valid here");
+    let c = characterize(kind.label(), &platform.cpu_config(), backend.as_mut(), &sweep_for(fidelity))
+        .expect("sweep configuration is valid");
+    let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+    report.push_row(vec![
+        kind.label().to_string(),
+        format!("{:.0}", m.unloaded_latency.as_ns()),
+        format!("{:.0}", m.max_latency_range.high.as_ns()),
+        format!("{:.0}", m.saturated_bandwidth_range.high.as_gbs()),
+        format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+    ]);
+}
+
+fn simulator_comparison(
+    id: &str,
+    title: &str,
+    platform_id: PlatformId,
+    models: &[MemoryModelKind],
+    fidelity: Fidelity,
+) -> ExperimentReport {
+    let platform = scaled_platform(&platform_id.spec(), fidelity);
+    let mut report = ExperimentReport::new(
+        id,
+        title,
+        &["memory_model", "unloaded_ns", "max_latency_ns", "max_bandwidth_gbs", "max_bw_pct_of_theoretical"],
+    );
+    model_rows(&mut report, &platform, MemoryModelKind::DetailedDram, fidelity);
+    for &kind in models {
+        model_rows(&mut report, &platform, kind, fidelity);
+    }
+    report.note(format!(
+        "reference platform: {} ({:.0} GB/s theoretical); the detailed-dram row plays the role \
+         of the actual hardware",
+        platform.name,
+        platform.theoretical_bandwidth().as_gbs()
+    ));
+    report
+}
+
+/// Paper Fig. 4: Graviton 3 versus the gem5 memory models.
+pub fn fig4(fidelity: Fidelity) -> ExperimentReport {
+    let models = match fidelity {
+        Fidelity::Quick => vec![MemoryModelKind::FixedLatency, MemoryModelKind::Ramulator2Like],
+        Fidelity::Full => MemoryModelKind::GEM5_SET.to_vec(),
+    };
+    simulator_comparison(
+        "fig4",
+        "Graviton 3 reference vs gem5-style memory models",
+        PlatformId::AmazonGraviton3,
+        &models,
+        fidelity,
+    )
+}
+
+/// Paper Fig. 5: Skylake versus the ZSim memory models.
+pub fn fig5(fidelity: Fidelity) -> ExperimentReport {
+    let models = match fidelity {
+        Fidelity::Quick => vec![MemoryModelKind::FixedLatency, MemoryModelKind::Dramsim3Like],
+        Fidelity::Full => MemoryModelKind::ZSIM_SET.to_vec(),
+    };
+    simulator_comparison(
+        "fig5",
+        "Skylake reference vs ZSim-style memory models",
+        PlatformId::IntelSkylake,
+        &models,
+        fidelity,
+    )
+}
+
+/// Captures a Mess-style memory trace from the reference platform at a given traffic level.
+pub fn capture_trace(platform: &PlatformSpec, pause: u32, memory_ops: u64) -> Trace {
+    let cpu = platform.cpu_config();
+    let traffic = TrafficConfig::new(0.3, pause, cpu.llc.capacity_bytes);
+    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
+    let mut recorder = RecordingBackend::new(platform.build_dram());
+    let mut engine = Engine::from_boxed(cpu, streams);
+    let _ = engine.run(&mut recorder, StopCondition::MemoryOps(memory_ops), 20_000_000);
+    let (_, trace) = recorder.into_parts();
+    trace
+}
+
+/// Paper Fig. 6: trace-driven evaluation of the DRAMsim3/Ramulator/Ramulator2 stand-ins.
+pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
+    let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), fidelity);
+    let (ops, speeds): (u64, Vec<f64>) = match fidelity {
+        Fidelity::Quick => (4_000, vec![1.0, 4.0]),
+        Fidelity::Full => (40_000, vec![0.5, 1.0, 2.0, 4.0, 8.0]),
+    };
+    let trace = capture_trace(&platform, 20, ops);
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "Trace-driven external memory simulators (paper Fig. 6)",
+        &["memory_model", "replay_speed", "bandwidth_gbs", "avg_read_latency_ns"],
+    );
+    report.note(format!(
+        "trace: {} requests, {} of them reads",
+        trace.len(),
+        trace.rw_ratio()
+    ));
+    for profile in ApproxProfile::ALL {
+        for &speed in &speeds {
+            let mut model = ApproxDramSim::new(
+                profile,
+                platform.theoretical_bandwidth(),
+                platform.frequency,
+            );
+            let r = replay(&trace, &mut model, platform.frequency, speed);
+            report.push_row(vec![
+                profile.label().to_string(),
+                format!("{speed:.1}"),
+                format!("{:.2}", r.bandwidth.as_gbs()),
+                format!("{:.1}", r.latency.as_ns()),
+            ]);
+        }
+    }
+    // The same trace replayed into the detailed DRAM model gives the reference points.
+    for &speed in &speeds {
+        let mut dram = platform.build_dram();
+        let r = replay(&trace, &mut dram, platform.frequency, speed);
+        report.push_row(vec![
+            "detailed-dram".to_string(),
+            format!("{speed:.1}"),
+            format!("{:.2}", r.bandwidth.as_gbs()),
+            format!("{:.1}", r.latency.as_ns()),
+        ]);
+    }
+    report
+}
+
+/// Drives a backend with the Mess traffic generator at full intensity and returns the
+/// row-buffer statistics (hit/empty/miss percentages).
+fn row_buffer_stats(
+    platform: &PlatformSpec,
+    backend: &mut dyn MemoryBackend,
+    store_mix: f64,
+    pause: u32,
+    max_cycles: u64,
+) -> (f64, mess_types::RowBufferStats) {
+    let cpu = platform.cpu_config();
+    let traffic = TrafficConfig::new(store_mix, pause, cpu.llc.capacity_bytes);
+    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
+    let mut engine = Engine::from_boxed(cpu, streams);
+    let report = engine.run(backend, StopCondition::AllStreamsDone, max_cycles);
+    (report.bandwidth.as_gbs(), report.memory.row_buffer)
+}
+
+/// Paper Fig. 7: row-buffer statistics of the actual platform versus DRAMsim3- and
+/// Ramulator-like models, for 100 %-read and 100 %-store traffic.
+pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
+    let platform = scaled_platform(&PlatformId::IntelCascadeLake.spec(), fidelity);
+    let max_cycles = match fidelity {
+        Fidelity::Quick => 400_000,
+        Fidelity::Full => 4_000_000,
+    };
+    let pauses: Vec<u32> = match fidelity {
+        Fidelity::Quick => vec![80, 0],
+        Fidelity::Full => vec![200, 80, 40, 20, 8, 0],
+    };
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "Row-buffer statistics: actual vs DRAMsim3-like vs Ramulator-like (paper Fig. 7)",
+        &["memory_model", "traffic", "pause", "bandwidth_gbs", "hit_pct", "empty_pct", "miss_pct"],
+    );
+    let mut run_for = |label: &str, make: &mut dyn FnMut() -> Box<dyn MemoryBackend>| {
+        for (traffic_label, mix) in [("100%-read", 0.0), ("100%-store", 1.0)] {
+            for &pause in &pauses {
+                let mut backend = make();
+                let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
+                report.push_row(vec![
+                    label.to_string(),
+                    traffic_label.to_string(),
+                    pause.to_string(),
+                    format!("{bw:.1}"),
+                    format!("{:.0}", rb.hit_rate() * 100.0),
+                    format!("{:.0}", rb.empty_rate() * 100.0),
+                    format!("{:.0}", rb.miss_rate() * 100.0),
+                ]);
+            }
+        }
+    };
+    let p = platform.clone();
+    run_for("detailed-dram", &mut || Box::new(p.build_dram()));
+    run_for("dramsim3-like", &mut || {
+        Box::new(ApproxDramSim::new(ApproxProfile::Dramsim3Like, p.theoretical_bandwidth(), p.frequency))
+    });
+    run_for("ramulator-like", &mut || {
+        Box::new(ApproxDramSim::new(ApproxProfile::RamulatorLike, p.theoretical_bandwidth(), p.frequency))
+    });
+    report.note("paper: the actual platform starts at 84/13/3% hit/empty/miss for unloaded reads \
+                 and degrades with load and with the write share");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shows_fixed_latency_flatness_against_the_reference() {
+        let r = fig5(Fidelity::Quick);
+        assert_eq!(r.rows.len(), 3);
+        let find = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap_or_else(|| panic!("{name} row missing"))
+                .clone()
+        };
+        let detailed = find("detailed-dram");
+        let fixed = find("fixed-latency");
+        let detailed_spread: f64 =
+            detailed[2].parse::<f64>().unwrap() - detailed[1].parse::<f64>().unwrap();
+        let fixed_spread: f64 = fixed[2].parse::<f64>().unwrap() - fixed[1].parse::<f64>().unwrap();
+        assert!(
+            detailed_spread > fixed_spread,
+            "the reference memory must show more latency growth than the fixed model: {detailed_spread} vs {fixed_spread}"
+        );
+    }
+
+    #[test]
+    fn fig6_trace_replay_produces_rows_for_every_profile() {
+        let r = fig6(Fidelity::Quick);
+        assert_eq!(r.rows.len(), (3 + 1) * 2);
+        assert!(r.notes[0].contains("requests"));
+    }
+
+    #[test]
+    fn fig7_reports_row_buffer_percentages_that_sum_to_about_100() {
+        let r = fig7(Fidelity::Quick);
+        for row in &r.rows {
+            if row[0] != "detailed-dram" && row[3].parse::<f64>().unwrap() == 0.0 {
+                continue;
+            }
+            let total: f64 = row[4].parse::<f64>().unwrap()
+                + row[5].parse::<f64>().unwrap()
+                + row[6].parse::<f64>().unwrap();
+            assert!((total - 100.0).abs() < 3.0, "row {row:?} sums to {total}");
+        }
+    }
+}

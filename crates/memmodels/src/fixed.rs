@@ -1,0 +1,145 @@
+//! The fixed-latency memory model.
+//!
+//! Every request completes after a constant, user-configured latency, regardless of the load.
+//! The paper shows that while the latency can be tuned to match the unloaded latency of the
+//! target system, the model's bandwidth is unbounded — ZSim's fixed-latency model reaches
+//! 342 GB/s on a 128 GB/s system (2.7× the theoretical peak) — making it a poor model for
+//! memory-intensive workloads.
+
+use mess_types::{
+    Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend, MemoryStats, Request,
+};
+use std::collections::VecDeque;
+
+/// A memory model that serves every request after a constant latency with no bandwidth limit.
+#[derive(Debug)]
+pub struct FixedLatencyModel {
+    latency_cycles: u64,
+    cpu_frequency: Frequency,
+    now: Cycle,
+    pending: VecDeque<Completion>,
+    stats: MemoryStats,
+    name: String,
+}
+
+impl FixedLatencyModel {
+    /// Creates a fixed-latency model.
+    ///
+    /// `latency` is the memory component of the access latency (the CPU model adds its own
+    /// on-chip latency on top).
+    pub fn new(latency: Latency, cpu_frequency: Frequency) -> Self {
+        let latency_cycles = latency.to_cycles(cpu_frequency).as_u64().max(1);
+        FixedLatencyModel {
+            latency_cycles,
+            cpu_frequency,
+            now: Cycle::ZERO,
+            pending: VecDeque::new(),
+            stats: MemoryStats::default(),
+            name: format!("fixed-latency {:.0} ns", latency.as_ns()),
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> Latency {
+        Cycle::new(self.latency_cycles).to_latency(self.cpu_frequency)
+    }
+}
+
+impl MemoryBackend for FixedLatencyModel {
+    fn tick(&mut self, now: Cycle) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
+        let issue = request.issue_cycle.max(self.now);
+        self.pending.push_back(Completion {
+            id: request.id,
+            addr: request.addr,
+            kind: request.kind,
+            issue_cycle: request.issue_cycle,
+            complete_cycle: issue + self.latency_cycles,
+            core: request.core,
+        });
+        Ok(())
+    }
+
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
+        while let Some(front) = self.pending.front() {
+            if front.complete_cycle > self.now {
+                break;
+            }
+            let c = self.pending.pop_front().expect("front exists");
+            self.stats.record_completion(&c);
+            out.push(c);
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_takes_exactly_the_configured_latency() {
+        let mut m = FixedLatencyModel::new(Latency::from_ns(80.0), Frequency::from_ghz(2.0));
+        assert_eq!(m.latency().as_ns(), 80.0);
+        for i in 0..100u64 {
+            m.tick(Cycle::new(i));
+            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0)).unwrap();
+        }
+        m.tick(Cycle::new(1_000_000));
+        let mut out = Vec::new();
+        m.drain_completed(&mut out);
+        assert_eq!(out.len(), 100);
+        for c in &out {
+            assert_eq!(c.latency().as_u64(), 160);
+        }
+        assert_eq!(m.pending(), 0);
+        assert_eq!(m.stats().reads_completed, 100);
+    }
+
+    #[test]
+    fn bandwidth_is_unbounded() {
+        // Issue one request per cycle at 2 GHz: 128 GB/s of traffic; everything is accepted
+        // and completes with the same latency — the model never pushes back.
+        let mut m = FixedLatencyModel::new(Latency::from_ns(80.0), Frequency::from_ghz(2.0));
+        for i in 0..10_000u64 {
+            m.tick(Cycle::new(i));
+            assert!(m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0)).is_ok());
+        }
+        m.tick(Cycle::new(20_000));
+        let mut out = Vec::new();
+        m.drain_completed(&mut out);
+        assert_eq!(out.len(), 10_000);
+        let first = out.first().unwrap().latency();
+        let last = out.last().unwrap().latency();
+        assert_eq!(first, last, "latency is flat regardless of the load");
+    }
+
+    #[test]
+    fn completions_not_released_early() {
+        let mut m = FixedLatencyModel::new(Latency::from_ns(50.0), Frequency::from_ghz(1.0));
+        m.try_enqueue(Request::read(0, 0, Cycle::new(0), 0)).unwrap();
+        m.tick(Cycle::new(49));
+        let mut out = Vec::new();
+        m.drain_completed(&mut out);
+        assert!(out.is_empty());
+        m.tick(Cycle::new(50));
+        m.drain_completed(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Simple analytical memory models.
+//!
+//! These are the internal memory models that CPU simulators ship with and that the paper
+//! characterizes in §IV: a fixed-latency model (ZSim/gem5 "simple memory"), an M/D/1 queueing
+//! model (ZSim) and a simplified DDR model (ZSim/gem5 "internal DDR"). They also serve as the
+//! baselines the Mess simulator is compared against in the IPC-error experiments
+//! (Figs. 11 and 13).
+//!
+//! All models implement [`mess_types::MemoryBackend`].
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod fixed;
+pub mod md1;
+pub mod simple_ddr;
+
+pub use fixed::FixedLatencyModel;
+pub use md1::Md1QueueModel;
+pub use simple_ddr::{SimpleDdrConfig, SimpleDdrModel};

@@ -1,0 +1,304 @@
+//! The "internal DDR" simplified memory model.
+//!
+//! CPU simulators such as ZSim and gem5 ship a simplified DDR model that tracks per-channel
+//! bus occupancy and a coarse notion of row locality, but not the full device state. The
+//! paper finds that this model captures the linear and saturated segments of the curves and
+//! the qualitative impact of writes, yet underestimates the saturated bandwidth (69–93 GB/s
+//! simulated versus 92–116 GB/s measured on Skylake) and excessively penalises write traffic.
+//!
+//! [`SimpleDdrModel`] reproduces that behaviour: a per-channel server whose service time
+//! includes an average activate/precharge overhead and an exaggerated write turnaround.
+
+use mess_types::{
+    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend,
+    MemoryStats, Request, CACHE_LINE_BYTES,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simplified DDR model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimpleDdrConfig {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Device latency (CAS + controller) added to every access.
+    pub device_latency: Latency,
+    /// Theoretical per-channel bandwidth.
+    pub channel_bandwidth: Bandwidth,
+    /// Fraction of accesses assumed to pay an activate/precharge penalty (coarse row model).
+    pub conflict_fraction: f64,
+    /// Penalty paid by those accesses.
+    pub conflict_penalty: Latency,
+    /// Extra service time per write, modelling an exaggerated write turnaround.
+    pub write_penalty: Latency,
+    /// Per-channel request-queue depth (shared by reads and writes).
+    pub queue_depth: usize,
+}
+
+impl SimpleDdrConfig {
+    /// A DDR4-2666-like six-channel configuration (the ZSim internal DDR default).
+    pub fn ddr4_2666_x6() -> Self {
+        SimpleDdrConfig {
+            channels: 6,
+            device_latency: Latency::from_ns(46.0),
+            channel_bandwidth: Bandwidth::from_gbs(21.3),
+            conflict_fraction: 0.35,
+            conflict_penalty: Latency::from_ns(28.0),
+            write_penalty: Latency::from_ns(18.0),
+            queue_depth: 32,
+        }
+    }
+
+    /// A DDR5-4800-like eight-channel configuration (gem5 internal DDR default).
+    pub fn ddr5_4800_x8() -> Self {
+        SimpleDdrConfig {
+            channels: 8,
+            device_latency: Latency::from_ns(50.0),
+            channel_bandwidth: Bandwidth::from_gbs(38.4),
+            conflict_fraction: 0.35,
+            conflict_penalty: Latency::from_ns(30.0),
+            write_penalty: Latency::from_ns(20.0),
+            queue_depth: 32,
+        }
+    }
+}
+
+/// Per-channel state of the simplified model.
+#[derive(Debug, Clone, Copy, Default)]
+struct Channel {
+    server_free: u64,
+    queued: usize,
+}
+
+/// The simplified "internal DDR" memory model.
+#[derive(Debug)]
+pub struct SimpleDdrModel {
+    config: SimpleDdrConfig,
+    cpu_frequency: Frequency,
+    channels: Vec<Channel>,
+    /// Fractional accumulator for the deterministic conflict assignment.
+    conflict_accum: f64,
+    now: Cycle,
+    pending: Vec<Completion>,
+    stats: MemoryStats,
+    name: String,
+    device_cycles: u64,
+    service_cycles: u64,
+    conflict_cycles: u64,
+    write_cycles: u64,
+}
+
+impl SimpleDdrModel {
+    /// Creates the model for the given configuration.
+    pub fn new(config: SimpleDdrConfig, cpu_frequency: Frequency) -> Self {
+        let ns_per_line = CACHE_LINE_BYTES as f64 / config.channel_bandwidth.as_gbs();
+        // The simplified model loses ~20% of the channel efficiency to unmodelled gaps,
+        // matching the underestimated saturated bandwidth the paper reports.
+        let service_cycles = Latency::from_ns(ns_per_line * 1.22)
+            .to_cycles(cpu_frequency)
+            .as_u64()
+            .max(1);
+        SimpleDdrModel {
+            device_cycles: config.device_latency.to_cycles(cpu_frequency).as_u64().max(1),
+            service_cycles,
+            conflict_cycles: config.conflict_penalty.to_cycles(cpu_frequency).as_u64(),
+            write_cycles: config.write_penalty.to_cycles(cpu_frequency).as_u64(),
+            channels: vec![Channel::default(); config.channels as usize],
+            conflict_accum: 0.0,
+            now: Cycle::ZERO,
+            pending: Vec::new(),
+            stats: MemoryStats::default(),
+            name: format!("internal-ddr x{}", config.channels),
+            cpu_frequency,
+            config,
+        }
+    }
+
+    /// The configuration of this model.
+    pub fn config(&self) -> &SimpleDdrConfig {
+        &self.config
+    }
+
+    /// The CPU frequency used for unit conversion.
+    pub fn cpu_frequency(&self) -> Frequency {
+        self.cpu_frequency
+    }
+}
+
+impl MemoryBackend for SimpleDdrModel {
+    fn tick(&mut self, now: Cycle) {
+        if now > self.now {
+            self.now = now;
+        }
+        // Release queue slots for requests whose service has finished.
+        let cycle = self.now.as_u64();
+        for ch in &mut self.channels {
+            if ch.server_free <= cycle {
+                ch.queued = 0;
+            }
+        }
+    }
+
+    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
+        let issue = request.issue_cycle.max(self.now).as_u64();
+        let idx = ((request.addr / CACHE_LINE_BYTES) % self.channels.len() as u64) as usize;
+        let queue_depth = self.config.queue_depth;
+        let conflict_fraction = self.config.conflict_fraction;
+        let ch = &mut self.channels[idx];
+        if ch.queued >= queue_depth {
+            self.stats.record_rejection();
+            return Err(EnqueueError::Full);
+        }
+
+        self.conflict_accum += conflict_fraction;
+        let mut service = self.service_cycles;
+        let mut extra_latency = 0;
+        if self.conflict_accum >= 1.0 {
+            self.conflict_accum -= 1.0;
+            // A row conflict delays this access by the full activate/precharge penalty, but
+            // bank-level parallelism hides most of it from the channel's throughput; only a
+            // fraction shows up as extra bus occupancy. This is what makes the model
+            // underestimate the saturated bandwidth without collapsing it entirely.
+            service += self.conflict_cycles / 8;
+            extra_latency += self.conflict_cycles;
+        }
+        if request.kind == AccessKind::Write {
+            // Writes, in contrast, are charged in full: the exaggerated write turnaround is
+            // the deficiency the paper calls out for the internal DDR model.
+            service += self.write_cycles;
+        }
+
+        let start = ch.server_free.max(issue);
+        ch.server_free = start + service;
+        ch.queued += 1;
+        let complete = ch.server_free + extra_latency + self.device_cycles;
+
+        self.pending.push(Completion {
+            id: request.id,
+            addr: request.addr,
+            kind: request.kind,
+            issue_cycle: request.issue_cycle,
+            complete_cycle: Cycle::new(complete),
+            core: request.core,
+        });
+        Ok(())
+    }
+
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].complete_cycle <= now {
+                let c = self.pending.swap_remove(i);
+                self.stats.record_completion(&c);
+                out.push(c);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SimpleDdrModel {
+        SimpleDdrModel::new(SimpleDdrConfig::ddr4_2666_x6(), Frequency::from_ghz(2.0))
+    }
+
+    /// Issues `n` requests spaced `gap` cycles apart, alternating writes per `write_every`.
+    fn run(m: &mut SimpleDdrModel, n: u64, gap: u64, write_every: Option<u64>) -> (f64, f64) {
+        let mut issued = 0u64;
+        let mut i = 0u64;
+        while issued < n {
+            let now = i * gap;
+            m.tick(Cycle::new(now));
+            let req = match write_every {
+                Some(k) if issued % k == 0 => Request::write(issued, issued * 64, Cycle::new(now), 0),
+                _ => Request::read(issued, issued * 64, Cycle::new(now), 0),
+            };
+            if m.try_enqueue(req).is_ok() {
+                issued += 1;
+            }
+            i += 1;
+        }
+        let end = i * gap + 50_000_000;
+        m.tick(Cycle::new(end));
+        let mut out = Vec::new();
+        m.drain_completed(&mut out);
+        assert_eq!(out.len() as u64, n);
+        let total: u64 = out.iter().map(|c| c.latency().as_u64()).sum();
+        let avg = Cycle::new(total / n).to_latency(Frequency::from_ghz(2.0)).as_ns();
+        let last = out.iter().map(|c| c.complete_cycle.as_u64()).max().unwrap();
+        let bw = (n * CACHE_LINE_BYTES) as f64 / Cycle::new(last).to_latency(Frequency::from_ghz(2.0)).as_ns();
+        (avg, bw)
+    }
+
+    #[test]
+    fn unloaded_latency_near_device_latency() {
+        let mut m = model();
+        let (lat, _) = run(&mut m, 500, 500, None);
+        assert!(lat > 45.0 && lat < 90.0, "unloaded latency {lat}");
+    }
+
+    #[test]
+    fn saturated_bandwidth_is_underestimated() {
+        let mut m = model();
+        let (_, bw) = run(&mut m, 40_000, 1, None);
+        // The model must saturate below the real system's 92-116 GB/s, in the 60-100 GB/s band.
+        assert!(bw > 55.0 && bw < 105.0, "saturated bandwidth {bw}");
+    }
+
+    #[test]
+    fn writes_are_heavily_penalised() {
+        let mut reads = model();
+        let (_, bw_reads) = run(&mut reads, 30_000, 1, None);
+        let mut mixed = model();
+        let (_, bw_mixed) = run(&mut mixed, 30_000, 1, Some(2));
+        assert!(bw_mixed < bw_reads * 0.9, "write turnaround must cost bandwidth: {bw_reads} -> {bw_mixed}");
+    }
+
+    #[test]
+    fn latency_grows_under_load() {
+        let mut low = model();
+        let (lat_low, _) = run(&mut low, 2_000, 200, None);
+        let mut high = model();
+        let (lat_high, _) = run(&mut high, 30_000, 1, None);
+        assert!(lat_high > lat_low * 1.3, "{lat_low} -> {lat_high}");
+    }
+
+    #[test]
+    fn backpressure_when_queues_full() {
+        let mut m = model();
+        let mut rejections = 0;
+        for i in 0..5_000u64 {
+            // Never tick: the queues fill up and reject.
+            if m.try_enqueue(Request::read(i, i * 64, Cycle::ZERO, 0)).is_err() {
+                rejections += 1;
+            }
+        }
+        assert!(rejections > 0);
+        assert_eq!(m.stats().rejected, rejections);
+    }
+
+    #[test]
+    fn ddr5_config_has_more_bandwidth() {
+        let mut d4 = model();
+        let (_, bw4) = run(&mut d4, 30_000, 1, None);
+        let mut d5 = SimpleDdrModel::new(SimpleDdrConfig::ddr5_4800_x8(), Frequency::from_ghz(2.0));
+        let (_, bw5) = run(&mut d5, 30_000, 1, None);
+        assert!(bw5 > bw4 * 1.5, "DDR5 x8 {bw5} should beat DDR4 x6 {bw4}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Platform configurations for the servers, simulators and CXL hosts studied in the paper.
+//!
+//! The paper characterizes eight real machines (Table I), three CPU simulators and a CXL
+//! memory expander. This crate describes each of them as data:
+//!
+//! * [`PlatformId`] / [`PlatformSpec`] — core counts, frequencies, cache geometry, DRAM preset
+//!   and channel count, plus the paper's measured reference values for comparison;
+//! * [`MemoryModelKind`] / [`build_memory_model`] — a factory for every memory model the paper
+//!   evaluates against those platforms (fixed latency, M/D/1, internal DDR, DRAMsim3-like,
+//!   Ramulator-like, Ramulator-2-like, the detailed DRAM reference, the Mess simulator and the
+//!   CXL expander).
+//!
+//! ```
+//! use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId};
+//!
+//! let skylake = PlatformId::IntelSkylake.spec();
+//! assert_eq!(skylake.cores, 24);
+//! let memory = build_memory_model(MemoryModelKind::DetailedDram, &skylake, None)?;
+//! assert!(memory.name().contains("DDR4"));
+//! # Ok::<(), mess_types::MessError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod models;
+pub mod spec;
+
+pub use models::{build_memory_model, MemoryModelKind};
+pub use spec::{PlatformId, PlatformSpec, TableOneReference};

@@ -1,0 +1,253 @@
+//! Factory for every memory model evaluated in the paper.
+//!
+//! The ZSim experiments (Fig. 5) compare five memory models against the actual server, the
+//! gem5 experiments (Fig. 4) three, and the Mess-simulator evaluation (Figs. 10–13) adds the
+//! curve-driven Mess model itself. [`MemoryModelKind`] enumerates all of them and builds any
+//! of them for a given [`PlatformSpec`], so experiment drivers can loop over models without
+//! knowing their concrete types.
+
+use crate::spec::PlatformSpec;
+use mess_core::{CurveFamily, MessSimulator, MessSimulatorConfig};
+use mess_cxl::{CxlExpanderConfig, CxlExpanderModel};
+use mess_dram::{ApproxDramSim, ApproxProfile, DramSystem};
+use mess_memmodels::{FixedLatencyModel, Md1QueueModel, SimpleDdrConfig, SimpleDdrModel};
+use mess_types::{Bandwidth, Latency, MemoryBackend, MessError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every memory model that the paper's simulator-characterization and validation experiments
+/// exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MemoryModelKind {
+    /// ZSim/gem5 fixed-latency ("simple memory") model.
+    FixedLatency,
+    /// ZSim M/D/1 queueing model.
+    Md1Queue,
+    /// ZSim/gem5 "internal DDR" simplified model.
+    InternalDdr,
+    /// A DRAMsim3-like external cycle simulator with an imprecise row-buffer model.
+    Dramsim3Like,
+    /// A Ramulator-like external cycle simulator (fixed service latency, no saturation).
+    RamulatorLike,
+    /// A Ramulator-2-like external cycle simulator (bandwidth capped well below the device).
+    Ramulator2Like,
+    /// The detailed multi-channel DRAM model — the "actual hardware" stand-in.
+    DetailedDram,
+    /// The Mess analytical simulator driven by the platform's bandwidth–latency curves.
+    Mess,
+    /// The CXL memory-expander queueing model (used by the CXL host experiments).
+    CxlExpander,
+}
+
+impl MemoryModelKind {
+    /// The five ZSim memory models compared in Fig. 5, in the paper's order.
+    pub const ZSIM_SET: [MemoryModelKind; 5] = [
+        MemoryModelKind::FixedLatency,
+        MemoryModelKind::Md1Queue,
+        MemoryModelKind::InternalDdr,
+        MemoryModelKind::Dramsim3Like,
+        MemoryModelKind::RamulatorLike,
+    ];
+
+    /// The three gem5 memory models compared in Fig. 4.
+    pub const GEM5_SET: [MemoryModelKind; 3] = [
+        MemoryModelKind::FixedLatency,
+        MemoryModelKind::InternalDdr,
+        MemoryModelKind::Ramulator2Like,
+    ];
+
+    /// The six models of the ZSim IPC-error comparison (Fig. 11).
+    pub const ZSIM_IPC_SET: [MemoryModelKind; 6] = [
+        MemoryModelKind::FixedLatency,
+        MemoryModelKind::Md1Queue,
+        MemoryModelKind::InternalDdr,
+        MemoryModelKind::Dramsim3Like,
+        MemoryModelKind::RamulatorLike,
+        MemoryModelKind::Mess,
+    ];
+
+    /// The four models of the gem5 IPC-error comparison (Fig. 13).
+    pub const GEM5_IPC_SET: [MemoryModelKind; 4] = [
+        MemoryModelKind::FixedLatency,
+        MemoryModelKind::InternalDdr,
+        MemoryModelKind::Ramulator2Like,
+        MemoryModelKind::Mess,
+    ];
+
+    /// Short label used in figures and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryModelKind::FixedLatency => "fixed-latency",
+            MemoryModelKind::Md1Queue => "md1-queue",
+            MemoryModelKind::InternalDdr => "internal-ddr",
+            MemoryModelKind::Dramsim3Like => "dramsim3-like",
+            MemoryModelKind::RamulatorLike => "ramulator-like",
+            MemoryModelKind::Ramulator2Like => "ramulator2-like",
+            MemoryModelKind::DetailedDram => "detailed-dram",
+            MemoryModelKind::Mess => "mess",
+            MemoryModelKind::CxlExpander => "cxl-expander",
+        }
+    }
+
+    /// Whether this model needs a measured curve family (only [`MemoryModelKind::Mess`]).
+    pub fn needs_curves(self) -> bool {
+        matches!(self, MemoryModelKind::Mess)
+    }
+}
+
+impl fmt::Display for MemoryModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds the memory model `kind` for `platform`.
+///
+/// The Mess model requires the platform's bandwidth–latency curves in `curves` (measured with
+/// `mess-bench` or generated from [`PlatformSpec::reference_family`]); every other model
+/// ignores the argument.
+///
+/// # Errors
+///
+/// Returns [`MessError::InvalidConfig`] if `kind` is [`MemoryModelKind::Mess`] and `curves` is
+/// `None`, or if the Mess simulator rejects the curve family.
+pub fn build_memory_model(
+    kind: MemoryModelKind,
+    platform: &PlatformSpec,
+    curves: Option<CurveFamily>,
+) -> Result<Box<dyn MemoryBackend>, MessError> {
+    let freq = platform.frequency;
+    let theoretical = platform.theoretical_bandwidth();
+    let device_unloaded = Latency::from_ns(platform.preset.timing().unloaded_read_ns());
+    Ok(match kind {
+        MemoryModelKind::FixedLatency => Box::new(FixedLatencyModel::new(device_unloaded, freq)),
+        MemoryModelKind::Md1Queue => {
+            Box::new(Md1QueueModel::new(device_unloaded, theoretical, freq))
+        }
+        MemoryModelKind::InternalDdr => {
+            Box::new(SimpleDdrModel::new(simple_ddr_config(platform), freq))
+        }
+        MemoryModelKind::Dramsim3Like => {
+            Box::new(ApproxDramSim::new(ApproxProfile::Dramsim3Like, theoretical, freq))
+        }
+        MemoryModelKind::RamulatorLike => {
+            Box::new(ApproxDramSim::new(ApproxProfile::RamulatorLike, theoretical, freq))
+        }
+        MemoryModelKind::Ramulator2Like => {
+            Box::new(ApproxDramSim::new(ApproxProfile::Ramulator2Like, theoretical, freq))
+        }
+        MemoryModelKind::DetailedDram => Box::new(DramSystem::new(platform.dram_config())),
+        MemoryModelKind::Mess => {
+            let family = curves.ok_or_else(|| {
+                MessError::InvalidConfig(
+                    "the Mess model requires a bandwidth-latency curve family".into(),
+                )
+            })?;
+            let config = MessSimulatorConfig::new(family, freq, platform.cpu.on_chip_latency);
+            Box::new(MessSimulator::new(config)?)
+        }
+        MemoryModelKind::CxlExpander => {
+            Box::new(CxlExpanderModel::new(CxlExpanderConfig::paper_device(freq)))
+        }
+    })
+}
+
+/// A simplified-DDR configuration derived from the platform's channel count and device class.
+fn simple_ddr_config(platform: &PlatformSpec) -> SimpleDdrConfig {
+    let timing = platform.preset.timing();
+    let base = if timing.channel_bandwidth().as_gbs() > 30.0 {
+        SimpleDdrConfig::ddr5_4800_x8()
+    } else {
+        SimpleDdrConfig::ddr4_2666_x6()
+    };
+    SimpleDdrConfig {
+        channels: platform.channels,
+        channel_bandwidth: Bandwidth::from_gbs(timing.channel_bandwidth().as_gbs()),
+        device_latency: Latency::from_ns(timing.unloaded_read_ns()),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformId;
+    use mess_types::{Cycle, Request};
+
+    fn exercise(mut backend: Box<dyn MemoryBackend>) {
+        backend.tick(Cycle::ZERO);
+        backend
+            .try_enqueue(Request::read(0, 0x4000, Cycle::ZERO, 0))
+            .expect("an empty model accepts one request");
+        let mut out = Vec::new();
+        for cycle in 1..200_000u64 {
+            backend.tick(Cycle::new(cycle));
+            backend.drain_completed(&mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out.len(), 1, "{}: one completion expected", backend.name());
+        assert!(out[0].complete_cycle > Cycle::ZERO);
+    }
+
+    #[test]
+    fn every_model_kind_builds_and_serves_a_request() {
+        let platform = PlatformId::IntelSkylake.spec();
+        for kind in [
+            MemoryModelKind::FixedLatency,
+            MemoryModelKind::Md1Queue,
+            MemoryModelKind::InternalDdr,
+            MemoryModelKind::Dramsim3Like,
+            MemoryModelKind::RamulatorLike,
+            MemoryModelKind::Ramulator2Like,
+            MemoryModelKind::DetailedDram,
+            MemoryModelKind::CxlExpander,
+        ] {
+            let backend = build_memory_model(kind, &platform, None).expect("model builds");
+            exercise(backend);
+        }
+    }
+
+    #[test]
+    fn mess_model_requires_curves() {
+        let platform = PlatformId::IntelSkylake.spec();
+        let err = build_memory_model(MemoryModelKind::Mess, &platform, None);
+        assert!(err.is_err());
+        let ok = build_memory_model(
+            MemoryModelKind::Mess,
+            &platform,
+            Some(platform.reference_family()),
+        )
+        .expect("mess model builds with curves");
+        exercise(ok);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let kinds = [
+            MemoryModelKind::FixedLatency,
+            MemoryModelKind::Md1Queue,
+            MemoryModelKind::InternalDdr,
+            MemoryModelKind::Dramsim3Like,
+            MemoryModelKind::RamulatorLike,
+            MemoryModelKind::Ramulator2Like,
+            MemoryModelKind::DetailedDram,
+            MemoryModelKind::Mess,
+            MemoryModelKind::CxlExpander,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn model_sets_match_the_paper_figures() {
+        assert_eq!(MemoryModelKind::ZSIM_SET.len(), 5);
+        assert_eq!(MemoryModelKind::GEM5_SET.len(), 3);
+        assert!(MemoryModelKind::ZSIM_IPC_SET.contains(&MemoryModelKind::Mess));
+        assert!(MemoryModelKind::GEM5_IPC_SET.contains(&MemoryModelKind::Mess));
+    }
+}

@@ -1,0 +1,305 @@
+//! The standard CPU↔memory interface and shared statistics.
+//!
+//! Every memory model in the framework — the fixed-latency, M/D/1 and simple-DDR baselines,
+//! the cycle-level DRAM model, the CXL expander, and the Mess analytical simulator itself —
+//! implements [`MemoryBackend`]. The CPU front-end (`mess-cpu`) and the trace replayer
+//! (`mess-bench::trace`) drive any backend through the same three calls: `tick`,
+//! `try_enqueue` and `drain_completed`, mirroring the paper's observation that the Mess
+//! simulator integrates through "the standard interfaces between the CPU and external memory
+//! simulators".
+
+use crate::request::{AccessKind, Completion, Request};
+use crate::units::{Bandwidth, Bytes, Cycle, Frequency, Latency, CACHE_LINE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`MemoryBackend::try_enqueue`] when the request cannot be accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnqueueError {
+    /// The backend's request queue for this access kind is full; the issuer must retry on a
+    /// later cycle. This back-pressure is what couples core stalls to memory saturation.
+    Full,
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqueueError::Full => write!(f, "memory request queue is full"),
+        }
+    }
+}
+
+impl Error for EnqueueError {}
+
+/// Row-buffer outcome counters (paper Fig. 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowBufferStats {
+    /// Accesses that found their row already open (row-buffer hit).
+    pub hits: u64,
+    /// Accesses that found the bank precharged (row-buffer empty): one activate needed.
+    pub empties: u64,
+    /// Accesses that found a different row open (row-buffer miss/conflict): precharge +
+    /// activate needed.
+    pub misses: u64,
+}
+
+impl RowBufferStats {
+    /// Total number of classified accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.empties + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were classified.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+
+    /// Empty rate in `[0, 1]`.
+    pub fn empty_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.empties as f64 / t as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+}
+
+/// Cumulative statistics maintained by every [`MemoryBackend`].
+///
+/// Counters are monotonically increasing; window-level quantities (the "uncore counters" of
+/// the Mess benchmark) are obtained by snapshotting and diffing, see [`MemoryStats::delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Completed read requests.
+    pub reads_completed: u64,
+    /// Completed write requests.
+    pub writes_completed: u64,
+    /// Requests rejected because a queue was full.
+    pub rejected: u64,
+    /// Sum of read round-trip latencies in cycles (for average-latency computation).
+    pub read_latency_cycles: u64,
+    /// Sum of write acknowledge latencies in cycles.
+    pub write_latency_cycles: u64,
+    /// Row-buffer outcome counters (zero for analytical models that do not model banks).
+    pub row_buffer: RowBufferStats,
+}
+
+impl MemoryStats {
+    /// Records one completion into the counters.
+    pub fn record_completion(&mut self, completion: &Completion) {
+        let lat = completion.latency().as_u64();
+        match completion.kind {
+            AccessKind::Read => {
+                self.reads_completed += 1;
+                self.read_latency_cycles += lat;
+            }
+            AccessKind::Write => {
+                self.writes_completed += 1;
+                self.write_latency_cycles += lat;
+            }
+        }
+    }
+
+    /// Records a rejected enqueue attempt.
+    pub fn record_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Total completed requests.
+    pub fn total_completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// Total bytes moved to or from memory (one cache line per completion).
+    pub fn total_bytes(&self) -> Bytes {
+        Bytes::new(self.total_completed() * CACHE_LINE_BYTES)
+    }
+
+    /// Average read latency in cycles; zero if no reads completed.
+    pub fn avg_read_latency_cycles(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_cycles as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Average read latency converted to nanoseconds at the given CPU frequency.
+    pub fn avg_read_latency(&self, freq: Frequency) -> Latency {
+        Latency::from_ns(self.avg_read_latency_cycles() / freq.as_ghz())
+    }
+
+    /// Counter difference `self - earlier`, for per-window measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has larger counters than `self` (counters are
+    /// monotonic).
+    pub fn delta(&self, earlier: &MemoryStats) -> MemoryStats {
+        debug_assert!(self.reads_completed >= earlier.reads_completed);
+        debug_assert!(self.writes_completed >= earlier.writes_completed);
+        MemoryStats {
+            reads_completed: self.reads_completed - earlier.reads_completed,
+            writes_completed: self.writes_completed - earlier.writes_completed,
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            read_latency_cycles: self.read_latency_cycles - earlier.read_latency_cycles,
+            write_latency_cycles: self.write_latency_cycles - earlier.write_latency_cycles,
+            row_buffer: RowBufferStats {
+                hits: self.row_buffer.hits - earlier.row_buffer.hits,
+                empties: self.row_buffer.empties - earlier.row_buffer.empties,
+                misses: self.row_buffer.misses - earlier.row_buffer.misses,
+            },
+        }
+    }
+
+    /// Bandwidth achieved by this (delta) statistics block over `elapsed_cycles` of CPU time
+    /// at frequency `freq`.
+    pub fn bandwidth_over(&self, elapsed_cycles: Cycle, freq: Frequency) -> Bandwidth {
+        let elapsed = elapsed_cycles.to_latency(freq);
+        Bandwidth::from_bytes_over(self.total_bytes(), elapsed)
+    }
+
+    /// The observed read/write composition of the completed traffic.
+    pub fn rw_ratio(&self) -> crate::RwRatio {
+        crate::RwRatio::from_counts(self.reads_completed, self.writes_completed)
+    }
+}
+
+/// The standard interface between a CPU model (or trace replayer) and a memory model.
+///
+/// The protocol, per CPU cycle, is:
+///
+/// 1. the issuer calls [`tick`](MemoryBackend::tick) with the current cycle so the backend can
+///    advance its internal state;
+/// 2. the issuer calls [`try_enqueue`](MemoryBackend::try_enqueue) for each request ready this
+///    cycle; a [`EnqueueError::Full`] result means the issuer must stall and retry;
+/// 3. the issuer calls [`drain_completed`](MemoryBackend::drain_completed) and unblocks any
+///    instruction waiting on the returned completions.
+///
+/// Backends must be deterministic: the same request sequence must yield the same completions.
+pub trait MemoryBackend {
+    /// Advances the backend's internal state up to the CPU cycle `now`.
+    ///
+    /// `tick` is idempotent for the same `now` and must tolerate gaps (the issuer may skip
+    /// cycles in which it has nothing to do).
+    fn tick(&mut self, now: Cycle);
+
+    /// Attempts to accept a request at the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqueueError::Full`] when the backend cannot accept the request this cycle.
+    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError>;
+
+    /// Moves all completions whose completion cycle is `<=` the last ticked cycle into `out`.
+    fn drain_completed(&mut self, out: &mut Vec<Completion>);
+
+    /// Number of requests accepted but not yet completed.
+    fn pending(&self) -> usize;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &MemoryStats;
+
+    /// Human-readable model name, used in experiment outputs (for example
+    /// `"fixed-latency"`, `"mess"`, `"ddr4-2666 x6"`).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+
+    fn completion(kind: AccessKind, lat: u64) -> Completion {
+        Completion {
+            id: RequestId(0),
+            addr: 0,
+            kind,
+            issue_cycle: Cycle::new(100),
+            complete_cycle: Cycle::new(100 + lat),
+            core: 0,
+        }
+    }
+
+    #[test]
+    fn stats_record_and_average() {
+        let mut s = MemoryStats::default();
+        s.record_completion(&completion(AccessKind::Read, 200));
+        s.record_completion(&completion(AccessKind::Read, 400));
+        s.record_completion(&completion(AccessKind::Write, 100));
+        assert_eq!(s.reads_completed, 2);
+        assert_eq!(s.writes_completed, 1);
+        assert_eq!(s.total_completed(), 3);
+        assert!((s.avg_read_latency_cycles() - 300.0).abs() < 1e-12);
+        let lat = s.avg_read_latency(Frequency::from_ghz(2.0));
+        assert!((lat.as_ns() - 150.0).abs() < 1e-12);
+        assert_eq!(s.total_bytes().as_u64(), 3 * CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn stats_delta_and_bandwidth() {
+        let mut s = MemoryStats::default();
+        for _ in 0..10 {
+            s.record_completion(&completion(AccessKind::Read, 100));
+        }
+        let snapshot = s;
+        for _ in 0..90 {
+            s.record_completion(&completion(AccessKind::Read, 100));
+        }
+        let d = s.delta(&snapshot);
+        assert_eq!(d.reads_completed, 90);
+        // 90 lines * 64 B over 1000 cycles at 1 GHz = 5.76 GB/s.
+        let bw = d.bandwidth_over(Cycle::new(1000), Frequency::from_ghz(1.0));
+        assert!((bw.as_gbs() - 5.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_buffer_rates_sum_to_one() {
+        let rb = RowBufferStats { hits: 84, empties: 13, misses: 3 };
+        assert_eq!(rb.total(), 100);
+        let sum = rb.hit_rate() + rb.empty_rate() + rb.miss_rate();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let empty = RowBufferStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rw_ratio_of_stats() {
+        let mut s = MemoryStats::default();
+        for _ in 0..3 {
+            s.record_completion(&completion(AccessKind::Read, 10));
+        }
+        s.record_completion(&completion(AccessKind::Write, 10));
+        assert_eq!(s.rw_ratio().read_percent(), 75);
+    }
+
+    #[test]
+    fn enqueue_error_display() {
+        assert_eq!(EnqueueError::Full.to_string(), "memory request queue is full");
+    }
+
+    #[test]
+    fn avg_latency_with_no_reads_is_zero() {
+        let s = MemoryStats::default();
+        assert_eq!(s.avg_read_latency_cycles(), 0.0);
+        assert_eq!(s.avg_read_latency(Frequency::from_ghz(2.0)), Latency::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! Common types, units and the CPU↔memory interface used across the Mess framework.
+//!
+//! The Mess framework (benchmark, simulator, profiler) exchanges memory traffic through a
+//! small set of shared vocabulary types:
+//!
+//! * [`units`] — strongly-typed bandwidth, latency, frequency and cycle quantities.
+//! * [`request`] — memory [`Request`]s and [`Completion`]s flowing over the CPU↔memory
+//!   interface.
+//! * [`backend`] — the [`MemoryBackend`] trait, the "standard interface between the CPU and
+//!   external memory simulators" from the paper, plus shared statistics.
+//! * [`ratio`] — read/write traffic composition ([`RwRatio`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mess_types::{Bandwidth, Latency, RwRatio};
+//!
+//! let bw = Bandwidth::from_gbs(96.0);
+//! let lat = Latency::from_ns(120.0);
+//! let ratio = RwRatio::from_read_fraction(0.75).unwrap();
+//! assert!(bw.as_gbs() > 0.0 && lat.as_ns() > 0.0);
+//! assert_eq!(ratio.read_percent(), 75);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod backend;
+pub mod error;
+pub mod ratio;
+pub mod request;
+pub mod units;
+
+pub use backend::{EnqueueError, MemoryBackend, MemoryStats, RowBufferStats};
+pub use error::MessError;
+pub use ratio::RwRatio;
+pub use request::{AccessKind, Completion, Request, RequestId};
+pub use units::{Bandwidth, Bytes, Cycle, Frequency, Latency, CACHE_LINE_BYTES};

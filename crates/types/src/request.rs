@@ -1,0 +1,177 @@
+//! Memory requests and completions exchanged over the CPU↔memory interface.
+
+use crate::units::{Cycle, CACHE_LINE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a memory request reads or writes a cache line.
+///
+/// Note that this is the *memory-traffic* view: with a write-allocate cache (the policy of
+/// all servers in the paper) a CPU store instruction generates one `Read` (the fill) and one
+/// `Write` (the eviction), see `mess-cpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A cache-line read from main memory.
+    Read,
+    /// A cache-line write to main memory.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Returns `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Opaque identifier of an in-flight memory request.
+///
+/// Identifiers are assigned by the issuer (the CPU model or a trace replayer) and echoed back
+/// in the matching [`Completion`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// A single cache-line memory request sent to a [`crate::MemoryBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuer-assigned identifier echoed in the completion.
+    pub id: RequestId,
+    /// Physical byte address of the accessed cache line (line-aligned by convention).
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// CPU cycle at which the request reaches the memory interface.
+    pub issue_cycle: Cycle,
+    /// Core (or traffic-generator lane) that issued the request. Used only for statistics and
+    /// latency attribution (e.g. the pointer-chase core).
+    pub core: u32,
+}
+
+impl Request {
+    /// Convenience constructor for a read request.
+    pub fn read(id: u64, addr: u64, issue_cycle: Cycle, core: u32) -> Self {
+        Request {
+            id: RequestId(id),
+            addr,
+            kind: AccessKind::Read,
+            issue_cycle,
+            core,
+        }
+    }
+
+    /// Convenience constructor for a write request.
+    pub fn write(id: u64, addr: u64, issue_cycle: Cycle, core: u32) -> Self {
+        Request {
+            id: RequestId(id),
+            addr,
+            kind: AccessKind::Write,
+            issue_cycle,
+            core,
+        }
+    }
+
+    /// The cache-line-aligned address of this request.
+    pub fn line_addr(&self) -> u64 {
+        self.addr & !(CACHE_LINE_BYTES - 1)
+    }
+}
+
+/// The completion of a previously enqueued [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Completion {
+    /// Identifier of the completed request.
+    pub id: RequestId,
+    /// Address of the completed request.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Cycle at which the request was enqueued.
+    pub issue_cycle: Cycle,
+    /// Cycle at which the data is available to the issuer (load-to-use for reads, retire for
+    /// writes).
+    pub complete_cycle: Cycle,
+    /// Core that issued the request.
+    pub core: u32,
+}
+
+impl Completion {
+    /// Round-trip memory latency of this request in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.complete_cycle.saturating_sub(self.issue_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn request_constructors_and_line_alignment() {
+        let r = Request::read(1, 0x1234_5678, Cycle::new(10), 3);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.core, 3);
+        assert_eq!(r.line_addr() % CACHE_LINE_BYTES, 0);
+        assert_eq!(r.line_addr(), 0x1234_5640);
+        let w = Request::write(2, 0x40, Cycle::ZERO, 0);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.line_addr(), 0x40);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            id: RequestId(7),
+            addr: 0x80,
+            kind: AccessKind::Read,
+            issue_cycle: Cycle::new(100),
+            complete_cycle: Cycle::new(350),
+            core: 0,
+        };
+        assert_eq!(c.latency().as_u64(), 250);
+        assert_eq!(format!("{}", c.id), "req#7");
+    }
+
+    #[test]
+    fn completion_latency_never_negative() {
+        let c = Completion {
+            id: RequestId(1),
+            addr: 0,
+            kind: AccessKind::Write,
+            issue_cycle: Cycle::new(500),
+            complete_cycle: Cycle::new(400),
+            core: 0,
+        };
+        assert_eq!(c.latency(), Cycle::ZERO);
+    }
+}

@@ -1,0 +1,224 @@
+//! Latency-bound benchmarks: LMbench `lat_mem_rd` and Google multichase.
+//!
+//! Both benchmarks measure the unloaded load-to-use latency with a chain of dependent loads;
+//! they differ in how they defeat the prefetcher. LMbench strides through memory with a fixed
+//! stride, multichase follows a randomly permuted pointer chain. The paper uses them to
+//! validate the Mess unloaded-latency measurements (§II-B) and as low-bandwidth workloads in
+//! the IPC-error comparison (Figs. 11 and 13).
+
+use mess_cpu::{Op, OpStream};
+use mess_types::CACHE_LINE_BYTES;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the latency benchmarks' working set.
+const CHASE_BASE: u64 = 0x7_0000_0000;
+
+/// Configuration of an LMbench-style strided dependent-load chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatMemRdConfig {
+    /// Working-set size in bytes; must exceed the LLC for a main-memory measurement.
+    pub array_bytes: u64,
+    /// Stride between consecutive accesses in bytes (LMbench's default main-memory stride).
+    pub stride_bytes: u64,
+    /// Number of dependent loads to execute.
+    pub loads: u64,
+}
+
+impl LatMemRdConfig {
+    /// LMbench's main-memory configuration: a working set of `4 × llc_bytes` with a 128-byte
+    /// stride.
+    pub fn main_memory(llc_bytes: u64) -> Self {
+        LatMemRdConfig { array_bytes: llc_bytes * 4, stride_bytes: 128, loads: 200_000 }
+    }
+
+    /// The op stream of the benchmark (a single-core workload).
+    pub fn stream(&self) -> Box<dyn OpStream> {
+        Box::new(LatMemRdStream::new(*self))
+    }
+}
+
+/// Strided dependent-load stream.
+#[derive(Debug, Clone)]
+pub struct LatMemRdStream {
+    config: LatMemRdConfig,
+    issued: u64,
+    offset: u64,
+    label: String,
+}
+
+impl LatMemRdStream {
+    /// Creates the stream.
+    pub fn new(config: LatMemRdConfig) -> Self {
+        LatMemRdStream { config, issued: 0, offset: 0, label: "lmbench:lat_mem_rd".to_string() }
+    }
+}
+
+impl OpStream for LatMemRdStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.issued >= self.config.loads {
+            return None;
+        }
+        self.issued += 1;
+        let addr = CHASE_BASE + self.offset;
+        self.offset = (self.offset + self.config.stride_bytes) % self.config.array_bytes.max(1);
+        Some(Op::dependent_load(addr))
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Configuration of a Google-multichase-style random pointer chase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultichaseConfig {
+    /// Working-set size in bytes.
+    pub array_bytes: u64,
+    /// Number of dependent loads to execute.
+    pub loads: u64,
+    /// Seed of the permutation.
+    pub seed: u64,
+}
+
+impl MultichaseConfig {
+    /// Multichase's pointer-chase configuration over a working set of `4 × llc_bytes`.
+    pub fn main_memory(llc_bytes: u64) -> Self {
+        MultichaseConfig { array_bytes: llc_bytes * 4, loads: 200_000, seed: 0x6d75_6c74 }
+    }
+
+    /// The op stream of the benchmark (a single-core workload).
+    pub fn stream(&self) -> Box<dyn OpStream> {
+        Box::new(MultichaseStream::new(*self))
+    }
+}
+
+/// Random-permutation dependent-load stream.
+///
+/// The permutation is a single cycle over all cache lines of the working set (built with
+/// Sattolo's algorithm), exactly like the initialization of the real multichase and of the
+/// Mess pointer-chase: every line is visited once per lap and the next address is only known
+/// once the current load returns.
+#[derive(Debug, Clone)]
+pub struct MultichaseStream {
+    next_line: Vec<u32>,
+    current: u32,
+    issued: u64,
+    loads: u64,
+    label: String,
+}
+
+impl MultichaseStream {
+    /// Creates the stream, building the pointer-chain permutation.
+    pub fn new(config: MultichaseConfig) -> Self {
+        let lines = (config.array_bytes / CACHE_LINE_BYTES).max(2) as u32;
+        let next_line = sattolo_cycle(lines, config.seed);
+        MultichaseStream {
+            next_line,
+            current: 0,
+            issued: 0,
+            loads: config.loads,
+            label: "multichase:pointer-chase".to_string(),
+        }
+    }
+}
+
+impl OpStream for MultichaseStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.issued >= self.loads {
+            return None;
+        }
+        self.issued += 1;
+        let addr = CHASE_BASE + self.current as u64 * CACHE_LINE_BYTES;
+        self.current = self.next_line[self.current as usize];
+        Some(Op::dependent_load(addr))
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Builds a single-cycle permutation of `n` elements (Sattolo's algorithm): following
+/// `next[i]` from any start visits every element before returning to the start.
+pub fn sattolo_cycle(n: u32, seed: u64) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut next = vec![0u32; n as usize];
+    for i in 0..n as usize {
+        let from = order[i];
+        let to = order[(i + 1) % n as usize];
+        next[from as usize] = to;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lat_mem_rd_issues_only_dependent_loads() {
+        let config = LatMemRdConfig { array_bytes: 1 << 20, stride_bytes: 128, loads: 1_000 };
+        let mut stream = config.stream();
+        let mut count = 0;
+        while let Some(op) = stream.next_op() {
+            assert!(matches!(op, Op::Load { dependent: true, .. }));
+            count += 1;
+        }
+        assert_eq!(count, 1_000);
+    }
+
+    #[test]
+    fn lat_mem_rd_wraps_around_its_working_set() {
+        let config = LatMemRdConfig { array_bytes: 1024, stride_bytes: 256, loads: 8 };
+        let mut stream = config.stream();
+        let mut addrs = Vec::new();
+        while let Some(Op::Load { addr, .. }) = stream.next_op() {
+            addrs.push(addr - CHASE_BASE);
+        }
+        assert_eq!(addrs, vec![0, 256, 512, 768, 0, 256, 512, 768]);
+    }
+
+    #[test]
+    fn sattolo_permutation_is_a_single_cycle() {
+        let n = 257;
+        let next = sattolo_cycle(n, 42);
+        let mut seen = HashSet::new();
+        let mut at = 0u32;
+        for _ in 0..n {
+            assert!(seen.insert(at), "revisited element {at} before the full cycle");
+            at = next[at as usize];
+        }
+        assert_eq!(at, 0, "the chain must close after visiting every element");
+        assert_eq!(seen.len(), n as usize);
+    }
+
+    #[test]
+    fn multichase_visits_distinct_lines_within_one_lap() {
+        let config = MultichaseConfig { array_bytes: 64 * 256, loads: 256, seed: 7 };
+        let mut stream = config.stream();
+        let mut seen = HashSet::new();
+        while let Some(Op::Load { addr, .. }) = stream.next_op() {
+            assert!(seen.insert(addr), "address repeated within one lap: {addr:#x}");
+        }
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn multichase_is_deterministic_for_a_seed() {
+        let config = MultichaseConfig { array_bytes: 1 << 16, loads: 100, seed: 3 };
+        let collect = |mut s: Box<dyn OpStream>| {
+            let mut v = Vec::new();
+            while let Some(Op::Load { addr, .. }) = s.next_op() {
+                v.push(addr);
+            }
+            v
+        };
+        assert_eq!(collect(config.stream()), collect(config.stream()));
+    }
+}

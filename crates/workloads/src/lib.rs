@@ -1,0 +1,88 @@
+//! Memory-bound workload kernels used throughout the Mess reproduction.
+//!
+//! The paper validates its benchmark and simulator against a fixed set of well-known
+//! workloads; this crate expresses each of them as [`mess_cpu::OpStream`]s so they can run on
+//! any platform model and any memory backend:
+//!
+//! * [`stream`] — the four STREAM kernels (Copy, Scale, Add, Triad);
+//! * [`latency`] — LMbench `lat_mem_rd` and Google multichase (dependent-load chains);
+//! * [`random`] — HPC Challenge GUPS and an HPCG proxy (the §VI profiling workload);
+//! * [`spec_suite`] — the 25 SPEC CPU2006-like workloads of the CXL study (Fig. 18).
+//!
+//! ```
+//! use mess_workloads::stream::{StreamConfig, StreamKernel};
+//!
+//! let config = StreamConfig::sized_against_llc(StreamKernel::Triad, 8 * 1024 * 1024, 4);
+//! let streams = config.streams();
+//! assert_eq!(streams.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod random;
+pub mod spec_suite;
+pub mod stream;
+
+pub use latency::{LatMemRdConfig, MultichaseConfig};
+pub use random::{GupsConfig, HpcgConfig};
+pub use spec_suite::{spec2006_suite, IntensityClass, SpecWorkload};
+pub use stream::{StreamConfig, StreamKernel};
+
+/// Splits `total_lines` cache lines across `parts` workers and returns the `[start, end)`
+/// line range of worker `index` (static partitioning; the remainder goes to the first
+/// workers).
+pub fn partition_lines(total_lines: u64, parts: u32, index: u32) -> (u64, u64) {
+    let parts = parts.max(1) as u64;
+    let index = (index as u64).min(parts - 1);
+    let base = total_lines / parts;
+    let extra = total_lines % parts;
+    let start = index * base + index.min(extra);
+    let len = base + if index < extra { 1 } else { 0 };
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_covers_range_without_gaps() {
+        let (s0, e0) = partition_lines(10, 3, 0);
+        let (s1, e1) = partition_lines(10, 3, 1);
+        let (s2, e2) = partition_lines(10, 3, 2);
+        assert_eq!((s0, e0), (0, 4));
+        assert_eq!((s1, e1), (4, 7));
+        assert_eq!((s2, e2), (7, 10));
+    }
+
+    proptest! {
+        #[test]
+        fn partitions_are_contiguous_and_exhaustive(total in 0u64..10_000, parts in 1u32..64) {
+            let mut expected_start = 0u64;
+            let mut covered = 0u64;
+            for index in 0..parts {
+                let (start, end) = partition_lines(total, parts, index);
+                prop_assert_eq!(start, expected_start);
+                prop_assert!(end >= start);
+                covered += end - start;
+                expected_start = end;
+            }
+            prop_assert_eq!(covered, total);
+        }
+
+        #[test]
+        fn partition_sizes_differ_by_at_most_one(total in 0u64..10_000, parts in 1u32..64) {
+            let sizes: Vec<u64> = (0..parts)
+                .map(|i| {
+                    let (s, e) = partition_lines(total, parts, i);
+                    e - s
+                })
+                .collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

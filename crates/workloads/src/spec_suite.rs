@@ -1,0 +1,280 @@
+//! A synthetic SPEC CPU2006-like workload suite.
+//!
+//! The paper's Appendix B compares CXL memory expansion against remote-socket emulation by
+//! simulating the multiprogrammed SPEC CPU2006 workloads and sorting them by memory-bandwidth
+//! utilisation (Fig. 18). SPEC itself is proprietary, so this module provides a calibrated
+//! stand-in: the 25 benchmarks of Fig. 18, each modelled as a loop mixing compute blocks,
+//! streaming loads, irregular loads and stores, with per-benchmark parameters chosen so that
+//! the suite spans the same range of bandwidth intensity the figure reports (from `namd`,
+//! which barely touches memory, to `lbm`, which lives at the saturation point).
+
+use mess_cpu::{Op, OpStream};
+use mess_types::CACHE_LINE_BYTES;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the suite's working sets (one large region per benchmark instance).
+const SPEC_BASE: u64 = 0x20_0000_0000;
+
+/// Memory intensity class used by the CXL-versus-remote-socket analysis (Fig. 18 groups the
+/// benchmarks into three bandwidth-utilisation buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntensityClass {
+    /// Bandwidth utilisation at or below 30 % of the CXL device's theoretical peak.
+    Low,
+    /// Between 30 % and 50 %.
+    Medium,
+    /// Above 50 %.
+    High,
+}
+
+/// One synthetic SPEC-like benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecWorkload {
+    /// Benchmark name (matching Fig. 18's x-axis).
+    pub name: &'static str,
+    /// Compute cycles between memory operations: the main knob controlling bandwidth.
+    pub compute_per_access: u32,
+    /// Fraction of memory operations that are stores.
+    pub store_fraction: f64,
+    /// Fraction of loads that are irregular (pointer-chasing, dependent).
+    pub irregular_fraction: f64,
+    /// Working-set size in bytes.
+    pub footprint_bytes: u64,
+}
+
+impl SpecWorkload {
+    /// The op stream of one instance (one core) of this benchmark.
+    ///
+    /// `ops` bounds the number of memory operations issued, so experiment length is under the
+    /// caller's control (the paper simulates a fixed instruction budget per workload).
+    pub fn stream(&self, core: u32, ops: u64) -> Box<dyn OpStream> {
+        Box::new(SpecStream::new(*self, core, ops))
+    }
+
+    /// Per-core op streams for a multiprogrammed run (`cores` copies, rank-private footprints).
+    pub fn multiprogrammed(&self, cores: u32, ops_per_core: u64) -> Vec<Box<dyn OpStream>> {
+        (0..cores).map(|c| self.stream(c, ops_per_core)).collect()
+    }
+}
+
+/// The 25 SPEC CPU2006 benchmarks of paper Fig. 18, ordered from the lowest to the highest
+/// memory-bandwidth utilisation (the figure's x-axis order).
+pub fn spec2006_suite() -> Vec<SpecWorkload> {
+    fn w(
+        name: &'static str,
+        compute_per_access: u32,
+        store_fraction: f64,
+        irregular_fraction: f64,
+        footprint_mib: u64,
+    ) -> SpecWorkload {
+        SpecWorkload {
+            name,
+            compute_per_access,
+            store_fraction,
+            irregular_fraction,
+            footprint_bytes: footprint_mib * 1024 * 1024,
+        }
+    }
+    vec![
+        // Low bandwidth utilisation (≤ 30 %): compute-bound codes.
+        w("namd", 220, 0.15, 0.05, 48),
+        w("gamess", 200, 0.20, 0.05, 48),
+        w("tonto", 180, 0.20, 0.10, 48),
+        w("gromacs", 160, 0.20, 0.05, 64),
+        w("perlbench", 140, 0.25, 0.30, 64),
+        w("povray", 130, 0.20, 0.10, 48),
+        w("calculix", 120, 0.20, 0.05, 64),
+        w("gobmk", 110, 0.25, 0.25, 64),
+        w("astar", 95, 0.20, 0.40, 96),
+        w("wrf", 85, 0.25, 0.05, 128),
+        w("dealII", 75, 0.25, 0.15, 96),
+        w("h264ref", 68, 0.25, 0.10, 64),
+        w("bzip2", 60, 0.30, 0.20, 96),
+        w("sphinx3", 52, 0.15, 0.10, 96),
+        w("xalancbmk", 45, 0.25, 0.35, 128),
+        // Medium bandwidth utilisation (30–50 %).
+        w("hmmer", 38, 0.25, 0.05, 96),
+        w("cactusADM", 32, 0.30, 0.05, 192),
+        w("zeusmp", 27, 0.30, 0.05, 192),
+        w("gcc", 23, 0.30, 0.25, 128),
+        w("soplex", 19, 0.25, 0.20, 192),
+        // High bandwidth utilisation (> 50 %): the memory-bound tail.
+        w("milc", 14, 0.30, 0.10, 256),
+        w("libquantum", 10, 0.25, 0.00, 256),
+        w("leslie3d", 8, 0.30, 0.05, 256),
+        w("GemsFDTD", 6, 0.30, 0.05, 320),
+        w("lbm", 4, 0.35, 0.00, 320),
+    ]
+}
+
+/// Classifies a measured bandwidth utilisation (fraction of the reference peak) into the
+/// paper's three buckets.
+pub fn classify_utilisation(fraction_of_peak: f64) -> IntensityClass {
+    if fraction_of_peak <= 0.30 {
+        IntensityClass::Low
+    } else if fraction_of_peak <= 0.50 {
+        IntensityClass::Medium
+    } else {
+        IntensityClass::High
+    }
+}
+
+/// The op stream of one SPEC-like benchmark instance.
+#[derive(Debug, Clone)]
+pub struct SpecStream {
+    spec: SpecWorkload,
+    rng: StdRng,
+    base: u64,
+    lines: u64,
+    next_seq_line: u64,
+    remaining_ops: u64,
+    /// Cycle phase: 0 = emit compute, 1 = emit the memory access.
+    phase: u8,
+    label: String,
+}
+
+impl SpecStream {
+    /// Creates the stream for one core.
+    pub fn new(spec: SpecWorkload, core: u32, ops: u64) -> Self {
+        let lines = (spec.footprint_bytes / CACHE_LINE_BYTES).max(16);
+        SpecStream {
+            rng: StdRng::seed_from_u64(0x5350_4543 ^ ((core as u64) << 32) ^ lines),
+            base: SPEC_BASE + (core as u64) * spec.footprint_bytes.next_power_of_two(),
+            lines,
+            next_seq_line: 0,
+            remaining_ops: ops,
+            phase: 0,
+            label: format!("spec:{}[core {core}]", spec.name),
+            spec,
+        }
+    }
+}
+
+impl OpStream for SpecStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.remaining_ops == 0 {
+            return None;
+        }
+        if self.phase == 0 && self.spec.compute_per_access > 0 {
+            self.phase = 1;
+            return Some(Op::compute(self.spec.compute_per_access));
+        }
+        self.phase = 0;
+        self.remaining_ops -= 1;
+        // Choose the access type deterministically from the RNG stream.
+        let r: f64 = self.rng.gen();
+        if r < self.spec.store_fraction {
+            // Streaming store.
+            let line = self.next_seq_line;
+            self.next_seq_line = (self.next_seq_line + 1) % self.lines;
+            Some(Op::store(self.base + line * CACHE_LINE_BYTES))
+        } else if r < self.spec.store_fraction + (1.0 - self.spec.store_fraction) * self.spec.irregular_fraction {
+            // Irregular dependent load somewhere in the footprint.
+            let line = self.rng.gen_range(0..self.lines);
+            Some(Op::dependent_load(self.base + line * CACHE_LINE_BYTES))
+        } else {
+            // Streaming load.
+            let line = self.next_seq_line;
+            self.next_seq_line = (self.next_seq_line + 1) % self.lines;
+            Some(Op::load(self.base + line * CACHE_LINE_BYTES))
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_figure_18() {
+        let suite = spec2006_suite();
+        assert_eq!(suite.len(), 25);
+        assert_eq!(suite.first().unwrap().name, "namd");
+        assert_eq!(suite.last().unwrap().name, "lbm");
+        let names: std::collections::HashSet<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 25, "benchmark names must be unique");
+    }
+
+    #[test]
+    fn suite_is_ordered_by_increasing_memory_intensity() {
+        let suite = spec2006_suite();
+        for pair in suite.windows(2) {
+            assert!(
+                pair[0].compute_per_access >= pair[1].compute_per_access,
+                "{} should be less memory-intensive than {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn stream_issues_exactly_the_requested_memory_ops() {
+        let lbm = *spec2006_suite().last().unwrap();
+        let mut s = lbm.stream(0, 500);
+        let mut mem = 0;
+        while let Some(op) = s.next_op() {
+            if op.is_memory() {
+                mem += 1;
+            }
+        }
+        assert_eq!(mem, 500);
+    }
+
+    #[test]
+    fn store_fraction_is_respected() {
+        let suite = spec2006_suite();
+        let lbm = suite.iter().find(|w| w.name == "lbm").copied().unwrap();
+        let mut s = lbm.stream(0, 20_000);
+        let (mut loads, mut stores) = (0f64, 0f64);
+        while let Some(op) = s.next_op() {
+            match op {
+                Op::Load { .. } => loads += 1.0,
+                Op::Store { .. } => stores += 1.0,
+                Op::Compute { .. } => {}
+            }
+        }
+        let measured = stores / (loads + stores);
+        assert!(
+            (measured - lbm.store_fraction).abs() < 0.02,
+            "store fraction {measured:.3} should approximate {}",
+            lbm.store_fraction
+        );
+    }
+
+    #[test]
+    fn classification_thresholds_match_the_figure() {
+        assert_eq!(classify_utilisation(0.10), IntensityClass::Low);
+        assert_eq!(classify_utilisation(0.30), IntensityClass::Low);
+        assert_eq!(classify_utilisation(0.45), IntensityClass::Medium);
+        assert_eq!(classify_utilisation(0.80), IntensityClass::High);
+    }
+
+    #[test]
+    fn multiprogrammed_copies_use_disjoint_footprints() {
+        let w = spec2006_suite()[0];
+        let mut streams = w.multiprogrammed(2, 50);
+        let collect = |s: &mut Box<dyn OpStream>| {
+            let mut addrs = Vec::new();
+            while let Some(op) = s.next_op() {
+                match op {
+                    Op::Load { addr, .. } | Op::Store { addr } => addrs.push(addr),
+                    Op::Compute { .. } => {}
+                }
+            }
+            addrs
+        };
+        let a = collect(&mut streams[0]);
+        let b = collect(&mut streams[1]);
+        let max_a = a.iter().max().unwrap();
+        let min_b = b.iter().min().unwrap();
+        assert!(max_a < min_b, "core 0 and core 1 footprints must not overlap");
+    }
+}

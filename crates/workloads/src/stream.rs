@@ -1,0 +1,309 @@
+//! The STREAM kernels (McCalpin) expressed as op streams.
+//!
+//! STREAM is the de-facto standard for application-level sustained memory bandwidth. The
+//! paper uses its four kernels both as a reference line on the bandwidth–latency curves
+//! (Fig. 2/3) and as validation workloads for the simulator comparison (Figs. 11 and 13).
+//! Each kernel is a streaming pass over large arrays; per 64-byte cache line the op stream
+//! issues one load per source array, one store to the destination array and a small compute
+//! block, which is the memory behaviour the paper's analysis relies on (with write-allocate,
+//! every store line also produces a fill read).
+
+use crate::partition_lines;
+use mess_cpu::{Op, OpStream};
+use mess_types::CACHE_LINE_BYTES;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — one load, one store per element.
+    Copy,
+    /// `b[i] = s * c[i]` — one load, one store, one multiply.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — two loads, one store, one add.
+    Add,
+    /// `a[i] = b[i] + s * c[i]` — two loads, one store, two FLOPs.
+    Triad,
+}
+
+impl StreamKernel {
+    /// The four kernels in the order STREAM reports them.
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
+
+    /// Number of source arrays the kernel reads per iteration.
+    pub fn source_arrays(self) -> u64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 1,
+            StreamKernel::Add | StreamKernel::Triad => 2,
+        }
+    }
+
+    /// Bytes of application-level traffic per element that STREAM's own bandwidth formula
+    /// assumes (loads + stores of 8-byte doubles, no write-allocate fill).
+    pub fn stream_bytes_per_element(self) -> u64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+
+    /// Compute cycles charged per cache line processed (cheap arithmetic on 8 doubles).
+    fn compute_cycles(self) -> u32 {
+        match self {
+            StreamKernel::Copy => 2,
+            StreamKernel::Scale => 4,
+            StreamKernel::Add => 6,
+            StreamKernel::Triad => 8,
+        }
+    }
+
+    /// Kernel name as STREAM prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "copy",
+            StreamKernel::Scale => "scale",
+            StreamKernel::Add => "add",
+            StreamKernel::Triad => "triad",
+        }
+    }
+}
+
+impl fmt::Display for StreamKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a STREAM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Which kernel to run.
+    pub kernel: StreamKernel,
+    /// Total size of **one** array in bytes (STREAM uses three arrays of this size). Must be
+    /// large enough to defeat the LLC — STREAM's rule is four times the aggregate cache.
+    pub array_bytes: u64,
+    /// Number of passes over the arrays.
+    pub iterations: u32,
+    /// Number of cores the arrays are partitioned across.
+    pub cores: u32,
+}
+
+impl StreamConfig {
+    /// A STREAM configuration sized relative to an LLC: arrays of `4 × llc_bytes`, one pass.
+    pub fn sized_against_llc(kernel: StreamKernel, llc_bytes: u64, cores: u32) -> Self {
+        StreamConfig { kernel, array_bytes: llc_bytes * 4, iterations: 1, cores: cores.max(1) }
+    }
+
+    /// Per-core op streams for this configuration (one stream per core, static partitioning
+    /// like OpenMP's `schedule(static)`).
+    pub fn streams(&self) -> Vec<Box<dyn OpStream>> {
+        let lines = self.array_bytes / CACHE_LINE_BYTES;
+        (0..self.cores)
+            .map(|core| {
+                let (start, end) = partition_lines(lines, self.cores, core);
+                Box::new(StreamStream::new(*self, core, start, end)) as Box<dyn OpStream>
+            })
+            .collect()
+    }
+
+    /// Application-level bytes moved by the whole run, using STREAM's own accounting
+    /// (no write-allocate fills).
+    pub fn stream_bytes(&self) -> u64 {
+        let elements = self.array_bytes / 8;
+        elements * self.kernel.stream_bytes_per_element() * self.iterations as u64
+    }
+}
+
+/// Base addresses of the three STREAM arrays, spaced far apart so they never alias in the LLC
+/// index bits and map across all DRAM channels.
+const ARRAY_A_BASE: u64 = 0x1_0000_0000;
+const ARRAY_B_BASE: u64 = 0x2_0000_0000;
+const ARRAY_C_BASE: u64 = 0x3_0000_0000;
+
+/// The op stream of one core's share of a STREAM kernel.
+#[derive(Debug, Clone)]
+pub struct StreamStream {
+    config: StreamConfig,
+    label: String,
+    /// Current line index within `[start, end)`.
+    line: u64,
+    start: u64,
+    end: u64,
+    iteration: u32,
+    /// Position within the per-line micro-sequence of operations.
+    micro: u8,
+}
+
+impl StreamStream {
+    /// Creates the stream for `core`, covering array lines `[start_line, end_line)`.
+    pub fn new(config: StreamConfig, core: u32, start_line: u64, end_line: u64) -> Self {
+        StreamStream {
+            label: format!("stream-{}[core {}]", config.kernel, core),
+            line: start_line,
+            start: start_line,
+            end: end_line,
+            iteration: 0,
+            micro: 0,
+            config,
+        }
+    }
+
+    fn addr(base: u64, line: u64) -> u64 {
+        base + line * CACHE_LINE_BYTES
+    }
+
+    /// The micro-sequence of operations for one cache line of the kernel.
+    fn micro_op(&self, line: u64, micro: u8) -> Option<Op> {
+        let k = self.config.kernel;
+        let ops: [Option<Op>; 4] = match k {
+            StreamKernel::Copy => [
+                Some(Op::load(Self::addr(ARRAY_A_BASE, line))),
+                Some(Op::store(Self::addr(ARRAY_C_BASE, line))),
+                Some(Op::compute(k.compute_cycles())),
+                None,
+            ],
+            StreamKernel::Scale => [
+                Some(Op::load(Self::addr(ARRAY_C_BASE, line))),
+                Some(Op::store(Self::addr(ARRAY_B_BASE, line))),
+                Some(Op::compute(k.compute_cycles())),
+                None,
+            ],
+            StreamKernel::Add => [
+                Some(Op::load(Self::addr(ARRAY_A_BASE, line))),
+                Some(Op::load(Self::addr(ARRAY_B_BASE, line))),
+                Some(Op::store(Self::addr(ARRAY_C_BASE, line))),
+                Some(Op::compute(k.compute_cycles())),
+            ],
+            StreamKernel::Triad => [
+                Some(Op::load(Self::addr(ARRAY_B_BASE, line))),
+                Some(Op::load(Self::addr(ARRAY_C_BASE, line))),
+                Some(Op::store(Self::addr(ARRAY_A_BASE, line))),
+                Some(Op::compute(k.compute_cycles())),
+            ],
+        };
+        ops.get(micro as usize).copied().flatten()
+    }
+}
+
+impl OpStream for StreamStream {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            if self.iteration >= self.config.iterations || self.start >= self.end {
+                return None;
+            }
+            if let Some(op) = self.micro_op(self.line, self.micro) {
+                self.micro += 1;
+                return Some(op);
+            }
+            // Line finished: advance to the next line / iteration.
+            self.micro = 0;
+            self.line += 1;
+            if self.line >= self.end {
+                self.line = self.start;
+                self.iteration += 1;
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_ops(config: StreamConfig) -> (u64, u64, u64) {
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut computes = 0;
+        for mut s in config.streams() {
+            while let Some(op) = s.next_op() {
+                match op {
+                    Op::Load { .. } => loads += 1,
+                    Op::Store { .. } => stores += 1,
+                    Op::Compute { .. } => computes += 1,
+                }
+            }
+        }
+        (loads, stores, computes)
+    }
+
+    #[test]
+    fn copy_issues_one_load_and_one_store_per_line() {
+        let config = StreamConfig {
+            kernel: StreamKernel::Copy,
+            array_bytes: 64 * 1024,
+            iterations: 1,
+            cores: 1,
+        };
+        let lines = config.array_bytes / CACHE_LINE_BYTES;
+        let (loads, stores, _) = count_ops(config);
+        assert_eq!(loads, lines);
+        assert_eq!(stores, lines);
+    }
+
+    #[test]
+    fn add_and_triad_issue_two_loads_per_line() {
+        for kernel in [StreamKernel::Add, StreamKernel::Triad] {
+            let config =
+                StreamConfig { kernel, array_bytes: 32 * 1024, iterations: 2, cores: 1 };
+            let lines = config.array_bytes / CACHE_LINE_BYTES * 2;
+            let (loads, stores, _) = count_ops(config);
+            assert_eq!(loads, 2 * lines, "{kernel}");
+            assert_eq!(stores, lines, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn partitioning_covers_every_line_exactly_once() {
+        let config = StreamConfig {
+            kernel: StreamKernel::Copy,
+            array_bytes: 257 * CACHE_LINE_BYTES,
+            iterations: 1,
+            cores: 7,
+        };
+        let mut covered = std::collections::HashSet::new();
+        for mut s in config.streams() {
+            while let Some(op) = s.next_op() {
+                if let Op::Load { addr, .. } = op {
+                    assert!(covered.insert(addr), "line loaded twice: {addr:#x}");
+                }
+            }
+        }
+        assert_eq!(covered.len(), 257);
+    }
+
+    #[test]
+    fn stream_bytes_accounting_matches_the_kernel_shape() {
+        let copy = StreamConfig {
+            kernel: StreamKernel::Copy,
+            array_bytes: 1024 * 1024,
+            iterations: 1,
+            cores: 4,
+        };
+        let triad = StreamConfig { kernel: StreamKernel::Triad, ..copy };
+        assert_eq!(copy.stream_bytes(), 2 * copy.array_bytes);
+        assert_eq!(triad.stream_bytes(), 3 * copy.array_bytes);
+    }
+
+    #[test]
+    fn labels_identify_the_kernel_and_core() {
+        let config = StreamConfig {
+            kernel: StreamKernel::Triad,
+            array_bytes: 64 * 1024,
+            iterations: 1,
+            cores: 2,
+        };
+        let streams = config.streams();
+        assert!(streams[1].label().contains("triad"));
+        assert!(streams[1].label().contains("core 1"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Characterize every Table I platform and print the paper-vs-measured comparison.
+//!
+//! ```text
+//! cargo run --release --example characterize_platforms            # all eight platforms
+//! cargo run --release --example characterize_platforms skylake    # one platform, full CSV
+//! ```
+//!
+//! This is the workload behind paper Fig. 3 and Table I: for each platform the Mess benchmark
+//! sweeps read/write mixes and traffic intensities against the platform's detailed DRAM model
+//! and reports the saturated-bandwidth range, unloaded latency and maximum-latency range next
+//! to the values the paper measured on the real machines.
+
+use mess::bench::sweep::{characterize, SweepConfig};
+use mess::core::metrics::FamilyMetrics;
+use mess::platforms::PlatformId;
+use mess::types::MessError;
+
+fn main() -> Result<(), MessError> {
+    let selected: Option<PlatformId> =
+        std::env::args().nth(1).and_then(|key| PlatformId::from_key(&key));
+
+    let sweep = SweepConfig {
+        store_mixes: vec![0.0, 0.4, 1.0],
+        pause_levels: vec![200, 80, 40, 20, 8, 0],
+        chase_loads: 200,
+        max_cycles_per_point: 1_200_000,
+    };
+
+    let platforms: Vec<PlatformId> = match selected {
+        Some(id) => vec![id],
+        None => PlatformId::TABLE_ONE.to_vec(),
+    };
+
+    for id in platforms {
+        let platform = id.spec();
+        let mut dram = platform.build_dram();
+        let c = characterize(platform.name, &platform.cpu_config(), &mut dram, &sweep)?;
+        let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+        println!("{}", m.table_row());
+        if let Some(r) = &platform.reference {
+            println!(
+                "{:<28} paper: sat-bw {:>3.0}-{:>3.0}%  unloaded {:>5.0} ns  max-lat {:>4.0}-{:>4.0} ns",
+                "", r.saturated_bw_low_pct, r.saturated_bw_high_pct, r.unloaded_latency_ns,
+                r.max_latency_low_ns, r.max_latency_high_ns
+            );
+        }
+        if selected.is_some() {
+            // Full per-point dump for a single platform (the artifact's results.csv format).
+            print!("{}", c.to_csv());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate of the Mess reproduction.
+//!
+//! Re-exports every crate of the workspace under one name so the examples and integration
+//! tests (and downstream users who just want "the framework") need a single dependency:
+//!
+//! * [`types`] — units, requests, the [`types::MemoryBackend`] interface;
+//! * [`core`] — bandwidth–latency curves, curve families, metrics and the Mess analytical
+//!   simulator (the paper's primary contribution);
+//! * [`dram`] — the cycle-level multi-channel DRAM reference model;
+//! * [`memmodels`] — the fixed-latency, M/D/1 and internal-DDR baselines;
+//! * [`cxl`] — the CXL memory-expander model, manufacturer curves and remote-socket emulation;
+//! * [`cpu`] — the multi-core front-end with a write-allocate LLC and MSHR-limited parallelism;
+//! * [`bench`] — the Mess benchmark (pointer-chase + traffic generator + sweeps + traces);
+//! * [`workloads`] — STREAM, LMbench, multichase, GUPS, HPCG-proxy and the SPEC-like suite;
+//! * [`platforms`] — the Table I platform configurations and the memory-model factory;
+//! * [`profiler`] — curve positioning, stress scores and timeline analysis;
+//! * [`harness`] — the experiment drivers that regenerate every table and figure.
+//!
+//! ```
+//! use mess::platforms::PlatformId;
+//!
+//! let skylake = PlatformId::IntelSkylake.spec();
+//! assert_eq!(skylake.cores, 24);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mess_bench as bench;
+pub use mess_core as core;
+pub use mess_cpu as cpu;
+pub use mess_cxl as cxl;
+pub use mess_dram as dram;
+pub use mess_harness as harness;
+pub use mess_memmodels as memmodels;
+pub use mess_platforms as platforms;
+pub use mess_profiler as profiler;
+pub use mess_types as types;
+pub use mess_workloads as workloads;
