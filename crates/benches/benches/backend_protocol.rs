@@ -1,0 +1,2 @@
+//! Placeholder; implemented with the v2 protocol work.
+fn main() {}

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with a simple
+//! wall-clock measurement loop: one warm-up run, then `sample_size` timed runs, reporting
+//! min / mean / max to stdout. A command-line substring filter (as in real criterion:
+//! `cargo bench -- <filter>`) selects which benchmarks run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The first free argument (after the binary name and cargo-bench plumbing flags)
+        // is a substring filter, like real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` directly under `id` (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(id, self.filter.as_deref(), sample_size, f);
+        self
+    }
+}
+
+/// A named identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An identifier built only from a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An identifier with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Conversion of the various id forms accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark measurement handle.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmed_up: bool,
+}
+
+impl Bencher {
+    /// Times one run of `f` (the routine is called once per sample; the first call is a
+    /// discarded warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.warmed_up {
+            black_box(f());
+            self.warmed_up = true;
+        }
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, filter: Option<&str>, samples: usize, mut f: F) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { samples: Vec::with_capacity(samples), warmed_up: false };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, like real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records_samples() {
+        let mut c = Criterion { filter: None, default_sample_size: 3 };
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3).bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 3 samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion { filter: Some("nomatch".into()), default_sample_size: 3 };
+        let mut runs = 0u32;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+    }
+}

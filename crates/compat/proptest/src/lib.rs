@@ -1,0 +1,284 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with
+//! `arg in <range-strategy>` parameters (optionally preceded by
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), [`prop_assert!`] /
+//! [`prop_assert_eq!`], and half-open / inclusive numeric range strategies.
+//!
+//! Sampling is deterministic: every test replays the same case sequence on every run
+//! (seeded from the test name), with the range endpoints always exercised first so boundary
+//! bugs surface immediately. There is no shrinking — the failing inputs are printed instead.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases run per property when no [`ProptestConfig`] is given.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases: cases.max(1) }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: DEFAULT_CASES }
+    }
+}
+
+/// A failed property-test case (produced by [`prop_assert!`] and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test sampler (splitmix64 over a hash of the test name).
+#[derive(Debug)]
+pub struct Sampler {
+    state: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler seeded from `name`.
+    pub fn new(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        Sampler { state: seed }
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator over a parameter domain.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produces the value for case number `case` (cases 0 and 1 are the domain boundaries).
+    fn sample(&self, sampler: &mut Sampler, case: u32) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, sampler: &mut Sampler, case: u32) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end - self.start) as u128;
+                        self.start + (sampler.next_u64() as u128 % span) as $t
+                    }
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, sampler: &mut Sampler, case: u32) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                match case {
+                    0 => start,
+                    1 => end,
+                    _ => {
+                        let span = (end - start) as u128 + 1;
+                        start + (sampler.next_u64() as u128 % span) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_int_ranges!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, sampler: &mut Sampler, case: u32) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        match case {
+            0 => self.start,
+            _ => self.start + sampler.unit_f64() * (self.end - self.start),
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, sampler: &mut Sampler, case: u32) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty strategy range");
+        match case {
+            0 => start,
+            1 => end,
+            _ => start + sampler.unit_f64() * (end - start),
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Sampler, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut sampler = $crate::Sampler::new(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut sampler, case); )+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property failed on case {case}: {err}\n  inputs: {}",
+                            [$( format!("{} = {:?}", stringify!($arg), $arg) ),+].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn boundaries_are_sampled_first(x in 5u64..10) {
+            prop_assert!((5..10).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn inclusive_float_range(f in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn multiple_args(a in 0u32..4, b in 0usize..3) {
+            prop_assert!(a < 4 && b < 3);
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_name() {
+        let mut a = Sampler::new("x");
+        let mut b = Sampler::new("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = Sampler::new("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,327 @@
+//! A self-contained, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships a minimal
+//! serialization framework under the same crate name. It keeps the parts of serde's surface
+//! that the Mess reproduction uses — the `Serialize` / `Deserialize` traits, the
+//! `#[derive(Serialize, Deserialize)]` macros (including `#[serde(skip)]`) — but routes
+//! everything through a single self-describing [`Value`] tree instead of serde's visitor
+//! architecture. `serde_json` (also a workspace stand-in) prints and parses that tree.
+//!
+//! Supported shapes match what the derive macro emits: structs with named fields, newtype
+//! and tuple structs, unit-variant enums, and externally-tagged data-carrying enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (a JSON-like tree).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Map with string keys, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the field `name` or a descriptive error.
+    pub fn require(&self, name: &str) -> Result<&Value, Error> {
+        self.field(name).ok_or_else(|| Error::new(format!("missing field `{name}`")))
+    }
+
+    /// The value as `bool`, if it is one.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+
+    /// The value as `u64` (accepting exact integral floats).
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::U64(n) => Ok(*n),
+            Value::I64(n) if *n >= 0 => Ok(*n as u64),
+            Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Ok(*f as u64)
+            }
+            other => Err(Error::expected("u64", other)),
+        }
+    }
+
+    /// The value as `i64` (accepting exact integral floats).
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::I64(n) => Ok(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+            Value::F64(f) if f.fract() == 0.0 => Ok(*f as i64),
+            other => Err(Error::expected("i64", other)),
+        }
+    }
+
+    /// The value as `f64` (accepting any number).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(Error::expected("f64", other)),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+
+    /// Short type name, used in error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a serialized value.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a serialized value.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| Error::new(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n).map_err(|_| Error::new(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for &'static str {
+    /// Real serde borrows `&'de str` from the input; this stand-in has no lifetime threading,
+    /// so it leaks the (small, test-only) string instead.
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::leak(v.as_str()?.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.serialize_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array()?;
+                let mut it = items.iter();
+                Ok(($({
+                    let _ = $idx;
+                    $name::deserialize_value(
+                        it.next().ok_or_else(|| Error::new("tuple too short"))?,
+                    )?
+                },)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_values() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()).unwrap(), 42);
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()).unwrap(), 1.5);
+        assert_eq!(bool::deserialize_value(&true.serialize_value()).unwrap(), true);
+        let v: Vec<u32> = Deserialize::deserialize_value(&vec![1u32, 2, 3].serialize_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let none: Option<u64> = Deserialize::deserialize_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.require("a").unwrap().as_u64().unwrap(), 1);
+        assert!(obj.require("b").is_err());
+    }
+}

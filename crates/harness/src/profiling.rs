@@ -27,7 +27,7 @@ pub fn trace_to_samples(
     let mut samples = Vec::new();
     let mut window_start = trace.records[0].cycle;
     let (mut reads, mut writes) = (0u64, 0u64);
-    let mut flush =
+    let flush =
         |start: u64, reads: u64, writes: u64, samples: &mut Vec<BandwidthSample>| {
             let bytes = (reads + writes) * CACHE_LINE_BYTES;
             let elapsed = Cycle::new(window_cycles).to_latency(frequency);

@@ -1,7 +1,7 @@
 //! Shared helpers for the experiment drivers: workload construction and IPC measurement.
 
 use crate::report::Fidelity;
-use mess_cpu::{CpuConfig, Engine, OpStream, RunReport, StopCondition};
+use mess_cpu::{Engine, OpStream, RunReport, StopCondition};
 use mess_platforms::PlatformSpec;
 use mess_types::MemoryBackend;
 use mess_workloads::latency::{LatMemRdConfig, MultichaseConfig};
