@@ -29,7 +29,11 @@ pub struct PointerChaseConfig {
 impl PointerChaseConfig {
     /// The benchmark default: an array of four times the LLC, traversed with `loads` hops.
     pub fn sized_against_llc(llc_bytes: u64, loads: u64) -> Self {
-        PointerChaseConfig { array_bytes: llc_bytes * 4, loads, seed: 0x6d65_7373 }
+        PointerChaseConfig {
+            array_bytes: llc_bytes * 4,
+            loads,
+            seed: 0x6d65_7373,
+        }
     }
 
     /// Builds the probe's op stream.
@@ -96,10 +100,21 @@ mod tests {
 
     #[test]
     fn chase_emits_only_dependent_loads_and_stops() {
-        let mut s = PointerChaseConfig { array_bytes: 1 << 16, loads: 333, seed: 1 }.stream();
+        let mut s = PointerChaseConfig {
+            array_bytes: 1 << 16,
+            loads: 333,
+            seed: 1,
+        }
+        .stream();
         let mut n = 0;
         while let Some(op) = s.next_op() {
-            assert!(matches!(op, Op::Load { dependent: true, .. }));
+            assert!(matches!(
+                op,
+                Op::Load {
+                    dependent: true,
+                    ..
+                }
+            ));
             n += 1;
         }
         assert_eq!(n, 333);
@@ -123,7 +138,11 @@ mod tests {
 
     #[test]
     fn same_seed_gives_the_same_walk() {
-        let config = PointerChaseConfig { array_bytes: 1 << 15, loads: 64, seed: 5 };
+        let config = PointerChaseConfig {
+            array_bytes: 1 << 15,
+            loads: 64,
+            seed: 5,
+        };
         let walk = |mut s: PointerChaseStream| {
             let mut v = Vec::new();
             while let Some(Op::Load { addr, .. }) = s.next_op() {

@@ -41,7 +41,8 @@ pub struct Characterization {
 impl Characterization {
     /// Formats the raw measurements as CSV (`store_mix,pause,read_pct,bandwidth_gbs,latency_ns`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("store_mix,pause_cycles,read_percent,bandwidth_gbs,latency_ns\n");
+        let mut out =
+            String::from("store_mix,pause_cycles,read_percent,bandwidth_gbs,latency_ns\n");
         for p in &self.points {
             out.push_str(&format!(
                 "{:.2},{},{},{:.3},{:.2}\n",
@@ -102,13 +103,19 @@ impl SweepConfig {
     /// `[0, 1]` or the probe has no loads.
     pub fn validate(&self) -> Result<(), MessError> {
         if self.store_mixes.is_empty() || self.pause_levels.is_empty() {
-            return Err(MessError::InvalidConfig("sweep lists must not be empty".into()));
+            return Err(MessError::InvalidConfig(
+                "sweep lists must not be empty".into(),
+            ));
         }
         if self.store_mixes.iter().any(|m| !(0.0..=1.0).contains(m)) {
-            return Err(MessError::InvalidConfig("store mixes must lie in [0, 1]".into()));
+            return Err(MessError::InvalidConfig(
+                "store mixes must lie in [0, 1]".into(),
+            ));
         }
         if self.chase_loads == 0 {
-            return Err(MessError::InvalidConfig("the probe needs at least one load".into()));
+            return Err(MessError::InvalidConfig(
+                "the probe needs at least one load".into(),
+            ));
         }
         Ok(())
     }
@@ -119,36 +126,50 @@ impl SweepConfig {
 struct OffsetBackend<'a, B: ?Sized> {
     inner: &'a mut B,
     offset: u64,
+    /// Reusable scratch for clock-shifted batches (the issue path is hot).
+    scratch: Vec<mess_types::Request>,
 }
 
 impl<B: MemoryBackend + ?Sized> MemoryBackend for OffsetBackend<'_, B> {
     fn tick(&mut self, now: mess_types::Cycle) {
-        self.inner.tick(mess_types::Cycle::new(now.as_u64() + self.offset));
+        self.inner
+            .tick(mess_types::Cycle::new(now.as_u64() + self.offset));
     }
 
-    fn try_enqueue(&mut self, request: mess_types::Request) -> Result<(), mess_types::EnqueueError> {
-        let shifted = mess_types::Request {
-            issue_cycle: mess_types::Cycle::new(request.issue_cycle.as_u64() + self.offset),
-            ..request
-        };
-        self.inner.try_enqueue(shifted)
+    fn issue(&mut self, batch: &[mess_types::Request]) -> mess_types::IssueOutcome {
+        // Shift every request into the inner model's clock domain, reusing one buffer.
+        self.scratch.clear();
+        self.scratch
+            .extend(batch.iter().map(|request| mess_types::Request {
+                issue_cycle: mess_types::Cycle::new(request.issue_cycle.as_u64() + self.offset),
+                ..*request
+            }));
+        self.inner.issue(&self.scratch)
     }
 
-    fn drain_completed(&mut self, out: &mut Vec<mess_types::Completion>) {
+    fn drain_completed(&mut self, out: &mut Vec<mess_types::Completion>) -> usize {
         let start = out.len();
-        self.inner.drain_completed(out);
+        let drained = self.inner.drain_completed(out);
         for c in &mut out[start..] {
-            c.issue_cycle = mess_types::Cycle::new(c.issue_cycle.as_u64().saturating_sub(self.offset));
+            c.issue_cycle =
+                mess_types::Cycle::new(c.issue_cycle.as_u64().saturating_sub(self.offset));
             c.complete_cycle =
                 mess_types::Cycle::new(c.complete_cycle.as_u64().saturating_sub(self.offset));
         }
+        drained
+    }
+
+    fn next_event(&self) -> Option<mess_types::Cycle> {
+        self.inner
+            .next_event()
+            .map(|c| mess_types::Cycle::new(c.as_u64().saturating_sub(self.offset)))
     }
 
     fn pending(&self) -> usize {
         self.inner.pending()
     }
 
-    fn stats(&self) -> &mess_types::MemoryStats {
+    fn stats(&self) -> mess_types::MemoryStats {
         self.inner.stats()
     }
 
@@ -182,7 +203,9 @@ pub fn measure_point<B: MemoryBackend + ?Sized>(
     let mut engine = Engine::from_boxed(*cpu, streams);
     let report = engine.run(backend, StopCondition::CoreDone(0), max_cycles);
 
-    let latency = report.dependent_load_latency(0).unwrap_or(cpu.on_chip_latency);
+    let latency = report
+        .dependent_load_latency(0)
+        .unwrap_or(cpu.on_chip_latency);
     MeasuredPoint {
         store_mix,
         pause_cycles,
@@ -212,7 +235,11 @@ pub fn characterize<B: MemoryBackend + ?Sized>(
         let mut curve_points = Vec::new();
         let mut ratios = Vec::new();
         for &pause in &sweep.pause_levels {
-            let mut shifted = OffsetBackend { inner: &mut *backend, offset: clock_offset };
+            let mut shifted = OffsetBackend {
+                inner: &mut *backend,
+                offset: clock_offset,
+                scratch: Vec::new(),
+            };
             let p = measure_point(
                 cpu,
                 &mut shifted,
@@ -232,7 +259,10 @@ pub fn characterize<B: MemoryBackend + ?Sized>(
         let mut fraction = mean_ratio.clamp(0.0, 1.0);
         // Two sweeps can measure the same mean composition (e.g. both fully read-dominated);
         // nudge the later one so every curve in the family keeps a distinct ratio key.
-        while curves.iter().any(|c| (c.ratio().read_fraction() - fraction).abs() < 1e-9) {
+        while curves
+            .iter()
+            .any(|c| (c.ratio().read_fraction() - fraction).abs() < 1e-9)
+        {
             fraction = (fraction - 1e-4).max(0.0);
         }
         let ratio = RwRatio::from_read_fraction(fraction).expect("fraction stays in [0, 1]");
@@ -278,7 +308,10 @@ mod tests {
         assert_eq!(c.family.len(), 2);
         for curve in c.family.curves() {
             let spread = curve.max_latency().as_ns() - curve.unloaded_latency().as_ns();
-            assert!(spread < 30.0, "fixed-latency curves must stay flat, spread {spread} ns");
+            assert!(
+                spread < 30.0,
+                "fixed-latency curves must stay flat, spread {spread} ns"
+            );
         }
         // The load-to-use latency must include the memory and on-chip components.
         assert!(c.family.unloaded_latency().as_ns() > 60.0);
@@ -287,8 +320,11 @@ mod tests {
     #[test]
     fn queueing_backend_shows_rising_latency_and_lower_pause_gives_more_bandwidth() {
         let cpu = small_cpu(6);
-        let mut backend =
-            Md1QueueModel::new(Latency::from_ns(60.0), Bandwidth::from_gbs(20.0), cpu.frequency);
+        let mut backend = Md1QueueModel::new(
+            Latency::from_ns(60.0),
+            Bandwidth::from_gbs(20.0),
+            cpu.frequency,
+        );
         let c = characterize("md1", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
         for mix_points in c.points.chunks(SweepConfig::quick().pause_levels.len()) {
             let first = mix_points.first().unwrap();
@@ -313,8 +349,14 @@ mod tests {
         let c = characterize("ratios", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
         // The all-load sweep stays read-only; the all-store sweep approaches 50/50 at full
         // intensity because every store turns into a fill read plus an eventual writeback.
-        assert!(c.points.iter().any(|p| p.store_mix == 0.0 && p.ratio.read_percent() >= 95));
-        assert!(c.points.iter().any(|p| p.store_mix == 1.0 && p.ratio.read_percent() <= 75));
+        assert!(c
+            .points
+            .iter()
+            .any(|p| p.store_mix == 0.0 && p.ratio.read_percent() >= 95));
+        assert!(c
+            .points
+            .iter()
+            .any(|p| p.store_mix == 1.0 && p.ratio.read_percent() <= 75));
     }
 
     #[test]
@@ -325,7 +367,10 @@ mod tests {
         let c = characterize("csv", &cpu, &mut backend, &sweep).unwrap();
         let csv = c.to_csv();
         let rows: Vec<&str> = csv.trim().lines().collect();
-        assert_eq!(rows.len(), 1 + sweep.store_mixes.len() * sweep.pause_levels.len());
+        assert_eq!(
+            rows.len(),
+            1 + sweep.store_mixes.len() * sweep.pause_levels.len()
+        );
         assert!(rows[0].starts_with("store_mix"));
     }
 }

@@ -8,8 +8,8 @@
 //! bandwidth–latency point observed at the memory controller.
 
 use mess_types::{
-    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Latency, MemoryBackend, MemoryStats,
-    Request, CACHE_LINE_BYTES,
+    AccessKind, Bandwidth, Completion, Cycle, IssueOutcome, Latency, MemoryBackend, MemoryStats,
+    Request, StatsWindow, CACHE_LINE_BYTES,
 };
 use serde::{Deserialize, Serialize};
 
@@ -60,7 +60,10 @@ pub struct RecordingBackend<B> {
 impl<B: MemoryBackend> RecordingBackend<B> {
     /// Wraps `inner`, recording every request it accepts.
     pub fn new(inner: B) -> Self {
-        RecordingBackend { inner, trace: Trace::default() }
+        RecordingBackend {
+            inner,
+            trace: Trace::default(),
+        }
     }
 
     /// Consumes the wrapper and returns the inner backend and the captured trace.
@@ -79,25 +82,31 @@ impl<B: MemoryBackend> MemoryBackend for RecordingBackend<B> {
         self.inner.tick(now);
     }
 
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
-        self.inner.try_enqueue(request)?;
-        self.trace.records.push(TraceRecord {
-            cycle: request.issue_cycle.as_u64(),
-            addr: request.addr,
-            kind: request.kind,
-        });
-        Ok(())
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        let outcome = self.inner.issue(batch);
+        for request in &batch[..outcome.accepted] {
+            self.trace.records.push(TraceRecord {
+                cycle: request.issue_cycle.as_u64(),
+                addr: request.addr,
+                kind: request.kind,
+            });
+        }
+        outcome
     }
 
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        self.inner.drain_completed(out);
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.inner.drain_completed(out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        self.inner.next_event()
     }
 
     fn pending(&self) -> usize {
         self.inner.pending()
     }
 
-    fn stats(&self) -> &MemoryStats {
+    fn stats(&self) -> MemoryStats {
         self.inner.stats()
     }
 
@@ -119,6 +128,11 @@ pub struct ReplayResult {
 
 /// Replays `trace` into `backend`, preserving the captured inter-request spacing scaled by
 /// `speed` (1.0 = as captured; 2.0 = twice the injection rate).
+///
+/// The replay loop speaks the v2 [`MemoryBackend`] protocol: every record due at the current
+/// cycle is offered in one batched [`MemoryBackend::issue`] call, and between due times the
+/// clock jumps to `min(next record due, backend.next_event())` instead of ticking every
+/// cycle — the same cycle-skipping scheme as the CPU engine's main loop.
 pub fn replay<B: MemoryBackend + ?Sized>(
     trace: &Trace,
     backend: &mut B,
@@ -126,48 +140,69 @@ pub fn replay<B: MemoryBackend + ?Sized>(
     speed: f64,
 ) -> ReplayResult {
     let speed = if speed > 0.0 { speed } else { 1.0 };
-    let start_stats = *backend.stats();
+    let window = StatsWindow::open(backend);
     let mut out = Vec::new();
+    let mut batch: Vec<Request> = Vec::new();
     let mut now = 0u64;
     let mut next = 0usize;
     let mut id = 0u64;
     let base_cycle = trace.records.first().map(|r| r.cycle).unwrap_or(0);
+    let due_at =
+        |index: usize| -> u64 { ((trace.records[index].cycle - base_cycle) as f64 / speed) as u64 };
     let horizon = 400_000_000u64;
     while next < trace.records.len() && now < horizon {
         backend.tick(Cycle::new(now));
         out.clear();
         backend.drain_completed(&mut out);
-        while next < trace.records.len() {
-            let rec = trace.records[next];
-            let due = ((rec.cycle - base_cycle) as f64 / speed) as u64;
-            if due > now {
-                break;
-            }
-            let request = Request {
-                id: mess_types::RequestId(id),
+        // Offer every record due by now in one batch; the backend takes a prefix.
+        batch.clear();
+        let mut probe = next;
+        while probe < trace.records.len() && due_at(probe) <= now {
+            let rec = trace.records[probe];
+            batch.push(Request {
+                id: mess_types::RequestId(id + (probe - next) as u64),
                 addr: rec.addr,
                 kind: rec.kind,
                 issue_cycle: Cycle::new(now),
                 core: 0,
-            };
-            if backend.try_enqueue(request).is_ok() {
-                id += 1;
-                next += 1;
-            } else {
-                break;
-            }
+            });
+            probe += 1;
         }
-        now += 1;
+        let accepted = backend.issue(&batch).accepted;
+        next += accepted;
+        id += accepted as u64;
+        // Jump to the next time anything can happen. After a rejection, re-offering before
+        // the backend's next event is pointless (nothing else changes its state), so the
+        // event alone decides the wake-up — an overdue head record stays due and must not
+        // drag the clock into a cycle-by-cycle crawl through the back-pressure.
+        let stalled = accepted < batch.len();
+        now = if stalled {
+            backend
+                .next_event()
+                .map_or(now + 1, |c| c.as_u64())
+                .max(now + 1)
+        } else if next < trace.records.len() {
+            due_at(next).max(now + 1)
+        } else {
+            backend
+                .next_event()
+                .map_or(now + 1, |c| c.as_u64())
+                .max(now + 1)
+        };
     }
-    // Let the tail drain.
+    // Let the tail drain, jumping straight between completion events.
     let tail_deadline = now + 4_000_000;
     while backend.pending() > 0 && now < tail_deadline {
+        now = backend
+            .next_event()
+            .map_or(now + 1, |c| c.as_u64())
+            .max(now + 1)
+            .min(tail_deadline);
         backend.tick(Cycle::new(now));
         out.clear();
         backend.drain_completed(&mut out);
-        now += 1;
     }
-    let delta = backend.stats().delta(&start_stats);
+    let delta = window.measure(backend);
     let elapsed = Cycle::new(now.max(1)).to_latency(cpu_frequency);
     ReplayResult {
         bandwidth: Bandwidth::from_bytes_over(
@@ -205,7 +240,8 @@ mod tests {
         let mut rec = RecordingBackend::new(FixedLatencyModel::new(Latency::from_ns(50.0), freq));
         for i in 0..10u64 {
             rec.tick(Cycle::new(i * 10));
-            rec.try_enqueue(Request::read(i, i * 64, Cycle::new(i * 10), 0)).unwrap();
+            rec.try_enqueue(Request::read(i, i * 64, Cycle::new(i * 10), 0))
+                .unwrap();
         }
         let (_, trace) = rec.into_parts();
         assert_eq!(trace.len(), 10);
@@ -238,6 +274,36 @@ mod tests {
             "4x replay speed should give roughly 4x bandwidth: {} vs {}",
             r1.bandwidth,
             r4.bandwidth
+        );
+    }
+
+    #[test]
+    fn replay_through_backpressure_jumps_to_backend_events() {
+        // A dense trace into a queue-limited model: the replayer must ride out rejections by
+        // jumping to the backend's next event, not by crawling cycle by cycle, and still
+        // deliver every record.
+        let freq = Frequency::from_ghz(2.0);
+        let n = 2_000u64;
+        let trace = synthetic_trace(n, 1, Some(3));
+        let mut backend = mess_memmodels::SimpleDdrModel::new(
+            mess_memmodels::SimpleDdrConfig::ddr4_2666_x6(),
+            freq,
+        );
+        let result = replay(&trace, &mut backend, freq, 1.0);
+        assert_eq!(
+            result.requests, n,
+            "every record must eventually be accepted"
+        );
+        assert_eq!(backend.stats().total_completed(), n);
+        assert!(
+            backend.stats().rejected > 0,
+            "the model must actually have pushed back"
+        );
+        assert!(
+            backend.stats().rejected < 4 * n,
+            "rejection count must reflect back-pressure events, not a per-cycle retry crawl              (got {} rejections for {} requests)",
+            backend.stats().rejected,
+            n
         );
     }
 

@@ -44,7 +44,9 @@ impl TrafficConfig {
 
     /// The op streams of `lanes` traffic-generator lanes (one per background core).
     pub fn lanes(&self, lanes: u32) -> Vec<Box<dyn OpStream>> {
-        (0..lanes).map(|lane| Box::new(TrafficStream::new(*self, lane)) as Box<dyn OpStream>).collect()
+        (0..lanes)
+            .map(|lane| Box::new(TrafficStream::new(*self, lane)) as Box<dyn OpStream>)
+            .collect()
     }
 }
 

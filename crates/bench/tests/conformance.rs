@@ -1,0 +1,25 @@
+//! v2 protocol conformance for the trace-capturing wrapper: recording must be transparent.
+
+use mess_bench::RecordingBackend;
+use mess_memmodels::{FixedLatencyModel, SimpleDdrConfig, SimpleDdrModel};
+use mess_types::{conformance, Frequency, Latency};
+
+#[test]
+fn recording_backend_is_protocol_transparent() {
+    conformance::check(|| {
+        RecordingBackend::new(FixedLatencyModel::new(
+            Latency::from_ns(80.0),
+            Frequency::from_ghz(2.0),
+        ))
+    });
+}
+
+#[test]
+fn recording_backend_over_backpressured_model_conforms() {
+    conformance::check(|| {
+        RecordingBackend::new(SimpleDdrModel::new(
+            SimpleDdrConfig::ddr4_2666_x6(),
+            Frequency::from_ghz(2.0),
+        ))
+    });
+}

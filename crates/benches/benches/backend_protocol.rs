@@ -1,2 +1,168 @@
-//! Placeholder; implemented with the v2 protocol work.
-fn main() {}
+//! Criterion benchmark: the v2 event-driven backend protocol versus the v1 lockstep loop.
+//!
+//! Two scenarios bracket the protocol's design space:
+//!
+//! * **pointer-chase** — latency-bound, maximal dead cycles: one core executes a chain of
+//!   dependent loads against a fixed 100 ns memory, so ~200 CPU cycles between a request
+//!   and its completion carry no work at all. The v1 protocol ticks the backend through
+//!   every one of them; the v2 loop jumps straight to `next_event()`.
+//! * **stream** — bandwidth-bound, batched issue: a windowed sequential read stream keeps
+//!   the memory interface saturated; the win here is one `issue()` call per cycle instead
+//!   of one virtual call per request.
+//!
+//! The lockstep baselines below speak the same v2 trait (`try_enqueue` is the provided
+//! single-request wrapper) but advance the clock one cycle at a time, exactly like the old
+//! `Engine::run`/`replay` main loops — measured in the same process, on the same backend
+//! configuration, over the same request counts. `speedup` prints the headline ratio; the
+//! acceptance bar is ≥2× on pointer-chase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mess_cpu::{CacheConfig, CpuConfig, Engine, Op, StopCondition, VecStream};
+use mess_memmodels::FixedLatencyModel;
+use mess_types::{Completion, Cycle, Frequency, Latency, MemoryBackend};
+use std::time::Instant;
+
+const CHASE_LOADS: u64 = 2_000;
+const STREAM_LINES: u64 = 20_000;
+const MEMORY_NS: f64 = 100.0;
+const FREQ_GHZ: f64 = 2.0;
+
+fn memory() -> FixedLatencyModel {
+    FixedLatencyModel::new(Latency::from_ns(MEMORY_NS), Frequency::from_ghz(FREQ_GHZ))
+}
+
+fn single_core_config() -> CpuConfig {
+    CpuConfig {
+        llc: CacheConfig::disabled(),
+        ..CpuConfig::server_class(1, Frequency::from_ghz(FREQ_GHZ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven side: the real Engine (v2 main loop).
+// ---------------------------------------------------------------------------
+
+fn chase_event_driven() -> u64 {
+    let ops: Vec<Op> = (0..CHASE_LOADS)
+        .map(|i| Op::dependent_load(i * 4096))
+        .collect();
+    let mut engine = Engine::new(single_core_config(), vec![VecStream::new(ops)]);
+    let mut backend = memory();
+    let report = engine.run(&mut backend, StopCondition::AllStreamsDone, u64::MAX / 2);
+    assert_eq!(report.memory.reads_completed, CHASE_LOADS);
+    report.cycles
+}
+
+fn stream_event_driven() -> u64 {
+    let ops: Vec<Op> = (0..STREAM_LINES).map(|i| Op::load(i * 64)).collect();
+    let mut engine = Engine::new(single_core_config(), vec![VecStream::new(ops)]);
+    let mut backend = memory();
+    let report = engine.run(&mut backend, StopCondition::AllStreamsDone, u64::MAX / 2);
+    assert_eq!(report.memory.reads_completed, STREAM_LINES);
+    report.cycles
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep baselines: the v1 protocol (tick + single-request enqueue, every cycle).
+// ---------------------------------------------------------------------------
+
+/// Dependent-load chain, one request in flight, clock stepped cycle by cycle.
+fn chase_lockstep() -> u64 {
+    let mut backend = memory();
+    let on_chip = 90u64; // stands in for the engine's on-chip return path, constant per load
+    let mut out: Vec<Completion> = Vec::new();
+    let mut now = 0u64;
+    for i in 0..CHASE_LOADS {
+        backend
+            .try_enqueue(mess_types::Request::read(i, i * 4096, Cycle::new(now), 0))
+            .expect("fixed-latency model never rejects");
+        loop {
+            backend.tick(Cycle::new(now));
+            out.clear();
+            if backend.drain_completed(&mut out) > 0 {
+                now = out[0].complete_cycle.as_u64() + on_chip;
+                break;
+            }
+            now += 1;
+        }
+    }
+    now
+}
+
+/// Windowed sequential reads (12 outstanding, the server-class MSHR count), lockstep clock.
+fn stream_lockstep() -> u64 {
+    let mut backend = memory();
+    let window = 12usize;
+    let mut out: Vec<Completion> = Vec::new();
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut in_flight = 0usize;
+    let mut now = 0u64;
+    while completed < STREAM_LINES {
+        backend.tick(Cycle::new(now));
+        out.clear();
+        let drained = backend.drain_completed(&mut out);
+        completed += drained as u64;
+        in_flight = in_flight.saturating_sub(drained);
+        // One request per cycle per free window slot — the v1 per-request virtual-call path.
+        if in_flight < window && issued < STREAM_LINES {
+            backend
+                .try_enqueue(mess_types::Request::read(
+                    issued,
+                    issued * 64,
+                    Cycle::new(now),
+                    0,
+                ))
+                .expect("fixed-latency model never rejects");
+            issued += 1;
+            in_flight += 1;
+        }
+        now += 1;
+    }
+    now
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------------
+
+fn backend_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend-protocol");
+    group.sample_size(10);
+    group.bench_function("pointer-chase/lockstep-v1", |b| b.iter(chase_lockstep));
+    group.bench_function("pointer-chase/event-driven-v2", |b| {
+        b.iter(chase_event_driven)
+    });
+    group.bench_function("stream/lockstep-v1", |b| b.iter(stream_lockstep));
+    group.bench_function("stream/event-driven-v2", |b| b.iter(stream_event_driven));
+    group.finish();
+}
+
+/// Headline numbers: wall-clock speedup of the v2 protocol over the v1 baseline.
+fn speedup(_c: &mut Criterion) {
+    let time = |f: &dyn Fn() -> u64| {
+        let start = Instant::now();
+        let cycles = f();
+        (start.elapsed().as_secs_f64(), cycles)
+    };
+    // Warm up once, then measure.
+    let _ = (
+        chase_lockstep(),
+        chase_event_driven(),
+        stream_lockstep(),
+        stream_event_driven(),
+    );
+    let (chase_v1, _) = time(&chase_lockstep);
+    let (chase_v2, _) = time(&chase_event_driven);
+    let (stream_v1, _) = time(&stream_lockstep);
+    let (stream_v2, _) = time(&stream_event_driven);
+    println!(
+        "backend-protocol/speedup  pointer-chase: {:.1}x  stream: {:.2}x  \
+         (v1 lockstep time / v2 event-driven time; acceptance bar: >=2x on pointer-chase)",
+        chase_v1 / chase_v2,
+        stream_v1 / stream_v2
+    );
+}
+
+criterion_group!(benches, backend_protocol, speedup);
+criterion_main!(benches);

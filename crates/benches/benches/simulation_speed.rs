@@ -20,7 +20,11 @@ fn run_traffic(kind: MemoryModelKind) {
     let traffic = TrafficConfig::new(0.3, 0, cpu.llc.capacity_bytes);
     let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
     let mut engine = Engine::from_boxed(cpu, streams);
-    let report = engine.run(backend.as_mut(), StopCondition::MemoryOps(20_000), 5_000_000);
+    let report = engine.run(
+        backend.as_mut(),
+        StopCondition::MemoryOps(20_000),
+        5_000_000,
+    );
     assert!(report.memory.total_completed() > 0);
 }
 
@@ -36,9 +40,13 @@ fn simulation_speed(c: &mut Criterion) {
         MemoryModelKind::DetailedDram,
         MemoryModelKind::Mess,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| run_traffic(kind));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| run_traffic(kind));
+            },
+        );
     }
     group.finish();
 }

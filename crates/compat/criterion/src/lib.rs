@@ -25,7 +25,10 @@ impl Default for Criterion {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "--bench");
-        Criterion { filter, default_sample_size: 10 }
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -149,7 +152,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, filter: Option<&str>, samples
             return;
         }
     }
-    let mut bencher = Bencher { samples: Vec::with_capacity(samples), warmed_up: false };
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        warmed_up: false,
+    };
     for _ in 0..samples {
         f(&mut bencher);
     }
@@ -209,11 +215,16 @@ mod tests {
 
     #[test]
     fn bencher_runs_and_records_samples() {
-        let mut c = Criterion { filter: None, default_sample_size: 3 };
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
         let mut runs = 0u32;
         {
             let mut group = c.benchmark_group("g");
-            group.sample_size(3).bench_function("count", |b| b.iter(|| runs += 1));
+            group
+                .sample_size(3)
+                .bench_function("count", |b| b.iter(|| runs += 1));
             group.finish();
         }
         // 3 samples + 1 warm-up.
@@ -222,7 +233,10 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching_benchmarks() {
-        let mut c = Criterion { filter: Some("nomatch".into()), default_sample_size: 3 };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            default_sample_size: 3,
+        };
         let mut runs = 0u32;
         c.bench_function("other", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 0);

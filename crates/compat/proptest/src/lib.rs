@@ -25,13 +25,17 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// A configuration running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases: cases.max(1) }
+        ProptestConfig {
+            cases: cases.max(1),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: DEFAULT_CASES }
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
     }
 }
 
@@ -152,11 +156,49 @@ impl Strategy for RangeInclusive<f64> {
     }
 }
 
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Sampler, Strategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` samples with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` samples, `size.start..size.end` elements long.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, sampler: &mut Sampler, case: u32) -> Self::Value {
+            let len = self.size.sample(sampler, case);
+            // Boundary cases produce boundary-valued elements; the rest are random.
+            (0..len)
+                .map(|_| self.element.sample(sampler, case))
+                .collect()
+        }
+    }
+}
+
 /// Everything a `proptest!`-based test module needs in scope.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Sampler, Strategy,
-        TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Sampler, Strategy, TestCaseError,
+    };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
     };
 }
 

@@ -176,6 +176,9 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle should not be the identity");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle should not be the identity"
+        );
     }
 }

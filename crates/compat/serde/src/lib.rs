@@ -46,7 +46,8 @@ impl Value {
 
     /// Returns the field `name` or a descriptive error.
     pub fn require(&self, name: &str) -> Result<&Value, Error> {
-        self.field(name).ok_or_else(|| Error::new(format!("missing field `{name}`")))
+        self.field(name)
+            .ok_or_else(|| Error::new(format!("missing field `{name}`")))
     }
 
     /// The value as `bool`, if it is one.
@@ -309,10 +310,17 @@ mod tests {
 
     #[test]
     fn primitives_roundtrip_through_values() {
-        assert_eq!(u64::deserialize_value(&42u64.serialize_value()).unwrap(), 42);
-        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()).unwrap(), 1.5);
-        assert_eq!(bool::deserialize_value(&true.serialize_value()).unwrap(), true);
-        let v: Vec<u32> = Deserialize::deserialize_value(&vec![1u32, 2, 3].serialize_value()).unwrap();
+        assert_eq!(
+            u64::deserialize_value(&42u64.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+        let v: Vec<u32> =
+            Deserialize::deserialize_value(&vec![1u32, 2, 3].serialize_value()).unwrap();
         assert_eq!(v, vec![1, 2, 3]);
         let none: Option<u64> = Deserialize::deserialize_value(&Value::Null).unwrap();
         assert_eq!(none, None);

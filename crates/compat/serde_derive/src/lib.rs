@@ -33,23 +33,36 @@ enum VariantKind {
 
 /// The parsed item shape.
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the workspace `serde::Serialize` trait.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the workspace `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -70,18 +83,23 @@ fn parse_item(input: TokenStream) -> Item {
 
     match keyword.as_str() {
         "struct" => match tokens.get(pos) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
             }
             other => panic!("unsupported struct body for `{name}`: {other:?}"),
         },
         "enum" => match tokens.get(pos) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             other => panic!("unsupported enum body for `{name}`: {other:?}"),
         },
         other => panic!("cannot derive for item kind `{other}`"),
@@ -112,7 +130,9 @@ fn attr_is_serde_skip(stream: TokenStream) -> bool {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
             if name.to_string() == "serde" =>
         {
-            args.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
         }
         _ => false,
     }
@@ -301,8 +321,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let items: Vec<String> = fields
                             .iter()
                             .filter(|f| !f.skip)
@@ -338,7 +357,10 @@ fn gen_deserialize(item: &Item) -> String {
             let mut inits = String::new();
             for f in fields {
                 if f.skip {
-                    inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{0}: ::serde::Deserialize::deserialize_value(v.require(\"{0}\")?)?,\n",

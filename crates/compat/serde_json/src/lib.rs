@@ -38,12 +38,18 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 ///
 /// Fails on malformed JSON or a shape mismatch with `T`.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error::new(format!("trailing characters at offset {}", parser.pos)));
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
     }
     T::deserialize_value(&value)
 }
@@ -52,7 +58,12 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
 // Writer
 // ---------------------------------------------------------------------------
 
-fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) -> Result<(), Error> {
+fn write_value(
+    v: &Value,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -74,20 +85,31 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_string(s, out),
-        Value::Array(items) =>
-            write_seq(out, indent, depth, '[', ']', items.iter(), |item, out, depth| {
-                write_value(item, out, indent, depth)
-            })?,
-        Value::Object(fields) => {
-            write_seq(out, indent, depth, '{', '}', fields.iter(), |(k, val), out, depth| {
+        Value::Array(items) => write_seq(
+            out,
+            indent,
+            depth,
+            '[',
+            ']',
+            items.iter(),
+            |item, out, depth| write_value(item, out, indent, depth),
+        )?,
+        Value::Object(fields) => write_seq(
+            out,
+            indent,
+            depth,
+            '{',
+            '}',
+            fields.iter(),
+            |(k, val), out, depth| {
                 write_string(k, out);
                 out.push(':');
                 if indent.is_some() {
                     out.push(' ');
                 }
                 write_value(val, out, indent, depth)
-            })?
-        }
+            },
+        )?,
     }
     Ok(())
 }
@@ -353,7 +375,7 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
         assert_eq!(from_str::<i64>("-7").unwrap(), -7);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
     }
 

@@ -73,7 +73,11 @@ impl Curve {
                 )));
             }
         }
-        let mut curve = Curve { ratio, points, sorted: Vec::new() };
+        let mut curve = Curve {
+            ratio,
+            points,
+            sorted: Vec::new(),
+        };
         curve.rebuild_index();
         Ok(curve)
     }
@@ -227,8 +231,7 @@ impl Curve {
     /// Returns `true` if the curve exhibits a bandwidth decline larger than
     /// `threshold_fraction` of its maximum bandwidth.
     pub fn has_wave(&self, threshold_fraction: f64) -> bool {
-        self.max_bandwidth_decline().as_gbs()
-            > self.max_bandwidth().as_gbs() * threshold_fraction
+        self.max_bandwidth_decline().as_gbs() > self.max_bandwidth().as_gbs() * threshold_fraction
     }
 
     /// Returns a copy of this curve with every latency reduced by `delta` (used to convert
@@ -238,7 +241,12 @@ impl Curve {
         let points = self
             .points
             .iter()
-            .map(|p| CurvePoint::new(p.bandwidth, Latency::from_ns((p.latency.as_ns() - delta.as_ns()).max(1.0))))
+            .map(|p| {
+                CurvePoint::new(
+                    p.bandwidth,
+                    Latency::from_ns((p.latency.as_ns() - delta.as_ns()).max(1.0)),
+                )
+            })
             .collect();
         Curve::new(self.ratio, points).expect("shifting latencies preserves validity")
     }
@@ -267,7 +275,10 @@ mod tests {
         assert!(Curve::new(RwRatio::ALL_READS, vec![]).is_err());
         assert!(Curve::new(
             RwRatio::ALL_READS,
-            vec![CurvePoint::new(Bandwidth::from_gbs(1.0), Latency::from_ns(90.0))]
+            vec![CurvePoint::new(
+                Bandwidth::from_gbs(1.0),
+                Latency::from_ns(90.0)
+            )]
         )
         .is_err());
         assert!(Curve::new(

@@ -49,7 +49,7 @@ impl CurveFamily {
         if curves.is_empty() {
             return Err(MessError::EmptyCurveFamily);
         }
-        curves.sort_by(|a, b| a.ratio().cmp(&b.ratio()));
+        curves.sort_by_key(|c| c.ratio());
         for w in curves.windows(2) {
             if w[0].ratio() == w[1].ratio() {
                 return Err(MessError::InvalidCurve(format!(
@@ -58,7 +58,10 @@ impl CurveFamily {
                 )));
             }
         }
-        Ok(CurveFamily { name: name.into(), curves })
+        Ok(CurveFamily {
+            name: name.into(),
+            curves,
+        })
     }
 
     /// The name of the memory system this family characterizes.
@@ -186,7 +189,11 @@ impl CurveFamily {
     pub fn shifted_latency(&self, delta: Latency) -> CurveFamily {
         CurveFamily {
             name: self.name.clone(),
-            curves: self.curves.iter().map(|c| c.shifted_latency(delta)).collect(),
+            curves: self
+                .curves
+                .iter()
+                .map(|c| c.shifted_latency(delta))
+                .collect(),
         }
     }
 
@@ -203,7 +210,11 @@ impl CurveFamily {
         let mut rows = Vec::new();
         for c in &self.curves {
             for p in c.points() {
-                rows.push((c.ratio().read_percent(), p.bandwidth.as_gbs(), p.latency.as_ns()));
+                rows.push((
+                    c.ratio().read_percent(),
+                    p.bandwidth.as_gbs(),
+                    p.latency.as_ns(),
+                ));
             }
         }
         rows
@@ -214,10 +225,7 @@ impl CurveFamily {
     /// # Errors
     ///
     /// Returns an error if the rows do not form at least one valid curve.
-    pub fn from_rows(
-        name: impl Into<String>,
-        rows: &[(u32, f64, f64)],
-    ) -> Result<Self, MessError> {
+    pub fn from_rows(name: impl Into<String>, rows: &[(u32, f64, f64)]) -> Result<Self, MessError> {
         use std::collections::BTreeMap;
         let mut grouped: BTreeMap<u32, Vec<CurvePoint>> = BTreeMap::new();
         for &(pct, bw, lat) in rows {
@@ -244,7 +252,10 @@ mod tests {
             RwRatio::from_read_percent(read_pct).unwrap(),
             vec![
                 CurvePoint::new(Bandwidth::from_gbs(5.0), Latency::from_ns(unloaded)),
-                CurvePoint::new(Bandwidth::from_gbs(max_bw * 0.6), Latency::from_ns(unloaded * 1.4)),
+                CurvePoint::new(
+                    Bandwidth::from_gbs(max_bw * 0.6),
+                    Latency::from_ns(unloaded * 1.4),
+                ),
                 CurvePoint::new(Bandwidth::from_gbs(max_bw), Latency::from_ns(max_lat)),
             ],
         )
@@ -269,7 +280,13 @@ mod tests {
             CurveFamily::new("x", vec![]),
             Err(MessError::EmptyCurveFamily)
         ));
-        let dup = CurveFamily::new("x", vec![curve(100, 100.0, 90.0, 200.0), curve(100, 90.0, 90.0, 200.0)]);
+        let dup = CurveFamily::new(
+            "x",
+            vec![
+                curve(100, 100.0, 90.0, 200.0),
+                curve(100, 90.0, 90.0, 200.0),
+            ],
+        );
         assert!(dup.is_err());
     }
 
@@ -286,8 +303,18 @@ mod tests {
     #[test]
     fn closest_curve_selection() {
         let f = family();
-        assert_eq!(f.closest_curve(RwRatio::from_read_percent(60).unwrap()).ratio().read_percent(), 50);
-        assert_eq!(f.closest_curve(RwRatio::from_read_percent(90).unwrap()).ratio().read_percent(), 100);
+        assert_eq!(
+            f.closest_curve(RwRatio::from_read_percent(60).unwrap())
+                .ratio()
+                .read_percent(),
+            50
+        );
+        assert_eq!(
+            f.closest_curve(RwRatio::from_read_percent(90).unwrap())
+                .ratio()
+                .read_percent(),
+            100
+        );
     }
 
     #[test]
@@ -296,9 +323,16 @@ mod tests {
         let bw = Bandwidth::from_gbs(80.0);
         let lat50 = f.latency_at(RwRatio::HALF, bw).as_ns();
         let lat100 = f.latency_at(RwRatio::ALL_READS, bw).as_ns();
-        let lat75 = f.latency_at(RwRatio::from_read_percent(75).unwrap(), bw).as_ns();
-        let lat60 = f.latency_at(RwRatio::from_read_percent(60).unwrap(), bw).as_ns();
-        assert!(lat50 > lat100, "write-heavier traffic should be slower at high bandwidth");
+        let lat75 = f
+            .latency_at(RwRatio::from_read_percent(75).unwrap(), bw)
+            .as_ns();
+        let lat60 = f
+            .latency_at(RwRatio::from_read_percent(60).unwrap(), bw)
+            .as_ns();
+        assert!(
+            lat50 > lat100,
+            "write-heavier traffic should be slower at high bandwidth"
+        );
         assert!(lat60 <= lat50 && lat60 >= lat75 - 1e-9);
         assert!(lat75 <= lat50 && lat75 >= lat100);
     }
@@ -317,8 +351,15 @@ mod tests {
         assert!((f.unloaded_latency().as_ns() - 89.0).abs() < 1e-12);
         assert!((f.max_bandwidth().as_gbs() - 116.0).abs() < 1e-12);
         assert!((f.max_bandwidth_at(RwRatio::ALL_READS).as_gbs() - 116.0).abs() < 1e-12);
-        assert!(f.max_bandwidth_at(RwRatio::from_read_percent(75).unwrap()).as_gbs() < 116.0);
-        assert!(f.unloaded_latency_at(RwRatio::HALF).as_ns() > f.unloaded_latency_at(RwRatio::ALL_READS).as_ns());
+        assert!(
+            f.max_bandwidth_at(RwRatio::from_read_percent(75).unwrap())
+                .as_gbs()
+                < 116.0
+        );
+        assert!(
+            f.unloaded_latency_at(RwRatio::HALF).as_ns()
+                > f.unloaded_latency_at(RwRatio::ALL_READS).as_ns()
+        );
     }
 
     #[test]
@@ -344,7 +385,10 @@ mod tests {
     #[test]
     fn inclination_interpolates() {
         let f = family();
-        let i = f.inclination_at(RwRatio::from_read_percent(75).unwrap(), Bandwidth::from_gbs(100.0));
+        let i = f.inclination_at(
+            RwRatio::from_read_percent(75).unwrap(),
+            Bandwidth::from_gbs(100.0),
+        );
         assert!(i > 0.0);
     }
 }

@@ -73,7 +73,8 @@ pub fn from_csv(name: &str, csv: &str) -> Result<CurveFamily, MessError> {
             continue;
         }
         let mut parts = line.split(',');
-        let parse_err = |what: &str| MessError::Parse(format!("line {}: bad {what}: {line}", lineno + 1));
+        let parse_err =
+            |what: &str| MessError::Parse(format!("line {}: bad {what}: {line}", lineno + 1));
         let pct: u32 = parts
             .next()
             .ok_or_else(|| parse_err("read_percent"))?
@@ -104,7 +105,10 @@ mod tests {
     use mess_types::{Bandwidth, RwRatio};
 
     fn family() -> CurveFamily {
-        generate_family(&SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 89.0))
+        generate_family(&SyntheticFamilySpec::ddr_like(
+            Bandwidth::from_gbs(128.0),
+            89.0,
+        ))
     }
 
     #[test]
@@ -134,7 +138,11 @@ mod tests {
 
     #[test]
     fn csv_rejects_malformed_rows() {
-        assert!(from_csv("x", "read_percent,bandwidth_gbs,latency_ns\n100,notanumber,5").is_err());
+        assert!(from_csv(
+            "x",
+            "read_percent,bandwidth_gbs,latency_ns\n100,notanumber,5"
+        )
+        .is_err());
         assert!(from_csv("x", "100,12.0").is_err());
         assert!(from_csv("x", "").is_err(), "no rows means no curves");
     }

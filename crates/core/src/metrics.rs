@@ -106,7 +106,8 @@ impl FamilyMetrics {
     /// Computes the Table I metrics for a curve family, normalising bandwidths against
     /// `theoretical_bandwidth`.
     pub fn compute(family: &CurveFamily, theoretical_bandwidth: Bandwidth) -> Self {
-        let per_curve: Vec<CurveMetrics> = family.curves().iter().map(CurveMetrics::compute).collect();
+        let per_curve: Vec<CurveMetrics> =
+            family.curves().iter().map(CurveMetrics::compute).collect();
         let unloaded_latency = family.unloaded_latency();
 
         let min_max_lat = per_curve
@@ -136,7 +137,10 @@ impl FamilyMetrics {
             name: family.name().to_string(),
             theoretical_bandwidth,
             unloaded_latency,
-            max_latency_range: LatencyRange { low: min_max_lat, high: max_max_lat },
+            max_latency_range: LatencyRange {
+                low: min_max_lat,
+                high: max_max_lat,
+            },
             saturated_bandwidth_range: BandwidthRange {
                 low: sat_low,
                 high: sat_high,
@@ -166,11 +170,27 @@ impl FamilyMetrics {
 impl fmt::Display for FamilyMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "memory system: {}", self.name)?;
-        writeln!(f, "  theoretical bandwidth:     {}", self.theoretical_bandwidth)?;
+        writeln!(
+            f,
+            "  theoretical bandwidth:     {}",
+            self.theoretical_bandwidth
+        )?;
         writeln!(f, "  unloaded latency:          {}", self.unloaded_latency)?;
         writeln!(f, "  maximum latency range:     {}", self.max_latency_range)?;
-        writeln!(f, "  saturated bandwidth range: {}", self.saturated_bandwidth_range)?;
-        writeln!(f, "  bandwidth-decline (wave):  {}", if self.has_wave { "detected" } else { "not detected" })
+        writeln!(
+            f,
+            "  saturated bandwidth range: {}",
+            self.saturated_bandwidth_range
+        )?;
+        writeln!(
+            f,
+            "  bandwidth-decline (wave):  {}",
+            if self.has_wave {
+                "detected"
+            } else {
+                "not detected"
+            }
+        )
     }
 }
 
@@ -187,7 +207,10 @@ mod tests {
                 RwRatio::from_read_percent(pct).unwrap(),
                 vec![
                     CurvePoint::new(Bandwidth::from_gbs(4.0), Latency::from_ns(unloaded)),
-                    CurvePoint::new(Bandwidth::from_gbs(max_bw * 0.7), Latency::from_ns(unloaded * 2.1)),
+                    CurvePoint::new(
+                        Bandwidth::from_gbs(max_bw * 0.7),
+                        Latency::from_ns(unloaded * 2.1),
+                    ),
                     CurvePoint::new(Bandwidth::from_gbs(max_bw), Latency::from_ns(max_lat)),
                 ],
             )
@@ -244,7 +267,11 @@ mod tests {
         assert!(m.saturated_bandwidth_range.low_fraction > 0.4);
         assert!(m.saturated_bandwidth_range.high_fraction <= 1.0);
         // 100%-read curve achieves the highest bandwidth.
-        let best = m.per_curve.iter().max_by(|a, b| a.max_bandwidth.partial_cmp(&b.max_bandwidth).unwrap()).unwrap();
+        let best = m
+            .per_curve
+            .iter()
+            .max_by(|a, b| a.max_bandwidth.partial_cmp(&b.max_bandwidth).unwrap())
+            .unwrap();
         assert_eq!(best.read_percent, 100);
     }
 

@@ -146,7 +146,8 @@ impl SyntheticFamilySpec {
         match self.write_impact {
             WriteImpact::HalfDuplexDdr => {
                 // Linear in the write share between read and write efficiency.
-                self.read_efficiency + (self.write_efficiency - self.read_efficiency) * (w / 0.5).min(1.0)
+                self.read_efficiency
+                    + (self.write_efficiency - self.read_efficiency) * (w / 0.5).min(1.0)
             }
             WriteImpact::FullDuplex => {
                 // Aggregate duplex throughput peaks at balanced traffic: with read share r and
@@ -211,7 +212,10 @@ pub fn generate_curve(spec: &SyntheticFamilySpec, ratio: RwRatio) -> Curve {
             0.0
         };
         let lat = unloaded + linear + contention;
-        points.push(CurvePoint::new(Bandwidth::from_gbs(max_bw * u), Latency::from_ns(lat)));
+        points.push(CurvePoint::new(
+            Bandwidth::from_gbs(max_bw * u),
+            Latency::from_ns(lat),
+        ));
     }
 
     // Optionally append "wave" points: injection rate keeps rising, measured bandwidth drops.
@@ -264,7 +268,10 @@ mod tests {
     fn mixed_worst_family_matches_zen2_anomaly() {
         let spec = SyntheticFamilySpec::mixed_worst_like(Bandwidth::from_gbs(204.0), 113.0);
         let fam = generate_family(&spec);
-        let reads = fam.closest_curve(RwRatio::ALL_READS).max_bandwidth().as_gbs();
+        let reads = fam
+            .closest_curve(RwRatio::ALL_READS)
+            .max_bandwidth()
+            .as_gbs();
         let half = fam.closest_curve(RwRatio::HALF).max_bandwidth().as_gbs();
         let mixed = fam
             .closest_curve(RwRatio::from_read_percent(70).unwrap())
@@ -295,7 +302,11 @@ mod tests {
         ] {
             for pct in (0..=100).step_by(5) {
                 let e = spec.efficiency(RwRatio::from_read_percent(pct).unwrap());
-                assert!(e > 0.0 && e <= 1.0, "{}: efficiency {e} at {pct}%", spec.name);
+                assert!(
+                    e > 0.0 && e <= 1.0,
+                    "{}: efficiency {e} at {pct}%",
+                    spec.name
+                );
             }
         }
     }

@@ -1,0 +1,18 @@
+//! v2 protocol conformance for the Mess analytical simulator.
+
+use mess_core::synthetic::{generate_family, SyntheticFamilySpec};
+use mess_core::{MessSimulator, MessSimulatorConfig};
+use mess_types::{conformance, Bandwidth, Frequency, Latency};
+
+#[test]
+fn mess_simulator_conforms() {
+    conformance::check(|| {
+        let family = generate_family(&SyntheticFamilySpec::ddr_like(
+            Bandwidth::from_gbs(128.0),
+            90.0,
+        ));
+        let config =
+            MessSimulatorConfig::new(family, Frequency::from_ghz(2.0), Latency::from_ns(40.0));
+        MessSimulator::new(config).expect("synthetic curves are valid")
+    });
+}

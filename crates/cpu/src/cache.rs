@@ -48,12 +48,20 @@ impl CacheConfig {
             capacity_bytes >= ways as u64 * CACHE_LINE_BYTES,
             "cache must hold at least one line per way"
         );
-        CacheConfig { capacity_bytes, ways, enabled: true }
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            enabled: true,
+        }
     }
 
     /// A disabled cache: every access is a miss and nothing is allocated.
     pub fn disabled() -> Self {
-        CacheConfig { capacity_bytes: CACHE_LINE_BYTES, ways: 1, enabled: false }
+        CacheConfig {
+            capacity_bytes: CACHE_LINE_BYTES,
+            ways: 1,
+            enabled: false,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -108,7 +116,12 @@ struct Line {
 }
 
 impl Line {
-    const INVALID: Line = Line { tag: 0, dirty: false, last_used: 0, valid: false };
+    const INVALID: Line = Line {
+        tag: 0,
+        dirty: false,
+        last_used: 0,
+        valid: false,
+    };
 }
 
 /// A set-associative, write-allocate, write-back last-level cache model.
@@ -167,7 +180,10 @@ impl LastLevelCache {
             } else {
                 self.stats.load_misses += 1;
             }
-            return AccessResult { hit: false, writeback: None };
+            return AccessResult {
+                hit: false,
+                writeback: None,
+            };
         }
         self.clock += 1;
         let clock = self.clock;
@@ -184,7 +200,10 @@ impl LastLevelCache {
             } else {
                 self.stats.load_hits += 1;
             }
-            return AccessResult { hit: true, writeback: None };
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
         }
 
         // Miss: pick the LRU victim (or an invalid way).
@@ -201,7 +220,12 @@ impl LastLevelCache {
         } else {
             None
         };
-        lines[victim_idx] = Line { tag, dirty: is_store, last_used: clock, valid: true };
+        lines[victim_idx] = Line {
+            tag,
+            dirty: is_store,
+            last_used: clock,
+            valid: true,
+        };
 
         if is_store {
             self.stats.store_misses += 1;
@@ -211,7 +235,10 @@ impl LastLevelCache {
         if writeback.is_some() {
             self.stats.writebacks += 1;
         }
-        AccessResult { hit: false, writeback }
+        AccessResult {
+            hit: false,
+            writeback,
+        }
     }
 }
 
@@ -285,7 +312,7 @@ mod tests {
         c.access(0x4000, false); // way B (same set)
         c.access(0x8000, false); // way C
         c.access(0xC000, false); // way D — set now full
-        // Touch A again so B becomes LRU.
+                                 // Touch A again so B becomes LRU.
         c.access(0x0000, false);
         // New conflicting line evicts B, not A.
         c.access(0x1_0000, false);
@@ -311,16 +338,19 @@ mod tests {
         // state every store misses (1 read fill) and evicts a dirty line (1 write).
         let mut c = LastLevelCache::new(CacheConfig::new(16 * 1024, 4));
         let lines = 4 * 1024; // 256 KiB worth of lines, 16x the cache
-        for pass in 0..2u64 {
+        for _pass in 0..2u64 {
             for i in 0..lines {
-                c.access(pass * 0 + i * 64, true);
+                c.access(i * 64, true);
             }
         }
         let s = c.stats();
         let fills = s.store_misses;
         let writes = s.writebacks;
         let ratio = writes as f64 / fills as f64;
-        assert!(ratio > 0.9, "steady-state writeback/fill ratio {ratio} should approach 1");
+        assert!(
+            ratio > 0.9,
+            "steady-state writeback/fill ratio {ratio} should approach 1"
+        );
     }
 
     proptest! {

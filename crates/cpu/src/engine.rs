@@ -5,7 +5,7 @@ use crate::core::{Core, CoreStats};
 use crate::ops::{Op, OpStream};
 use mess_types::{
     AccessKind, Bandwidth, Completion, Cycle, Frequency, Latency, MemoryBackend, MemoryStats,
-    Request, RequestId,
+    Request, RequestId, StatsWindow,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -144,6 +144,15 @@ struct InFlight {
     issued_at: u64,
 }
 
+/// What a request in the per-cycle issue batch is for.
+#[derive(Debug, Clone, Copy)]
+enum IssueMeta {
+    /// A cache-fill read on behalf of `core`.
+    Fill { core: usize, dependent: bool },
+    /// A dirty-line writeback; no core waits on it.
+    Writeback,
+}
+
 /// The cycle-level engine tying cores, the LLC and a memory backend together.
 pub struct Engine {
     config: CpuConfig,
@@ -156,6 +165,9 @@ pub struct Engine {
     retry_fills: Vec<(usize, Request, bool)>,
     /// Dirty writebacks waiting to be accepted by the backend.
     retry_writebacks: Vec<Request>,
+    /// Reusable per-cycle issue batch (requests and aligned metadata).
+    issue_batch: Vec<Request>,
+    issue_meta: Vec<IssueMeta>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -174,8 +186,10 @@ impl Engine {
     ///
     /// Panics if the number of streams does not match `config.cores`.
     pub fn new<S: OpStream + 'static>(config: CpuConfig, streams: Vec<S>) -> Self {
-        let boxed: Vec<Box<dyn OpStream>> =
-            streams.into_iter().map(|s| Box::new(s) as Box<dyn OpStream>).collect();
+        let boxed: Vec<Box<dyn OpStream>> = streams
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn OpStream>)
+            .collect();
         Engine::from_boxed(config, boxed)
     }
 
@@ -197,6 +211,8 @@ impl Engine {
             in_flight: HashMap::new(),
             retry_fills: Vec::new(),
             retry_writebacks: Vec::new(),
+            issue_batch: Vec::new(),
+            issue_meta: Vec::new(),
             streams,
             config,
         }
@@ -214,15 +230,31 @@ impl Engine {
     }
 
     /// Runs the engine against `backend` until `stop` is met or `max_cycles` elapse.
+    ///
+    /// The main loop speaks the v2 [`MemoryBackend`] protocol: all requests generated in one
+    /// cycle are handed over in a single batched [`MemoryBackend::issue`] call, and instead
+    /// of ticking the backend on every CPU cycle the loop jumps straight to the next cycle
+    /// at which anything can happen — `min`(next core event, `backend.next_event()`). For a
+    /// latency-bound workload (every core blocked on a dependent load) this skips the
+    /// hundreds of dead cycles per memory access that the old lockstep loop burned.
     pub fn run<B: MemoryBackend + ?Sized>(
         &mut self,
         backend: &mut B,
         stop: StopCondition,
         max_cycles: u64,
     ) -> RunReport {
-        let hit_cycles = self.config.llc_hit_latency.to_cycles(self.config.frequency).as_u64().max(1);
-        let on_chip_cycles = self.config.on_chip_latency.to_cycles(self.config.frequency).as_u64();
-        let start_stats = *backend.stats();
+        let hit_cycles = self
+            .config
+            .llc_hit_latency
+            .to_cycles(self.config.frequency)
+            .as_u64()
+            .max(1);
+        let on_chip_cycles = self
+            .config
+            .on_chip_latency
+            .to_cycles(self.config.frequency)
+            .as_u64();
+        let window = StatsWindow::open(backend);
         let mut completed_memory_ops = 0u64;
         let mut completions: Vec<Completion> = Vec::new();
         let mut now = 0u64;
@@ -254,23 +286,12 @@ impl Engine {
                 }
             }
 
-            // Retry previously rejected writebacks, then fills.
-            self.retry_writebacks.retain(|req| backend.try_enqueue(*req).is_err());
-            let mut still_pending = Vec::new();
-            for (core_idx, req, dependent) in std::mem::take(&mut self.retry_fills) {
-                match backend.try_enqueue(req) {
-                    Ok(()) => {
-                        self.in_flight.insert(
-                            req.id,
-                            InFlight { core: core_idx, dependent, issued_at: req.issue_cycle.as_u64() },
-                        );
-                    }
-                    Err(_) => still_pending.push((core_idx, req, dependent)),
-                }
-            }
-            self.retry_fills = still_pending;
+            // Re-offer previously rejected requests first (writebacks, then fills), so
+            // back-pressured work keeps its priority over new operations.
+            self.retry_rejected(backend);
 
-            // Advance cores.
+            // Advance cores; they append their memory requests to the issue batch.
+            debug_assert!(self.issue_batch.is_empty());
             for core_idx in 0..self.cores.len() {
                 // A core with a rejected fill outstanding must wait for the retry to succeed.
                 if self.retry_fills.iter().any(|(c, _, _)| *c == core_idx) {
@@ -288,8 +309,11 @@ impl Engine {
                     }
                     continue;
                 };
-                self.execute(core_idx, op, now, hit_cycles, backend);
+                self.execute(core_idx, op, now, hit_cycles);
             }
+
+            // One virtual call hands the whole cycle's requests to the backend.
+            self.flush_issue_batch(backend);
 
             // Stop-condition evaluation.
             let stop_now = match stop {
@@ -308,11 +332,12 @@ impl Engine {
                 now += 1;
                 break;
             }
-            now += 1;
+            // Clamp the jump so a run that hits the cycle budget reports exactly
+            // `max_cycles` elapsed, like the lockstep loop did.
+            now = self.next_cycle(now, backend).min(max_cycles);
         }
 
-        let end_stats = *backend.stats();
-        let memory = end_stats.delta(&start_stats);
+        let memory = window.measure(backend);
         let bandwidth = memory.bandwidth_over(Cycle::new(now.max(1)), self.config.frequency);
         RunReport {
             cycles: now,
@@ -326,15 +351,106 @@ impl Engine {
         }
     }
 
-    /// Executes one operation on one core at cycle `now`.
-    fn execute<B: MemoryBackend + ?Sized>(
-        &mut self,
-        core_idx: usize,
-        op: Op,
-        now: u64,
-        hit_cycles: u64,
-        backend: &mut B,
-    ) {
+    /// Re-offers previously rejected writebacks and fills as one batch, ahead of new work.
+    fn retry_rejected<B: MemoryBackend + ?Sized>(&mut self, backend: &mut B) {
+        if self.retry_writebacks.is_empty() && self.retry_fills.is_empty() {
+            return;
+        }
+        debug_assert!(self.issue_batch.is_empty());
+        for req in self.retry_writebacks.drain(..) {
+            self.issue_batch.push(req);
+            self.issue_meta.push(IssueMeta::Writeback);
+        }
+        for (core, req, dependent) in self.retry_fills.drain(..) {
+            self.issue_batch.push(req);
+            self.issue_meta.push(IssueMeta::Fill { core, dependent });
+        }
+        self.flush_issue_batch(backend);
+    }
+
+    /// Issues the pending batch and routes the accepted/rejected split: accepted fills are
+    /// registered as in flight, rejected requests go (back) to the retry queues.
+    ///
+    /// Backends accept a *prefix* (they stop at the first request that does not fit), so
+    /// after a rejection the suffix is re-offered with the rejected head parked in a retry
+    /// queue — one stuffed channel must not starve requests bound for idle channels, which
+    /// the v1 per-request protocol tried independently.
+    fn flush_issue_batch<B: MemoryBackend + ?Sized>(&mut self, backend: &mut B) {
+        let mut start = 0;
+        while start < self.issue_batch.len() {
+            let outcome = backend.issue(&self.issue_batch[start..]);
+            for (request, meta) in self.issue_batch[start..]
+                .iter()
+                .zip(&self.issue_meta[start..])
+                .take(outcome.accepted)
+            {
+                if let IssueMeta::Fill { core, dependent } = *meta {
+                    self.in_flight.insert(
+                        request.id,
+                        InFlight {
+                            core,
+                            dependent,
+                            issued_at: request.issue_cycle.as_u64(),
+                        },
+                    );
+                }
+            }
+            let rejected = start + outcome.accepted;
+            if rejected >= self.issue_batch.len() {
+                break;
+            }
+            match self.issue_meta[rejected] {
+                IssueMeta::Fill { core, dependent } => {
+                    self.retry_fills
+                        .push((core, self.issue_batch[rejected], dependent));
+                }
+                IssueMeta::Writeback => self.retry_writebacks.push(self.issue_batch[rejected]),
+            }
+            start = rejected + 1;
+        }
+        self.issue_batch.clear();
+        self.issue_meta.clear();
+    }
+
+    /// The next cycle at which anything can happen: the earliest core able to act, or the
+    /// backend's next event when every runnable core is waiting on memory.
+    fn next_cycle<B: MemoryBackend + ?Sized>(&self, now: u64, backend: &B) -> u64 {
+        let mut next = u64::MAX;
+        let mut wait_memory = !self.retry_fills.is_empty() || !self.retry_writebacks.is_empty();
+        for (idx, core) in self.cores.iter().enumerate() {
+            if core.done {
+                continue;
+            }
+            if core.blocked_on.is_some() {
+                // Woken by a completion.
+                wait_memory = true;
+                continue;
+            }
+            if self.retry_fills.iter().any(|(c, _, _)| *c == idx) {
+                // Woken when the retry is accepted (covered by wait_memory above).
+                continue;
+            }
+            if core.outstanding >= self.config.mshrs_per_core {
+                // MSHRs full: woken by a completion.
+                wait_memory = true;
+                continue;
+            }
+            next = next.min(core.busy_until.max(now + 1));
+        }
+        if wait_memory || backend.pending() > 0 {
+            let event = backend.next_event().map_or(now + 1, |c| c.as_u64());
+            next = next.min(event.max(now + 1));
+        }
+        if next == u64::MAX {
+            now + 1
+        } else {
+            next
+        }
+    }
+
+    /// Executes one operation on one core at cycle `now`; memory requests are appended to
+    /// the issue batch.
+    fn execute(&mut self, core_idx: usize, op: Op, now: u64, hit_cycles: u64) {
         let request_path_cycles = 1u64;
         match op {
             Op::Compute { cycles } => {
@@ -358,10 +474,10 @@ impl Engine {
                         core.busy_until = now + 1;
                     }
                 } else {
-                    self.issue_fill(core_idx, addr, dependent, now + request_path_cycles, backend);
+                    self.issue_fill(core_idx, addr, dependent, now + request_path_cycles);
                 }
                 if let Some(victim) = result.writeback {
-                    self.issue_writeback(core_idx, victim, now + request_path_cycles, backend);
+                    self.issue_writeback(core_idx, victim, now + request_path_cycles);
                 }
             }
             Op::Store { addr } => {
@@ -375,23 +491,16 @@ impl Engine {
                 if !result.hit {
                     // Write-allocate: the fill read is issued on behalf of the store, but the
                     // core does not wait for it.
-                    self.issue_fill(core_idx, addr, false, now + request_path_cycles, backend);
+                    self.issue_fill(core_idx, addr, false, now + request_path_cycles);
                 }
                 if let Some(victim) = result.writeback {
-                    self.issue_writeback(core_idx, victim, now + request_path_cycles, backend);
+                    self.issue_writeback(core_idx, victim, now + request_path_cycles);
                 }
             }
         }
     }
 
-    fn issue_fill<B: MemoryBackend + ?Sized>(
-        &mut self,
-        core_idx: usize,
-        addr: u64,
-        dependent: bool,
-        issue_cycle: u64,
-        backend: &mut B,
-    ) {
+    fn issue_fill(&mut self, core_idx: usize, addr: u64, dependent: bool, issue_cycle: u64) {
         let id = self.fresh_id();
         let request = Request {
             id,
@@ -407,24 +516,14 @@ impl Engine {
             core.blocked_on = Some(id);
             core.blocked_since = issue_cycle;
         }
-        match backend.try_enqueue(request) {
-            Ok(()) => {
-                self.in_flight
-                    .insert(id, InFlight { core: core_idx, dependent, issued_at: issue_cycle });
-            }
-            Err(_) => {
-                self.retry_fills.push((core_idx, request, dependent));
-            }
-        }
+        self.issue_batch.push(request);
+        self.issue_meta.push(IssueMeta::Fill {
+            core: core_idx,
+            dependent,
+        });
     }
 
-    fn issue_writeback<B: MemoryBackend + ?Sized>(
-        &mut self,
-        core_idx: usize,
-        addr: u64,
-        issue_cycle: u64,
-        backend: &mut B,
-    ) {
+    fn issue_writeback(&mut self, core_idx: usize, addr: u64, issue_cycle: u64) {
         let id = self.fresh_id();
         let request = Request {
             id,
@@ -434,9 +533,8 @@ impl Engine {
             core: core_idx as u32,
         };
         self.cores[core_idx].stats.memory_writes += 1;
-        if backend.try_enqueue(request).is_err() {
-            self.retry_writebacks.push(request);
-        }
+        self.issue_batch.push(request);
+        self.issue_meta.push(IssueMeta::Writeback);
     }
 }
 
@@ -459,7 +557,11 @@ mod tests {
         let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 100_000);
         assert!(!report.hit_cycle_limit);
         assert_eq!(report.total_instructions, 1000);
-        assert!(report.ipc() > 0.9, "compute IPC should approach 1, got {}", report.ipc());
+        assert!(
+            report.ipc() > 0.9,
+            "compute IPC should approach 1, got {}",
+            report.ipc()
+        );
         assert_eq!(report.memory.total_completed(), 0);
     }
 
@@ -468,10 +570,14 @@ mod tests {
         let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
         let mut backend = fixed_backend(50.0, config.frequency);
         // 200 dependent loads, each to a new line far apart (always missing).
-        let ops: Vec<Op> = (0..200).map(|i| Op::dependent_load(i * 1024 * 1024)).collect();
+        let ops: Vec<Op> = (0..200)
+            .map(|i| Op::dependent_load(i * 1024 * 1024))
+            .collect();
         let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
         let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
-        let lat = report.dependent_load_latency(0).expect("dependent loads executed");
+        let lat = report
+            .dependent_load_latency(0)
+            .expect("dependent loads executed");
         // 50 ns memory + 45 ns on-chip = ~95 ns (+1 cycle request path).
         assert!((lat.as_ns() - 95.0).abs() < 5.0, "load-to-use {lat}");
         assert_eq!(report.core_stats[0].dependent_loads, 200);
@@ -504,7 +610,9 @@ mod tests {
         let mut backend = fixed_backend(50.0, config.frequency);
         // Stream stores over a working set 8x the LLC, twice, so dirty evictions reach steady state.
         let lines = 2 * 256 * 1024 / CACHE_LINE_BYTES * 8;
-        let ops: Vec<Op> = (0..lines).map(|i| Op::store(i * CACHE_LINE_BYTES)).collect();
+        let ops: Vec<Op> = (0..lines)
+            .map(|i| Op::store(i * CACHE_LINE_BYTES))
+            .collect();
         let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
         let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 50_000_000);
         let ratio = report.rw_ratio();
@@ -526,14 +634,19 @@ mod tests {
                 ..CpuConfig::server_class(1, freq)
             };
             let mut backend = fixed_backend(100.0, freq);
-            let ops: Vec<Op> = (0..4000u64).map(|i| Op::load(i * CACHE_LINE_BYTES)).collect();
+            let ops: Vec<Op> = (0..4000u64)
+                .map(|i| Op::load(i * CACHE_LINE_BYTES))
+                .collect();
             let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
             let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
             report.bandwidth.as_gbs()
         };
         let bw2 = run_with(2);
         let bw16 = run_with(16);
-        assert!(bw16 > bw2 * 4.0, "MSHRs should scale bandwidth: {bw2} vs {bw16}");
+        assert!(
+            bw16 > bw2 * 4.0,
+            "MSHRs should scale bandwidth: {bw2} vs {bw16}"
+        );
     }
 
     #[test]
@@ -541,7 +654,9 @@ mod tests {
         let config = CpuConfig::server_class(2, Frequency::from_ghz(2.0));
         let mut backend = fixed_backend(50.0, config.frequency);
         let primary: Vec<Op> = (0..100).map(|i| Op::dependent_load(i * 4096)).collect();
-        let background: Vec<Op> = (0..1_000_000).map(|i| Op::load(1 << 30 | (i * 64))).collect();
+        let background: Vec<Op> = (0..1_000_000)
+            .map(|i| Op::load(1 << 30 | (i * 64)))
+            .collect();
         let streams: Vec<Box<dyn OpStream>> = vec![
             Box::new(VecStream::new(primary)),
             Box::new(VecStream::new(background)),
@@ -550,8 +665,14 @@ mod tests {
         let report = engine.run(&mut backend, StopCondition::CoreDone(0), 10_000_000);
         assert!(!report.hit_cycle_limit);
         assert_eq!(report.core_stats[0].dependent_loads, 100);
-        assert!(report.core_stats[1].loads > 0, "background core must have made progress");
-        assert!(report.core_stats[1].finished_at == 0, "background core never finishes");
+        assert!(
+            report.core_stats[1].loads > 0,
+            "background core must have made progress"
+        );
+        assert!(
+            report.core_stats[1].finished_at == 0,
+            "background core never finishes"
+        );
     }
 
     #[test]
@@ -573,11 +694,183 @@ mod tests {
         let _ = Engine::new(config, vec![VecStream::new(vec![Op::compute(1)])]);
     }
 
+    /// Counts how often the engine actually calls `tick` — the observable difference
+    /// between the old per-cycle lockstep loop and the v2 cycle-skipping loop.
+    struct TickCounting<B> {
+        inner: B,
+        ticks: u64,
+        issue_calls: u64,
+        issued_requests: u64,
+    }
+
+    impl<B: MemoryBackend> MemoryBackend for TickCounting<B> {
+        fn tick(&mut self, now: Cycle) {
+            self.ticks += 1;
+            self.inner.tick(now);
+        }
+        fn issue(&mut self, batch: &[Request]) -> mess_types::IssueOutcome {
+            self.issue_calls += 1;
+            self.issued_requests += batch.len() as u64;
+            self.inner.issue(batch)
+        }
+        fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+            self.inner.drain_completed(out)
+        }
+        fn next_event(&self) -> Option<Cycle> {
+            self.inner.next_event()
+        }
+        fn pending(&self) -> usize {
+            self.inner.pending()
+        }
+        fn stats(&self) -> MemoryStats {
+            self.inner.stats()
+        }
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+    }
+
+    #[test]
+    fn latency_bound_runs_skip_dead_cycles() {
+        // A dependent-load chain against a 100 ns memory leaves ~290 dead cycles per load.
+        // The lockstep loop ticked the backend once per elapsed cycle; the v2 loop must
+        // tick only a handful of times per load (issue + completion + wake-up).
+        let config = CpuConfig {
+            llc: CacheConfig::disabled(),
+            ..CpuConfig::server_class(1, Frequency::from_ghz(2.0))
+        };
+        let mut backend = TickCounting {
+            inner: fixed_backend(100.0, config.frequency),
+            ticks: 0,
+            issue_calls: 0,
+            issued_requests: 0,
+        };
+        let ops: Vec<Op> = (0..200).map(|i| Op::dependent_load(i * 4096)).collect();
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
+        assert!(!report.hit_cycle_limit);
+        assert_eq!(report.memory.reads_completed, 200);
+        assert!(
+            report.cycles > 50_000,
+            "the chain must still take its full simulated time, got {} cycles",
+            report.cycles
+        );
+        assert!(
+            backend.ticks * 20 < report.cycles,
+            "cycle skipping must make tick calls rare: {} ticks over {} cycles",
+            backend.ticks,
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_runs_batch_their_issues() {
+        // Many cores missing every cycle: requests generated in one cycle must arrive at
+        // the backend through one batched issue call, not one virtual call each.
+        let config = CpuConfig {
+            llc: CacheConfig::disabled(),
+            ..CpuConfig::server_class(8, Frequency::from_ghz(2.0))
+        };
+        let mut backend = TickCounting {
+            inner: fixed_backend(100.0, config.frequency),
+            ticks: 0,
+            issue_calls: 0,
+            issued_requests: 0,
+        };
+        let streams: Vec<VecStream> = (0..8)
+            .map(|core| {
+                VecStream::new(
+                    (0..500u64)
+                        .map(|i| Op::load((core << 32) | (i * 64)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut engine = Engine::new(config, streams);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 10_000_000);
+        assert_eq!(report.memory.reads_completed, 8 * 500);
+        assert!(
+            backend.issue_calls < backend.issued_requests / 4,
+            "eight cores' requests should batch: {} issue calls for {} requests",
+            backend.issue_calls,
+            backend.issued_requests
+        );
+    }
+
+    #[test]
+    fn rejection_for_one_core_does_not_starve_the_others() {
+        // Backends accept a prefix and stop at the first rejection; the engine must re-offer
+        // the rest of the batch so a stuffed channel cannot park requests bound elsewhere.
+        struct RejectEvenLines {
+            inner: FixedLatencyModel,
+            rejections: u64,
+        }
+        impl MemoryBackend for RejectEvenLines {
+            fn tick(&mut self, now: Cycle) {
+                self.inner.tick(now);
+            }
+            fn issue(&mut self, batch: &[Request]) -> mess_types::IssueOutcome {
+                for (i, r) in batch.iter().enumerate() {
+                    if (r.addr / 64) % 2 == 0 {
+                        self.rejections += 1;
+                        return mess_types::IssueOutcome { accepted: i };
+                    }
+                    let one = self.inner.issue(std::slice::from_ref(r));
+                    debug_assert_eq!(one.accepted, 1);
+                }
+                mess_types::IssueOutcome::all(batch.len())
+            }
+            fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+                self.inner.drain_completed(out)
+            }
+            fn next_event(&self) -> Option<Cycle> {
+                self.inner.next_event()
+            }
+            fn pending(&self) -> usize {
+                self.inner.pending()
+            }
+            fn stats(&self) -> MemoryStats {
+                self.inner.stats()
+            }
+            fn name(&self) -> &str {
+                "reject-even-lines"
+            }
+        }
+
+        let config = CpuConfig {
+            llc: CacheConfig::disabled(),
+            ..CpuConfig::server_class(2, Frequency::from_ghz(2.0))
+        };
+        // Core 0 targets even lines (always rejected); core 1 targets odd lines.
+        let even: Vec<Op> = (0..100u64).map(|i| Op::load(i * 2 * 64)).collect();
+        let odd: Vec<Op> = (0..100u64).map(|i| Op::load((i * 2 + 1) * 64)).collect();
+        let mut engine = Engine::new(config, vec![VecStream::new(even), VecStream::new(odd)]);
+        let mut backend = RejectEvenLines {
+            inner: fixed_backend(50.0, Frequency::from_ghz(2.0)),
+            rejections: 0,
+        };
+        let report = engine.run(&mut backend, StopCondition::MemoryOps(100), 100_000);
+        assert!(
+            !report.hit_cycle_limit,
+            "core 1's loads must complete despite core 0's stall"
+        );
+        assert_eq!(
+            report.memory.reads_completed, 100,
+            "all odd-line loads should finish"
+        );
+        assert!(
+            backend.rejections > 0,
+            "core 0's requests were actually being rejected"
+        );
+    }
+
     #[test]
     fn cycle_limit_is_reported() {
         let config = CpuConfig::server_class(1, Frequency::from_ghz(2.0));
         let mut backend = fixed_backend(50.0, config.frequency);
-        let ops: Vec<Op> = (0..100_000u64).map(|i| Op::dependent_load(i * 64 * 1024)).collect();
+        let ops: Vec<Op> = (0..100_000u64)
+            .map(|i| Op::dependent_load(i * 64 * 1024))
+            .collect();
         let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
         let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 1_000);
         assert!(report.hit_cycle_limit);

@@ -33,12 +33,18 @@ pub enum Op {
 impl Op {
     /// An independent (non-blocking) load.
     pub const fn load(addr: u64) -> Op {
-        Op::Load { addr, dependent: false }
+        Op::Load {
+            addr,
+            dependent: false,
+        }
     }
 
     /// A dependent load: the core cannot proceed until the data arrives.
     pub const fn dependent_load(addr: u64) -> Op {
-        Op::Load { addr, dependent: true }
+        Op::Load {
+            addr,
+            dependent: true,
+        }
     }
 
     /// A store.
@@ -90,12 +96,18 @@ pub struct VecStream {
 impl VecStream {
     /// Creates a stream that yields `ops` once, in order.
     pub fn new(ops: Vec<Op>) -> Self {
-        VecStream { ops: ops.into_iter(), label: "vec".to_string() }
+        VecStream {
+            ops: ops.into_iter(),
+            label: "vec".to_string(),
+        }
     }
 
     /// Creates a labelled stream.
     pub fn with_label(ops: Vec<Op>, label: impl Into<String>) -> Self {
-        VecStream { ops: ops.into_iter(), label: label.into() }
+        VecStream {
+            ops: ops.into_iter(),
+            label: label.into(),
+        }
     }
 }
 
@@ -118,7 +130,10 @@ pub struct FnStream<F: FnMut() -> Op> {
 impl<F: FnMut() -> Op> FnStream<F> {
     /// Creates an infinite stream driven by `f`.
     pub fn new(f: F, label: impl Into<String>) -> Self {
-        FnStream { f, label: label.into() }
+        FnStream {
+            f,
+            label: label.into(),
+        }
     }
 }
 
@@ -134,7 +149,9 @@ impl<F: FnMut() -> Op> OpStream for FnStream<F> {
 
 impl std::fmt::Debug for FnStream<fn() -> Op> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnStream").field("label", &self.label).finish()
+        f.debug_struct("FnStream")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -144,8 +161,20 @@ mod tests {
 
     #[test]
     fn op_constructors() {
-        assert_eq!(Op::load(0x40), Op::Load { addr: 0x40, dependent: false });
-        assert_eq!(Op::dependent_load(0x40), Op::Load { addr: 0x40, dependent: true });
+        assert_eq!(
+            Op::load(0x40),
+            Op::Load {
+                addr: 0x40,
+                dependent: false
+            }
+        );
+        assert_eq!(
+            Op::dependent_load(0x40),
+            Op::Load {
+                addr: 0x40,
+                dependent: true
+            }
+        );
         assert_eq!(Op::store(0x80), Op::Store { addr: 0x80 });
         assert_eq!(Op::compute(7), Op::Compute { cycles: 7 });
     }

@@ -1,8 +1,8 @@
 //! An executable queueing model of a CXL memory expander.
 
 use mess_types::{
-    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend,
-    MemoryStats, Request, CACHE_LINE_BYTES,
+    AccessKind, Bandwidth, Completion, CompletionQueue, Cycle, Frequency, IssueOutcome, Latency,
+    MemoryBackend, MemoryStats, Request, CACHE_LINE_BYTES,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -62,7 +62,7 @@ pub struct CxlExpanderModel {
     read_queue: VecDeque<u64>,
     /// Link-departure times of requests still occupying the write-direction queue.
     write_queue: VecDeque<u64>,
-    pending: Vec<Completion>,
+    queue: CompletionQueue,
     stats: MemoryStats,
 }
 
@@ -84,10 +84,14 @@ impl CxlExpanderModel {
             read_service: per_line(config.link_bandwidth_per_direction),
             write_service: per_line(config.link_bandwidth_per_direction),
             backend_service: per_line(config.backend_bandwidth),
-            device_cycles: config.device_latency.to_cycles(config.cpu_frequency).as_u64().max(1),
+            device_cycles: config
+                .device_latency
+                .to_cycles(config.cpu_frequency)
+                .as_u64()
+                .max(1),
             read_queue: VecDeque::new(),
             write_queue: VecDeque::new(),
-            pending: Vec::new(),
+            queue: CompletionQueue::new(),
             stats: MemoryStats::default(),
             config,
         }
@@ -96,6 +100,45 @@ impl CxlExpanderModel {
     /// The configuration of this model.
     pub fn config(&self) -> &CxlExpanderConfig {
         &self.config
+    }
+}
+
+impl CxlExpanderModel {
+    /// Accepts one request, or returns `false` when its link direction's queue is full.
+    fn accept(&mut self, request: &Request) -> bool {
+        let issue = request.issue_cycle.max(self.now).as_u64();
+        let (queue, link_free, link_service) = match request.kind {
+            AccessKind::Read => (
+                &mut self.read_queue,
+                &mut self.read_link_free,
+                self.read_service,
+            ),
+            AccessKind::Write => (
+                &mut self.write_queue,
+                &mut self.write_link_free,
+                self.write_service,
+            ),
+        };
+        if queue.len() >= self.config.queue_depth {
+            return false;
+        }
+        // The request occupies its link direction, then the shared DDR5 backend.
+        let link_start = (*link_free).max(issue);
+        *link_free = link_start + link_service;
+        queue.push_back(*link_free);
+        let backend_start = self.backend_free.max(*link_free);
+        self.backend_free = backend_start + self.backend_service;
+        let complete = self.backend_free + self.device_cycles;
+
+        self.queue.schedule(Completion {
+            id: request.id,
+            addr: request.addr,
+            kind: request.kind,
+            issue_cycle: request.issue_cycle,
+            complete_cycle: Cycle::new(complete),
+            core: request.core,
+        });
+        true
     }
 }
 
@@ -114,57 +157,42 @@ impl MemoryBackend for CxlExpanderModel {
         }
     }
 
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
-        let issue = request.issue_cycle.max(self.now).as_u64();
-        let (queue, link_free, link_service) = match request.kind {
-            AccessKind::Read => (&mut self.read_queue, &mut self.read_link_free, self.read_service),
-            AccessKind::Write => {
-                (&mut self.write_queue, &mut self.write_link_free, self.write_service)
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        for (i, request) in batch.iter().enumerate() {
+            if !self.accept(request) {
+                self.stats.record_rejection();
+                return IssueOutcome { accepted: i };
             }
-        };
-        if queue.len() >= self.config.queue_depth {
-            self.stats.record_rejection();
-            return Err(EnqueueError::Full);
         }
-        // The request occupies its link direction, then the shared DDR5 backend.
-        let link_start = (*link_free).max(issue);
-        *link_free = link_start + link_service;
-        queue.push_back(*link_free);
-        let backend_start = self.backend_free.max(*link_free);
-        self.backend_free = backend_start + self.backend_service;
-        let complete = self.backend_free + self.device_cycles;
-
-        self.pending.push(Completion {
-            id: request.id,
-            addr: request.addr,
-            kind: request.kind,
-            issue_cycle: request.issue_cycle,
-            complete_cycle: Cycle::new(complete),
-            core: request.core,
-        });
-        Ok(())
+        IssueOutcome::all(batch.len())
     }
 
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        let now = self.now;
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].complete_cycle <= now {
-                let c = self.pending.swap_remove(i);
-                self.stats.record_completion(&c);
-                out.push(c);
-            } else {
-                i += 1;
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.queue.drain_due(self.now, &mut self.stats, out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        // A completion becomes drainable, or a link-direction queue entry departs and frees
+        // a slot for issuers waiting out back-pressure.
+        let now = self.now.as_u64();
+        let mut next = self.queue.next_ready().map(|c| c.as_u64());
+        for departure in [self.read_queue.front(), self.write_queue.front()]
+            .into_iter()
+            .flatten()
+        {
+            if *departure > now {
+                next = Some(next.map_or(*departure, |n| n.min(*departure)));
             }
         }
+        next.map(Cycle::new)
     }
 
     fn pending(&self) -> usize {
-        self.pending.len()
+        self.queue.len()
     }
 
-    fn stats(&self) -> &MemoryStats {
-        &self.stats
+    fn stats(&self) -> MemoryStats {
+        self.stats
     }
 
     fn name(&self) -> &str {
@@ -226,7 +254,12 @@ pub fn drive_closed_loop(
                 break;
             }
         }
-        now += 1;
+        // v2 protocol: nothing can change until the expander's next event (a completion or
+        // a link-queue departure), so jump straight to it instead of ticking every cycle.
+        now = model
+            .next_event()
+            .map_or(now + 1, |c| c.as_u64())
+            .max(now + 1);
     }
     let elapsed = Cycle::new(now).to_latency(freq);
     let bw = Bandwidth::from_bytes_over(
@@ -256,7 +289,10 @@ mod tests {
     fn unloaded_latency_is_hundreds_of_nanoseconds() {
         let mut m = model();
         let (_, lat) = drive_closed_loop(&mut m, 1, 200, 1.0);
-        assert!(lat.as_ns() > 200.0 && lat.as_ns() < 400.0, "unloaded CXL latency {lat}");
+        assert!(
+            lat.as_ns() > 200.0 && lat.as_ns() < 400.0,
+            "unloaded CXL latency {lat}"
+        );
     }
 
     #[test]
@@ -286,7 +322,10 @@ mod tests {
         let link = CxlExpanderConfig::paper_device(Frequency::from_ghz(2.0))
             .link_bandwidth_per_direction
             .as_gbs();
-        assert!(bw_reads.as_gbs() <= link * 1.05, "pure reads {bw_reads} must not exceed one direction {link}");
+        assert!(
+            bw_reads.as_gbs() <= link * 1.05,
+            "pure reads {bw_reads} must not exceed one direction {link}"
+        );
     }
 
     #[test]

@@ -49,8 +49,14 @@ mod tests {
     fn peak_bandwidth_is_for_balanced_traffic() {
         let fam = manufacturer_curves();
         let balanced = fam.closest_curve(RwRatio::HALF).max_bandwidth().as_gbs();
-        let reads = fam.closest_curve(RwRatio::ALL_READS).max_bandwidth().as_gbs();
-        let writes = fam.closest_curve(RwRatio::ALL_WRITES).max_bandwidth().as_gbs();
+        let reads = fam
+            .closest_curve(RwRatio::ALL_READS)
+            .max_bandwidth()
+            .as_gbs();
+        let writes = fam
+            .closest_curve(RwRatio::ALL_WRITES)
+            .max_bandwidth()
+            .as_gbs();
         assert!(balanced > reads && balanced > writes);
         assert!(balanced <= CXL_THEORETICAL_BANDWIDTH_GBS);
         assert!(balanced > CXL_THEORETICAL_BANDWIDTH_GBS * 0.5);
@@ -58,7 +64,10 @@ mod tests {
 
     #[test]
     fn unloaded_latency_matches_the_device_class() {
-        let m = FamilyMetrics::compute(&manufacturer_curves(), Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS));
+        let m = FamilyMetrics::compute(
+            &manufacturer_curves(),
+            Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
+        );
         assert!(m.unloaded_latency.as_ns() > 180.0 && m.unloaded_latency.as_ns() < 280.0);
     }
 

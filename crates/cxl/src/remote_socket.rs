@@ -38,10 +38,8 @@ impl Default for RemoteSocketConfig {
 
 /// Generates the bandwidth–latency curve family of the remote-socket emulation path.
 pub fn remote_socket_curves(config: &RemoteSocketConfig) -> CurveFamily {
-    let mut spec = SyntheticFamilySpec::ddr_like(
-        config.theoretical_bandwidth,
-        config.unloaded_latency_ns,
-    );
+    let mut spec =
+        SyntheticFamilySpec::ddr_like(config.theoretical_bandwidth, config.unloaded_latency_ns);
     spec.name = "remote-socket emulation".to_string();
     spec.read_efficiency = config.read_efficiency;
     spec.write_efficiency = config.read_efficiency * 0.8;
@@ -80,7 +78,10 @@ mod tests {
         let cxl = load_to_use_curves(Latency::from_ns(HOST_TO_CXL_LATENCY_NS));
         let remote_max = remote.max_bandwidth_at(RwRatio::ALL_READS).as_gbs();
         let cxl_max = cxl.max_bandwidth().as_gbs();
-        assert!(remote_max > cxl_max * 1.5, "remote {remote_max} vs cxl {cxl_max}");
+        assert!(
+            remote_max > cxl_max * 1.5,
+            "remote {remote_max} vs cxl {cxl_max}"
+        );
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! v2 protocol conformance for the CXL expander model.
+
+use mess_cxl::{CxlExpanderConfig, CxlExpanderModel};
+use mess_types::{conformance, Frequency};
+
+#[test]
+fn cxl_expander_model_conforms() {
+    conformance::check(|| {
+        CxlExpanderModel::new(CxlExpanderConfig::paper_device(Frequency::from_ghz(2.0)))
+    });
+}

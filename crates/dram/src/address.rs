@@ -40,9 +40,20 @@ impl AddressMapping {
     ///
     /// Panics if any dimension is zero or `row_bytes` is smaller than a cache line.
     pub fn new(channels: u32, ranks: u32, banks: u32, row_bytes: u64) -> Self {
-        assert!(channels > 0 && ranks > 0 && banks > 0, "geometry dimensions must be non-zero");
-        assert!(row_bytes >= CACHE_LINE_BYTES, "row must hold at least one cache line");
-        AddressMapping { channels, ranks, banks, lines_per_row: row_bytes / CACHE_LINE_BYTES }
+        assert!(
+            channels > 0 && ranks > 0 && banks > 0,
+            "geometry dimensions must be non-zero"
+        );
+        assert!(
+            row_bytes >= CACHE_LINE_BYTES,
+            "row must hold at least one cache line"
+        );
+        AddressMapping {
+            channels,
+            ranks,
+            banks,
+            lines_per_row: row_bytes / CACHE_LINE_BYTES,
+        }
     }
 
     /// Number of channels in the mapping.
@@ -75,7 +86,13 @@ impl AddressMapping {
         let row = rest / self.ranks as u64;
         let fold = row.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
         let bank = ((bank_raw ^ fold) % self.banks as u64) as u32;
-        DramCoord { channel, rank, bank, row, column }
+        DramCoord {
+            channel,
+            rank,
+            bank,
+            row,
+            column,
+        }
     }
 
     /// Returns the number of consecutive bytes mapped to the same row of the same bank before

@@ -9,11 +9,10 @@
 //! qualitative contrasts against the detailed [`crate::DramSystem`].
 
 use mess_types::{
-    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend,
-    MemoryStats, Request, CACHE_LINE_BYTES,
+    AccessKind, Bandwidth, Completion, CompletionQueue, Cycle, Frequency, IssueOutcome, Latency,
+    MemoryBackend, MemoryStats, Request, CACHE_LINE_BYTES,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Which external simulator's error profile to reproduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -80,7 +79,7 @@ pub struct ApproxDramSim {
     /// Service time per cache line in CPU cycles (0 = no queueing).
     service_cycles: u64,
     base_latency_cycles: u64,
-    pending: VecDeque<Completion>,
+    queue: CompletionQueue,
     stats: MemoryStats,
     /// Running read/write counters for the synthetic row-buffer statistics.
     reads_seen: u64,
@@ -99,7 +98,10 @@ impl ApproxDramSim {
             Some(frac) => {
                 let cap_gbs = theoretical.as_gbs() * frac;
                 let ns_per_line = CACHE_LINE_BYTES as f64 / cap_gbs;
-                Latency::from_ns(ns_per_line).to_cycles(cpu_frequency).as_u64().max(1)
+                Latency::from_ns(ns_per_line)
+                    .to_cycles(cpu_frequency)
+                    .as_u64()
+                    .max(1)
             }
         };
         let base_latency_cycles = Latency::from_ns(profile.base_latency_ns())
@@ -115,7 +117,7 @@ impl ApproxDramSim {
             server_free: 0,
             service_cycles,
             base_latency_cycles,
-            pending: VecDeque::new(),
+            queue: CompletionQueue::new(),
             stats: MemoryStats::default(),
             reads_seen: 0,
             writes_seen: 0,
@@ -184,7 +186,37 @@ impl MemoryBackend for ApproxDramSim {
         }
     }
 
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        for request in batch {
+            self.accept(request);
+        }
+        IssueOutcome::all(batch.len())
+    }
+
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.queue.drain_due(self.now, &mut self.stats, out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        self.queue.next_ready()
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl ApproxDramSim {
+    /// Accepts one request (the approximated simulators never push back).
+    fn accept(&mut self, request: &Request) {
         let issue = request.issue_cycle.max(self.now).as_u64();
         match request.kind {
             AccessKind::Read => self.reads_seen += 1,
@@ -206,7 +238,7 @@ impl MemoryBackend for ApproxDramSim {
         let utilisation = (backlog / horizon).min(1.0);
         self.classify(utilisation);
 
-        self.pending.push_back(Completion {
+        self.queue.schedule(Completion {
             id: request.id,
             addr: request.addr,
             kind: request.kind,
@@ -214,31 +246,6 @@ impl MemoryBackend for ApproxDramSim {
             complete_cycle: Cycle::new(complete),
             core: request.core,
         });
-        Ok(())
-    }
-
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        // Completion times are monotone (single FIFO server), so a front scan suffices.
-        while let Some(front) = self.pending.front() {
-            if front.complete_cycle > self.now {
-                break;
-            }
-            let c = self.pending.pop_front().expect("front exists");
-            self.stats.record_completion(&c);
-            out.push(c);
-        }
-    }
-
-    fn pending(&self) -> usize {
-        self.pending.len()
-    }
-
-    fn stats(&self) -> &MemoryStats {
-        &self.stats
-    }
-
-    fn name(&self) -> &str {
-        &self.name
     }
 }
 
@@ -247,7 +254,11 @@ mod tests {
     use super::*;
 
     fn sim(profile: ApproxProfile) -> ApproxDramSim {
-        ApproxDramSim::new(profile, Bandwidth::from_gbs(128.0), Frequency::from_ghz(2.0))
+        ApproxDramSim::new(
+            profile,
+            Bandwidth::from_gbs(128.0),
+            Frequency::from_ghz(2.0),
+        )
     }
 
     fn drive(sim: &mut ApproxDramSim, n: u64, gap: u64, write_every: Option<u64>) -> (f64, f64) {
@@ -280,7 +291,10 @@ mod tests {
         // Inject far faster than the theoretical peak: 1 line per cycle at 2 GHz = 128 GB/s*...
         let (bw, lat) = drive(&mut s, 20_000, 1, None);
         assert!(bw > 120.0, "offered bandwidth {bw}");
-        assert!((lat - 25.0).abs() < 2.0, "latency should stay ~25 ns, got {lat}");
+        assert!(
+            (lat - 25.0).abs() < 2.0,
+            "latency should stay ~25 ns, got {lat}"
+        );
         // The accepted bandwidth equals the offered one: nothing ever queues.
         assert_eq!(s.pending(), 0);
     }
@@ -323,7 +337,8 @@ mod tests {
         while completed < n {
             s.tick(Cycle::new(now));
             if issued < n && s.pending() < 64 {
-                s.try_enqueue(Request::read(issued, issued * 64, Cycle::new(now), 0)).unwrap();
+                s.try_enqueue(Request::read(issued, issued * 64, Cycle::new(now), 0))
+                    .unwrap();
                 issued += 1;
             }
             out.clear();
@@ -334,9 +349,14 @@ mod tests {
             }
             now += 1;
         }
-        let elapsed_ns = Cycle::new(last_completion).to_latency(Frequency::from_ghz(2.0)).as_ns();
+        let elapsed_ns = Cycle::new(last_completion)
+            .to_latency(Frequency::from_ghz(2.0))
+            .as_ns();
         let bw = (n * CACHE_LINE_BYTES) as f64 / elapsed_ns;
-        assert!(bw < 128.0 * 0.5, "Ramulator2-like bandwidth {bw} must stay below half of 128");
+        assert!(
+            bw < 128.0 * 0.5,
+            "Ramulator2-like bandwidth {bw} must stay below half of 128"
+        );
         assert!(bw > 128.0 * 0.3, "but it should still reach ~43%, got {bw}");
     }
 
@@ -350,7 +370,10 @@ mod tests {
         let mixed_hits = mixed.stats().row_buffer.hit_rate();
         assert!(pure_hits > 0.88, "pure-read hit rate {pure_hits}");
         assert!(mixed_hits > 0.80, "mixed hit rate {mixed_hits}");
-        assert!(pure_hits > mixed_hits, "extremes must show the highest hit rates");
+        assert!(
+            pure_hits > mixed_hits,
+            "extremes must show the highest hit rates"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub enum RowOutcome {
 }
 
 /// State of one DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bank {
     /// Currently open row, if any.
     open_row: Option<u64>,
@@ -28,12 +28,6 @@ pub struct Bank {
     precharge_ready: u64,
     /// Earliest cycle an activate may issue (tRP after precharge).
     activate_ready: u64,
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Bank { open_row: None, column_ready: 0, precharge_ready: 0, activate_ready: 0 }
-    }
 }
 
 impl Bank {
@@ -98,7 +92,9 @@ impl Bank {
         self.column_ready = self.column_ready.max(column_cycle + t.ccd);
         // A write delays the earliest precharge by the write recovery time after its data.
         if is_write {
-            self.precharge_ready = self.precharge_ready.max(column_cycle + t.cwl + t.burst + t.wr);
+            self.precharge_ready = self
+                .precharge_ready
+                .max(column_cycle + t.cwl + t.burst + t.wr);
         } else {
             self.precharge_ready = self.precharge_ready.max(column_cycle + t.cl + t.burst);
         }
@@ -128,7 +124,9 @@ mod tests {
     use mess_types::Frequency;
 
     fn timing() -> TimingCycles {
-        DramPreset::Ddr4_2666.timing().to_cpu_cycles(Frequency::from_ghz(2.0))
+        DramPreset::Ddr4_2666
+            .timing()
+            .to_cpu_cycles(Frequency::from_ghz(2.0))
     }
 
     #[test]

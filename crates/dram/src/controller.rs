@@ -17,6 +17,8 @@ struct QueuedRequest {
     request: Request,
     coord: DramCoord,
     arrival: u64,
+    /// System-level acceptance sequence, echoed in the completion for drain-order ties.
+    seq: u64,
 }
 
 /// Configuration of one channel controller.
@@ -53,6 +55,8 @@ pub struct ChannelCompletion {
     pub completion: Completion,
     /// Row-buffer outcome of the access.
     pub outcome: RowOutcome,
+    /// Acceptance sequence passed to [`ChannelController::enqueue`].
+    pub seq: u64,
 }
 
 /// One channel's memory controller.
@@ -116,17 +120,27 @@ impl ChannelController {
     }
 
     /// Enqueues a request that was already admitted via [`ChannelController::can_accept`].
-    pub fn enqueue(&mut self, request: Request, coord: DramCoord, now: u64) {
-        let q = QueuedRequest { request, coord, arrival: now };
+    ///
+    /// `seq` is the issuer-side acceptance sequence; it is echoed in the resulting
+    /// [`ChannelCompletion`] so the system can drain same-cycle completions in acceptance
+    /// order.
+    pub fn enqueue(&mut self, request: Request, coord: DramCoord, now: u64, seq: u64) {
+        let q = QueuedRequest {
+            request,
+            coord,
+            arrival: now,
+            seq,
+        };
         match request.kind {
             AccessKind::Read => self.read_queue.push_back(q),
             AccessKind::Write => self.write_queue.push_back(q),
         }
     }
 
-    /// Number of requests waiting or in flight inside this controller.
+    /// Number of requests waiting or in flight inside this controller, including accesses
+    /// whose DRAM commands have issued but whose completions have not been drained yet.
     pub fn pending(&self) -> usize {
-        self.read_queue.len() + self.write_queue.len()
+        self.read_queue.len() + self.write_queue.len() + self.completed.len()
     }
 
     /// Row-buffer statistics accumulated so far.
@@ -217,7 +231,11 @@ impl ChannelController {
     /// column-command cycle, the cycle of the first command in the sequence and the row
     /// outcome.
     fn select(&self, now: u64, from_writes: bool) -> Option<(usize, u64, u64, RowOutcome)> {
-        let queue = if from_writes { &self.write_queue } else { &self.read_queue };
+        let queue = if from_writes {
+            &self.write_queue
+        } else {
+            &self.read_queue
+        };
         let mut best: Option<(usize, u64, RowOutcome, u64)> = None;
         for (i, q) in queue.iter().enumerate() {
             let bank = &self.banks[self.bank_index(&q.coord)];
@@ -226,12 +244,17 @@ impl ChannelController {
             let mut column = bank.earliest_column(q.coord.row, not_before, &self.timing);
             column = column.max(self.blocked_until).max(q.arrival);
             // The data burst must find the bus free; shift the column command if needed.
-            let data_latency = if from_writes { self.timing.cwl } else { self.timing.cl };
+            let data_latency = if from_writes {
+                self.timing.cwl
+            } else {
+                self.timing.cl
+            };
             let data_start = (column + data_latency).max(self.bus_free);
             let mut column = data_start - data_latency;
             // Write-to-read and read-to-write turnaround penalties.
             if let Some(last) = self.last_burst {
-                let switching = (last == AccessKind::Write) != from_writes && last == AccessKind::Write;
+                let switching =
+                    (last == AccessKind::Write) != from_writes && last == AccessKind::Write;
                 if switching {
                     column = column.max(self.bus_free + self.timing.wtr);
                 }
@@ -270,8 +293,8 @@ impl ChannelController {
 
     /// Index of the (rank, bank) pair in the flat bank vector.
     fn bank_index(&self, coord: &DramCoord) -> usize {
-        (coord.rank.min(self.ranks() - 1) * self.banks_per_rank
-            + coord.bank % self.banks_per_rank) as usize
+        (coord.rank.min(self.ranks() - 1) * self.banks_per_rank + coord.bank % self.banks_per_rank)
+            as usize
     }
 
     /// Number of ranks this controller models.
@@ -296,9 +319,13 @@ impl ChannelController {
     /// completion.
     fn issue(&mut self, idx: usize, column_cycle: u64, outcome: RowOutcome, from_writes: bool) {
         let q = if from_writes {
-            self.write_queue.remove(idx).expect("selected index is valid")
+            self.write_queue
+                .remove(idx)
+                .expect("selected index is valid")
         } else {
-            self.read_queue.remove(idx).expect("selected index is valid")
+            self.read_queue
+                .remove(idx)
+                .expect("selected index is valid")
         };
         let is_write = q.request.kind.is_write();
         let bank_index = self.bank_index(&q.coord);
@@ -321,7 +348,11 @@ impl ChannelController {
             RowOutcome::Miss => self.row_stats.misses += 1,
         }
 
-        let data_latency = if is_write { self.timing.cwl } else { self.timing.cl };
+        let data_latency = if is_write {
+            self.timing.cwl
+        } else {
+            self.timing.cl
+        };
         let data_start = column_cycle + data_latency;
         let data_end = data_start + self.timing.burst;
         self.bus_free = data_end;
@@ -343,7 +374,21 @@ impl ChannelController {
                 core: q.request.core,
             },
             outcome,
+            seq: q.seq,
         });
+    }
+
+    /// The earliest cycle at which this controller's observable state can change: the
+    /// soonest already-scheduled completion, or `now + 1` while requests are still queued
+    /// (command scheduling is decided cycle by cycle).
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.read_queue.is_empty() || !self.write_queue.is_empty() {
+            return Some(now + 1);
+        }
+        self.completed
+            .iter()
+            .map(|c| c.completion.complete_cycle.as_u64().max(now + 1))
+            .min()
     }
 }
 
@@ -357,20 +402,28 @@ mod tests {
     fn setup() -> (ChannelController, AddressMapping) {
         let t = DramPreset::Ddr4_2666.timing();
         let cycles = t.to_cpu_cycles(Frequency::from_ghz(2.0));
-        let ctrl = ChannelController::new(cycles, t.banks_per_channel, t.ranks, ControllerConfig::default());
+        let ctrl = ChannelController::new(
+            cycles,
+            t.banks_per_channel,
+            t.ranks,
+            ControllerConfig::default(),
+        );
         let map = AddressMapping::new(1, t.ranks, t.banks_per_channel, t.row_bytes);
         (ctrl, map)
     }
 
-    fn run_reads(ctrl: &mut ChannelController, map: &AddressMapping, addrs: &[u64]) -> Vec<ChannelCompletion> {
+    fn run_reads(
+        ctrl: &mut ChannelController,
+        map: &AddressMapping,
+        addrs: &[u64],
+    ) -> Vec<ChannelCompletion> {
         for (i, &addr) in addrs.iter().enumerate() {
             let req = Request::read(i as u64, addr, Cycle::new(0), 0);
-            assert!(ctrl.can_accept(AccessKind::Read) || ctrl.pending() > 0);
-            while !ctrl.can_accept(AccessKind::Read) {
-                // Should not happen for the small batches used in tests.
-                panic!("read queue full in test");
-            }
-            ctrl.enqueue(req, map.decode(addr), 0);
+            assert!(
+                ctrl.can_accept(AccessKind::Read),
+                "read queue full in test (batches are sized to fit)"
+            );
+            ctrl.enqueue(req, map.decode(addr), 0, i as u64);
         }
         let mut out = Vec::new();
         for now in 0..200_000u64 {
@@ -390,7 +443,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         let lat = out[0].completion.latency().as_u64();
         // Empty bank: tRCD + CL + burst + overhead at 2 GHz ~= 2*(14.25+14.25+3+16) ~ 95 cycles.
-        assert!(lat > 60 && lat < 160, "unexpected unloaded latency {lat} cycles");
+        assert!(
+            lat > 60 && lat < 160,
+            "unexpected unloaded latency {lat} cycles"
+        );
         assert_eq!(out[0].outcome, RowOutcome::Empty);
         assert_eq!(ctrl.row_stats().empties, 1);
     }
@@ -440,16 +496,14 @@ mod tests {
         let (mut ctrl, map) = setup();
         // Interleave writes and reads; all must complete.
         let mut out = Vec::new();
-        let mut id = 0u64;
         for i in 0..40u64 {
             let addr = 0x20_0000 + i * 64;
-            let req = if i % 2 == 0 {
-                Request::read(id, addr, Cycle::new(i), 0)
+            let req = if i.is_multiple_of(2) {
+                Request::read(i, addr, Cycle::new(i), 0)
             } else {
-                Request::write(id, addr, Cycle::new(i), 0)
+                Request::write(i, addr, Cycle::new(i), 0)
             };
-            id += 1;
-            ctrl.enqueue(req, map.decode(addr), i);
+            ctrl.enqueue(req, map.decode(addr), i, i);
         }
         for now in 0..500_000u64 {
             ctrl.tick(now);
@@ -468,7 +522,12 @@ mod tests {
         let mut accepted = 0;
         for i in 0..200u64 {
             if ctrl.can_accept(AccessKind::Read) {
-                ctrl.enqueue(Request::read(i, i * 64, Cycle::new(0), 0), map.decode(i * 64), 0);
+                ctrl.enqueue(
+                    Request::read(i, i * 64, Cycle::new(0), 0),
+                    map.decode(i * 64),
+                    0,
+                    i,
+                );
                 accepted += 1;
             }
         }
@@ -481,10 +540,20 @@ mod tests {
     fn refresh_blocks_and_closes_rows() {
         let t = DramPreset::Ddr4_2666.timing();
         let cycles = t.to_cpu_cycles(Frequency::from_ghz(2.0));
-        let mut ctrl = ChannelController::new(cycles, t.banks_per_channel, t.ranks, ControllerConfig::default());
+        let mut ctrl = ChannelController::new(
+            cycles,
+            t.banks_per_channel,
+            t.ranks,
+            ControllerConfig::default(),
+        );
         let map = AddressMapping::new(1, t.ranks, t.banks_per_channel, t.row_bytes);
         // Open a row well before the refresh interval.
-        ctrl.enqueue(Request::read(0, 0x1000, Cycle::new(0), 0), map.decode(0x1000), 0);
+        ctrl.enqueue(
+            Request::read(0, 0x1000, Cycle::new(0), 0),
+            map.decode(0x1000),
+            0,
+            0,
+        );
         ctrl.tick(10);
         // Jump past the refresh deadline; the row must be closed, so the next access to the
         // same row is an empty, not a hit.
@@ -494,6 +563,7 @@ mod tests {
             Request::read(1, 0x1000, Cycle::new(after_refresh), 0),
             map.decode(0x1000),
             after_refresh,
+            1,
         );
         let mut out = Vec::new();
         for now in after_refresh..after_refresh + 100_000 {
@@ -512,13 +582,21 @@ mod tests {
     fn fcfs_mode_issues_in_order() {
         let t = DramPreset::Ddr4_2666.timing();
         let cycles = t.to_cpu_cycles(Frequency::from_ghz(2.0));
-        let cfg = ControllerConfig { fr_fcfs: false, ..ControllerConfig::default() };
+        let cfg = ControllerConfig {
+            fr_fcfs: false,
+            ..ControllerConfig::default()
+        };
         let mut ctrl = ChannelController::new(cycles, t.banks_per_channel, t.ranks, cfg);
         let map = AddressMapping::new(1, t.ranks, t.banks_per_channel, t.row_bytes);
         // A conflicting address pattern: with FCFS the completion order equals arrival order.
         let addrs = [0x0u64, 0x80_0000, 0x40, 0x80_0040];
         for (i, &a) in addrs.iter().enumerate() {
-            ctrl.enqueue(Request::read(i as u64, a, Cycle::new(0), 0), map.decode(a), 0);
+            ctrl.enqueue(
+                Request::read(i as u64, a, Cycle::new(0), 0),
+                map.decode(a),
+                0,
+                i as u64,
+            );
         }
         let mut out = Vec::new();
         for now in 0..500_000u64 {

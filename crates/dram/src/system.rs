@@ -6,7 +6,8 @@ use crate::bank::RowOutcome;
 use crate::controller::{ChannelCompletion, ChannelController, ControllerConfig};
 use crate::timing::{DramPreset, DramTiming};
 use mess_types::{
-    Bandwidth, Completion, Cycle, EnqueueError, Frequency, MemoryBackend, MemoryStats, Request,
+    Bandwidth, Completion, CompletionQueue, Cycle, Frequency, IssueOutcome, MemoryBackend,
+    MemoryStats, Request,
 };
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +28,12 @@ pub struct DramConfig {
 impl DramConfig {
     /// Creates a configuration with default controller parameters.
     pub fn new(preset: DramPreset, channels: u32, cpu_frequency: Frequency) -> Self {
-        DramConfig { preset, channels, cpu_frequency, controller: ControllerConfig::default() }
+        DramConfig {
+            preset,
+            channels,
+            cpu_frequency,
+            controller: ControllerConfig::default(),
+        }
     }
 
     /// Theoretical peak bandwidth of the whole memory system.
@@ -51,7 +57,10 @@ pub struct DramSystem {
     stats: MemoryStats,
     name: String,
     scratch: Vec<ChannelCompletion>,
-    ready: Vec<Completion>,
+    /// Completions already collected from the channels, ordered for draining.
+    ready: CompletionQueue,
+    /// Acceptance sequence counter, threaded through the controllers for drain-order ties.
+    accept_seq: u64,
 }
 
 impl DramSystem {
@@ -67,7 +76,12 @@ impl DramSystem {
         );
         let channels = (0..config.channels)
             .map(|_| {
-                ChannelController::new(cycles, timing.banks_per_channel, timing.ranks, config.controller)
+                ChannelController::new(
+                    cycles,
+                    timing.banks_per_channel,
+                    timing.ranks,
+                    config.controller,
+                )
             })
             .collect();
         let name = format!("{} x{}", timing.name, config.channels);
@@ -78,7 +92,8 @@ impl DramSystem {
             stats: MemoryStats::default(),
             name,
             scratch: Vec::new(),
-            ready: Vec::new(),
+            ready: CompletionQueue::new(),
+            accept_seq: 0,
             config,
         }
     }
@@ -119,8 +134,8 @@ impl DramSystem {
                     RowOutcome::Empty => self.stats.row_buffer.empties += 1,
                     RowOutcome::Miss => self.stats.row_buffer.misses += 1,
                 }
-                self.stats.record_completion(&cc.completion);
-                self.ready.push(cc.completion);
+                // Recorded into the stats at drain time by the completion queue.
+                self.ready.schedule_with_seq(cc.seq, cc.completion);
             }
         }
     }
@@ -138,27 +153,44 @@ impl MemoryBackend for DramSystem {
         self.collect();
     }
 
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
-        let coord = self.mapping.decode(request.addr);
-        let ch = &mut self.channels[coord.channel as usize];
-        if !ch.can_accept(request.kind) {
-            self.stats.record_rejection();
-            return Err(EnqueueError::Full);
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        for (i, request) in batch.iter().enumerate() {
+            let coord = self.mapping.decode(request.addr);
+            let ch = &mut self.channels[coord.channel as usize];
+            if !ch.can_accept(request.kind) {
+                self.stats.record_rejection();
+                return IssueOutcome { accepted: i };
+            }
+            ch.enqueue(*request, coord, self.now.as_u64(), self.accept_seq);
+            self.accept_seq += 1;
         }
-        ch.enqueue(request, coord, self.now.as_u64());
-        Ok(())
+        IssueOutcome::all(batch.len())
     }
 
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        out.append(&mut self.ready);
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.ready.drain_due(self.now, &mut self.stats, out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        // While any controller still has queued requests it schedules commands cycle by
+        // cycle, so the system asks for lockstep stepping; once the only outstanding work is
+        // scheduled data returns, the issuer can jump straight to the earliest one.
+        let now = self.now.as_u64();
+        let mut next = self.ready.next_ready().map(|c| c.as_u64().max(now + 1));
+        for ch in &self.channels {
+            if let Some(e) = ch.next_event(now) {
+                next = Some(next.map_or(e, |n| n.min(e)));
+            }
+        }
+        next.map(Cycle::new)
     }
 
     fn pending(&self) -> usize {
         self.channels.iter().map(|c| c.pending()).sum::<usize>() + self.ready.len()
     }
 
-    fn stats(&self) -> &MemoryStats {
-        &self.stats
+    fn stats(&self) -> MemoryStats {
+        self.stats
     }
 
     fn name(&self) -> &str {
@@ -208,10 +240,16 @@ mod tests {
                 while inflight[lane] < depth {
                     let addr = next_addr[lane];
                     let kind = match write_every {
-                        Some(k) if issued % k == 0 => AccessKind::Write,
+                        Some(k) if issued.is_multiple_of(k) => AccessKind::Write,
                         _ => AccessKind::Read,
                     };
-                    let req = Request { id: mess_types::RequestId(issued), addr, kind, issue_cycle: Cycle::new(now), core: lane as u32 };
+                    let req = Request {
+                        id: mess_types::RequestId(issued),
+                        addr,
+                        kind,
+                        issue_cycle: Cycle::new(now),
+                        core: lane as u32,
+                    };
                     if sys.try_enqueue(req).is_ok() {
                         issued += 1;
                         inflight[lane] += 1;
@@ -243,8 +281,14 @@ mod tests {
         let (bw_low, lat_low) = stream(&mut low, 4, 1, 3_000, None);
         let mut high = system(DramPreset::Ddr4_2666, 6);
         let (bw_high, lat_high) = stream(&mut high, 96, 1, 20_000, None);
-        assert!(bw_high > bw_low * 2.0, "bandwidth should scale: {bw_low} -> {bw_high}");
-        assert!(lat_high > lat_low, "latency should grow with load: {lat_low} -> {lat_high}");
+        assert!(
+            bw_high > bw_low * 2.0,
+            "bandwidth should scale: {bw_low} -> {bw_high}"
+        );
+        assert!(
+            lat_high > lat_low,
+            "latency should grow with load: {lat_low} -> {lat_high}"
+        );
     }
 
     #[test]
@@ -254,8 +298,14 @@ mod tests {
         // 24 streams with 16 outstanding lines each: the regime of a many-core CPU whose MSHRs
         // provide memory-level parallelism within each sequential stream.
         let (bw, _) = stream(&mut sys, 24, 16, 40_000, None);
-        assert!(bw < theoretical, "measured {bw} must stay below theoretical {theoretical}");
-        assert!(bw > theoretical * 0.5, "a saturating stream should exceed half the peak, got {bw}");
+        assert!(
+            bw < theoretical,
+            "measured {bw} must stay below theoretical {theoretical}"
+        );
+        assert!(
+            bw > theoretical * 0.5,
+            "a saturating stream should exceed half the peak, got {bw}"
+        );
     }
 
     #[test]
@@ -276,7 +326,11 @@ mod tests {
         let _ = stream(&mut sys, 8, 1, 5_000, None);
         let rb = sys.row_stats();
         assert!(rb.total() >= 5_000);
-        assert!(rb.hit_rate() > 0.6, "sequential streams should mostly hit, got {}", rb.hit_rate());
+        assert!(
+            rb.hit_rate() > 0.6,
+            "sequential streams should mostly hit, got {}",
+            rb.hit_rate()
+        );
         // The controllers count outcomes at command issue, the shared stats at completion
         // drain, so a handful of issued-but-not-yet-drained accesses may remain.
         assert!(rb.total() >= sys.stats().row_buffer.total());
@@ -289,7 +343,10 @@ mod tests {
         let (bw_ddr, _) = stream(&mut ddr, 24, 8, 20_000, None);
         let mut hbm = system(DramPreset::Hbm2, 32);
         let (bw_hbm, _) = stream(&mut hbm, 64, 8, 20_000, None);
-        assert!(bw_hbm > bw_ddr * 1.5, "HBM {bw_hbm} should beat DDR4 {bw_ddr}");
+        assert!(
+            bw_hbm > bw_ddr * 1.5,
+            "HBM {bw_hbm} should beat DDR4 {bw_ddr}"
+        );
     }
 
     #[test]
@@ -298,10 +355,16 @@ mod tests {
         let (_, lat) = stream(&mut opt, 1, 1, 100, None);
         // A sequential probe mostly row-hits, so the average pays CAS + overhead but not tRCD;
         // even so the media latency keeps it far above DRAM (~36 ns in the DDR4 test above).
-        assert!(lat > 200.0, "Optane-like unloaded latency should exceed 200 ns, got {lat}");
+        assert!(
+            lat > 200.0,
+            "Optane-like unloaded latency should exceed 200 ns, got {lat}"
+        );
         let mut ddr = system(DramPreset::Ddr4_2666, 2);
         let (_, ddr_lat) = stream(&mut ddr, 1, 1, 100, None);
-        assert!(lat > ddr_lat * 3.0, "Optane ({lat} ns) should be several times slower than DDR4 ({ddr_lat} ns)");
+        assert!(
+            lat > ddr_lat * 3.0,
+            "Optane ({lat} ns) should be several times slower than DDR4 ({ddr_lat} ns)"
+        );
     }
 
     #[test]
@@ -326,7 +389,9 @@ mod tests {
             sys.drain_completed(&mut out);
         }
         assert!(!out.is_empty());
-        assert!(sys.try_enqueue(Request::read(9999, 0, Cycle::new(200_000), 0)).is_ok());
+        assert!(sys
+            .try_enqueue(Request::read(9999, 0, Cycle::new(200_000), 0))
+            .is_ok());
     }
 
     #[test]

@@ -248,7 +248,11 @@ impl DramTiming {
             rrd: c(self.t_rrd_ns),
             faw: c(self.t_faw_ns),
             refi: c(self.t_refi_ns),
-            rfc: if self.t_rfc_ns <= 0.0 { 0 } else { c(self.t_rfc_ns) },
+            rfc: if self.t_rfc_ns <= 0.0 {
+                0
+            } else {
+                c(self.t_rfc_ns)
+            },
             cwl: c(self.cwl_ns),
             burst: c(self.burst_time_ns()),
             overhead: c(self.controller_overhead_ns),
@@ -333,7 +337,7 @@ mod tests {
     }
 
     #[test]
-    fn cycle_conversion_is_positive_and_scales_with_frequency(){
+    fn cycle_conversion_is_positive_and_scales_with_frequency() {
         let t = DramPreset::Ddr5_4800.timing();
         let at2 = t.to_cpu_cycles(Frequency::from_ghz(2.0));
         let at3 = t.to_cpu_cycles(Frequency::from_ghz(3.0));
@@ -344,7 +348,11 @@ mod tests {
 
     #[test]
     fn writes_are_penalised_relative_to_reads() {
-        for preset in [DramPreset::Ddr4_2666, DramPreset::Ddr5_4800, DramPreset::Hbm2] {
+        for preset in [
+            DramPreset::Ddr4_2666,
+            DramPreset::Ddr5_4800,
+            DramPreset::Hbm2,
+        ] {
             let t = preset.timing();
             assert!(t.t_wr_ns > 0.0 && t.t_wtr_ns > 0.0, "{}", t.name);
         }

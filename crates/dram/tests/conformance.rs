@@ -1,0 +1,41 @@
+//! v2 protocol conformance for the cycle-level DRAM system and the approximate
+//! external-simulator stand-ins.
+
+use mess_dram::{ApproxDramSim, ApproxProfile, DramConfig, DramPreset, DramSystem};
+use mess_types::{conformance, Bandwidth, Frequency};
+
+#[test]
+fn detailed_dram_system_conforms() {
+    conformance::check(|| {
+        DramSystem::new(DramConfig::new(
+            DramPreset::Ddr4_2666,
+            6,
+            Frequency::from_ghz(2.0),
+        ))
+    });
+}
+
+#[test]
+fn single_channel_dram_system_conforms() {
+    // One channel concentrates all traffic: the deepest queues and the most back-pressure.
+    conformance::check(|| {
+        DramSystem::new(DramConfig::new(
+            DramPreset::Ddr4_2666,
+            1,
+            Frequency::from_ghz(2.0),
+        ))
+    });
+}
+
+#[test]
+fn approx_simulators_conform() {
+    for profile in ApproxProfile::ALL {
+        conformance::check(|| {
+            ApproxDramSim::new(
+                profile,
+                Bandwidth::from_gbs(128.0),
+                Frequency::from_ghz(2.0),
+            )
+        });
+    }
+}

@@ -25,13 +25,15 @@ fn sweep_for(fidelity: Fidelity) -> SweepConfig {
 }
 
 /// Characterizes one platform's detailed-DRAM reference memory with the Mess benchmark.
-pub fn characterize_platform(
-    platform: &PlatformSpec,
-    fidelity: Fidelity,
-) -> Characterization {
+pub fn characterize_platform(platform: &PlatformSpec, fidelity: Fidelity) -> Characterization {
     let mut dram = platform.build_dram();
-    characterize(platform.name, &platform.cpu_config(), &mut dram, &sweep_for(fidelity))
-        .expect("the sweep configuration is valid")
+    characterize(
+        platform.name,
+        &platform.cpu_config(),
+        &mut dram,
+        &sweep_for(fidelity),
+    )
+    .expect("the sweep configuration is valid")
 }
 
 /// Measures the STREAM kernels' sustained bandwidth on the platform (the dashed reference
@@ -52,8 +54,7 @@ pub fn stream_bandwidths(platform: &PlatformSpec, fidelity: Fidelity) -> Vec<(St
                 cores: cpu.cores,
             };
             let mut dram = platform.build_dram();
-            let report =
-                run_streams(platform, config.streams(), &mut dram, 80_000_000);
+            let report = run_streams(platform, config.streams(), &mut dram, 80_000_000);
             let gbs = config.stream_bytes() as f64 / report.elapsed().as_ns();
             (kernel, gbs)
         })
@@ -72,11 +73,17 @@ pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
         &["read_percent", "bandwidth_gbs", "latency_ns"],
     );
     for (pct, bw, lat) in c.family.to_rows() {
-        report.push_row(vec![pct.to_string(), format!("{bw:.2}"), format!("{lat:.1}")]);
+        report.push_row(vec![
+            pct.to_string(),
+            format!("{bw:.2}"),
+            format!("{lat:.1}"),
+        ]);
     }
     report.note(metrics.table_row());
     for (kernel, gbs) in stream_bandwidths(&platform, fidelity) {
-        report.note(format!("STREAM {kernel}: {gbs:.1} GB/s (application-level)"));
+        report.note(format!(
+            "STREAM {kernel}: {gbs:.1} GB/s (application-level)"
+        ));
     }
     if let Some(r) = &platform.reference {
         report.note(format!(
@@ -127,11 +134,17 @@ pub fn table1(fidelity: Fidelity) -> ExperimentReport {
             id.key().to_string(),
             format!("{:.0}", theoretical.as_gbs()),
             format!("{:.0}", m.unloaded_latency.as_ns()),
-            r.map(|r| format!("{:.0}", r.unloaded_latency_ns)).unwrap_or_default(),
+            r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+                .unwrap_or_default(),
             format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
             format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-            r.map(|r| format!("{:.0}-{:.0}", r.saturated_bw_low_pct, r.saturated_bw_high_pct))
-                .unwrap_or_default(),
+            r.map(|r| {
+                format!(
+                    "{:.0}-{:.0}",
+                    r.saturated_bw_low_pct, r.saturated_bw_high_pct
+                )
+            })
+            .unwrap_or_default(),
             format!(
                 "{:.0}-{:.0}",
                 m.max_latency_range.low.as_ns(),

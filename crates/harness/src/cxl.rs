@@ -17,7 +17,9 @@ use mess_cxl::manufacturer::{
 use mess_cxl::remote_socket::{remote_socket_curves, RemoteSocketConfig};
 use mess_platforms::{PlatformId, PlatformSpec};
 use mess_types::{Bandwidth, Latency};
-use mess_workloads::spec_suite::{classify_utilisation, spec2006_suite, IntensityClass, SpecWorkload};
+use mess_workloads::spec_suite::{
+    classify_utilisation, spec2006_suite, IntensityClass, SpecWorkload,
+};
 
 fn sweep_for(fidelity: Fidelity) -> SweepConfig {
     match fidelity {
@@ -54,25 +56,44 @@ pub fn fig14(fidelity: Fidelity) -> ExperimentReport {
         ],
     };
     let manufacturer = load_to_use_curves(Latency::from_ns(HOST_TO_CXL_LATENCY_NS));
-    let reference = FamilyMetrics::compute(&manufacturer, Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS));
+    let reference = FamilyMetrics::compute(
+        &manufacturer,
+        Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
+    );
 
     let mut report = ExperimentReport::new(
         "fig14",
         "CXL expander: manufacturer curves vs Mess simulation in different hosts (paper Fig. 14)",
-        &["host", "unloaded_ns", "max_bandwidth_gbs", "max_bw_pct_of_cxl_peak"],
+        &[
+            "host",
+            "unloaded_ns",
+            "max_bandwidth_gbs",
+            "max_bw_pct_of_cxl_peak",
+        ],
     );
     report.push_row(vec![
         "manufacturer-model".to_string(),
         format!("{:.0}", reference.unloaded_latency.as_ns()),
         format!("{:.1}", reference.saturated_bandwidth_range.high.as_gbs()),
-        format!("{:.0}", reference.saturated_bandwidth_range.high_fraction * 100.0),
+        format!(
+            "{:.0}",
+            reference.saturated_bandwidth_range.high_fraction * 100.0
+        ),
     ]);
     for id in hosts {
         let platform = scaled_platform(&id.spec(), fidelity);
         let mut mess = cxl_mess(&platform);
-        let c = characterize("cxl", &platform.cpu_config(), &mut mess, &sweep_for(fidelity))
-            .expect("sweep configuration is valid");
-        let m = FamilyMetrics::compute(&c.family, Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS));
+        let c = characterize(
+            "cxl",
+            &platform.cpu_config(),
+            &mut mess,
+            &sweep_for(fidelity),
+        )
+        .expect("sweep configuration is valid");
+        let m = FamilyMetrics::compute(
+            &c.family,
+            Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
+        );
         report.push_row(vec![
             id.key().to_string(),
             format!("{:.0}", m.unloaded_latency.as_ns()),
@@ -135,8 +156,13 @@ pub fn fig18(fidelity: Fidelity) -> ExperimentReport {
     for w in &suite {
         let (ipc_cxl, utilisation) =
             run_spec_on(&platform, w, cxl_curves.clone(), ops_per_core, max_cycles);
-        let (ipc_remote, _) =
-            run_spec_on(&platform, w, remote_curves.clone(), ops_per_core, max_cycles);
+        let (ipc_remote, _) = run_spec_on(
+            &platform,
+            w,
+            remote_curves.clone(),
+            ops_per_core,
+            max_cycles,
+        );
         let diff = (ipc_remote - ipc_cxl) / ipc_cxl.max(1e-12) * 100.0;
         let class = match classify_utilisation(utilisation) {
             IntensityClass::Low => "low",
@@ -167,7 +193,12 @@ mod tests {
     fn fig14_ariane_host_cannot_saturate_the_cxl_device() {
         let r = fig14(Fidelity::Quick);
         let bw_of = |name: &str| -> f64 {
-            r.rows.iter().find(|row| row[0] == name).expect("row exists")[2].parse().unwrap()
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .expect("row exists")[2]
+                .parse()
+                .unwrap()
         };
         let skylake = bw_of("skylake");
         let ariane = bw_of("openpiton-ariane");
@@ -181,7 +212,12 @@ mod tests {
     fn fig18_high_bandwidth_workload_prefers_the_remote_socket() {
         let r = fig18(Fidelity::Quick);
         assert_eq!(r.rows.len(), 2);
-        let row_of = |name: &str| r.rows.iter().find(|row| row[0] == name).expect("row exists");
+        let row_of = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .expect("row exists")
+        };
         let lbm: f64 = row_of("lbm").last().unwrap().parse().unwrap();
         let perlbench: f64 = row_of("perlbench").last().unwrap().parse().unwrap();
         assert!(

@@ -31,33 +31,65 @@ pub mod simulators;
 
 pub use report::{ExperimentReport, Fidelity};
 
-/// Every experiment identifier accepted by [`run_experiment`], in paper order.
-pub const EXPERIMENTS: [&str; 12] = [
-    "fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", // fig15 also covers fig16; fig14's companion fig17/18 runs as fig18
+/// The signature every experiment driver shares.
+pub type ExperimentDriver = fn(Fidelity) -> ExperimentReport;
+
+/// One experiment driver: its canonical identifier and the function that runs it.
+///
+/// This table is the single source of truth: [`EXPERIMENTS`] is derived from it and
+/// [`run_experiment`] dispatches through it, so an id can never be listed without a driver
+/// (or vice versa).
+pub const DRIVERS: [(&str, ExperimentDriver); 13] = [
+    ("fig2", characterization::fig2),
+    ("table1", characterization::table1),
+    ("fig4", simulators::fig4),
+    ("fig5", simulators::fig5),
+    ("fig6", simulators::fig6),
+    ("fig7", simulators::fig7),
+    ("fig10", mess_sim::fig10),
+    ("fig11", mess_sim::fig11),
+    ("fig12", mess_sim::fig12),
+    ("fig13", mess_sim::fig13),
+    ("fig14", cxl::fig14),
+    ("fig15", profiling::fig15), // fig15 also covers fig16
+    ("fig18", cxl::fig18),       // the CXL-vs-remote-socket comparison covers fig17 and fig18
 ];
 
-/// Runs the experiment named `id` (see [`EXPERIMENTS`], plus `fig3` as an alias of `table1`
-/// and `fig16`/`fig17`/`fig18` as aliases of their combined drivers).
+/// Every experiment identifier accepted by [`run_experiment`], in paper order (derived from
+/// [`DRIVERS`]).
+pub const EXPERIMENTS: [&str; 13] = experiment_ids();
+
+const fn experiment_ids() -> [&'static str; 13] {
+    let mut ids = [""; 13];
+    let mut i = 0;
+    while i < DRIVERS.len() {
+        ids[i] = DRIVERS[i].0;
+        i += 1;
+    }
+    ids
+}
+
+/// Resolves `id` to its canonical [`DRIVERS`] identifier, handling the paper's aliases
+/// (`fig3` = `table1`, `fig16` = `fig15`, `fig17` = `fig18`). Returns `None` for unknown
+/// identifiers.
+pub fn canonical_experiment_id(id: &str) -> Option<&'static str> {
+    let canonical = match id {
+        "fig3" => "table1",
+        "fig16" => "fig15",
+        "fig17" => "fig18",
+        other => other,
+    };
+    DRIVERS.iter().map(|(c, _)| *c).find(|c| *c == canonical)
+}
+
+/// Runs the experiment named `id` (see [`EXPERIMENTS`], plus the aliases handled by
+/// [`canonical_experiment_id`]).
 ///
 /// Returns `None` for an unknown identifier.
 pub fn run_experiment(id: &str, fidelity: Fidelity) -> Option<ExperimentReport> {
-    Some(match id {
-        "fig2" => characterization::fig2(fidelity),
-        "fig3" | "table1" => characterization::table1(fidelity),
-        "fig4" => simulators::fig4(fidelity),
-        "fig5" => simulators::fig5(fidelity),
-        "fig6" => simulators::fig6(fidelity),
-        "fig7" => simulators::fig7(fidelity),
-        "fig10" => mess_sim::fig10(fidelity),
-        "fig11" => mess_sim::fig11(fidelity),
-        "fig12" => mess_sim::fig12(fidelity),
-        "fig13" => mess_sim::fig13(fidelity),
-        "fig14" => cxl::fig14(fidelity),
-        "fig15" | "fig16" => profiling::fig15(fidelity),
-        "fig17" | "fig18" => cxl::fig18(fidelity),
-        _ => return None,
-    })
+    let canonical = canonical_experiment_id(id)?;
+    let (_, driver) = DRIVERS.iter().find(|(c, _)| *c == canonical)?;
+    Some(driver(fidelity))
 }
 
 #[cfg(test)]
@@ -65,17 +97,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_listed_experiment_id_resolves() {
+    fn every_listed_experiment_id_resolves_through_the_driver_table() {
+        // EXPERIMENTS is derived from DRIVERS, so every listed id must resolve to itself
+        // and carry a driver — no second hardcoded copy to drift out of sync.
         for id in EXPERIMENTS {
-            // Only resolve the driver; running them all at quick fidelity is covered by the
-            // per-module tests and the integration tests.
-            assert!(
-                ["fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12",
-                 "fig13", "fig14", "fig15"]
-                .contains(&id),
+            assert_eq!(
+                canonical_experiment_id(id),
+                Some(id),
                 "unknown experiment id {id}"
             );
         }
         assert!(run_experiment("not-an-experiment", Fidelity::Quick).is_none());
+        assert_eq!(canonical_experiment_id("bogus"), None);
+    }
+
+    #[test]
+    fn aliases_resolve_to_canonical_drivers() {
+        assert_eq!(canonical_experiment_id("fig3"), Some("table1"));
+        assert_eq!(canonical_experiment_id("fig16"), Some("fig15"));
+        assert_eq!(canonical_experiment_id("fig17"), Some("fig18"));
+        assert_eq!(canonical_experiment_id("fig18"), Some("fig18"));
+    }
+
+    #[test]
+    fn one_cheap_experiment_actually_runs_at_quick_fidelity() {
+        // Executing all twelve drivers is the integration suite's job; here one cheap
+        // driver proves the table dispatch end to end.
+        let report = run_experiment("fig7", Fidelity::Quick).expect("fig7 is listed");
+        assert!(!report.rows.is_empty());
     }
 }

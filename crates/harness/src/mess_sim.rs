@@ -58,8 +58,13 @@ fn mess_curve_experiment(
         let platform = scaled_platform(&id.spec(), fidelity);
         let input = platform.reference_family();
         let mut mess = mess_backend(&platform);
-        let c = characterize("mess", &platform.cpu_config(), &mut mess, &sweep_for(fidelity))
-            .expect("sweep configuration is valid");
+        let c = characterize(
+            "mess",
+            &platform.cpu_config(),
+            &mut mess,
+            &sweep_for(fidelity),
+        )
+        .expect("sweep configuration is valid");
         let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
         let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
         let bw_err = ipc_error_percent(
@@ -70,7 +75,10 @@ fn mess_curve_experiment(
             id.key().to_string(),
             format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
             format!("{:.0}", simulated.unloaded_latency.as_ns()),
-            format!("{:.0}", input_metrics.saturated_bandwidth_range.high.as_gbs()),
+            format!(
+                "{:.0}",
+                input_metrics.saturated_bandwidth_range.high.as_gbs()
+            ),
             format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
             format!("{bw_err:.1}"),
         ]);
@@ -124,7 +132,10 @@ fn ipc_error_experiment(
 ) -> ExperimentReport {
     let platform = scaled_platform(&platform_id.spec(), fidelity);
     let workloads: Vec<ValidationWorkload> = match fidelity {
-        Fidelity::Quick => vec![ValidationWorkload::StreamTriad, ValidationWorkload::Multichase],
+        Fidelity::Quick => vec![
+            ValidationWorkload::StreamTriad,
+            ValidationWorkload::Multichase,
+        ],
         Fidelity::Full => ValidationWorkload::ALL.to_vec(),
     };
     let mut headers: Vec<String> = vec!["memory_model".to_string()];

@@ -27,16 +27,15 @@ pub fn trace_to_samples(
     let mut samples = Vec::new();
     let mut window_start = trace.records[0].cycle;
     let (mut reads, mut writes) = (0u64, 0u64);
-    let flush =
-        |start: u64, reads: u64, writes: u64, samples: &mut Vec<BandwidthSample>| {
-            let bytes = (reads + writes) * CACHE_LINE_BYTES;
-            let elapsed = Cycle::new(window_cycles).to_latency(frequency);
-            samples.push(BandwidthSample::new(
-                Cycle::new(start).to_latency(frequency).as_us(),
-                Bandwidth::from_bytes_over(mess_types::Bytes::new(bytes), elapsed),
-                RwRatio::from_counts(reads, writes),
-            ));
-        };
+    let flush = |start: u64, reads: u64, writes: u64, samples: &mut Vec<BandwidthSample>| {
+        let bytes = (reads + writes) * CACHE_LINE_BYTES;
+        let elapsed = Cycle::new(window_cycles).to_latency(frequency);
+        samples.push(BandwidthSample::new(
+            Cycle::new(start).to_latency(frequency).as_us(),
+            Bandwidth::from_bytes_over(mess_types::Bytes::new(bytes), elapsed),
+            RwRatio::from_counts(reads, writes),
+        ));
+    };
     for r in &trace.records {
         while r.cycle >= window_start + window_cycles {
             flush(window_start, reads, writes, &mut samples);
@@ -80,7 +79,13 @@ pub fn fig15(fidelity: Fidelity) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig15",
         "Mess application profiling of HPCG on the Cascade Lake platform (paper Figs. 15-16)",
-        &["time_us", "bandwidth_gbs", "read_percent", "latency_ns", "stress_score"],
+        &[
+            "time_us",
+            "bandwidth_gbs",
+            "read_percent",
+            "latency_ns",
+            "stress_score",
+        ],
     );
     for s in &timeline.samples {
         report.push_row(vec![
@@ -120,7 +125,11 @@ mod tests {
             .map(|i| TraceRecord {
                 cycle: i * 10,
                 addr: i * 64,
-                kind: if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
+                kind: if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
             })
             .collect();
         let trace = Trace { records };
@@ -128,9 +137,14 @@ mod tests {
         assert!(!samples.is_empty());
         let freq = Frequency::from_ghz(2.0);
         let window = Cycle::new((1.0 * 1_000.0 * freq.as_ghz()) as u64).to_latency(freq);
-        let total_bytes: f64 =
-            samples.iter().map(|s| s.bandwidth.as_gbs() * window.as_ns()).sum();
-        assert!((total_bytes - 1_000.0 * 64.0).abs() < 1.0, "bytes accounted {total_bytes}");
+        let total_bytes: f64 = samples
+            .iter()
+            .map(|s| s.bandwidth.as_gbs() * window.as_ns())
+            .sum();
+        assert!(
+            (total_bytes - 1_000.0 * 64.0).abs() < 1.0,
+            "bytes accounted {total_bytes}"
+        );
     }
 
     #[test]

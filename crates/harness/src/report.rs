@@ -45,7 +45,11 @@ impl ExperimentReport {
 
     /// Appends a row; the cell count should match the headers.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        debug_assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
     }
 

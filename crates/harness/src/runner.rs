@@ -93,7 +93,9 @@ impl ValidationWorkload {
 fn one_active_core(active: Box<dyn OpStream>, cores: u32) -> Vec<Box<dyn OpStream>> {
     let mut streams = vec![active];
     for _ in 1..cores {
-        streams.push(Box::new(mess_cpu::VecStream::with_label(Vec::new(), "idle")) as Box<dyn OpStream>);
+        streams.push(
+            Box::new(mess_cpu::VecStream::with_label(Vec::new(), "idle")) as Box<dyn OpStream>,
+        );
     }
     streams
 }
@@ -120,7 +122,13 @@ pub fn workload_ipc(
         Fidelity::Quick => 3_000_000,
         Fidelity::Full => 60_000_000,
     };
-    run_streams(platform, workload.streams(platform, fidelity), backend, max_cycles).ipc()
+    run_streams(
+        platform,
+        workload.streams(platform, fidelity),
+        backend,
+        max_cycles,
+    )
+    .ipc()
 }
 
 /// Absolute relative error of `simulated` IPC with respect to `reference` IPC, in percent.
@@ -140,7 +148,7 @@ pub fn scaled_platform(platform: &PlatformSpec, fidelity: Fidelity) -> PlatformS
             let mut p = platform.clone();
             p.cores = p.cores.min(8);
             p.cpu = p.cpu_config_with_cores(p.cores);
-            p.channels = p.channels.min(4).max(1);
+            p.channels = p.channels.clamp(1, 4);
             p
         }
     }
@@ -174,5 +182,21 @@ mod tests {
         let quick = scaled_platform(&spec, Fidelity::Quick);
         assert!(quick.cores <= 8);
         assert_eq!(quick.cpu.cores, quick.cores);
+    }
+
+    #[test]
+    fn quick_mode_channel_scaling_never_produces_zero_channels() {
+        for id in PlatformId::ALL {
+            let quick = scaled_platform(&id.spec(), Fidelity::Quick);
+            assert!(
+                (1..=4).contains(&quick.channels),
+                "{id:?}: quick-mode channels must stay in 1..=4, got {}",
+                quick.channels
+            );
+        }
+        // Even a degenerate zero-channel spec must scale to at least one channel.
+        let mut zero = PlatformId::IntelSkylake.spec();
+        zero.channels = 0;
+        assert_eq!(scaled_platform(&zero, Fidelity::Quick).channels, 1);
     }
 }

@@ -38,8 +38,13 @@ fn model_rows(
     let curves = kind.needs_curves().then(|| platform.reference_family());
     let mut backend =
         build_memory_model(kind, platform, curves).expect("model construction is valid here");
-    let c = characterize(kind.label(), &platform.cpu_config(), backend.as_mut(), &sweep_for(fidelity))
-        .expect("sweep configuration is valid");
+    let c = characterize(
+        kind.label(),
+        &platform.cpu_config(),
+        backend.as_mut(),
+        &sweep_for(fidelity),
+    )
+    .expect("sweep configuration is valid");
     let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
     report.push_row(vec![
         kind.label().to_string(),
@@ -61,9 +66,20 @@ fn simulator_comparison(
     let mut report = ExperimentReport::new(
         id,
         title,
-        &["memory_model", "unloaded_ns", "max_latency_ns", "max_bandwidth_gbs", "max_bw_pct_of_theoretical"],
+        &[
+            "memory_model",
+            "unloaded_ns",
+            "max_latency_ns",
+            "max_bandwidth_gbs",
+            "max_bw_pct_of_theoretical",
+        ],
     );
-    model_rows(&mut report, &platform, MemoryModelKind::DetailedDram, fidelity);
+    model_rows(
+        &mut report,
+        &platform,
+        MemoryModelKind::DetailedDram,
+        fidelity,
+    );
     for &kind in models {
         model_rows(&mut report, &platform, kind, fidelity);
     }
@@ -79,7 +95,10 @@ fn simulator_comparison(
 /// Paper Fig. 4: Graviton 3 versus the gem5 memory models.
 pub fn fig4(fidelity: Fidelity) -> ExperimentReport {
     let models = match fidelity {
-        Fidelity::Quick => vec![MemoryModelKind::FixedLatency, MemoryModelKind::Ramulator2Like],
+        Fidelity::Quick => vec![
+            MemoryModelKind::FixedLatency,
+            MemoryModelKind::Ramulator2Like,
+        ],
         Fidelity::Full => MemoryModelKind::GEM5_SET.to_vec(),
     };
     simulator_comparison(
@@ -113,7 +132,11 @@ pub fn capture_trace(platform: &PlatformSpec, pause: u32, memory_ops: u64) -> Tr
     let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
     let mut recorder = RecordingBackend::new(platform.build_dram());
     let mut engine = Engine::from_boxed(cpu, streams);
-    let _ = engine.run(&mut recorder, StopCondition::MemoryOps(memory_ops), 20_000_000);
+    let _ = engine.run(
+        &mut recorder,
+        StopCondition::MemoryOps(memory_ops),
+        20_000_000,
+    );
     let (_, trace) = recorder.into_parts();
     trace
 }
@@ -129,7 +152,12 @@ pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig6",
         "Trace-driven external memory simulators (paper Fig. 6)",
-        &["memory_model", "replay_speed", "bandwidth_gbs", "avg_read_latency_ns"],
+        &[
+            "memory_model",
+            "replay_speed",
+            "bandwidth_gbs",
+            "avg_read_latency_ns",
+        ],
     );
     report.note(format!(
         "trace: {} requests, {} of them reads",
@@ -198,13 +226,22 @@ pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig7",
         "Row-buffer statistics: actual vs DRAMsim3-like vs Ramulator-like (paper Fig. 7)",
-        &["memory_model", "traffic", "pause", "bandwidth_gbs", "hit_pct", "empty_pct", "miss_pct"],
+        &[
+            "memory_model",
+            "traffic",
+            "pause",
+            "bandwidth_gbs",
+            "hit_pct",
+            "empty_pct",
+            "miss_pct",
+        ],
     );
     let mut run_for = |label: &str, make: &mut dyn FnMut() -> Box<dyn MemoryBackend>| {
         for (traffic_label, mix) in [("100%-read", 0.0), ("100%-store", 1.0)] {
             for &pause in &pauses {
                 let mut backend = make();
-                let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
+                let (bw, rb) =
+                    row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
                 report.push_row(vec![
                     label.to_string(),
                     traffic_label.to_string(),
@@ -220,13 +257,23 @@ pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
     let p = platform.clone();
     run_for("detailed-dram", &mut || Box::new(p.build_dram()));
     run_for("dramsim3-like", &mut || {
-        Box::new(ApproxDramSim::new(ApproxProfile::Dramsim3Like, p.theoretical_bandwidth(), p.frequency))
+        Box::new(ApproxDramSim::new(
+            ApproxProfile::Dramsim3Like,
+            p.theoretical_bandwidth(),
+            p.frequency,
+        ))
     });
     run_for("ramulator-like", &mut || {
-        Box::new(ApproxDramSim::new(ApproxProfile::RamulatorLike, p.theoretical_bandwidth(), p.frequency))
+        Box::new(ApproxDramSim::new(
+            ApproxProfile::RamulatorLike,
+            p.theoretical_bandwidth(),
+            p.frequency,
+        ))
     });
-    report.note("paper: the actual platform starts at 84/13/3% hit/empty/miss for unloaded reads \
-                 and degrades with load and with the write share");
+    report.note(
+        "paper: the actual platform starts at 84/13/3% hit/empty/miss for unloaded reads \
+                 and degrades with load and with the write share",
+    );
     report
 }
 

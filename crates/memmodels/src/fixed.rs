@@ -7,9 +7,9 @@
 //! memory-intensive workloads.
 
 use mess_types::{
-    Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend, MemoryStats, Request,
+    Completion, CompletionQueue, Cycle, Frequency, IssueOutcome, Latency, MemoryBackend,
+    MemoryStats, Request,
 };
-use std::collections::VecDeque;
 
 /// A memory model that serves every request after a constant latency with no bandwidth limit.
 #[derive(Debug)]
@@ -17,7 +17,7 @@ pub struct FixedLatencyModel {
     latency_cycles: u64,
     cpu_frequency: Frequency,
     now: Cycle,
-    pending: VecDeque<Completion>,
+    queue: CompletionQueue,
     stats: MemoryStats,
     name: String,
 }
@@ -33,7 +33,7 @@ impl FixedLatencyModel {
             latency_cycles,
             cpu_frequency,
             now: Cycle::ZERO,
-            pending: VecDeque::new(),
+            queue: CompletionQueue::new(),
             stats: MemoryStats::default(),
             name: format!("fixed-latency {:.0} ns", latency.as_ns()),
         }
@@ -52,36 +52,35 @@ impl MemoryBackend for FixedLatencyModel {
         }
     }
 
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
-        let issue = request.issue_cycle.max(self.now);
-        self.pending.push_back(Completion {
-            id: request.id,
-            addr: request.addr,
-            kind: request.kind,
-            issue_cycle: request.issue_cycle,
-            complete_cycle: issue + self.latency_cycles,
-            core: request.core,
-        });
-        Ok(())
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        for request in batch {
+            let issue = request.issue_cycle.max(self.now);
+            self.queue.schedule(Completion {
+                id: request.id,
+                addr: request.addr,
+                kind: request.kind,
+                issue_cycle: request.issue_cycle,
+                complete_cycle: issue + self.latency_cycles,
+                core: request.core,
+            });
+        }
+        IssueOutcome::all(batch.len())
     }
 
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        while let Some(front) = self.pending.front() {
-            if front.complete_cycle > self.now {
-                break;
-            }
-            let c = self.pending.pop_front().expect("front exists");
-            self.stats.record_completion(&c);
-            out.push(c);
-        }
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.queue.drain_due(self.now, &mut self.stats, out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        self.queue.next_ready()
     }
 
     fn pending(&self) -> usize {
-        self.pending.len()
+        self.queue.len()
     }
 
-    fn stats(&self) -> &MemoryStats {
-        &self.stats
+    fn stats(&self) -> MemoryStats {
+        self.stats
     }
 
     fn name(&self) -> &str {
@@ -99,11 +98,13 @@ mod tests {
         assert_eq!(m.latency().as_ns(), 80.0);
         for i in 0..100u64 {
             m.tick(Cycle::new(i));
-            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0)).unwrap();
+            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0))
+                .unwrap();
         }
         m.tick(Cycle::new(1_000_000));
         let mut out = Vec::new();
-        m.drain_completed(&mut out);
+        let drained = m.drain_completed(&mut out);
+        assert_eq!(drained, 100);
         assert_eq!(out.len(), 100);
         for c in &out {
             assert_eq!(c.latency().as_u64(), 160);
@@ -119,7 +120,9 @@ mod tests {
         let mut m = FixedLatencyModel::new(Latency::from_ns(80.0), Frequency::from_ghz(2.0));
         for i in 0..10_000u64 {
             m.tick(Cycle::new(i));
-            assert!(m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0)).is_ok());
+            assert!(m
+                .try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0))
+                .is_ok());
         }
         m.tick(Cycle::new(20_000));
         let mut out = Vec::new();
@@ -133,7 +136,8 @@ mod tests {
     #[test]
     fn completions_not_released_early() {
         let mut m = FixedLatencyModel::new(Latency::from_ns(50.0), Frequency::from_ghz(1.0));
-        m.try_enqueue(Request::read(0, 0, Cycle::new(0), 0)).unwrap();
+        m.try_enqueue(Request::read(0, 0, Cycle::new(0), 0))
+            .unwrap();
         m.tick(Cycle::new(49));
         let mut out = Vec::new();
         m.drain_completed(&mut out);
@@ -141,5 +145,19 @@ mod tests {
         m.tick(Cycle::new(50));
         m.drain_completed(&mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn batched_issue_accepts_everything_and_next_event_tracks_the_head() {
+        let mut m = FixedLatencyModel::new(Latency::from_ns(50.0), Frequency::from_ghz(1.0));
+        assert_eq!(m.next_event(), None);
+        let batch: Vec<Request> = (0..64)
+            .map(|i| Request::read(i, i * 64, Cycle::new(i), 0))
+            .collect();
+        let outcome = m.issue(&batch);
+        assert!(outcome.is_complete(batch.len()));
+        // The earliest request was issued at cycle 0 and completes 50 cycles later.
+        assert_eq!(m.next_event(), Some(Cycle::new(50)));
+        assert_eq!(m.pending(), 64);
     }
 }

@@ -9,8 +9,8 @@
 //! reasonably well but misses the read/write sensitivity and misjudges the saturated region.
 
 use mess_types::{
-    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend,
-    MemoryStats, Request, CACHE_LINE_BYTES,
+    AccessKind, Bandwidth, Completion, CompletionQueue, Cycle, Frequency, IssueOutcome, Latency,
+    MemoryBackend, MemoryStats, Request, CACHE_LINE_BYTES,
 };
 use std::collections::VecDeque;
 
@@ -25,7 +25,7 @@ pub struct Md1QueueModel {
     now: Cycle,
     /// Arrival timestamps within the current estimation window.
     arrivals: VecDeque<u64>,
-    pending: VecDeque<Completion>,
+    queue: CompletionQueue,
     stats: MemoryStats,
     name: String,
 }
@@ -36,12 +36,15 @@ impl Md1QueueModel {
         let service_ns = CACHE_LINE_BYTES as f64 / peak.as_gbs();
         Md1QueueModel {
             unloaded_cycles: unloaded.to_cycles(cpu_frequency).as_u64().max(1),
-            service_cycles: Latency::from_ns(service_ns).to_cycles(cpu_frequency).as_u64().max(1) as f64,
+            service_cycles: Latency::from_ns(service_ns)
+                .to_cycles(cpu_frequency)
+                .as_u64()
+                .max(1) as f64,
             window_cycles: Latency::from_us(2.0).to_cycles(cpu_frequency).as_u64() as f64,
             cpu_frequency,
             now: Cycle::ZERO,
             arrivals: VecDeque::new(),
-            pending: VecDeque::new(),
+            queue: CompletionQueue::new(),
             stats: MemoryStats::default(),
             name: format!("m/d/1 queue ({:.0} GB/s)", peak.as_gbs()),
         }
@@ -75,7 +78,10 @@ impl MemoryBackend for Md1QueueModel {
             self.now = now;
         }
         // Trim the arrival window.
-        let horizon = self.now.as_u64().saturating_sub(2 * self.window_cycles as u64);
+        let horizon = self
+            .now
+            .as_u64()
+            .saturating_sub(2 * self.window_cycles as u64);
         while let Some(&front) = self.arrivals.front() {
             if front < horizon {
                 self.arrivals.pop_front();
@@ -85,44 +91,41 @@ impl MemoryBackend for Md1QueueModel {
         }
     }
 
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
-        let issue = request.issue_cycle.max(self.now).as_u64();
-        self.arrivals.push_back(issue);
-        let latency = self.unloaded_cycles + self.service_cycles as u64 + self.waiting_cycles(issue);
-        // Writes get the same treatment: the M/D/1 model is oblivious to the traffic mix,
-        // which is precisely the deficiency the paper points out.
-        let _ = matches!(request.kind, AccessKind::Write);
-        self.pending.push_back(Completion {
-            id: request.id,
-            addr: request.addr,
-            kind: request.kind,
-            issue_cycle: request.issue_cycle,
-            complete_cycle: Cycle::new(issue + latency),
-            core: request.core,
-        });
-        Ok(())
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        for request in batch {
+            let issue = request.issue_cycle.max(self.now).as_u64();
+            self.arrivals.push_back(issue);
+            let latency =
+                self.unloaded_cycles + self.service_cycles as u64 + self.waiting_cycles(issue);
+            // Writes get the same treatment: the M/D/1 model is oblivious to the traffic mix,
+            // which is precisely the deficiency the paper points out.
+            let _ = matches!(request.kind, AccessKind::Write);
+            self.queue.schedule(Completion {
+                id: request.id,
+                addr: request.addr,
+                kind: request.kind,
+                issue_cycle: request.issue_cycle,
+                complete_cycle: Cycle::new(issue + latency),
+                core: request.core,
+            });
+        }
+        IssueOutcome::all(batch.len())
     }
 
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        let now = self.now;
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].complete_cycle <= now {
-                let c = self.pending.remove(i).expect("index in range");
-                self.stats.record_completion(&c);
-                out.push(c);
-            } else {
-                i += 1;
-            }
-        }
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.queue.drain_due(self.now, &mut self.stats, out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        self.queue.next_ready()
     }
 
     fn pending(&self) -> usize {
-        self.pending.len()
+        self.queue.len()
     }
 
-    fn stats(&self) -> &MemoryStats {
-        &self.stats
+    fn stats(&self) -> MemoryStats {
+        self.stats
     }
 
     fn name(&self) -> &str {
@@ -135,20 +138,27 @@ mod tests {
     use super::*;
 
     fn model() -> Md1QueueModel {
-        Md1QueueModel::new(Latency::from_ns(60.0), Bandwidth::from_gbs(128.0), Frequency::from_ghz(2.0))
+        Md1QueueModel::new(
+            Latency::from_ns(60.0),
+            Bandwidth::from_gbs(128.0),
+            Frequency::from_ghz(2.0),
+        )
     }
 
     fn run(m: &mut Md1QueueModel, n: u64, gap: u64) -> f64 {
         for i in 0..n {
             m.tick(Cycle::new(i * gap));
-            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i * gap), 0)).unwrap();
+            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i * gap), 0))
+                .unwrap();
         }
         m.tick(Cycle::new(n * gap + 10_000_000));
         let mut out = Vec::new();
         m.drain_completed(&mut out);
         assert_eq!(out.len() as u64, n);
         let total: u64 = out.iter().map(|c| c.latency().as_u64()).sum();
-        Cycle::new(total / n).to_latency(Frequency::from_ghz(2.0)).as_ns()
+        Cycle::new(total / n)
+            .to_latency(Frequency::from_ghz(2.0))
+            .as_ns()
     }
 
     #[test]
@@ -176,9 +186,13 @@ mod tests {
         let mut out = Vec::new();
         high.drain_completed(&mut out);
         let total: u64 = out.iter().map(|c| c.latency().as_u64()).sum();
-        let lat_high =
-            Cycle::new(total / out.len() as u64).to_latency(Frequency::from_ghz(2.0)).as_ns();
-        assert!(lat_high > lat_low * 1.5, "queueing must add latency: {lat_low} -> {lat_high}");
+        let lat_high = Cycle::new(total / out.len() as u64)
+            .to_latency(Frequency::from_ghz(2.0))
+            .as_ns();
+        assert!(
+            lat_high > lat_low * 1.5,
+            "queueing must add latency: {lat_low} -> {lat_high}"
+        );
     }
 
     #[test]
@@ -194,13 +208,17 @@ mod tests {
         );
         for i in 0..5_000u64 {
             writes.tick(Cycle::new(i * 8));
-            writes.try_enqueue(Request::write(i, i * 64, Cycle::new(i * 8), 0)).unwrap();
+            writes
+                .try_enqueue(Request::write(i, i * 64, Cycle::new(i * 8), 0))
+                .unwrap();
         }
         writes.tick(Cycle::new(5_000 * 8 + 10_000_000));
         let mut out = Vec::new();
         writes.drain_completed(&mut out);
         let total: u64 = out.iter().map(|c| c.latency().as_u64()).sum();
-        let lat_writes = Cycle::new(total / 5_000).to_latency(Frequency::from_ghz(2.0)).as_ns();
+        let lat_writes = Cycle::new(total / 5_000)
+            .to_latency(Frequency::from_ghz(2.0))
+            .as_ns();
         assert!((lat_reads - lat_writes).abs() < 3.0);
     }
 
@@ -209,7 +227,8 @@ mod tests {
         let mut m = model();
         for i in 0..50_000u64 {
             m.tick(Cycle::new(i));
-            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0)).unwrap();
+            m.try_enqueue(Request::read(i, i * 64, Cycle::new(i), 0))
+                .unwrap();
         }
         // Even under extreme overload the waiting time stays finite.
         assert!(m.waiting_cycles(50_000) < 1_000_000);

@@ -10,8 +10,8 @@
 //! includes an average activate/precharge overhead and an exaggerated write turnaround.
 
 use mess_types::{
-    AccessKind, Bandwidth, Completion, Cycle, EnqueueError, Frequency, Latency, MemoryBackend,
-    MemoryStats, Request, CACHE_LINE_BYTES,
+    AccessKind, Bandwidth, Completion, CompletionQueue, Cycle, Frequency, IssueOutcome, Latency,
+    MemoryBackend, MemoryStats, Request, CACHE_LINE_BYTES,
 };
 use serde::{Deserialize, Serialize};
 
@@ -78,7 +78,7 @@ pub struct SimpleDdrModel {
     /// Fractional accumulator for the deterministic conflict assignment.
     conflict_accum: f64,
     now: Cycle,
-    pending: Vec<Completion>,
+    queue: CompletionQueue,
     stats: MemoryStats,
     name: String,
     device_cycles: u64,
@@ -98,14 +98,18 @@ impl SimpleDdrModel {
             .as_u64()
             .max(1);
         SimpleDdrModel {
-            device_cycles: config.device_latency.to_cycles(cpu_frequency).as_u64().max(1),
+            device_cycles: config
+                .device_latency
+                .to_cycles(cpu_frequency)
+                .as_u64()
+                .max(1),
             service_cycles,
             conflict_cycles: config.conflict_penalty.to_cycles(cpu_frequency).as_u64(),
             write_cycles: config.write_penalty.to_cycles(cpu_frequency).as_u64(),
             channels: vec![Channel::default(); config.channels as usize],
             conflict_accum: 0.0,
             now: Cycle::ZERO,
-            pending: Vec::new(),
+            queue: CompletionQueue::new(),
             stats: MemoryStats::default(),
             name: format!("internal-ddr x{}", config.channels),
             cpu_frequency,
@@ -124,29 +128,16 @@ impl SimpleDdrModel {
     }
 }
 
-impl MemoryBackend for SimpleDdrModel {
-    fn tick(&mut self, now: Cycle) {
-        if now > self.now {
-            self.now = now;
-        }
-        // Release queue slots for requests whose service has finished.
-        let cycle = self.now.as_u64();
-        for ch in &mut self.channels {
-            if ch.server_free <= cycle {
-                ch.queued = 0;
-            }
-        }
-    }
-
-    fn try_enqueue(&mut self, request: Request) -> Result<(), EnqueueError> {
+impl SimpleDdrModel {
+    /// Accepts one request, or returns `false` on back-pressure (channel queue full).
+    fn accept(&mut self, request: &Request) -> bool {
         let issue = request.issue_cycle.max(self.now).as_u64();
         let idx = ((request.addr / CACHE_LINE_BYTES) % self.channels.len() as u64) as usize;
         let queue_depth = self.config.queue_depth;
         let conflict_fraction = self.config.conflict_fraction;
         let ch = &mut self.channels[idx];
         if ch.queued >= queue_depth {
-            self.stats.record_rejection();
-            return Err(EnqueueError::Full);
+            return false;
         }
 
         self.conflict_accum += conflict_fraction;
@@ -172,7 +163,7 @@ impl MemoryBackend for SimpleDdrModel {
         ch.queued += 1;
         let complete = ch.server_free + extra_latency + self.device_cycles;
 
-        self.pending.push(Completion {
+        self.queue.schedule(Completion {
             id: request.id,
             addr: request.addr,
             kind: request.kind,
@@ -180,29 +171,57 @@ impl MemoryBackend for SimpleDdrModel {
             complete_cycle: Cycle::new(complete),
             core: request.core,
         });
-        Ok(())
+        true
     }
+}
 
-    fn drain_completed(&mut self, out: &mut Vec<Completion>) {
-        let now = self.now;
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].complete_cycle <= now {
-                let c = self.pending.swap_remove(i);
-                self.stats.record_completion(&c);
-                out.push(c);
-            } else {
-                i += 1;
+impl MemoryBackend for SimpleDdrModel {
+    fn tick(&mut self, now: Cycle) {
+        if now > self.now {
+            self.now = now;
+        }
+        // Release queue slots for requests whose service has finished.
+        let cycle = self.now.as_u64();
+        for ch in &mut self.channels {
+            if ch.server_free <= cycle {
+                ch.queued = 0;
             }
         }
     }
 
-    fn pending(&self) -> usize {
-        self.pending.len()
+    fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+        for (i, request) in batch.iter().enumerate() {
+            if !self.accept(request) {
+                self.stats.record_rejection();
+                return IssueOutcome { accepted: i };
+            }
+        }
+        IssueOutcome::all(batch.len())
     }
 
-    fn stats(&self) -> &MemoryStats {
-        &self.stats
+    fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+        self.queue.drain_due(self.now, &mut self.stats, out)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        // Either a completion becomes drainable, or a busy channel's server frees a queue
+        // slot (relevant to issuers waiting out back-pressure).
+        let now = self.now.as_u64();
+        let mut next = self.queue.next_ready().map(|c| c.as_u64());
+        for ch in &self.channels {
+            if ch.queued > 0 && ch.server_free > now {
+                next = Some(next.map_or(ch.server_free, |n| n.min(ch.server_free)));
+            }
+        }
+        next.map(Cycle::new)
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> MemoryStats {
+        self.stats
     }
 
     fn name(&self) -> &str {
@@ -226,7 +245,9 @@ mod tests {
             let now = i * gap;
             m.tick(Cycle::new(now));
             let req = match write_every {
-                Some(k) if issued % k == 0 => Request::write(issued, issued * 64, Cycle::new(now), 0),
+                Some(k) if issued.is_multiple_of(k) => {
+                    Request::write(issued, issued * 64, Cycle::new(now), 0)
+                }
                 _ => Request::read(issued, issued * 64, Cycle::new(now), 0),
             };
             if m.try_enqueue(req).is_ok() {
@@ -240,9 +261,14 @@ mod tests {
         m.drain_completed(&mut out);
         assert_eq!(out.len() as u64, n);
         let total: u64 = out.iter().map(|c| c.latency().as_u64()).sum();
-        let avg = Cycle::new(total / n).to_latency(Frequency::from_ghz(2.0)).as_ns();
+        let avg = Cycle::new(total / n)
+            .to_latency(Frequency::from_ghz(2.0))
+            .as_ns();
         let last = out.iter().map(|c| c.complete_cycle.as_u64()).max().unwrap();
-        let bw = (n * CACHE_LINE_BYTES) as f64 / Cycle::new(last).to_latency(Frequency::from_ghz(2.0)).as_ns();
+        let bw = (n * CACHE_LINE_BYTES) as f64
+            / Cycle::new(last)
+                .to_latency(Frequency::from_ghz(2.0))
+                .as_ns();
         (avg, bw)
     }
 
@@ -267,7 +293,10 @@ mod tests {
         let (_, bw_reads) = run(&mut reads, 30_000, 1, None);
         let mut mixed = model();
         let (_, bw_mixed) = run(&mut mixed, 30_000, 1, Some(2));
-        assert!(bw_mixed < bw_reads * 0.9, "write turnaround must cost bandwidth: {bw_reads} -> {bw_mixed}");
+        assert!(
+            bw_mixed < bw_reads * 0.9,
+            "write turnaround must cost bandwidth: {bw_reads} -> {bw_mixed}"
+        );
     }
 
     #[test]
@@ -285,7 +314,9 @@ mod tests {
         let mut rejections = 0;
         for i in 0..5_000u64 {
             // Never tick: the queues fill up and reject.
-            if m.try_enqueue(Request::read(i, i * 64, Cycle::ZERO, 0)).is_err() {
+            if m.try_enqueue(Request::read(i, i * 64, Cycle::ZERO, 0))
+                .is_err()
+            {
                 rejections += 1;
             }
         }

@@ -1,0 +1,34 @@
+//! v2 protocol conformance for the baseline analytical models.
+
+use mess_memmodels::{FixedLatencyModel, Md1QueueModel, SimpleDdrConfig, SimpleDdrModel};
+use mess_types::{conformance, Bandwidth, Frequency, Latency};
+
+#[test]
+fn fixed_latency_model_conforms() {
+    conformance::check(|| FixedLatencyModel::new(Latency::from_ns(80.0), Frequency::from_ghz(2.0)));
+}
+
+#[test]
+fn md1_queue_model_conforms() {
+    conformance::check(|| {
+        Md1QueueModel::new(
+            Latency::from_ns(60.0),
+            Bandwidth::from_gbs(128.0),
+            Frequency::from_ghz(2.0),
+        )
+    });
+}
+
+#[test]
+fn simple_ddr_model_conforms() {
+    conformance::check(|| {
+        SimpleDdrModel::new(SimpleDdrConfig::ddr4_2666_x6(), Frequency::from_ghz(2.0))
+    });
+}
+
+#[test]
+fn simple_ddr_ddr5_variant_conforms() {
+    conformance::check(|| {
+        SimpleDdrModel::new(SimpleDdrConfig::ddr5_4800_x8(), Frequency::from_ghz(2.0))
+    });
+}

@@ -16,8 +16,9 @@ use mess::platforms::PlatformId;
 use mess::types::MessError;
 
 fn main() -> Result<(), MessError> {
-    let selected: Option<PlatformId> =
-        std::env::args().nth(1).and_then(|key| PlatformId::from_key(&key));
+    let selected: Option<PlatformId> = std::env::args()
+        .nth(1)
+        .and_then(|key| PlatformId::from_key(&key));
 
     let sweep = SweepConfig {
         store_mixes: vec![0.0, 0.4, 1.0],

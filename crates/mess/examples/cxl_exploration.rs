@@ -24,14 +24,16 @@ fn main() -> Result<(), MessError> {
 
     let suite = spec2006_suite();
     println!("benchmark        ipc_on_cxl  ipc_on_remote_socket  difference");
-    for workload in suite.iter().filter(|w| ["perlbench", "soplex", "lbm"].contains(&w.name)) {
+    for workload in suite
+        .iter()
+        .filter(|w| ["perlbench", "soplex", "lbm"].contains(&w.name))
+    {
         let mut ipcs = Vec::new();
         for curves in [cxl_curves.clone(), remote_curves.clone()] {
             let config =
                 MessSimulatorConfig::new(curves, platform.frequency, platform.cpu.on_chip_latency);
             let mut backend = MessSimulator::new(config)?;
-            let streams: Vec<Box<dyn OpStream>> =
-                workload.multiprogrammed(platform.cores, 3_000);
+            let streams: Vec<Box<dyn OpStream>> = workload.multiprogrammed(platform.cores, 3_000);
             let mut engine = Engine::from_boxed(platform.cpu_config(), streams);
             let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 60_000_000);
             ipcs.push(report.ipc());

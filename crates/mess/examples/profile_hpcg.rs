@@ -21,7 +21,10 @@ fn main() {
         Fidelity::Full
     };
     let platform = scaled_platform(&PlatformId::IntelCascadeLake.spec(), fidelity);
-    println!("profiling HPCG on {} ({} cores)", platform.name, platform.cores);
+    println!(
+        "profiling HPCG on {} ({} cores)",
+        platform.name, platform.cores
+    );
 
     let timeline = profile_hpcg(&platform, fidelity);
     print!("{}", timeline.to_csv());

@@ -20,8 +20,12 @@ use mess::workloads::stream::{StreamConfig, StreamKernel};
 fn main() -> Result<(), MessError> {
     // 1. The platform under study: 24-core Skylake with six DDR4-2666 channels.
     let platform = PlatformId::IntelSkylake.spec();
-    println!("platform: {} ({} cores, {:.0} GB/s theoretical)",
-        platform.name, platform.cores, platform.theoretical_bandwidth().as_gbs());
+    println!(
+        "platform: {} ({} cores, {:.0} GB/s theoretical)",
+        platform.name,
+        platform.cores,
+        platform.theoretical_bandwidth().as_gbs()
+    );
 
     // 2. Mess benchmark: pointer-chase + traffic generator sweep over the detailed DRAM model.
     let mut dram = platform.build_dram();
@@ -34,7 +38,8 @@ fn main() -> Result<(), MessError> {
     let characterization = characterize(platform.name, &platform.cpu_config(), &mut dram, &sweep)?;
 
     // 3. The quantitative metrics of paper Table I.
-    let metrics = FamilyMetrics::compute(&characterization.family, platform.theoretical_bandwidth());
+    let metrics =
+        FamilyMetrics::compute(&characterization.family, platform.theoretical_bandwidth());
     println!("{metrics}");
 
     // 4. Drive the Mess analytical simulator with the measured curves.

@@ -1,0 +1,70 @@
+//! Umbrella crate of the Mess reproduction.
+//!
+//! Re-exports every crate of the workspace under one name so the examples and integration
+//! tests (and downstream users who just want "the framework") need a single dependency:
+//!
+//! * [`types`] — units, requests, the [`types::MemoryBackend`] interface v2 and its
+//!   conformance suite;
+//! * [`core`] — bandwidth–latency curves, curve families, metrics and the Mess analytical
+//!   simulator (the paper's primary contribution);
+//! * [`dram`] — the cycle-level multi-channel DRAM reference model;
+//! * [`memmodels`] — the fixed-latency, M/D/1 and internal-DDR baselines;
+//! * [`cxl`] — the CXL memory-expander model, manufacturer curves and remote-socket emulation;
+//! * [`cpu`] — the multi-core front-end with a write-allocate LLC and MSHR-limited parallelism;
+//! * [`bench`] — the Mess benchmark (pointer-chase + traffic generator + sweeps + traces);
+//! * [`workloads`] — STREAM, LMbench, multichase, GUPS, HPCG-proxy and the SPEC-like suite;
+//! * [`platforms`] — the Table I platform configurations and the memory-model factory;
+//! * [`profiler`] — curve positioning, stress scores and timeline analysis;
+//! * [`harness`] — the experiment drivers that regenerate every table and figure.
+//!
+//! # The CPU↔memory interface (v2)
+//!
+//! Everything above meets at one trait: [`types::MemoryBackend`], the reproduction of "the
+//! standard interface between the CPU and external memory simulators". Since the v2
+//! redesign the protocol is *event-driven*: issuers batch a whole cycle's requests into one
+//! [`types::MemoryBackend::issue`] call, drain completions (ordered by completion cycle,
+//! then acceptance sequence) into a reusable buffer, and jump their clock straight to
+//! `min(next core event, backend.next_event())` instead of ticking every cycle:
+//!
+//! ```text
+//!     tick(now) ──▶ drain_completed(&mut buf) ──▶ issue(&batch) ──▶ next_event()
+//!        ▲                                                              │
+//!        └─────────────── now = min(core event, backend event) ◀────────┘
+//! ```
+//!
+//! Latency-bound runs skip the hundreds of dead cycles between a request and its
+//! completion (≥10× wall-clock on a pointer-chase; see the `backend_protocol` Criterion
+//! bench), while bandwidth-bound runs pay one virtual call per cycle instead of one per
+//! request.
+//!
+//! # Backend authors' guide
+//!
+//! New memory models implement the seven required methods of [`types::MemoryBackend`] —
+//! analytical models get the ordering, zero-allocation drains and `next_event` for free by
+//! keeping in-flight requests in a [`types::CompletionQueue`] — and then prove the contract
+//! by calling [`types::conformance::check`] with a factory closure in a test. The suite
+//! enforces determinism, idempotent/gap-tolerant ticks, drain ordering, next-event honesty
+//! and back-pressure accounting; the factory-level test in [`platforms`] runs it against
+//! every model the experiment factory can build. The full protocol contract lives in the
+//! [`types::backend`] module docs.
+//!
+//! ```
+//! use mess::platforms::PlatformId;
+//!
+//! let skylake = PlatformId::IntelSkylake.spec();
+//! assert_eq!(skylake.cores, 24);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mess_bench as bench;
+pub use mess_core as core;
+pub use mess_cpu as cpu;
+pub use mess_cxl as cxl;
+pub use mess_dram as dram;
+pub use mess_harness as harness;
+pub use mess_memmodels as memmodels;
+pub use mess_platforms as platforms;
+pub use mess_profiler as profiler;
+pub use mess_types as types;
+pub use mess_workloads as workloads;

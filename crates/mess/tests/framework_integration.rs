@@ -31,9 +31,13 @@ fn benchmark_to_simulator_pipeline_preserves_the_memory_behaviour() {
 
     // 1. Characterize the detailed DRAM reference with the Mess benchmark.
     let mut dram = platform.build_dram();
-    let characterization =
-        characterize(platform.name, &platform.cpu_config(), &mut dram, &quick_sweep())
-            .expect("sweep is valid");
+    let characterization = characterize(
+        platform.name,
+        &platform.cpu_config(),
+        &mut dram,
+        &quick_sweep(),
+    )
+    .expect("sweep is valid");
     let reference_metrics =
         FamilyMetrics::compute(&characterization.family, platform.theoretical_bandwidth());
     assert!(reference_metrics.unloaded_latency.as_ns() > 40.0);
@@ -60,7 +64,10 @@ fn benchmark_to_simulator_pipeline_preserves_the_memory_behaviour() {
         - reference_metrics.unloaded_latency.as_ns())
     .abs()
         / reference_metrics.unloaded_latency.as_ns();
-    assert!(unloaded_err < 0.5, "unloaded latency error {unloaded_err:.2}");
+    assert!(
+        unloaded_err < 0.5,
+        "unloaded latency error {unloaded_err:.2}"
+    );
     let bw_err = (simulated_metrics.saturated_bandwidth_range.high.as_gbs()
         - reference_metrics.saturated_bandwidth_range.high.as_gbs())
     .abs()
@@ -80,7 +87,9 @@ fn stream_triad_ipc_ranks_memory_models_like_the_paper() {
     let run_ipc = |backend: &mut dyn MemoryBackend| {
         let streams: Vec<Box<dyn OpStream>> = triad.streams();
         let mut engine = Engine::from_boxed(platform.cpu_config(), streams);
-        engine.run(backend, StopCondition::AllStreamsDone, 20_000_000).ipc()
+        engine
+            .run(backend, StopCondition::AllStreamsDone, 20_000_000)
+            .ipc()
     };
 
     let mut dram = platform.build_dram();
@@ -99,7 +108,10 @@ fn stream_triad_ipc_ranks_memory_models_like_the_paper() {
 
     // The fixed-latency model has no bandwidth limit, so it overestimates the IPC of a
     // bandwidth-bound kernel; the Mess simulator must stay closer to the reference.
-    assert!(fixed_ipc > reference, "fixed {fixed_ipc} vs reference {reference}");
+    assert!(
+        fixed_ipc > reference,
+        "fixed {fixed_ipc} vs reference {reference}"
+    );
     let fixed_err = (fixed_ipc - reference).abs() / reference;
     let mess_err = (mess_ipc - reference).abs() / reference;
     assert!(
@@ -112,9 +124,13 @@ fn stream_triad_ipc_ranks_memory_models_like_the_paper() {
 fn profiler_places_benchmark_measurements_consistently() {
     let platform = small_platform();
     let mut dram = platform.build_dram();
-    let characterization =
-        characterize(platform.name, &platform.cpu_config(), &mut dram, &quick_sweep())
-            .expect("sweep is valid");
+    let characterization = characterize(
+        platform.name,
+        &platform.cpu_config(),
+        &mut dram,
+        &quick_sweep(),
+    )
+    .expect("sweep is valid");
 
     let profiler = Profiler::new(characterization.family.clone());
     // The most intense measured point must score higher than the least intense one.

@@ -128,15 +128,21 @@ pub fn build_memory_model(
         MemoryModelKind::InternalDdr => {
             Box::new(SimpleDdrModel::new(simple_ddr_config(platform), freq))
         }
-        MemoryModelKind::Dramsim3Like => {
-            Box::new(ApproxDramSim::new(ApproxProfile::Dramsim3Like, theoretical, freq))
-        }
-        MemoryModelKind::RamulatorLike => {
-            Box::new(ApproxDramSim::new(ApproxProfile::RamulatorLike, theoretical, freq))
-        }
-        MemoryModelKind::Ramulator2Like => {
-            Box::new(ApproxDramSim::new(ApproxProfile::Ramulator2Like, theoretical, freq))
-        }
+        MemoryModelKind::Dramsim3Like => Box::new(ApproxDramSim::new(
+            ApproxProfile::Dramsim3Like,
+            theoretical,
+            freq,
+        )),
+        MemoryModelKind::RamulatorLike => Box::new(ApproxDramSim::new(
+            ApproxProfile::RamulatorLike,
+            theoretical,
+            freq,
+        )),
+        MemoryModelKind::Ramulator2Like => Box::new(ApproxDramSim::new(
+            ApproxProfile::Ramulator2Like,
+            theoretical,
+            freq,
+        )),
         MemoryModelKind::DetailedDram => Box::new(DramSystem::new(platform.dram_config())),
         MemoryModelKind::Mess => {
             let family = curves.ok_or_else(|| {

@@ -403,7 +403,13 @@ impl PlatformSpec {
                 r.max_latency_low_ns / r.unloaded_latency_ns,
                 r.max_latency_high_ns / r.unloaded_latency_ns,
             ),
-            None => (self.reference_unloaded_latency().as_ns(), 0.85, 0.65, 2.5, 4.0),
+            None => (
+                self.reference_unloaded_latency().as_ns(),
+                0.85,
+                0.65,
+                2.5,
+                4.0,
+            ),
         };
         let mut spec = SyntheticFamilySpec::ddr_like(theoretical, unloaded);
         spec.name = format!("{} (reference curves)", self.name);
@@ -477,7 +483,10 @@ mod tests {
     fn table_one_platforms_have_reference_data() {
         for id in PlatformId::TABLE_ONE {
             let spec = id.spec();
-            assert!(spec.reference.is_some(), "{id} must carry Table I reference values");
+            assert!(
+                spec.reference.is_some(),
+                "{id} must carry Table I reference values"
+            );
         }
     }
 
@@ -519,7 +528,10 @@ mod tests {
             );
             let max_bw = fam.max_bandwidth().as_gbs();
             let theo = spec.theoretical_bandwidth().as_gbs();
-            assert!(max_bw <= theo * 1.01, "{id}: family max bandwidth exceeds theoretical");
+            assert!(
+                max_bw <= theo * 1.01,
+                "{id}: family max bandwidth exceeds theoretical"
+            );
         }
     }
 

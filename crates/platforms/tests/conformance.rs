@@ -1,0 +1,29 @@
+//! Factory-level conformance: every memory model the experiment factory can build must
+//! honour the v2 `MemoryBackend` contract. This is the test that keeps the protocol
+//! enforced for *all seven* backends at once, including future additions to the factory.
+
+use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId};
+use mess_types::conformance;
+
+const ALL_KINDS: [MemoryModelKind; 9] = [
+    MemoryModelKind::FixedLatency,
+    MemoryModelKind::Md1Queue,
+    MemoryModelKind::InternalDdr,
+    MemoryModelKind::Dramsim3Like,
+    MemoryModelKind::RamulatorLike,
+    MemoryModelKind::Ramulator2Like,
+    MemoryModelKind::DetailedDram,
+    MemoryModelKind::Mess,
+    MemoryModelKind::CxlExpander,
+];
+
+#[test]
+fn every_factory_model_passes_the_conformance_suite() {
+    let platform = PlatformId::IntelSkylake.spec();
+    for kind in ALL_KINDS {
+        let curves = kind.needs_curves().then(|| platform.reference_family());
+        conformance::check(|| {
+            build_memory_model(kind, &platform, curves.clone()).expect("model builds")
+        });
+    }
+}

@@ -42,7 +42,11 @@ pub struct BandwidthSample {
 impl BandwidthSample {
     /// Creates a sample.
     pub fn new(time_us: f64, bandwidth: Bandwidth, ratio: RwRatio) -> Self {
-        BandwidthSample { time_us, bandwidth, ratio }
+        BandwidthSample {
+            time_us,
+            bandwidth,
+            ratio,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ pub struct StressWeights {
 
 impl Default for StressWeights {
     fn default() -> Self {
-        StressWeights { latency: 0.6, inclination: 0.4 }
+        StressWeights {
+            latency: 0.6,
+            inclination: 0.4,
+        }
     }
 }
 
@@ -84,7 +91,10 @@ pub struct Profiler {
 impl Profiler {
     /// Creates a profiler for the memory system described by `family`.
     pub fn new(family: CurveFamily) -> Self {
-        Profiler { family, weights: StressWeights::default() }
+        Profiler {
+            family,
+            weights: StressWeights::default(),
+        }
     }
 
     /// Replaces the stress-score weights.
@@ -110,7 +120,8 @@ impl Profiler {
             .max_latency()
             .as_ns()
             .max(unloaded + 1.0);
-        let latency_norm = ((latency.as_ns() - unloaded) / (max_latency - unloaded)).clamp(0.0, 1.0);
+        let latency_norm =
+            ((latency.as_ns() - unloaded) / (max_latency - unloaded)).clamp(0.0, 1.0);
 
         // Inclination is normalised against the steepest slope of the relevant curve.
         let curve = self.family.closest_curve(sample.ratio);
@@ -127,12 +138,19 @@ impl Profiler {
             + self.weights.inclination * inclination_norm)
             / total)
             .clamp(0.0, 1.0);
-        PlacedSample { sample: *sample, latency, inclination, stress_score }
+        PlacedSample {
+            sample: *sample,
+            latency,
+            inclination,
+            stress_score,
+        }
     }
 
     /// Places every sample of a timeline.
     pub fn profile(&self, samples: &[BandwidthSample]) -> Timeline {
-        Timeline { samples: samples.iter().map(|s| self.place(s)).collect() }
+        Timeline {
+            samples: samples.iter().map(|s| self.place(s)).collect(),
+        }
     }
 }
 
@@ -167,13 +185,19 @@ impl Timeline {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().filter(|s| s.stress_score > score).count() as f64
+        self.samples
+            .iter()
+            .filter(|s| s.stress_score > score)
+            .count() as f64
             / self.samples.len() as f64
     }
 
     /// Peak memory latency seen across the timeline.
     pub fn peak_latency(&self) -> Latency {
-        self.samples.iter().map(|s| s.latency).fold(Latency::ZERO, Latency::max)
+        self.samples
+            .iter()
+            .map(|s| s.latency)
+            .fold(Latency::ZERO, Latency::max)
     }
 
     /// Peak bandwidth seen across the timeline.
@@ -272,19 +296,32 @@ mod tests {
     use proptest::prelude::*;
 
     fn profiler() -> Profiler {
-        let family =
-            generate_family(&SyntheticFamilySpec::ddr_like(Bandwidth::from_gbs(128.0), 90.0));
+        let family = generate_family(&SyntheticFamilySpec::ddr_like(
+            Bandwidth::from_gbs(128.0),
+            90.0,
+        ));
         Profiler::new(family)
     }
 
     #[test]
     fn unloaded_samples_have_low_stress_and_saturated_samples_high() {
         let p = profiler();
-        let idle = p.place(&BandwidthSample::new(0.0, Bandwidth::from_gbs(2.0), RwRatio::ALL_READS));
-        let busy =
-            p.place(&BandwidthSample::new(10.0, Bandwidth::from_gbs(115.0), RwRatio::ALL_READS));
+        let idle = p.place(&BandwidthSample::new(
+            0.0,
+            Bandwidth::from_gbs(2.0),
+            RwRatio::ALL_READS,
+        ));
+        let busy = p.place(&BandwidthSample::new(
+            10.0,
+            Bandwidth::from_gbs(115.0),
+            RwRatio::ALL_READS,
+        ));
         assert!(idle.stress_score < 0.2, "idle stress {}", idle.stress_score);
-        assert!(busy.stress_score > 0.7, "saturated stress {}", busy.stress_score);
+        assert!(
+            busy.stress_score > 0.7,
+            "saturated stress {}",
+            busy.stress_score
+        );
         assert!(busy.latency > idle.latency);
     }
 
@@ -294,13 +331,17 @@ mod tests {
         let scores: Vec<f64> = (0..20)
             .map(|i| {
                 let bw = Bandwidth::from_gbs(6.0 * i as f64);
-                p.place(&BandwidthSample::new(0.0, bw, RwRatio::HALF)).stress_score
+                p.place(&BandwidthSample::new(0.0, bw, RwRatio::HALF))
+                    .stress_score
             })
             .collect();
         for pair in scores.windows(2) {
             // Allow a whisker of slack at interpolation-segment boundaries of the
             // piecewise-linear inclination estimate.
-            assert!(pair[1] >= pair[0] - 0.01, "stress must not decrease: {scores:?}");
+            assert!(
+                pair[1] >= pair[0] - 0.01,
+                "stress must not decrease: {scores:?}"
+            );
         }
     }
 
@@ -310,7 +351,11 @@ mod tests {
         let samples: Vec<BandwidthSample> = (0..100)
             .map(|i| {
                 let bw = if i < 50 { 10.0 } else { 114.0 };
-                BandwidthSample::new(i as f64 * 10_000.0, Bandwidth::from_gbs(bw), RwRatio::ALL_READS)
+                BandwidthSample::new(
+                    i as f64 * 10_000.0,
+                    Bandwidth::from_gbs(bw),
+                    RwRatio::ALL_READS,
+                )
             })
             .collect();
         let t = p.profile(&samples);
@@ -327,7 +372,11 @@ mod tests {
         let samples: Vec<BandwidthSample> = (0..60)
             .map(|i| {
                 let bw = if (i / 20) % 2 == 0 { 8.0 } else { 112.0 };
-                BandwidthSample::new(i as f64 * 10_000.0, Bandwidth::from_gbs(bw), RwRatio::ALL_READS)
+                BandwidthSample::new(
+                    i as f64 * 10_000.0,
+                    Bandwidth::from_gbs(bw),
+                    RwRatio::ALL_READS,
+                )
             })
             .collect();
         let t = p.profile(&samples);

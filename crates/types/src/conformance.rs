@@ -1,0 +1,473 @@
+//! The shared conformance suite for [`MemoryBackend`] implementations.
+//!
+//! The v2 protocol contract (see the [`crate::backend`] module docs) is enforced by tests,
+//! not comments: every backend crate calls [`check`] with a factory closure, and the
+//! factory-level test in `mess-platforms` runs the suite against every model the experiment
+//! factory can build. The suite verifies:
+//!
+//! * **determinism** — identical drive sequences produce identical completions and stats;
+//! * **idempotent, rollback-safe tick** — repeated and out-of-order ticks change nothing;
+//! * **gap tolerance** — an event-driven drive (clock jumps straight to `next_event`)
+//!   observes exactly the completions of a cycle-by-cycle lockstep drive;
+//! * **drain ordering** — completions drain sorted by completion cycle, same-cycle ties in
+//!   acceptance order, into a caller-owned buffer that is appended to, never cleared;
+//! * **next-event honesty** — `next_event` is `Some` while work is pending and never
+//!   promises a wake-up later than a completion's drain cycle;
+//! * **back-pressure accounting** — `issue` accepts a prefix, reports its length
+//!   truthfully, records rejections in the stats, and the backend recovers after draining.
+
+use crate::backend::{MemoryBackend, MemoryStats};
+use crate::request::{AccessKind, Completion, Request, RequestId};
+use crate::units::Cycle;
+
+/// One scripted step: at `cycle`, offer `batch` to the backend.
+#[derive(Debug, Clone)]
+struct Step {
+    cycle: u64,
+    batch: Vec<Request>,
+}
+
+/// A deterministic mixed workload: latency-bound singles with large gaps, bandwidth-bound
+/// bursts, read/write mixes and channel-striding addresses.
+fn script() -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut id = 0u64;
+    let mut rng = 0x5DEECE66Du64;
+    let mut next = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let mut cycle = 0u64;
+    // Phase 1: isolated requests with large gaps (the pointer-chase regime).
+    for _ in 0..24 {
+        let addr = (next() % 4096) * 64;
+        let kind = if next() % 4 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        steps.push(Step {
+            cycle,
+            batch: vec![request(id, addr, kind, cycle)],
+        });
+        id += 1;
+        cycle += 150 + next() % 500;
+    }
+    // Phase 2: bursts of up to 32 requests every few cycles (the streaming regime).
+    for _ in 0..40 {
+        let burst = 1 + (next() % 32) as usize;
+        let mut batch = Vec::with_capacity(burst);
+        for _ in 0..burst {
+            let addr = (next() % 65_536) * 64;
+            let kind = if next() % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            batch.push(request(id, addr, kind, cycle));
+            id += 1;
+        }
+        steps.push(Step { cycle, batch });
+        cycle += 1 + next() % 8;
+    }
+    // Phase 3: cool-down singles.
+    for _ in 0..8 {
+        steps.push(Step {
+            cycle,
+            batch: vec![request(id, (next() % 1024) * 64, AccessKind::Read, cycle)],
+        });
+        id += 1;
+        cycle += 700 + next() % 300;
+    }
+    steps
+}
+
+fn request(id: u64, addr: u64, kind: AccessKind, cycle: u64) -> Request {
+    Request {
+        id: RequestId(id),
+        addr,
+        kind,
+        issue_cycle: Cycle::new(cycle),
+        core: (id % 4) as u32,
+    }
+}
+
+/// What one drive observed: the drained completions in drain order, acceptance order by id,
+/// and the final statistics.
+#[derive(Debug)]
+struct Observation {
+    completions: Vec<Completion>,
+    accepted_order: Vec<u64>,
+    stats: MemoryStats,
+}
+
+/// How the clock advances between scripted steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DriveMode {
+    /// Tick every cycle from 0 to the horizon (the v1 protocol).
+    Lockstep,
+    /// Tick every cycle, but with duplicate and rolled-back ticks injected.
+    LockstepNoisy,
+    /// Tick only at scripted cycles and at `next_event` wake-ups (the v2 protocol).
+    EventDriven,
+}
+
+/// Drives `backend` through the script, checking per-drain invariants along the way.
+fn drive<B: MemoryBackend>(backend: &mut B, steps: &[Step], mode: DriveMode) -> Observation {
+    let name = backend.name().to_string();
+    let mut completions = Vec::new();
+    let mut accepted_order = Vec::new();
+    let mut buf: Vec<Completion> = Vec::new();
+    let mut last_drained_cycle = 0u64;
+    // The wake-up promise made by `next_event` at the previous round, for honesty checking.
+    let mut promised: Option<u64> = None;
+    let mut step_idx = 0usize;
+    let mut now = 0u64;
+    let horizon = steps.last().map(|s| s.cycle).unwrap_or(0) + 2_000_000;
+
+    loop {
+        backend.tick(Cycle::new(now));
+        if mode == DriveMode::LockstepNoisy {
+            // Idempotence and rollback safety: these extra ticks must change nothing.
+            backend.tick(Cycle::new(now));
+            backend.tick(Cycle::new(now.saturating_sub(5)));
+        }
+
+        // Drain, checking ordering, the append-only contract and the wake-up promise.
+        let before = buf.len();
+        let drained = backend.drain_completed(&mut buf);
+        assert_eq!(
+            buf.len(),
+            before + drained,
+            "{name}: drain_completed must return exactly the number of appended completions"
+        );
+        for c in &buf[before..] {
+            let at = c.complete_cycle.as_u64();
+            assert!(
+                at <= now,
+                "{name}: drained a completion due at cycle {at} while the clock is at {now}"
+            );
+            assert!(
+                at >= last_drained_cycle,
+                "{name}: completions must drain in nondecreasing completion-cycle order \
+                 ({at} after {last_drained_cycle})"
+            );
+            if let Some(p) = promised {
+                assert!(
+                    at >= p,
+                    "{name}: next_event promised cycle {p} but a completion was already due \
+                     at {at} — a cycle-skipping issuer would observe it late"
+                );
+            }
+            last_drained_cycle = at;
+        }
+        // Same-cycle ties must preserve acceptance order.
+        for pair in buf[before..].windows(2) {
+            if pair[0].complete_cycle == pair[1].complete_cycle {
+                let pos = |c: &Completion| {
+                    accepted_order
+                        .iter()
+                        .position(|&id| id == c.id.0)
+                        .unwrap_or(usize::MAX)
+                };
+                assert!(
+                    pos(&pair[0]) < pos(&pair[1]),
+                    "{name}: same-cycle completions must drain in acceptance order"
+                );
+            }
+        }
+        completions.extend_from_slice(&buf[before..]);
+
+        // Offer the scripted batch for this cycle (rejected requests are dropped, so every
+        // drive mode observes the same acceptance decisions).
+        while step_idx < steps.len() && steps[step_idx].cycle == now {
+            let batch = &steps[step_idx].batch;
+            let outcome = backend.issue(batch);
+            assert!(
+                outcome.accepted <= batch.len(),
+                "{name}: accepted more requests than were offered"
+            );
+            for r in &batch[..outcome.accepted] {
+                accepted_order.push(r.id.0);
+            }
+            step_idx += 1;
+        }
+
+        // Advance the clock.
+        let next_script = steps.get(step_idx).map(|s| s.cycle);
+        if backend.pending() > 0 {
+            assert!(
+                backend.next_event().is_some(),
+                "{name}: next_event must be Some while {} requests are pending",
+                backend.pending()
+            );
+        }
+        if step_idx >= steps.len() && backend.pending() == 0 {
+            break;
+        }
+        if now >= horizon {
+            panic!(
+                "{name}: {} requests still pending at the conformance horizon",
+                backend.pending()
+            );
+        }
+        now = match mode {
+            DriveMode::Lockstep | DriveMode::LockstepNoisy => {
+                promised = None;
+                now + 1
+            }
+            DriveMode::EventDriven => {
+                let event = backend.next_event().map(|c| c.as_u64());
+                promised = event;
+                let target = match (event, next_script) {
+                    (Some(e), Some(s)) => e.min(s),
+                    (Some(e), None) => e,
+                    (None, Some(s)) => s,
+                    (None, None) => now + 1,
+                };
+                target.max(now + 1)
+            }
+        };
+    }
+
+    Observation {
+        completions,
+        accepted_order,
+        stats: backend.stats(),
+    }
+}
+
+fn assert_same_observation(name: &str, what: &str, a: &Observation, b: &Observation) {
+    assert_eq!(
+        a.accepted_order, b.accepted_order,
+        "{name}: {what}: acceptance decisions diverged"
+    );
+    let key = |o: &Observation| -> Vec<(u64, u64)> {
+        o.completions
+            .iter()
+            .map(|c| (c.id.0, c.complete_cycle.as_u64()))
+            .collect()
+    };
+    assert_eq!(
+        key(a),
+        key(b),
+        "{name}: {what}: completion sequences diverged"
+    );
+    // The rejected counter legitimately differs between drive modes (a lockstep driver
+    // re-offers more often), so compare the completion-side counters only.
+    let scrub = |s: MemoryStats| MemoryStats { rejected: 0, ..s };
+    assert_eq!(
+        scrub(a.stats),
+        scrub(b.stats),
+        "{name}: {what}: statistics diverged"
+    );
+}
+
+/// Floods the backend to exercise prefix acceptance, rejection accounting and recovery.
+fn check_backpressure<B: MemoryBackend, F: FnMut() -> B>(make: &mut F) {
+    let mut backend = make();
+    let name = backend.name().to_string();
+    backend.tick(Cycle::ZERO);
+    let flood: Vec<Request> = (0..4096)
+        .map(|i| request(i, i * 64, AccessKind::Read, 0))
+        .collect();
+    let before = backend.stats();
+    let outcome = backend.issue(&flood);
+    assert!(outcome.accepted <= flood.len());
+    assert!(
+        outcome.accepted > 0,
+        "{name}: an idle backend must accept at least one request"
+    );
+    assert_eq!(
+        backend.pending(),
+        outcome.accepted,
+        "{name}: pending() must equal the accepted prefix before any drain"
+    );
+    if outcome.accepted < flood.len() {
+        assert!(
+            backend.stats().rejected > before.rejected,
+            "{name}: a stopped issue call must record a rejection"
+        );
+    }
+
+    // Drain everything via next_event jumps; the accepted prefix must complete exactly.
+    let mut buf = Vec::new();
+    let mut drained = 0usize;
+    let mut now = 0u64;
+    let mut guard = 0u32;
+    while backend.pending() > 0 {
+        now = backend
+            .next_event()
+            .unwrap_or_else(|| panic!("{name}: pending but no next_event"))
+            .as_u64()
+            .max(now + 1);
+        backend.tick(Cycle::new(now));
+        buf.clear();
+        drained += backend.drain_completed(&mut buf);
+        guard += 1;
+        assert!(guard < 1_000_000, "{name}: flood never drained");
+    }
+    assert_eq!(
+        drained, outcome.accepted,
+        "{name}: every accepted request must eventually complete"
+    );
+    assert_eq!(
+        backend.stats().total_completed() - before.total_completed(),
+        outcome.accepted as u64,
+        "{name}: completion counters must match the accepted prefix"
+    );
+
+    // After draining, the backend accepts again.
+    let retry = backend.issue(&[request(1_000_000, 0x40, AccessKind::Read, now)]);
+    assert_eq!(
+        retry.accepted, 1,
+        "{name}: backend must recover after a drain"
+    );
+}
+
+/// Runs the full conformance suite against backends produced by `make`.
+///
+/// The factory is invoked several times; each invocation must return a *fresh* backend in
+/// the same configuration (determinism across instances is part of the contract).
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first contract violation.
+pub fn check<B: MemoryBackend, F: FnMut() -> B>(mut make: F) {
+    let steps = script();
+
+    // 1. Determinism: two fresh instances, identical drives, identical observations.
+    let a = drive(&mut make(), &steps, DriveMode::EventDriven);
+    let b = drive(&mut make(), &steps, DriveMode::EventDriven);
+    let name = make().name().to_string();
+    assert_same_observation(&name, "determinism", &a, &b);
+    assert_eq!(
+        a.stats.rejected, b.stats.rejected,
+        "{name}: determinism: rejection accounting diverged"
+    );
+
+    // 2. Gap tolerance: the event-driven drive observes exactly the lockstep completions.
+    let lockstep = drive(&mut make(), &steps, DriveMode::Lockstep);
+    assert_same_observation(&name, "event-driven vs lockstep", &a, &lockstep);
+
+    // 3. Tick idempotence and rollback safety.
+    let noisy = drive(&mut make(), &steps, DriveMode::LockstepNoisy);
+    assert_same_observation(&name, "noisy ticks", &noisy, &lockstep);
+
+    // 4. Back-pressure accounting and recovery.
+    check_backpressure(&mut make);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::IssueOutcome;
+    use crate::queue::CompletionQueue;
+
+    /// A minimal well-behaved backend: fixed latency, bounded queue.
+    struct WellBehaved {
+        now: Cycle,
+        queue: CompletionQueue,
+        stats: MemoryStats,
+        capacity: usize,
+        latency: u64,
+    }
+
+    impl WellBehaved {
+        fn new(capacity: usize, latency: u64) -> Self {
+            WellBehaved {
+                now: Cycle::ZERO,
+                queue: CompletionQueue::new(),
+                stats: MemoryStats::default(),
+                capacity,
+                latency,
+            }
+        }
+    }
+
+    impl MemoryBackend for WellBehaved {
+        fn tick(&mut self, now: Cycle) {
+            if now > self.now {
+                self.now = now;
+            }
+        }
+        fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+            for (i, r) in batch.iter().enumerate() {
+                if self.queue.len() >= self.capacity {
+                    self.stats.record_rejection();
+                    return IssueOutcome { accepted: i };
+                }
+                let start = r.issue_cycle.max(self.now);
+                self.queue.schedule(Completion {
+                    id: r.id,
+                    addr: r.addr,
+                    kind: r.kind,
+                    issue_cycle: r.issue_cycle,
+                    complete_cycle: start + self.latency,
+                    core: r.core,
+                });
+            }
+            IssueOutcome::all(batch.len())
+        }
+        fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+            self.queue.drain_due(self.now, &mut self.stats, out)
+        }
+        fn next_event(&self) -> Option<Cycle> {
+            self.queue.next_ready()
+        }
+        fn pending(&self) -> usize {
+            self.queue.len()
+        }
+        fn stats(&self) -> MemoryStats {
+            self.stats
+        }
+        fn name(&self) -> &str {
+            "well-behaved"
+        }
+    }
+
+    #[test]
+    fn well_behaved_backend_passes() {
+        check(|| WellBehaved::new(48, 120));
+    }
+
+    #[test]
+    fn unbounded_backend_passes() {
+        check(|| WellBehaved::new(usize::MAX, 37));
+    }
+
+    /// A backend that lies in `next_event` (promises one cycle too late).
+    struct LateEvents(WellBehaved);
+
+    impl MemoryBackend for LateEvents {
+        fn tick(&mut self, now: Cycle) {
+            self.0.tick(now)
+        }
+        fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
+            self.0.issue(batch)
+        }
+        fn drain_completed(&mut self, out: &mut Vec<Completion>) -> usize {
+            self.0.drain_completed(out)
+        }
+        fn next_event(&self) -> Option<Cycle> {
+            self.0.next_event().map(|c| c + 40)
+        }
+        fn pending(&self) -> usize {
+            self.0.pending()
+        }
+        fn stats(&self) -> MemoryStats {
+            self.0.stats()
+        }
+        fn name(&self) -> &str {
+            "late-events"
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "observe it late")]
+    fn late_next_event_is_caught() {
+        check(|| LateEvents(WellBehaved::new(48, 120)));
+    }
+}

@@ -25,7 +25,10 @@ impl fmt::Display for MessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MessError::InvalidRatio(v) => {
-                write!(f, "read/write ratio must be a finite value in [0, 1], got {v}")
+                write!(
+                    f,
+                    "read/write ratio must be a finite value in [0, 1], got {v}"
+                )
             }
             MessError::InvalidCurve(msg) => write!(f, "invalid bandwidth-latency curve: {msg}"),
             MessError::EmptyCurveFamily => write!(f, "curve family contains no curves"),
@@ -46,16 +49,28 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<(MessError, &str)> = vec![
             (MessError::InvalidRatio(1.5), "read/write ratio"),
-            (MessError::InvalidCurve("x".into()), "invalid bandwidth-latency curve"),
+            (
+                MessError::InvalidCurve("x".into()),
+                "invalid bandwidth-latency curve",
+            ),
             (MessError::EmptyCurveFamily, "curve family"),
-            (MessError::InvalidConfig("bad".into()), "invalid configuration"),
+            (
+                MessError::InvalidConfig("bad".into()),
+                "invalid configuration",
+            ),
             (MessError::Parse("bad".into()), "parse error"),
-            (MessError::MissingComponent("cxl".into()), "missing component"),
+            (
+                MessError::MissingComponent("cxl".into()),
+                "missing component",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg} should contain {needle}");
-            assert!(!msg.ends_with('.'), "error messages should not end with punctuation");
+            assert!(
+                !msg.ends_with('.'),
+                "error messages should not end with punctuation"
+            );
         }
     }
 

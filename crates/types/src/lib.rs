@@ -26,13 +26,18 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod backend;
+pub mod conformance;
 pub mod error;
+pub mod queue;
 pub mod ratio;
 pub mod request;
 pub mod units;
 
-pub use backend::{EnqueueError, MemoryBackend, MemoryStats, RowBufferStats};
+pub use backend::{
+    EnqueueError, IssueOutcome, MemoryBackend, MemoryStats, RowBufferStats, StatsWindow,
+};
 pub use error::MessError;
+pub use queue::CompletionQueue;
 pub use ratio::RwRatio;
 pub use request::{AccessKind, Completion, Request, RequestId};
 pub use units::{Bandwidth, Bytes, Cycle, Frequency, Latency, CACHE_LINE_BYTES};

@@ -1,0 +1,171 @@
+//! A completion scheduler shared by the analytical memory models.
+//!
+//! Every backend that decides a request's completion time at acceptance (the fixed-latency,
+//! M/D/1, simple-DDR, approximate-external-simulator, CXL-expander and Mess models) keeps
+//! its in-flight requests in a [`CompletionQueue`]. The queue provides, for free, the three
+//! guarantees of the v2 [`crate::MemoryBackend`] contract that are easy to get subtly
+//! wrong:
+//!
+//! * drains are ordered by (completion cycle, acceptance sequence);
+//! * drains reuse the caller's buffer and allocate nothing themselves;
+//! * [`CompletionQueue::next_ready`] is exactly the backend's `next_event`.
+
+use crate::backend::MemoryStats;
+use crate::request::Completion;
+use crate::units::Cycle;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One scheduled completion, ordered by (cycle, sequence).
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    completion: Completion,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A min-heap of scheduled completions with ordered, zero-allocation drains.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl CompletionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CompletionQueue::default()
+    }
+
+    /// Schedules `completion` for release at its `complete_cycle`.
+    ///
+    /// Acceptance order is remembered: two completions due on the same cycle drain in the
+    /// order they were scheduled.
+    pub fn schedule(&mut self, completion: Completion) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.schedule_with_seq(seq, completion);
+    }
+
+    /// Schedules `completion` with an explicit tie-breaking sequence number.
+    ///
+    /// For backends whose completions surface out of acceptance order internally (e.g. a
+    /// multi-channel system collecting per-channel completions), pass the request's
+    /// acceptance sequence here so same-cycle drains still follow the documented order.
+    pub fn schedule_with_seq(&mut self, seq: u64, completion: Completion) {
+        self.seq = self.seq.max(seq + 1);
+        self.heap.push(Reverse(Scheduled {
+            at: completion.complete_cycle.as_u64(),
+            seq,
+            completion,
+        }));
+    }
+
+    /// The cycle of the earliest scheduled completion, if any — a backend's `next_event`.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(s)| Cycle::new(s.at))
+    }
+
+    /// Appends every completion due at or before `now` to `out` (ordered by cycle then
+    /// sequence), records each into `stats`, and returns how many were appended.
+    pub fn drain_due(
+        &mut self,
+        now: Cycle,
+        stats: &mut MemoryStats,
+        out: &mut Vec<Completion>,
+    ) -> usize {
+        let now = now.as_u64();
+        let mut drained = 0;
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at > now {
+                break;
+            }
+            let Reverse(s) = self.heap.pop().expect("peeked entry exists");
+            stats.record_completion(&s.completion);
+            out.push(s.completion);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Number of scheduled, undrained completions.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AccessKind, RequestId};
+
+    fn completion(id: u64, complete: u64) -> Completion {
+        Completion {
+            id: RequestId(id),
+            addr: id * 64,
+            kind: AccessKind::Read,
+            issue_cycle: Cycle::ZERO,
+            complete_cycle: Cycle::new(complete),
+            core: 0,
+        }
+    }
+
+    #[test]
+    fn drains_in_cycle_then_sequence_order() {
+        let mut q = CompletionQueue::new();
+        q.schedule(completion(0, 300));
+        q.schedule(completion(1, 100));
+        q.schedule(completion(2, 100));
+        q.schedule(completion(3, 200));
+        assert_eq!(q.next_ready(), Some(Cycle::new(100)));
+        let mut stats = MemoryStats::default();
+        let mut out = Vec::new();
+        let n = q.drain_due(Cycle::new(250), &mut stats, &mut out);
+        assert_eq!(n, 3);
+        let ids: Vec<u64> = out.iter().map(|c| c.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3], "same-cycle ties keep acceptance order");
+        assert_eq!(stats.reads_completed, 3);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_ready(), Some(Cycle::new(300)));
+    }
+
+    #[test]
+    fn drain_appends_without_clearing() {
+        let mut q = CompletionQueue::new();
+        q.schedule(completion(7, 10));
+        let mut stats = MemoryStats::default();
+        let mut out = vec![completion(99, 1)];
+        q.drain_due(Cycle::new(10), &mut stats, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id.0, 99, "caller-owned contents are preserved");
+    }
+
+    #[test]
+    fn empty_queue_has_no_next_event() {
+        let q = CompletionQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_ready(), None);
+    }
+}

@@ -31,7 +31,11 @@ impl LatMemRdConfig {
     /// LMbench's main-memory configuration: a working set of `4 × llc_bytes` with a 128-byte
     /// stride.
     pub fn main_memory(llc_bytes: u64) -> Self {
-        LatMemRdConfig { array_bytes: llc_bytes * 4, stride_bytes: 128, loads: 200_000 }
+        LatMemRdConfig {
+            array_bytes: llc_bytes * 4,
+            stride_bytes: 128,
+            loads: 200_000,
+        }
     }
 
     /// The op stream of the benchmark (a single-core workload).
@@ -52,7 +56,12 @@ pub struct LatMemRdStream {
 impl LatMemRdStream {
     /// Creates the stream.
     pub fn new(config: LatMemRdConfig) -> Self {
-        LatMemRdStream { config, issued: 0, offset: 0, label: "lmbench:lat_mem_rd".to_string() }
+        LatMemRdStream {
+            config,
+            issued: 0,
+            offset: 0,
+            label: "lmbench:lat_mem_rd".to_string(),
+        }
     }
 }
 
@@ -86,7 +95,11 @@ pub struct MultichaseConfig {
 impl MultichaseConfig {
     /// Multichase's pointer-chase configuration over a working set of `4 × llc_bytes`.
     pub fn main_memory(llc_bytes: u64) -> Self {
-        MultichaseConfig { array_bytes: llc_bytes * 4, loads: 200_000, seed: 0x6d75_6c74 }
+        MultichaseConfig {
+            array_bytes: llc_bytes * 4,
+            loads: 200_000,
+            seed: 0x6d75_6c74,
+        }
     }
 
     /// The op stream of the benchmark (a single-core workload).
@@ -163,11 +176,21 @@ mod tests {
 
     #[test]
     fn lat_mem_rd_issues_only_dependent_loads() {
-        let config = LatMemRdConfig { array_bytes: 1 << 20, stride_bytes: 128, loads: 1_000 };
+        let config = LatMemRdConfig {
+            array_bytes: 1 << 20,
+            stride_bytes: 128,
+            loads: 1_000,
+        };
         let mut stream = config.stream();
         let mut count = 0;
         while let Some(op) = stream.next_op() {
-            assert!(matches!(op, Op::Load { dependent: true, .. }));
+            assert!(matches!(
+                op,
+                Op::Load {
+                    dependent: true,
+                    ..
+                }
+            ));
             count += 1;
         }
         assert_eq!(count, 1_000);
@@ -175,7 +198,11 @@ mod tests {
 
     #[test]
     fn lat_mem_rd_wraps_around_its_working_set() {
-        let config = LatMemRdConfig { array_bytes: 1024, stride_bytes: 256, loads: 8 };
+        let config = LatMemRdConfig {
+            array_bytes: 1024,
+            stride_bytes: 256,
+            loads: 8,
+        };
         let mut stream = config.stream();
         let mut addrs = Vec::new();
         while let Some(Op::Load { addr, .. }) = stream.next_op() {
@@ -191,7 +218,10 @@ mod tests {
         let mut seen = HashSet::new();
         let mut at = 0u32;
         for _ in 0..n {
-            assert!(seen.insert(at), "revisited element {at} before the full cycle");
+            assert!(
+                seen.insert(at),
+                "revisited element {at} before the full cycle"
+            );
             at = next[at as usize];
         }
         assert_eq!(at, 0, "the chain must close after visiting every element");
@@ -200,18 +230,29 @@ mod tests {
 
     #[test]
     fn multichase_visits_distinct_lines_within_one_lap() {
-        let config = MultichaseConfig { array_bytes: 64 * 256, loads: 256, seed: 7 };
+        let config = MultichaseConfig {
+            array_bytes: 64 * 256,
+            loads: 256,
+            seed: 7,
+        };
         let mut stream = config.stream();
         let mut seen = HashSet::new();
         while let Some(Op::Load { addr, .. }) = stream.next_op() {
-            assert!(seen.insert(addr), "address repeated within one lap: {addr:#x}");
+            assert!(
+                seen.insert(addr),
+                "address repeated within one lap: {addr:#x}"
+            );
         }
         assert_eq!(seen.len(), 256);
     }
 
     #[test]
     fn multichase_is_deterministic_for_a_seed() {
-        let config = MultichaseConfig { array_bytes: 1 << 16, loads: 100, seed: 3 };
+        let config = MultichaseConfig {
+            array_bytes: 1 << 16,
+            loads: 100,
+            seed: 3,
+        };
         let collect = |mut s: Box<dyn OpStream>| {
             let mut v = Vec::new();
             while let Some(Op::Load { addr, .. }) = s.next_op() {

@@ -47,9 +47,7 @@ impl GupsConfig {
     /// Per-core op streams.
     pub fn streams(&self) -> Vec<Box<dyn OpStream>> {
         (0..self.cores)
-            .map(|core| {
-                Box::new(GupsStream::new(*self, core)) as Box<dyn OpStream>
-            })
+            .map(|core| Box::new(GupsStream::new(*self, core)) as Box<dyn OpStream>)
             .collect()
     }
 }
@@ -67,7 +65,9 @@ pub struct GupsStream {
 impl GupsStream {
     /// Creates the stream for `core`.
     pub fn new(config: GupsConfig, core: u32) -> Self {
-        let lines = (config.table_bytes / CACHE_LINE_BYTES).next_power_of_two().max(2);
+        let lines = (config.table_bytes / CACHE_LINE_BYTES)
+            .next_power_of_two()
+            .max(2);
         GupsStream {
             rng: StdRng::seed_from_u64(config.seed ^ (core as u64).wrapping_mul(0x9e37_79b9)),
             mask: lines - 1,
@@ -154,8 +154,7 @@ pub struct HpcgStream {
 impl HpcgStream {
     /// Creates the stream for `core`.
     pub fn new(config: HpcgConfig, core: u32) -> Self {
-        let stripe_bytes =
-            config.rows_per_core * config.nonzeros_per_row as u64 * 12; // 8B value + 4B index
+        let stripe_bytes = config.rows_per_core * config.nonzeros_per_row as u64 * 12; // 8B value + 4B index
         HpcgStream {
             rng: StdRng::seed_from_u64(config.seed ^ core as u64),
             row: 0,
@@ -181,13 +180,16 @@ impl HpcgStream {
         self.queue.push(Op::store(
             HPCG_VECTOR_BASE + (row * 8) / CACHE_LINE_BYTES * CACHE_LINE_BYTES,
         ));
-        self.queue.push(Op::compute(2 * self.config.nonzeros_per_row));
+        self.queue
+            .push(Op::compute(2 * self.config.nonzeros_per_row));
         // Gather loads from the vector (about one distinct cache line every four non-zeros —
         // the stencil has strong reuse within a row).
         let gathers = (self.config.nonzeros_per_row / 4).max(1);
         for _ in 0..gathers {
             let line = self.rng.gen_range(0..self.vector_lines);
-            self.queue.push(Op::load(HPCG_VECTOR_BASE + 0x1000_0000 + line * CACHE_LINE_BYTES));
+            self.queue.push(Op::load(
+                HPCG_VECTOR_BASE + 0x1000_0000 + line * CACHE_LINE_BYTES,
+            ));
         }
         for l in (0..matrix_lines).rev() {
             self.queue.push(Op::load(row_base + l * CACHE_LINE_BYTES));
@@ -214,7 +216,12 @@ mod tests {
 
     #[test]
     fn gups_alternates_dependent_loads_and_stores_to_the_same_line() {
-        let config = GupsConfig { table_bytes: 1 << 20, updates_per_core: 50, cores: 1, seed: 1 };
+        let config = GupsConfig {
+            table_bytes: 1 << 20,
+            updates_per_core: 50,
+            cores: 1,
+            seed: 1,
+        };
         let mut s = config.streams().remove(0);
         let mut ops = Vec::new();
         while let Some(op) = s.next_op() {
@@ -223,7 +230,13 @@ mod tests {
         assert_eq!(ops.len(), 100);
         for pair in ops.chunks(2) {
             match (pair[0], pair[1]) {
-                (Op::Load { addr: a, dependent: true }, Op::Store { addr: b }) => {
+                (
+                    Op::Load {
+                        addr: a,
+                        dependent: true,
+                    },
+                    Op::Store { addr: b },
+                ) => {
                     assert_eq!(a, b)
                 }
                 other => panic!("unexpected op pair {other:?}"),
@@ -233,7 +246,12 @@ mod tests {
 
     #[test]
     fn gups_streams_differ_across_cores_but_are_deterministic() {
-        let config = GupsConfig { table_bytes: 1 << 20, updates_per_core: 20, cores: 2, seed: 9 };
+        let config = GupsConfig {
+            table_bytes: 1 << 20,
+            updates_per_core: 20,
+            cores: 2,
+            seed: 9,
+        };
         let collect = |mut s: Box<dyn OpStream>| {
             let mut v = Vec::new();
             while let Some(op) = s.next_op() {
@@ -268,7 +286,10 @@ mod tests {
         }
         assert_eq!(stores, 40, "one result store per row");
         assert_eq!(computes, 40, "one FLOP block per row");
-        assert!(loads > stores * 5, "HPCG is read-dominated, got {loads} loads");
+        assert!(
+            loads > stores * 5,
+            "HPCG is read-dominated, got {loads} loads"
+        );
     }
 
     #[test]
@@ -285,7 +306,10 @@ mod tests {
             while s.next_op().is_some() {
                 n += 1;
             }
-            assert!(n > 5 && n < 5 * 40, "per-row op count should be bounded, got {n}");
+            assert!(
+                n > 5 && n < 5 * 40,
+                "per-row op count should be bounded, got {n}"
+            );
         }
     }
 }

@@ -171,7 +171,9 @@ impl OpStream for SpecStream {
             let line = self.next_seq_line;
             self.next_seq_line = (self.next_seq_line + 1) % self.lines;
             Some(Op::store(self.base + line * CACHE_LINE_BYTES))
-        } else if r < self.spec.store_fraction + (1.0 - self.spec.store_fraction) * self.spec.irregular_fraction {
+        } else if r < self.spec.store_fraction
+            + (1.0 - self.spec.store_fraction) * self.spec.irregular_fraction
+        {
             // Irregular dependent load somewhere in the footprint.
             let line = self.rng.gen_range(0..self.lines);
             Some(Op::dependent_load(self.base + line * CACHE_LINE_BYTES))
@@ -275,6 +277,9 @@ mod tests {
         let b = collect(&mut streams[1]);
         let max_a = a.iter().max().unwrap();
         let min_b = b.iter().min().unwrap();
-        assert!(max_a < min_b, "core 0 and core 1 footprints must not overlap");
+        assert!(
+            max_a < min_b,
+            "core 0 and core 1 footprints must not overlap"
+        );
     }
 }

@@ -97,7 +97,12 @@ pub struct StreamConfig {
 impl StreamConfig {
     /// A STREAM configuration sized relative to an LLC: arrays of `4 × llc_bytes`, one pass.
     pub fn sized_against_llc(kernel: StreamKernel, llc_bytes: u64, cores: u32) -> Self {
-        StreamConfig { kernel, array_bytes: llc_bytes * 4, iterations: 1, cores: cores.max(1) }
+        StreamConfig {
+            kernel,
+            array_bytes: llc_bytes * 4,
+            iterations: 1,
+            cores: cores.max(1),
+        }
     }
 
     /// Per-core op streams for this configuration (one stream per core, static partitioning
@@ -253,8 +258,12 @@ mod tests {
     #[test]
     fn add_and_triad_issue_two_loads_per_line() {
         for kernel in [StreamKernel::Add, StreamKernel::Triad] {
-            let config =
-                StreamConfig { kernel, array_bytes: 32 * 1024, iterations: 2, cores: 1 };
+            let config = StreamConfig {
+                kernel,
+                array_bytes: 32 * 1024,
+                iterations: 2,
+                cores: 1,
+            };
             let lines = config.array_bytes / CACHE_LINE_BYTES * 2;
             let (loads, stores, _) = count_ops(config);
             assert_eq!(loads, 2 * lines, "{kernel}");
@@ -289,7 +298,10 @@ mod tests {
             iterations: 1,
             cores: 4,
         };
-        let triad = StreamConfig { kernel: StreamKernel::Triad, ..copy };
+        let triad = StreamConfig {
+            kernel: StreamKernel::Triad,
+            ..copy
+        };
         assert_eq!(copy.stream_bytes(), 2 * copy.array_bytes);
         assert_eq!(triad.stream_bytes(), 3 * copy.array_bytes);
     }
