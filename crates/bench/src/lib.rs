@@ -12,6 +12,11 @@
 //! * [`trace`] — memory-trace capture and trace-driven replay (paper §IV-D);
 //! * [`host`] — a portable native port that measures the build machine itself.
 //!
+//! Sweep points are independent simulations, so [`characterize`] runs them on a
+//! `mess-exec` worker pool: the caller passes a `Send + Sync` *factory* and every worker
+//! builds its own backend. Results are reassembled in sweep order, so the output is
+//! byte-identical at any thread count.
+//!
 //! ```
 //! use mess_bench::sweep::{characterize, SweepConfig};
 //! use mess_cpu::CpuConfig;
@@ -19,8 +24,8 @@
 //! use mess_types::{Frequency, Latency};
 //!
 //! let cpu = CpuConfig::server_class(4, Frequency::from_ghz(2.0));
-//! let mut memory = FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
-//! let result = characterize("example", &cpu, &mut memory, &SweepConfig::quick())?;
+//! let memory = || FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+//! let result = characterize("example", &cpu, memory, &SweepConfig::quick())?;
 //! assert!(!result.family.is_empty());
 //! # Ok::<(), mess_types::MessError>(())
 //! ```
@@ -34,6 +39,8 @@ pub mod trace;
 pub mod traffic;
 
 pub use chase::{PointerChaseConfig, PointerChaseStream};
-pub use sweep::{characterize, measure_point, Characterization, MeasuredPoint, SweepConfig};
+pub use sweep::{
+    characterize, characterize_with, measure_point, Characterization, MeasuredPoint, SweepConfig,
+};
 pub use trace::{replay, RecordingBackend, ReplayResult, Trace, TraceRecord};
 pub use traffic::{TrafficConfig, TrafficStream};

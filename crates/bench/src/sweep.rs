@@ -6,11 +6,21 @@
 //! model's counters (the simulator stand-in for uncore PMU counters) and the latency from the
 //! probe's dependent loads. Sweeping the store mix selects the curve; sweeping the pause
 //! (`nopCount`) moves along the curve from unloaded to fully saturated.
+//!
+//! # Parallel sweeps
+//!
+//! Measurement points are independent simulations, so [`characterize`] fans them out across
+//! a [`mess_exec`] worker pool: each worker builds a *private* backend through the caller's
+//! `Send + Sync` factory, runs a private [`Engine`], and the results are reassembled **in
+//! sweep order** — the curve family and [`Characterization::to_csv`] output are
+//! byte-identical at any worker count. Pass [`mess_exec::ExecConfig::sequential`] to
+//! [`characterize_with`] to force the single-threaded path (it runs the same code inline).
 
 use crate::chase::PointerChaseConfig;
 use crate::traffic::TrafficConfig;
 use mess_core::{Curve, CurveFamily, CurvePoint};
 use mess_cpu::{CpuConfig, Engine, OpStream, StopCondition};
+use mess_exec::ExecConfig;
 use mess_types::{Bandwidth, Latency, MemoryBackend, MessError, RwRatio};
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +37,11 @@ pub struct MeasuredPoint {
     pub bandwidth: Bandwidth,
     /// Load-to-use latency measured by the pointer-chase probe.
     pub latency: Latency,
+    /// `true` when the engine hit the point's cycle budget before the pointer-chase probe
+    /// finished its configured loads. The bandwidth and latency are then measured over a
+    /// truncated window and must not be treated as a converged measurement — raise
+    /// [`SweepConfig::max_cycles_per_point`] (or lower `chase_loads`) until the flag clears.
+    pub saturated_early: bool,
 }
 
 /// The result of a full characterization sweep.
@@ -39,21 +54,30 @@ pub struct Characterization {
 }
 
 impl Characterization {
-    /// Formats the raw measurements as CSV (`store_mix,pause,read_pct,bandwidth_gbs,latency_ns`).
+    /// Formats the raw measurements as CSV
+    /// (`store_mix,pause_cycles,read_percent,bandwidth_gbs,latency_ns,saturated_early`).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("store_mix,pause_cycles,read_percent,bandwidth_gbs,latency_ns\n");
+        let mut out = String::from(
+            "store_mix,pause_cycles,read_percent,bandwidth_gbs,latency_ns,saturated_early\n",
+        );
         for p in &self.points {
             out.push_str(&format!(
-                "{:.2},{},{},{:.3},{:.2}\n",
+                "{:.2},{},{},{:.3},{:.2},{}\n",
                 p.store_mix,
                 p.pause_cycles,
                 p.ratio.read_percent(),
                 p.bandwidth.as_gbs(),
-                p.latency.as_ns()
+                p.latency.as_ns(),
+                u8::from(p.saturated_early)
             ));
         }
         out
+    }
+
+    /// The points whose cycle budget truncated the probe (see
+    /// [`MeasuredPoint::saturated_early`]); an empty result means the sweep converged.
+    pub fn truncated_points(&self) -> Vec<&MeasuredPoint> {
+        self.points.iter().filter(|p| p.saturated_early).collect()
     }
 }
 
@@ -95,6 +119,18 @@ impl SweepConfig {
         }
     }
 
+    /// The smallest meaningful sweep: two mixes, three intensities, a short probe. Used by
+    /// the determinism regression tests, which characterize the same platform at several
+    /// worker counts and require bit-identical output quickly.
+    pub fn reduced() -> Self {
+        SweepConfig {
+            store_mixes: vec![0.0, 1.0],
+            pause_levels: vec![120, 20, 0],
+            chase_loads: 80,
+            max_cycles_per_point: 400_000,
+        }
+    }
+
     /// Validates the sweep parameters.
     ///
     /// # Errors
@@ -121,69 +157,11 @@ impl SweepConfig {
     }
 }
 
-/// Shifts a shared memory model's clock so that successive engine runs (which each restart
-/// their cycle count at zero) keep issuing requests in the model's future instead of its past.
-struct OffsetBackend<'a, B: ?Sized> {
-    inner: &'a mut B,
-    offset: u64,
-    /// Reusable scratch for clock-shifted batches (the issue path is hot).
-    scratch: Vec<mess_types::Request>,
-}
-
-impl<B: MemoryBackend + ?Sized> MemoryBackend for OffsetBackend<'_, B> {
-    fn tick(&mut self, now: mess_types::Cycle) {
-        self.inner
-            .tick(mess_types::Cycle::new(now.as_u64() + self.offset));
-    }
-
-    fn issue(&mut self, batch: &[mess_types::Request]) -> mess_types::IssueOutcome {
-        // Shift every request into the inner model's clock domain, reusing one buffer.
-        self.scratch.clear();
-        self.scratch
-            .extend(batch.iter().map(|request| mess_types::Request {
-                issue_cycle: mess_types::Cycle::new(request.issue_cycle.as_u64() + self.offset),
-                ..*request
-            }));
-        self.inner.issue(&self.scratch)
-    }
-
-    fn drain_completed(&mut self, out: &mut Vec<mess_types::Completion>) -> usize {
-        let start = out.len();
-        let drained = self.inner.drain_completed(out);
-        for c in &mut out[start..] {
-            c.issue_cycle =
-                mess_types::Cycle::new(c.issue_cycle.as_u64().saturating_sub(self.offset));
-            c.complete_cycle =
-                mess_types::Cycle::new(c.complete_cycle.as_u64().saturating_sub(self.offset));
-        }
-        drained
-    }
-
-    fn next_event(&self) -> Option<mess_types::Cycle> {
-        self.inner
-            .next_event()
-            .map(|c| mess_types::Cycle::new(c.as_u64().saturating_sub(self.offset)))
-    }
-
-    fn pending(&self) -> usize {
-        self.inner.pending()
-    }
-
-    fn stats(&self) -> mess_types::MemoryStats {
-        self.inner.stats()
-    }
-
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-}
-
 /// Runs one measurement point: pointer-chase on core 0, traffic lanes on the other cores.
 ///
-/// The backend keeps its state between points (like the real machine does between runs); the
-/// bandwidth is computed from the statistics delta of this run only. The backend's internal
-/// clock must not be ahead of cycle zero — [`characterize`] takes care of this when reusing
-/// one model across many points.
+/// The point owns its backend for the duration of the run (the parallel sweep gives every
+/// worker a private instance); the bandwidth is computed from the statistics delta of this
+/// run only, and the backend's internal clock must not be ahead of cycle zero.
 pub fn measure_point<B: MemoryBackend + ?Sized>(
     cpu: &CpuConfig,
     backend: &mut B,
@@ -212,50 +190,85 @@ pub fn measure_point<B: MemoryBackend + ?Sized>(
         ratio: report.rw_ratio(),
         bandwidth: report.bandwidth,
         latency,
+        saturated_early: report.hit_cycle_limit,
     }
 }
 
-/// Runs a full characterization sweep of `backend` under the CPU described by `cpu`.
+/// Runs a full characterization sweep with the process-default worker count.
+///
+/// Every (store-mix, pause) point is an independent simulation: a worker builds a private
+/// backend via `factory`, runs a private [`Engine`] on it, and the points are reassembled in
+/// sweep order. See [`characterize_with`] for an explicit [`ExecConfig`].
 ///
 /// # Errors
 ///
 /// Returns an error if the sweep configuration is invalid or the measured points cannot form
 /// a curve family (which cannot happen for a valid sweep).
-pub fn characterize<B: MemoryBackend + ?Sized>(
+pub fn characterize<B, F>(
     name: impl Into<String>,
     cpu: &CpuConfig,
-    backend: &mut B,
+    factory: F,
     sweep: &SweepConfig,
-) -> Result<Characterization, MessError> {
+) -> Result<Characterization, MessError>
+where
+    B: MemoryBackend,
+    F: Fn() -> B + Send + Sync,
+{
+    characterize_with(name, cpu, factory, sweep, &ExecConfig::default())
+}
+
+/// Runs a full characterization sweep of the memory system built by `factory` under the CPU
+/// described by `cpu`, on `exec.resolved_threads()` workers.
+///
+/// The output is deterministic in the worker count: points are computed by pure per-point
+/// simulations (fresh backend, fresh engine, fixed seeds) and collected in sweep order, so
+/// the [`Characterization`] — family, points and CSV — is byte-identical whether the sweep
+/// ran on one thread or many.
+///
+/// # Errors
+///
+/// Returns an error if the sweep configuration is invalid or the measured points cannot form
+/// a curve family (which cannot happen for a valid sweep).
+pub fn characterize_with<B, F>(
+    name: impl Into<String>,
+    cpu: &CpuConfig,
+    factory: F,
+    sweep: &SweepConfig,
+    exec: &ExecConfig,
+) -> Result<Characterization, MessError>
+where
+    B: MemoryBackend,
+    F: Fn() -> B + Send + Sync,
+{
     sweep.validate()?;
-    let mut points = Vec::new();
+    let grid: Vec<(f64, u32)> = sweep
+        .store_mixes
+        .iter()
+        .flat_map(|&mix| sweep.pause_levels.iter().map(move |&pause| (mix, pause)))
+        .collect();
+    let points = mess_exec::par_map_with(exec, grid, |_, (store_mix, pause)| {
+        let mut backend = factory();
+        measure_point(
+            cpu,
+            &mut backend,
+            store_mix,
+            pause,
+            sweep.chase_loads,
+            sweep.max_cycles_per_point,
+        )
+    });
+
     let mut curves: Vec<Curve> = Vec::new();
-    let mut clock_offset = 0u64;
-    for &store_mix in &sweep.store_mixes {
-        let mut curve_points = Vec::new();
-        let mut ratios = Vec::new();
-        for &pause in &sweep.pause_levels {
-            let mut shifted = OffsetBackend {
-                inner: &mut *backend,
-                offset: clock_offset,
-                scratch: Vec::new(),
-            };
-            let p = measure_point(
-                cpu,
-                &mut shifted,
-                store_mix,
-                pause,
-                sweep.chase_loads,
-                sweep.max_cycles_per_point,
-            );
-            // The next point restarts its engine clock at zero; advance the shared model's
-            // clock past anything this point can have scheduled.
-            clock_offset += sweep.max_cycles_per_point + 1_000_000;
-            curve_points.push(CurvePoint::new(p.bandwidth, p.latency));
-            ratios.push(p.ratio.read_fraction());
-            points.push(p);
-        }
-        let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    for mix_points in points.chunks(sweep.pause_levels.len()) {
+        let curve_points: Vec<CurvePoint> = mix_points
+            .iter()
+            .map(|p| CurvePoint::new(p.bandwidth, p.latency))
+            .collect();
+        let mean_ratio = mix_points
+            .iter()
+            .map(|p| p.ratio.read_fraction())
+            .sum::<f64>()
+            / mix_points.len() as f64;
         let mut fraction = mean_ratio.clamp(0.0, 1.0);
         // Two sweeps can measure the same mean composition (e.g. both fully read-dominated);
         // nudge the later one so every curve in the family keeps a distinct ratio key.
@@ -303,8 +316,8 @@ mod tests {
     #[test]
     fn fixed_latency_backend_yields_flat_curves() {
         let cpu = small_cpu(4);
-        let mut backend = FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
-        let c = characterize("fixed", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
+        let backend = || FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+        let c = characterize("fixed", &cpu, backend, &SweepConfig::quick()).unwrap();
         assert_eq!(c.family.len(), 2);
         for curve in c.family.curves() {
             let spread = curve.max_latency().as_ns() - curve.unloaded_latency().as_ns();
@@ -320,12 +333,14 @@ mod tests {
     #[test]
     fn queueing_backend_shows_rising_latency_and_lower_pause_gives_more_bandwidth() {
         let cpu = small_cpu(6);
-        let mut backend = Md1QueueModel::new(
-            Latency::from_ns(60.0),
-            Bandwidth::from_gbs(20.0),
-            cpu.frequency,
-        );
-        let c = characterize("md1", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
+        let backend = || {
+            Md1QueueModel::new(
+                Latency::from_ns(60.0),
+                Bandwidth::from_gbs(20.0),
+                cpu.frequency,
+            )
+        };
+        let c = characterize("md1", &cpu, backend, &SweepConfig::quick()).unwrap();
         for mix_points in c.points.chunks(SweepConfig::quick().pause_levels.len()) {
             let first = mix_points.first().unwrap();
             let last = mix_points.last().unwrap();
@@ -345,8 +360,8 @@ mod tests {
             llc: CacheConfig::new(64 * 1024, 8),
             ..CpuConfig::server_class(4, Frequency::from_ghz(2.0))
         };
-        let mut backend = FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
-        let c = characterize("ratios", &cpu, &mut backend, &SweepConfig::quick()).unwrap();
+        let backend = || FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+        let c = characterize("ratios", &cpu, backend, &SweepConfig::quick()).unwrap();
         // The all-load sweep stays read-only; the all-store sweep approaches 50/50 at full
         // intensity because every store turns into a fill read plus an eventual writeback.
         assert!(c
@@ -362,9 +377,9 @@ mod tests {
     #[test]
     fn csv_has_one_row_per_point_plus_header() {
         let cpu = small_cpu(2);
-        let mut backend = FixedLatencyModel::new(Latency::from_ns(50.0), cpu.frequency);
+        let backend = || FixedLatencyModel::new(Latency::from_ns(50.0), cpu.frequency);
         let sweep = SweepConfig::quick();
-        let c = characterize("csv", &cpu, &mut backend, &sweep).unwrap();
+        let c = characterize("csv", &cpu, backend, &sweep).unwrap();
         let csv = c.to_csv();
         let rows: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(
@@ -372,5 +387,54 @@ mod tests {
             1 + sweep.store_mixes.len() * sweep.pause_levels.len()
         );
         assert!(rows[0].starts_with("store_mix"));
+        assert!(rows[0].ends_with("saturated_early"));
+        // A converged sweep flags nothing.
+        assert!(c.truncated_points().is_empty());
+        assert!(rows[1..].iter().all(|row| row.ends_with(",0")));
+    }
+
+    #[test]
+    fn starved_cycle_budget_flags_points_as_saturated_early() {
+        let cpu = small_cpu(4);
+        let backend = || FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+        // A 400-load probe cannot finish inside 2000 cycles against a 60 ns memory: every
+        // point must be flagged instead of being recorded as a valid measurement.
+        let sweep = SweepConfig {
+            max_cycles_per_point: 2_000,
+            chase_loads: 400,
+            ..SweepConfig::quick()
+        };
+        let c = characterize("starved", &cpu, backend, &sweep).unwrap();
+        assert_eq!(c.truncated_points().len(), c.points.len());
+        assert!(c.points.iter().all(|p| p.saturated_early));
+        assert!(c.to_csv().trim().lines().skip(1).all(|r| r.ends_with(",1")));
+        // And a generous budget clears the flag for the same probe.
+        let relaxed = characterize("relaxed", &cpu, backend, &SweepConfig::quick()).unwrap();
+        assert!(relaxed.truncated_points().is_empty());
+    }
+
+    #[test]
+    fn explicit_exec_config_matches_the_default_path() {
+        let cpu = small_cpu(2);
+        let backend = || FixedLatencyModel::new(Latency::from_ns(50.0), cpu.frequency);
+        let sweep = SweepConfig::reduced();
+        let sequential = characterize_with(
+            "seq",
+            &cpu,
+            backend,
+            &sweep,
+            &mess_exec::ExecConfig::sequential(),
+        )
+        .unwrap();
+        let parallel = characterize_with(
+            "seq",
+            &cpu,
+            backend,
+            &sweep,
+            &mess_exec::ExecConfig::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(sequential.points, parallel.points);
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
     }
 }

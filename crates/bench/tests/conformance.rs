@@ -23,3 +23,15 @@ fn recording_backend_over_backpressured_model_conforms() {
         ))
     });
 }
+
+#[test]
+fn recorder_and_benchmark_streams_are_send_at_the_type_level() {
+    // The parallel sweep builds probes, traffic lanes and (for trace capture) recording
+    // wrappers inside mess-exec workers; `OpStream: Send` already enforces the stream side
+    // at the trait level — this pins the concrete types and the recorder wrapper too.
+    fn assert_send<T: Send>() {}
+    assert_send::<RecordingBackend<FixedLatencyModel>>();
+    assert_send::<mess_bench::PointerChaseStream>();
+    assert_send::<mess_bench::TrafficStream>();
+    assert_send::<Box<dyn mess_cpu::OpStream>>();
+}

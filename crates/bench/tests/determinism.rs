@@ -1,0 +1,94 @@
+//! Determinism regression: a characterization must be bit-identical at every worker count.
+//!
+//! The parallel sweep promises that threading only changes wall-clock time, never results:
+//! points are pure per-point simulations collected in sweep order. These tests pin that
+//! contract by running the same [`SweepConfig::reduced`] characterization at 1, 2 and 8
+//! workers and comparing the outputs field by field and byte by byte.
+
+use mess_bench::sweep::{characterize_with, Characterization, SweepConfig};
+use mess_cpu::{CacheConfig, CpuConfig};
+use mess_exec::ExecConfig;
+use mess_memmodels::{FixedLatencyModel, Md1QueueModel};
+use mess_types::{Bandwidth, Frequency, Latency};
+
+fn small_cpu(cores: u32) -> CpuConfig {
+    CpuConfig {
+        llc: CacheConfig::new(512 * 1024, 8),
+        ..CpuConfig::server_class(cores, Frequency::from_ghz(2.0))
+    }
+}
+
+fn assert_bit_identical(reference: &Characterization, other: &Characterization, what: &str) {
+    // Field-level equality first (better failure messages), then the byte-level artifact.
+    assert_eq!(
+        reference.points, other.points,
+        "{what}: measured points diverged"
+    );
+    assert_eq!(
+        reference.family, other.family,
+        "{what}: curve family diverged"
+    );
+    assert_eq!(
+        reference.to_csv(),
+        other.to_csv(),
+        "{what}: CSV artifact diverged"
+    );
+}
+
+#[test]
+fn md1_characterization_is_identical_at_1_2_and_8_threads() {
+    let cpu = small_cpu(6);
+    let factory = || {
+        Md1QueueModel::new(
+            Latency::from_ns(60.0),
+            Bandwidth::from_gbs(20.0),
+            cpu.frequency,
+        )
+    };
+    let sweep = SweepConfig::reduced();
+    let run = |threads: usize| {
+        characterize_with(
+            "determinism",
+            &cpu,
+            factory,
+            &sweep,
+            &ExecConfig::with_threads(threads),
+        )
+        .expect("reduced sweep is valid")
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_bit_identical(
+            &reference,
+            &run(threads),
+            &format!("md1 @ {threads} threads"),
+        );
+    }
+    // The reference itself is stable across repeated sequential runs, too.
+    assert_bit_identical(&reference, &run(1), "md1 sequential rerun");
+}
+
+#[test]
+fn fixed_latency_characterization_is_identical_at_1_2_and_8_threads() {
+    let cpu = small_cpu(4);
+    let factory = || FixedLatencyModel::new(Latency::from_ns(60.0), cpu.frequency);
+    let sweep = SweepConfig::reduced();
+    let run = |threads: usize| {
+        characterize_with(
+            "determinism-fixed",
+            &cpu,
+            factory,
+            &sweep,
+            &ExecConfig::with_threads(threads),
+        )
+        .expect("reduced sweep is valid")
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_bit_identical(
+            &reference,
+            &run(threads),
+            &format!("fixed @ {threads} threads"),
+        );
+    }
+}

@@ -16,3 +16,11 @@ fn mess_simulator_conforms() {
         MessSimulator::new(config).expect("synthetic curves are valid")
     });
 }
+
+#[test]
+fn mess_simulator_is_send_at_the_type_level() {
+    // The parallel sweep builds the simulator inside mess-exec workers; a non-Send field
+    // would fail this test at compile time instead of deep inside a harness driver.
+    fn assert_send<T: Send>() {}
+    assert_send::<MessSimulator>();
+}

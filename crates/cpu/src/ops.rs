@@ -76,7 +76,13 @@ impl Op {
 ///
 /// Streams are pulled one operation at a time; returning `None` means the core has finished
 /// its work (infinite background streams simply never return `None`).
-pub trait OpStream {
+///
+/// `Send` is a supertrait: the parallel sweep and experiment paths (`mess-exec`) build
+/// engines inside worker threads and may move prepared streams into them, so a stream type
+/// that cannot cross threads should fail here, at the type level, rather than deep inside a
+/// harness driver. Streams are plain generator state (a cursor, a seed, a config), so the
+/// bound is free in practice; for [`FnStream`] it surfaces as `F: Send` on the closure.
+pub trait OpStream: Send {
     /// Produces the next operation, or `None` when the stream is exhausted.
     fn next_op(&mut self) -> Option<Op>;
 
@@ -127,7 +133,7 @@ pub struct FnStream<F: FnMut() -> Op> {
     label: String,
 }
 
-impl<F: FnMut() -> Op> FnStream<F> {
+impl<F: FnMut() -> Op + Send> FnStream<F> {
     /// Creates an infinite stream driven by `f`.
     pub fn new(f: F, label: impl Into<String>) -> Self {
         FnStream {
@@ -137,7 +143,7 @@ impl<F: FnMut() -> Op> FnStream<F> {
     }
 }
 
-impl<F: FnMut() -> Op> OpStream for FnStream<F> {
+impl<F: FnMut() -> Op + Send> OpStream for FnStream<F> {
     fn next_op(&mut self) -> Option<Op> {
         Some((self.f)())
     }

@@ -9,3 +9,11 @@ fn cxl_expander_model_conforms() {
         CxlExpanderModel::new(CxlExpanderConfig::paper_device(Frequency::from_ghz(2.0)))
     });
 }
+
+#[test]
+fn cxl_backend_is_send_at_the_type_level() {
+    // The parallel sweep builds this model inside mess-exec workers; a non-Send field
+    // would fail this test at compile time instead of deep inside a harness driver.
+    fn assert_send<T: Send>() {}
+    assert_send::<CxlExpanderModel>();
+}

@@ -39,3 +39,12 @@ fn approx_simulators_conform() {
         });
     }
 }
+
+#[test]
+fn dram_backends_are_send_at_the_type_level() {
+    // The parallel sweep builds these models inside mess-exec workers; a non-Send field
+    // would fail this test at compile time instead of deep inside a harness driver.
+    fn assert_send<T: Send>() {}
+    assert_send::<DramSystem>();
+    assert_send::<ApproxDramSim>();
+}

@@ -1,0 +1,537 @@
+//! A small job-graph runner for heterogeneous jobs with dependencies and progress reporting.
+//!
+//! [`par_map`](crate::par_map) covers the homogeneous case (one closure, many inputs); the
+//! graph runner covers campaigns of *different* jobs — "run every experiment driver", "sweep
+//! these three platforms then aggregate" — where some jobs must wait for others and the
+//! caller wants to narrate progress (the harness prints one line per started/finished job).
+//!
+//! Scheduling is deterministic in its *choices*: ready jobs are dispatched in insertion
+//! order, and results are returned in insertion order. Only the interleaving of progress
+//! events depends on timing, which is inherent to reporting on concurrent work.
+
+use crate::pool::ExecConfig;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+
+/// Identifier of a job inside one [`JobGraph`] (its insertion index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(usize);
+
+impl JobId {
+    /// The insertion index of the job.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A progress event delivered to the callback passed to [`JobGraph::run`].
+///
+/// Events for one job always arrive as `Started` then `Finished`; events of different jobs
+/// interleave according to the actual execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent<'a> {
+    /// A worker picked the job up and is executing it (queued-but-waiting jobs emit
+    /// nothing, so at most `threads` jobs are "started but not finished" at a time).
+    Started {
+        /// Which job.
+        id: JobId,
+        /// The job's name.
+        name: &'a str,
+    },
+    /// The job's closure returned successfully (a panicking job emits no `Finished` event —
+    /// its panic is resumed on the caller once the dispatched jobs drain).
+    Finished {
+        /// Which job.
+        id: JobId,
+        /// The job's name.
+        name: &'a str,
+        /// Jobs completed so far, including this one.
+        completed: usize,
+        /// Total jobs in the graph.
+        total: usize,
+    },
+}
+
+/// Error returned by [`JobGraph::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The dependency relation contains a cycle (or an edge to an unknown job), so some jobs
+    /// can never become ready. Carries the names of the stuck jobs.
+    DependencyCycle(Vec<String>),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DependencyCycle(names) => {
+                write!(
+                    f,
+                    "job dependencies never resolve for: {}",
+                    names.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+struct Job<'scope, R> {
+    name: String,
+    deps: Vec<JobId>,
+    work: Box<dyn FnOnce() -> R + Send + 'scope>,
+}
+
+/// What a pool worker reports back to the scheduling thread.
+enum WorkerMessage<R> {
+    /// The worker picked the job up (it was executing as of this message).
+    Started(usize),
+    /// The job's closure returned or panicked.
+    Done(usize, std::thread::Result<R>),
+}
+
+/// A set of heterogeneous jobs with dependencies, executed on a scoped worker pool.
+///
+/// ```
+/// use mess_exec::{ExecConfig, JobGraph};
+///
+/// let mut graph = JobGraph::new();
+/// let a = graph.add_job("a", &[], || 1);
+/// let b = graph.add_job("b", &[], || 2);
+/// let _sum = graph.add_job("sum", &[a, b], || 3);
+/// let results = graph.run(&ExecConfig::with_threads(2), |_event| {}).unwrap();
+/// assert_eq!(results, vec![1, 2, 3]);
+/// ```
+pub struct JobGraph<'scope, R> {
+    jobs: Vec<Job<'scope, R>>,
+}
+
+impl<'scope, R: Send + 'scope> Default for JobGraph<'scope, R> {
+    fn default() -> Self {
+        JobGraph::new()
+    }
+}
+
+impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        JobGraph { jobs: Vec::new() }
+    }
+
+    /// Number of jobs added so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no jobs were added.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Adds a job that runs after every job in `deps` has finished; returns its id.
+    pub fn add_job(
+        &mut self,
+        name: impl Into<String>,
+        deps: &[JobId],
+        work: impl FnOnce() -> R + Send + 'scope,
+    ) -> JobId {
+        self.jobs.push(Job {
+            name: name.into(),
+            deps: deps.to_vec(),
+            work: Box::new(work),
+        });
+        JobId(self.jobs.len() - 1)
+    }
+
+    /// Runs every job, respecting dependencies, on `config.resolved_threads()` workers, and
+    /// returns the results in insertion order.
+    ///
+    /// `progress` is invoked on the caller's thread only (no `Sync` required) — once when a
+    /// job is dispatched and once when it finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DependencyCycle`] when dependencies can never resolve. The
+    /// cycle is detected before anything runs; no job executes in that case.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is resumed on the caller's thread after the already
+    /// dispatched jobs have drained; no dependent of the panicking job is started.
+    pub fn run(
+        self,
+        config: &ExecConfig,
+        mut progress: impl FnMut(JobEvent<'_>),
+    ) -> Result<Vec<R>, GraphError> {
+        let (mut waiting, unblocks, mut ready) = self.plan()?;
+        let total = self.jobs.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let names: Vec<String> = self.jobs.iter().map(|j| j.name.clone()).collect();
+
+        // Like par_map, a graph run from inside a mess-exec worker degrades to one worker:
+        // the configured count caps the process, it does not multiply per nesting level.
+        let workers = if crate::pool::in_worker() {
+            1
+        } else {
+            config.resolved_threads().min(total).max(1)
+        };
+        let mut work: Vec<Option<Box<dyn FnOnce() -> R + Send + 'scope>>> =
+            self.jobs.into_iter().map(|j| Some(j.work)).collect();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+
+        if workers == 1 {
+            // Inline path: jobs execute in ready order on the caller's thread — no worker
+            // threads, no channels. This is what makes nested graph runs (and --threads 1
+            // campaigns) truly sequential. Like the parallel path after a panic, remaining
+            // ready jobs still run; only the panicking job's dependents never become ready.
+            let mut completed = 0usize;
+            while let Some(index) = ready.pop_front() {
+                let job = work[index].take().expect("jobs are dispatched once");
+                progress(JobEvent::Started {
+                    id: JobId(index),
+                    name: &names[index],
+                });
+                match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(value) => {
+                        completed += 1;
+                        progress(JobEvent::Finished {
+                            id: JobId(index),
+                            name: &names[index],
+                            completed,
+                            total,
+                        });
+                        slots[index] = Some(value);
+                        for &next in &unblocks[index] {
+                            waiting[next] -= 1;
+                            if waiting[next] == 0 {
+                                ready.push_back(next);
+                            }
+                        }
+                    }
+                    Err(payload) => match &first_panic {
+                        Some((seen, _)) if *seen < index => {}
+                        _ => first_panic = Some((index, payload)),
+                    },
+                }
+            }
+            if let Some((_, payload)) = first_panic {
+                resume_unwind(payload);
+            }
+            return Ok(slots
+                .into_iter()
+                .map(|slot| slot.expect("acyclic graphs complete every job"))
+                .collect());
+        }
+
+        // Jobs flow to workers over one channel, pickup/completion messages flow back over
+        // another; the caller's thread is the scheduler, so the progress callback needs
+        // neither Send nor Sync.
+        let (job_tx, job_rx) = mpsc::channel::<(usize, Box<dyn FnOnce() -> R + Send + 'scope>)>();
+        let job_rx = Mutex::new(job_rx);
+        let (done_tx, done_rx) = mpsc::channel::<WorkerMessage<R>>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let done_tx = done_tx.clone();
+                let job_rx = &job_rx;
+                scope.spawn(move || {
+                    let _mark = crate::pool::WorkerMark::enter();
+                    loop {
+                        let message = job_rx.lock().expect("job queue poisoned").recv();
+                        let Ok((index, work)) = message else { return };
+                        if done_tx.send(WorkerMessage::Started(index)).is_err() {
+                            return;
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(work));
+                        if done_tx.send(WorkerMessage::Done(index, result)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            let mut in_flight = 0usize;
+            let mut completed = 0usize;
+            loop {
+                // Enqueue everything ready, in insertion order; `Started` is emitted when a
+                // worker actually picks a job up, not here at enqueue time.
+                while let Some(index) = ready.pop_front() {
+                    let work = work[index].take().expect("jobs are dispatched once");
+                    job_tx
+                        .send((index, work))
+                        .expect("workers outlive dispatch");
+                    in_flight += 1;
+                }
+                if in_flight == 0 {
+                    break;
+                }
+                match done_rx.recv().expect("workers outlive collection") {
+                    WorkerMessage::Started(index) => progress(JobEvent::Started {
+                        id: JobId(index),
+                        name: &names[index],
+                    }),
+                    WorkerMessage::Done(index, Ok(value)) => {
+                        in_flight -= 1;
+                        completed += 1;
+                        progress(JobEvent::Finished {
+                            id: JobId(index),
+                            name: &names[index],
+                            completed,
+                            total,
+                        });
+                        slots[index] = Some(value);
+                        for &next in &unblocks[index] {
+                            waiting[next] -= 1;
+                            if waiting[next] == 0 {
+                                ready.push_back(next);
+                            }
+                        }
+                    }
+                    // A panicked job emits no Finished event — narrating it as finished
+                    // would misreport which job is about to abort the run.
+                    WorkerMessage::Done(index, Err(payload)) => {
+                        in_flight -= 1;
+                        match &first_panic {
+                            Some((seen, _)) if *seen < index => {}
+                            _ => first_panic = Some((index, payload)),
+                        }
+                    }
+                }
+            }
+            drop(job_tx);
+        });
+
+        if let Some((_, payload)) = first_panic {
+            resume_unwind(payload);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("acyclic graphs complete every job"))
+            .collect())
+    }
+
+    /// Builds the scheduling state — per-job outstanding-dependency counts, the reverse
+    /// adjacency, and the initially ready queue — and validates it with Kahn's algorithm so
+    /// `run` can consume it knowing every job is reachable and every edge in-bounds.
+    #[allow(clippy::type_complexity)]
+    fn plan(&self) -> Result<(Vec<usize>, Vec<Vec<usize>>, VecDeque<usize>), GraphError> {
+        let total = self.jobs.len();
+        // Edges to unknown ids never resolve (they are not in `unblocks`), so they surface
+        // as stuck jobs rather than being silently dropped.
+        let waiting: Vec<usize> = self.jobs.iter().map(|j| j.deps.len()).collect();
+        let mut unblocks: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (idx, job) in self.jobs.iter().enumerate() {
+            for dep in &job.deps {
+                if dep.0 < total {
+                    unblocks[dep.0].push(idx);
+                }
+            }
+        }
+        let ready: VecDeque<usize> = (0..total).filter(|&i| waiting[i] == 0).collect();
+
+        // Kahn's algorithm on a scratch copy; anything left waiting is stuck.
+        let mut scratch = waiting.clone();
+        let mut queue = ready.clone();
+        let mut resolved = 0usize;
+        while let Some(index) = queue.pop_front() {
+            resolved += 1;
+            for &next in &unblocks[index] {
+                scratch[next] -= 1;
+                if scratch[next] == 0 {
+                    queue.push_back(next);
+                }
+            }
+        }
+        if resolved == total {
+            Ok((waiting, unblocks, ready))
+        } else {
+            Err(GraphError::DependencyCycle(
+                scratch
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &w)| w > 0)
+                    .map(|(i, _)| self.jobs[i].name.clone())
+                    .collect(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_return_in_insertion_order() {
+        let mut graph = JobGraph::new();
+        for i in 0..16u64 {
+            graph.add_job(format!("job{i}"), &[], move || {
+                if i % 2 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * 10
+            });
+        }
+        let results = graph.run(&ExecConfig::with_threads(4), |_| {}).unwrap();
+        assert_eq!(results, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let order = Mutex::new(Vec::new());
+        let record = |tag: &'static str| {
+            order.lock().unwrap().push(tag);
+        };
+        let mut graph = JobGraph::new();
+        let a = graph.add_job("a", &[], || record("a"));
+        let b = graph.add_job("b", &[a], || record("b"));
+        graph.add_job("c", &[a, b], || record("c"));
+        graph.run(&ExecConfig::with_threads(4), |_| {}).unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn independent_jobs_actually_overlap() {
+        // Two jobs that each wait for the other to have started can only finish if they run
+        // concurrently.
+        let gate = AtomicUsize::new(0);
+        let sync = |gate: &AtomicUsize| {
+            gate.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while gate.load(Ordering::SeqCst) < 2 {
+                assert!(std::time::Instant::now() < deadline, "jobs did not overlap");
+                std::hint::spin_loop();
+            }
+        };
+        let mut graph = JobGraph::new();
+        graph.add_job("left", &[], || sync(&gate));
+        graph.add_job("right", &[], || sync(&gate));
+        graph.run(&ExecConfig::with_threads(2), |_| {}).unwrap();
+    }
+
+    #[test]
+    fn progress_events_pair_up_and_count() {
+        let mut started = Vec::new();
+        let mut finished = Vec::new();
+        let mut graph = JobGraph::new();
+        let a = graph.add_job("first", &[], || ());
+        graph.add_job("second", &[a], || ());
+        graph
+            .run(&ExecConfig::sequential(), |event| match event {
+                JobEvent::Started { id, .. } => started.push(id),
+                JobEvent::Finished {
+                    id,
+                    completed,
+                    total,
+                    ..
+                } => {
+                    assert_eq!(total, 2);
+                    finished.push((id, completed));
+                }
+            })
+            .unwrap();
+        assert_eq!(started, vec![JobId(0), JobId(1)]);
+        assert_eq!(finished, vec![(JobId(0), 1), (JobId(1), 2)]);
+    }
+
+    #[test]
+    fn started_fires_at_pickup_not_enqueue() {
+        // One worker, three independent jobs: all three are enqueued immediately, but the
+        // progress narration must follow actual execution, strictly interleaved.
+        let mut events = Vec::new();
+        let mut graph = JobGraph::new();
+        for i in 0..3 {
+            graph.add_job(format!("j{i}"), &[], || ());
+        }
+        graph
+            .run(&ExecConfig::sequential(), |event| match event {
+                JobEvent::Started { id, .. } => events.push(("start", id.index())),
+                JobEvent::Finished { id, .. } => events.push(("finish", id.index())),
+            })
+            .unwrap();
+        assert_eq!(
+            events,
+            vec![
+                ("start", 0),
+                ("finish", 0),
+                ("start", 1),
+                ("finish", 1),
+                ("start", 2),
+                ("finish", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn cycles_are_reported_not_deadlocked() {
+        let mut graph: JobGraph<'_, ()> = JobGraph::new();
+        let _a = graph.add_job("a", &[JobId(1)], || ());
+        let _b = graph.add_job("b", &[JobId(0)], || ());
+        let err = graph
+            .run(&ExecConfig::sequential(), |_| {})
+            .expect_err("a cycle must be detected");
+        let GraphError::DependencyCycle(names) = err;
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn panic_in_a_job_propagates_and_skips_dependents() {
+        let ran_dependent = AtomicUsize::new(0);
+        let finished_names = Mutex::new(Vec::new());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut graph = JobGraph::new();
+            let a = graph.add_job("bad", &[], || panic!("job failed"));
+            graph.add_job("after", &[a], || {
+                ran_dependent.fetch_add(1, Ordering::SeqCst);
+            });
+            graph.add_job("independent", &[], || ());
+            graph.run(&ExecConfig::with_threads(2), |event| {
+                if let JobEvent::Finished { name, .. } = event {
+                    finished_names.lock().unwrap().push(name.to_string());
+                }
+            })
+        }));
+        assert!(result.is_err(), "the job panic must propagate");
+        assert_eq!(ran_dependent.load(Ordering::SeqCst), 0);
+        // The crashed job must not be narrated as finished; the independent one is.
+        assert_eq!(*finished_names.lock().unwrap(), vec!["independent"]);
+    }
+
+    #[test]
+    fn nested_graph_runs_with_one_worker() {
+        // A graph launched from inside a pool worker must not fan out a second level.
+        let out =
+            crate::pool::par_map_with(&ExecConfig::with_threads(2), vec![0u32, 1], |_, item| {
+                let mut graph = JobGraph::new();
+                graph.add_job("inner-a", &[], move || item * 10);
+                graph.add_job("inner-b", &[], move || item * 10 + 1);
+                graph.run(&ExecConfig::with_threads(8), |_| {}).unwrap()
+            });
+        assert_eq!(out, vec![vec![0, 1], vec![10, 11]]);
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_results() {
+        let graph: JobGraph<'_, u32> = JobGraph::new();
+        assert!(graph.is_empty());
+        let results = graph.run(&ExecConfig::default(), |_| {}).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn jobs_borrow_from_the_caller() {
+        let inputs = [3u64, 4];
+        let mut graph = JobGraph::new();
+        graph.add_job("x", &[], || inputs[0] * 2);
+        graph.add_job("y", &[], || inputs[1] * 2);
+        let results = graph.run(&ExecConfig::with_threads(2), |_| {}).unwrap();
+        assert_eq!(results, vec![6, 8]);
+    }
+}

@@ -7,8 +7,9 @@
 
 use crate::report::{ExperimentReport, Fidelity};
 use crate::runner::{run_streams, scaled_platform};
-use mess_bench::sweep::{characterize, Characterization, SweepConfig};
+use mess_bench::sweep::{characterize_with, Characterization, SweepConfig};
 use mess_core::metrics::FamilyMetrics;
+use mess_exec::ExecConfig;
 use mess_platforms::{PlatformId, PlatformSpec};
 use mess_workloads::stream::{StreamConfig, StreamKernel};
 
@@ -24,47 +25,55 @@ fn sweep_for(fidelity: Fidelity) -> SweepConfig {
     }
 }
 
-/// Characterizes one platform's detailed-DRAM reference memory with the Mess benchmark.
-pub fn characterize_platform(platform: &PlatformSpec, fidelity: Fidelity) -> Characterization {
-    let mut dram = platform.build_dram();
-    characterize(
+/// Characterizes one platform's detailed-DRAM reference memory with the Mess benchmark on
+/// `exec.resolved_threads()` workers (each sweep point builds a private DRAM system).
+pub fn characterize_platform(
+    platform: &PlatformSpec,
+    fidelity: Fidelity,
+    exec: &ExecConfig,
+) -> Characterization {
+    characterize_with(
         platform.name,
         &platform.cpu_config(),
-        &mut dram,
+        || platform.build_dram(),
         &sweep_for(fidelity),
+        exec,
     )
     .expect("the sweep configuration is valid")
 }
 
 /// Measures the STREAM kernels' sustained bandwidth on the platform (the dashed reference
-/// lines of Figs. 2 and 3), using STREAM's own application-level accounting.
-pub fn stream_bandwidths(platform: &PlatformSpec, fidelity: Fidelity) -> Vec<(StreamKernel, f64)> {
+/// lines of Figs. 2 and 3), using STREAM's own application-level accounting. The four
+/// kernels run in parallel, each against a private DRAM system.
+pub fn stream_bandwidths(
+    platform: &PlatformSpec,
+    fidelity: Fidelity,
+    exec: &ExecConfig,
+) -> Vec<(StreamKernel, f64)> {
     let cpu = platform.cpu_config();
     let scale = match fidelity {
         Fidelity::Quick => 2,
         Fidelity::Full => 6,
     };
-    StreamKernel::ALL
-        .into_iter()
-        .map(|kernel| {
-            let config = StreamConfig {
-                kernel,
-                array_bytes: (cpu.llc.capacity_bytes * scale).max(1 << 22),
-                iterations: 1,
-                cores: cpu.cores,
-            };
-            let mut dram = platform.build_dram();
-            let report = run_streams(platform, config.streams(), &mut dram, 80_000_000);
-            let gbs = config.stream_bytes() as f64 / report.elapsed().as_ns();
-            (kernel, gbs)
-        })
-        .collect()
+    mess_exec::par_map_with(exec, StreamKernel::ALL.to_vec(), |_, kernel| {
+        let config = StreamConfig {
+            kernel,
+            array_bytes: (cpu.llc.capacity_bytes * scale).max(1 << 22),
+            iterations: 1,
+            cores: cpu.cores,
+        };
+        let mut dram = platform.build_dram();
+        let report = run_streams(platform, config.streams(), &mut dram, 80_000_000);
+        let gbs = config.stream_bytes() as f64 / report.elapsed().as_ns();
+        (kernel, gbs)
+    })
 }
 
 /// Paper Fig. 2: the Skylake bandwidth–latency family with its headline metrics.
 pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
     let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), fidelity);
-    let c = characterize_platform(&platform, fidelity);
+    // One platform: parallelism lives inside the sweep (one worker per sweep point).
+    let c = characterize_platform(&platform, fidelity, &ExecConfig::default());
     let metrics = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
 
     let mut report = ExperimentReport::new(
@@ -80,7 +89,7 @@ pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
         ]);
     }
     report.note(metrics.table_row());
-    for (kernel, gbs) in stream_bandwidths(&platform, fidelity) {
+    for (kernel, gbs) in stream_bandwidths(&platform, fidelity, &ExecConfig::default()) {
         report.note(format!(
             "STREAM {kernel}: {gbs:.1} GB/s (application-level)"
         ));
@@ -121,46 +130,55 @@ pub fn table1(fidelity: Fidelity) -> ExperimentReport {
         Fidelity::Quick => vec![PlatformId::IntelSkylake, PlatformId::AmazonGraviton3],
         Fidelity::Full => PlatformId::TABLE_ONE.to_vec(),
     };
-    for id in platforms {
-        let platform = scaled_platform(&id.spec(), fidelity);
-        let theoretical = platform.theoretical_bandwidth();
-        let c = characterize_platform(&platform, fidelity);
-        let m = FamilyMetrics::compute(&c.family, theoretical);
-        let streams = stream_bandwidths(&platform, fidelity);
-        let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
-        let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-        let r = platform.reference;
-        report.push_row(vec![
-            id.key().to_string(),
-            format!("{:.0}", theoretical.as_gbs()),
-            format!("{:.0}", m.unloaded_latency.as_ns()),
-            r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+    // One leg per platform; rows come back in platform order. With fewer platforms than
+    // pool workers the legs run sequentially and the parallelism moves into each leg's
+    // sweep instead (for_fanout) — nested calls on a pool worker never fan out, so the two
+    // schedules produce identical rows.
+    let rows = mess_exec::par_map_with(
+        &ExecConfig::for_fanout(platforms.len()),
+        platforms,
+        |_, id| {
+            let platform = scaled_platform(&id.spec(), fidelity);
+            let theoretical = platform.theoretical_bandwidth();
+            let c = characterize_platform(&platform, fidelity, &ExecConfig::default());
+            let m = FamilyMetrics::compute(&c.family, theoretical);
+            let streams = stream_bandwidths(&platform, fidelity, &ExecConfig::default());
+            let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
+            let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+            let r = platform.reference;
+            vec![
+                id.key().to_string(),
+                format!("{:.0}", theoretical.as_gbs()),
+                format!("{:.0}", m.unloaded_latency.as_ns()),
+                r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+                    .unwrap_or_default(),
+                format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
+                format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+                r.map(|r| {
+                    format!(
+                        "{:.0}-{:.0}",
+                        r.saturated_bw_low_pct, r.saturated_bw_high_pct
+                    )
+                })
                 .unwrap_or_default(),
-            format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
-            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-            r.map(|r| {
                 format!(
                     "{:.0}-{:.0}",
-                    r.saturated_bw_low_pct, r.saturated_bw_high_pct
-                )
-            })
-            .unwrap_or_default(),
-            format!(
-                "{:.0}-{:.0}",
-                m.max_latency_range.low.as_ns(),
-                m.max_latency_range.high.as_ns()
-            ),
-            r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
-                .unwrap_or_default(),
-            format!(
-                "{:.0}-{:.0}",
-                stream_low / theoretical.as_gbs() * 100.0,
-                stream_high / theoretical.as_gbs() * 100.0
-            ),
-            r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
-                .unwrap_or_default(),
-        ]);
-    }
+                    m.max_latency_range.low.as_ns(),
+                    m.max_latency_range.high.as_ns()
+                ),
+                r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
+                    .unwrap_or_default(),
+                format!(
+                    "{:.0}-{:.0}",
+                    stream_low / theoretical.as_gbs() * 100.0,
+                    stream_high / theoretical.as_gbs() * 100.0
+                ),
+                r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
+                    .unwrap_or_default(),
+            ]
+        },
+    );
+    report.push_rows(rows);
     report.note(
         "Quick fidelity characterizes a scaled-down platform (fewer cores/channels); \
          full fidelity runs the paper configuration.",
@@ -176,7 +194,7 @@ mod tests {
     #[test]
     fn skylake_characterization_produces_rising_write_sensitive_curves() {
         let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), Fidelity::Quick);
-        let c = characterize_platform(&platform, Fidelity::Quick);
+        let c = characterize_platform(&platform, Fidelity::Quick, &ExecConfig::default());
         assert_eq!(c.family.len(), 2);
         let reads = c.family.closest_curve(RwRatio::ALL_READS);
         assert!(reads.max_latency() > reads.unloaded_latency());

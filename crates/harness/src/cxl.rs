@@ -7,7 +7,7 @@
 
 use crate::report::{ExperimentReport, Fidelity};
 use crate::runner::scaled_platform;
-use mess_bench::sweep::{characterize, SweepConfig};
+use mess_bench::sweep::{characterize_with, SweepConfig};
 use mess_core::metrics::FamilyMetrics;
 use mess_core::{CurveFamily, MessSimulator, MessSimulatorConfig};
 use mess_cpu::{Engine, OpStream, StopCondition};
@@ -15,6 +15,7 @@ use mess_cxl::manufacturer::{
     load_to_use_curves, CXL_THEORETICAL_BANDWIDTH_GBS, HOST_TO_CXL_LATENCY_NS,
 };
 use mess_cxl::remote_socket::{remote_socket_curves, RemoteSocketConfig};
+use mess_exec::ExecConfig;
 use mess_platforms::{PlatformId, PlatformSpec};
 use mess_types::{Bandwidth, Latency};
 use mess_workloads::spec_suite::{
@@ -80,27 +81,33 @@ pub fn fig14(fidelity: Fidelity) -> ExperimentReport {
             reference.saturated_bandwidth_range.high_fraction * 100.0
         ),
     ]);
-    for id in hosts {
+    // One leg per simulated host, each characterizing a private curve-driven Mess
+    // simulator. With fewer hosts than pool workers the legs run sequentially and each
+    // sweep takes the pool instead (for_fanout).
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(hosts.len()), hosts, |_, id| {
         let platform = scaled_platform(&id.spec(), fidelity);
-        let mut mess = cxl_mess(&platform);
-        let c = characterize(
+        let c = characterize_with(
             "cxl",
             &platform.cpu_config(),
-            &mut mess,
+            || cxl_mess(&platform),
             &sweep_for(fidelity),
+            // Inline under the parallel host fan-out; parallel across sweep points if the
+            // host list ever degenerates to one entry.
+            &ExecConfig::default(),
         )
         .expect("sweep configuration is valid");
         let m = FamilyMetrics::compute(
             &c.family,
             Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
         );
-        report.push_row(vec![
+        vec![
             id.key().to_string(),
             format!("{:.0}", m.unloaded_latency.as_ns()),
             format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
             format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-        ]);
-    }
+        ]
+    });
+    report.push_rows(rows);
     report.note(
         "the in-order Ariane host cannot saturate the device (2-entry MSHRs), exactly as the \
          paper observes for OpenPiton Metro-MPI",
@@ -153,12 +160,14 @@ pub fn fig18(fidelity: Fidelity) -> ExperimentReport {
             "perf_difference_pct",
         ],
     );
-    for w in &suite {
+    // One leg per benchmark: both the CXL and the remote-socket runs of a benchmark happen
+    // on the same worker (they feed one row), different benchmarks run concurrently.
+    let rows = mess_exec::par_map(suite, |_, w| {
         let (ipc_cxl, utilisation) =
-            run_spec_on(&platform, w, cxl_curves.clone(), ops_per_core, max_cycles);
+            run_spec_on(&platform, &w, cxl_curves.clone(), ops_per_core, max_cycles);
         let (ipc_remote, _) = run_spec_on(
             &platform,
-            w,
+            &w,
             remote_curves.clone(),
             ops_per_core,
             max_cycles,
@@ -169,15 +178,16 @@ pub fn fig18(fidelity: Fidelity) -> ExperimentReport {
             IntensityClass::Medium => "medium",
             IntensityClass::High => "high",
         };
-        report.push_row(vec![
+        vec![
             w.name.to_string(),
             format!("{:.0}", utilisation * 100.0),
             class.to_string(),
             format!("{ipc_cxl:.3}"),
             format!("{ipc_remote:.3}"),
             format!("{diff:+.1}"),
-        ]);
-    }
+        ]
+    });
+    report.push_rows(rows);
     report.note(
         "paper: low-bandwidth benchmarks lose up to ~12% on the remote socket (higher unloaded \
          latency); high-bandwidth benchmarks gain 11-22% (higher saturated bandwidth)",

@@ -92,6 +92,36 @@ pub fn run_experiment(id: &str, fidelity: Fidelity) -> Option<ExperimentReport> 
     Some(driver(fidelity))
 }
 
+/// Runs several experiments as one batch through the [`mess_exec::JobGraph`] runner: one job
+/// per experiment, executed concurrently, with `progress` narrating job starts and finishes.
+/// Reports are returned in the order of `ids`, which must all be known (checked up front).
+///
+/// This is the engine behind `mess-harness --experiment all`: experiments are independent,
+/// so on a multi-core host the campaign finishes in roughly the time of its slowest figure
+/// instead of the sum of all of them. In this mode parallelism lives at the experiment
+/// level only — a driver running on a job-runner worker executes its internal sweeps
+/// inline, because nested `mess-exec` pools never fan out a second level (the configured
+/// worker count caps the process).
+///
+/// Returns `None` if any id is unknown.
+pub fn run_experiments(
+    ids: &[&str],
+    fidelity: Fidelity,
+    progress: impl FnMut(mess_exec::JobEvent<'_>),
+) -> Option<Vec<ExperimentReport>> {
+    let mut graph = mess_exec::JobGraph::new();
+    for id in ids {
+        let canonical = canonical_experiment_id(id)?;
+        let (_, driver) = DRIVERS.iter().find(|(c, _)| *c == canonical)?;
+        graph.add_job(canonical, &[], move || driver(fidelity));
+    }
+    Some(
+        graph
+            .run(&mess_exec::ExecConfig::default(), progress)
+            .expect("experiment jobs declare no dependencies"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +155,40 @@ mod tests {
         // driver proves the table dispatch end to end.
         let report = run_experiment("fig7", Fidelity::Quick).expect("fig7 is listed");
         assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn run_experiments_batches_through_the_job_runner() {
+        // Two cheap drivers (one via its alias) through the `--experiment all` machinery:
+        // reports in request order under canonical ids, one started + one finished progress
+        // event per job.
+        let mut started = Vec::new();
+        let mut finished = Vec::new();
+        let reports = run_experiments(&["fig7", "fig16"], Fidelity::Quick, |event| match event {
+            mess_exec::JobEvent::Started { name, .. } => started.push(name.to_string()),
+            mess_exec::JobEvent::Finished {
+                name,
+                completed,
+                total,
+                ..
+            } => {
+                assert_eq!(total, 2);
+                assert!(completed >= 1);
+                finished.push(name.to_string());
+            }
+        })
+        .expect("both ids are known");
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].id, "fig7");
+        assert_eq!(reports[1].id, "fig15", "the fig16 alias resolves to fig15");
+        assert!(!reports[0].rows.is_empty() && !reports[1].rows.is_empty());
+        let sorted = |mut v: Vec<String>| {
+            v.sort();
+            v
+        };
+        assert_eq!(sorted(started.clone()), vec!["fig15", "fig7"]);
+        assert_eq!(sorted(finished), sorted(started));
+        // An unknown id anywhere in the batch rejects the whole request.
+        assert!(run_experiments(&["fig7", "not-real"], Fidelity::Quick, |_| {}).is_none());
     }
 }

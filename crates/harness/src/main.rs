@@ -2,12 +2,21 @@
 //!
 //! ```text
 //! mess-harness --experiment fig5            # one experiment at full fidelity
-//! mess-harness --experiment all --quick     # smoke-run everything
+//! mess-harness --experiment all --quick     # smoke-run everything (parallel job runner)
+//! mess-harness --experiment all --threads 4 # cap the worker pool at 4 threads
+//! mess-harness --threads 1 -e fig2          # fully sequential reference run
 //! mess-harness --list                       # show the experiment index
 //! mess-harness --experiment fig2 --csv      # machine-readable output
 //! ```
+//!
+//! `--threads N` sets the process-wide `mess-exec` worker count — a true cap, because
+//! nested pools run inline. For a single experiment the N workers go to the driver's
+//! per-sweep-point / per-leg parallelism; for `--experiment all` they go to running up to N
+//! experiments concurrently (each internally sequential). The default is one worker per
+//! available hardware thread; the output is byte-identical at every setting.
 
-use mess_harness::{run_experiment, Fidelity, EXPERIMENTS};
+use mess_exec::JobEvent;
+use mess_harness::{run_experiment, run_experiments, Fidelity, EXPERIMENTS};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,6 +31,17 @@ fn main() -> ExitCode {
             "--quick" => fidelity = Fidelity::Quick,
             "--full" => fidelity = Fidelity::Full,
             "--csv" => csv = true,
+            "--threads" | "-j" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--threads expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+                mess_exec::set_default_threads(n);
+            }
             "--list" => {
                 for id in EXPERIMENTS {
                     println!("{id}");
@@ -30,7 +50,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: mess-harness --experiment <id|all> [--quick|--full] [--csv] [--list]"
+                    "usage: mess-harness --experiment|-e <id|all> [--quick|--full] [--csv] \
+                     [--threads|-j N] [--list]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -45,22 +66,35 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let ids: Vec<&str> = if experiment == "all" {
-        EXPERIMENTS.to_vec()
-    } else {
-        vec![experiment.as_str()]
+    let print = |report: &mess_harness::ExperimentReport| {
+        if csv {
+            print!("{}", report.to_csv());
+        } else {
+            println!("{report}");
+        }
     };
-    for id in ids {
-        match run_experiment(id, fidelity) {
-            Some(report) => {
-                if csv {
-                    print!("{}", report.to_csv());
-                } else {
-                    println!("{report}");
-                }
-            }
+    if experiment == "all" {
+        // The whole campaign goes through the job-graph runner: experiments execute
+        // concurrently, progress is narrated on stderr, reports print in paper order.
+        let progress = |event: JobEvent<'_>| match event {
+            JobEvent::Started { name, .. } => eprintln!("[mess-harness] {name} started"),
+            JobEvent::Finished {
+                name,
+                completed,
+                total,
+                ..
+            } => eprintln!("[mess-harness] {name} finished ({completed}/{total})"),
+        };
+        let reports = run_experiments(&EXPERIMENTS, fidelity, progress)
+            .expect("EXPERIMENTS contains only known ids");
+        for report in &reports {
+            print(report);
+        }
+    } else {
+        match run_experiment(&experiment, fidelity) {
+            Some(report) => print(&report),
             None => {
-                eprintln!("unknown experiment: {id}");
+                eprintln!("unknown experiment: {experiment}");
                 return ExitCode::FAILURE;
             }
         }

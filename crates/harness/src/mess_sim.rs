@@ -7,10 +7,11 @@
 
 use crate::report::{ExperimentReport, Fidelity};
 use crate::runner::{ipc_error_percent, scaled_platform, workload_ipc, ValidationWorkload};
-use mess_bench::sweep::{characterize, SweepConfig};
+use mess_bench::sweep::{characterize_with, SweepConfig};
 use mess_core::metrics::FamilyMetrics;
 use mess_core::{MessSimulator, MessSimulatorConfig};
-use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId, PlatformSpec};
+use mess_exec::ExecConfig;
+use mess_platforms::{MemoryModelKind, ModelFactory, PlatformId, PlatformSpec};
 
 fn sweep_for(fidelity: Fidelity) -> SweepConfig {
     match fidelity {
@@ -54,15 +55,21 @@ fn mess_curve_experiment(
             "max_bw_error_pct",
         ],
     );
-    for &id in platforms {
+    // One leg per platform; each leg characterizes its own private Mess simulator, built
+    // inside the worker from the platform's reference curves. With fewer platforms than
+    // pool workers the legs run sequentially and each sweep takes the pool (for_fanout).
+    let legs = platforms.to_vec();
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, id| {
         let platform = scaled_platform(&id.spec(), fidelity);
         let input = platform.reference_family();
-        let mut mess = mess_backend(&platform);
-        let c = characterize(
+        let c = characterize_with(
             "mess",
             &platform.cpu_config(),
-            &mut mess,
+            || mess_backend(&platform),
             &sweep_for(fidelity),
+            // Inline under a parallel platform fan-out; parallel across sweep points when
+            // there is only one platform leg (fig10/fig12 at quick fidelity).
+            &ExecConfig::default(),
         )
         .expect("sweep configuration is valid");
         let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
@@ -71,7 +78,7 @@ fn mess_curve_experiment(
             simulated.saturated_bandwidth_range.high.as_gbs(),
             input_metrics.saturated_bandwidth_range.high.as_gbs(),
         );
-        report.push_row(vec![
+        vec![
             id.key().to_string(),
             format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
             format!("{:.0}", simulated.unloaded_latency.as_ns()),
@@ -81,8 +88,9 @@ fn mess_curve_experiment(
             ),
             format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
             format!("{bw_err:.1}"),
-        ]);
-    }
+        ]
+    });
+    report.push_rows(rows);
     report.note(
         "the simulated curves are measured by running the Mess benchmark against the Mess \
          simulator, exactly like the ZSim+Mess / gem5+Mess runs of the paper",
@@ -144,28 +152,38 @@ fn ipc_error_experiment(
     let mut report = ExperimentReport::new(id, title, &[]);
     report.headers = headers;
 
-    // Reference IPCs from the detailed DRAM model.
-    let reference: Vec<f64> = workloads
-        .iter()
-        .map(|&w| {
-            let mut dram = platform.build_dram();
-            workload_ipc(w, &platform, &mut dram, fidelity)
-        })
-        .collect();
+    // Reference IPCs from the detailed DRAM model, one private DRAM system per workload leg.
+    let reference: Vec<f64> = mess_exec::par_map(workloads.clone(), |_, w| {
+        let mut dram = platform.build_dram();
+        workload_ipc(w, &platform, &mut dram, fidelity)
+    });
 
-    for &kind in models {
-        let mut errors = Vec::new();
-        let mut cells = vec![kind.label().to_string()];
+    // The full (model × workload) grid runs in parallel; every leg builds a private model
+    // instance, but the factories (which carry a platform clone and, for curve-driven
+    // models, the generated reference family) are created once per model kind and shared.
+    // Results come back in grid order, so the rows (and the per-model averages computed
+    // from them) are identical to the sequential loop's.
+    let factories: Vec<ModelFactory> = models
+        .iter()
+        .map(|&kind| ModelFactory::new(kind, &platform))
+        .collect();
+    let mut grid: Vec<(usize, ValidationWorkload, f64)> = Vec::new();
+    for model_idx in 0..models.len() {
         for (i, &w) in workloads.iter().enumerate() {
-            let curves = kind.needs_curves().then(|| platform.reference_family());
-            let mut backend = build_memory_model(kind, &platform, curves)
-                .expect("model construction is valid here");
-            let ipc = workload_ipc(w, &platform, backend.as_mut(), fidelity);
-            let err = ipc_error_percent(ipc, reference[i]);
-            errors.push(err);
-            cells.push(format!("{err:.1}"));
+            grid.push((model_idx, w, reference[i]));
         }
-        let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    }
+    let errors = mess_exec::par_map(grid, |_, (model_idx, w, reference_ipc)| {
+        let mut backend = factories[model_idx]
+            .build()
+            .expect("model construction is valid here");
+        let ipc = workload_ipc(w, &platform, backend.as_mut(), fidelity);
+        ipc_error_percent(ipc, reference_ipc)
+    });
+    for (kind, model_errors) in models.iter().zip(errors.chunks(workloads.len())) {
+        let mut cells = vec![kind.label().to_string()];
+        cells.extend(model_errors.iter().map(|err| format!("{err:.1}")));
+        let avg = model_errors.iter().sum::<f64>() / model_errors.len() as f64;
         cells.push(format!("{avg:.1}"));
         report.push_row(cells);
     }

@@ -53,6 +53,14 @@ impl ExperimentReport {
         self.rows.push(cells);
     }
 
+    /// Appends every row of a batch in order — the collection side of the parallel drivers,
+    /// which compute rows with `mess_exec::par_map` and push them here.
+    pub fn push_rows(&mut self, rows: impl IntoIterator<Item = Vec<String>>) {
+        for row in rows {
+            self.push_row(row);
+        }
+    }
+
     /// Appends a note line.
     pub fn note(&mut self, line: impl Into<String>) {
         self.notes.push(line.into());

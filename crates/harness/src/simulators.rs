@@ -7,13 +7,14 @@
 
 use crate::report::{ExperimentReport, Fidelity};
 use crate::runner::scaled_platform;
-use mess_bench::sweep::{characterize, SweepConfig};
+use mess_bench::sweep::{characterize_with, SweepConfig};
 use mess_bench::trace::{replay, RecordingBackend, Trace};
 use mess_bench::TrafficConfig;
 use mess_core::metrics::FamilyMetrics;
 use mess_cpu::{Engine, OpStream, StopCondition};
 use mess_dram::{ApproxDramSim, ApproxProfile};
-use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId, PlatformSpec};
+use mess_exec::ExecConfig;
+use mess_platforms::{MemoryModelKind, ModelFactory, PlatformId, PlatformSpec};
 use mess_types::MemoryBackend;
 
 fn sweep_for(fidelity: Fidelity) -> SweepConfig {
@@ -28,31 +29,29 @@ fn sweep_for(fidelity: Fidelity) -> SweepConfig {
     }
 }
 
-/// Characterizes one memory model for `platform` and appends its per-model summary rows.
-fn model_rows(
-    report: &mut ExperimentReport,
-    platform: &PlatformSpec,
-    kind: MemoryModelKind,
-    fidelity: Fidelity,
-) {
-    let curves = kind.needs_curves().then(|| platform.reference_family());
-    let mut backend =
-        build_memory_model(kind, platform, curves).expect("model construction is valid here");
-    let c = characterize(
+/// Characterizes one memory model for `platform` and returns its summary row. The model is
+/// built *inside* the calling worker through a [`ModelFactory`], so every sweep point and
+/// every parallel leg gets a private instance.
+fn model_row(platform: &PlatformSpec, kind: MemoryModelKind, fidelity: Fidelity) -> Vec<String> {
+    let factory = ModelFactory::new(kind, platform);
+    let c = characterize_with(
         kind.label(),
         &platform.cpu_config(),
-        backend.as_mut(),
+        || factory.build().expect("model construction is valid here"),
         &sweep_for(fidelity),
+        // Runs inline when the per-model legs are parallel (nested pools never fan out);
+        // parallelizes the sweep itself if this row is computed on the caller's thread.
+        &ExecConfig::default(),
     )
     .expect("sweep configuration is valid");
     let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-    report.push_row(vec![
+    vec![
         kind.label().to_string(),
         format!("{:.0}", m.unloaded_latency.as_ns()),
         format!("{:.0}", m.max_latency_range.high.as_ns()),
         format!("{:.0}", m.saturated_bandwidth_range.high.as_gbs()),
         format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-    ]);
+    ]
 }
 
 fn simulator_comparison(
@@ -74,15 +73,15 @@ fn simulator_comparison(
             "max_bw_pct_of_theoretical",
         ],
     );
-    model_rows(
-        &mut report,
-        &platform,
-        MemoryModelKind::DetailedDram,
-        fidelity,
-    );
-    for &kind in models {
-        model_rows(&mut report, &platform, kind, fidelity);
-    }
+    // One leg per memory model; row order (reference first, then the paper's model order)
+    // is preserved. With fewer models than pool workers the legs run sequentially and each
+    // leg's characterization sweep takes the pool instead (for_fanout).
+    let mut kinds = vec![MemoryModelKind::DetailedDram];
+    kinds.extend_from_slice(models);
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(kinds.len()), kinds, |_, kind| {
+        model_row(&platform, kind, fidelity)
+    });
+    report.push_rows(rows);
     report.note(format!(
         "reference platform: {} ({:.0} GB/s theoretical); the detailed-dram row plays the role \
          of the actual hardware",
@@ -164,33 +163,42 @@ pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
         trace.len(),
         trace.rw_ratio()
     ));
+    // One replay leg per (model, speed): the trace is shared read-only, each leg builds its
+    // own model. `None` marks the detailed-DRAM reference legs.
+    let mut legs: Vec<(Option<ApproxProfile>, f64)> = Vec::new();
     for profile in ApproxProfile::ALL {
-        for &speed in &speeds {
-            let mut model = ApproxDramSim::new(
-                profile,
-                platform.theoretical_bandwidth(),
-                platform.frequency,
-            );
-            let r = replay(&trace, &mut model, platform.frequency, speed);
-            report.push_row(vec![
-                profile.label().to_string(),
-                format!("{speed:.1}"),
-                format!("{:.2}", r.bandwidth.as_gbs()),
-                format!("{:.1}", r.latency.as_ns()),
-            ]);
-        }
+        legs.extend(speeds.iter().map(|&speed| (Some(profile), speed)));
     }
-    // The same trace replayed into the detailed DRAM model gives the reference points.
-    for &speed in &speeds {
-        let mut dram = platform.build_dram();
-        let r = replay(&trace, &mut dram, platform.frequency, speed);
-        report.push_row(vec![
-            "detailed-dram".to_string(),
+    legs.extend(speeds.iter().map(|&speed| (None, speed)));
+    let rows = mess_exec::par_map(legs, |_, (profile, speed)| {
+        let (label, r) = match profile {
+            Some(profile) => {
+                let mut model = ApproxDramSim::new(
+                    profile,
+                    platform.theoretical_bandwidth(),
+                    platform.frequency,
+                );
+                (
+                    profile.label(),
+                    replay(&trace, &mut model, platform.frequency, speed),
+                )
+            }
+            None => {
+                let mut dram = platform.build_dram();
+                (
+                    "detailed-dram",
+                    replay(&trace, &mut dram, platform.frequency, speed),
+                )
+            }
+        };
+        vec![
+            label.to_string(),
             format!("{speed:.1}"),
             format!("{:.2}", r.bandwidth.as_gbs()),
             format!("{:.1}", r.latency.as_ns()),
-        ]);
-    }
+        ]
+    });
+    report.push_rows(rows);
     report
 }
 
@@ -236,40 +244,44 @@ pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
             "miss_pct",
         ],
     );
-    let mut run_for = |label: &str, make: &mut dyn FnMut() -> Box<dyn MemoryBackend>| {
+    // The full (model, traffic, pause) grid runs in parallel; each leg builds its own
+    // backend. `None` marks the detailed-DRAM legs, like fig6.
+    let mut legs: Vec<(Option<ApproxProfile>, &str, f64, u32)> = Vec::new();
+    for profile in [
+        None,
+        Some(ApproxProfile::Dramsim3Like),
+        Some(ApproxProfile::RamulatorLike),
+    ] {
         for (traffic_label, mix) in [("100%-read", 0.0), ("100%-store", 1.0)] {
-            for &pause in &pauses {
-                let mut backend = make();
-                let (bw, rb) =
-                    row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
-                report.push_row(vec![
-                    label.to_string(),
-                    traffic_label.to_string(),
-                    pause.to_string(),
-                    format!("{bw:.1}"),
-                    format!("{:.0}", rb.hit_rate() * 100.0),
-                    format!("{:.0}", rb.empty_rate() * 100.0),
-                    format!("{:.0}", rb.miss_rate() * 100.0),
-                ]);
-            }
+            legs.extend(
+                pauses
+                    .iter()
+                    .map(|&pause| (profile, traffic_label, mix, pause)),
+            );
         }
-    };
-    let p = platform.clone();
-    run_for("detailed-dram", &mut || Box::new(p.build_dram()));
-    run_for("dramsim3-like", &mut || {
-        Box::new(ApproxDramSim::new(
-            ApproxProfile::Dramsim3Like,
-            p.theoretical_bandwidth(),
-            p.frequency,
-        ))
+    }
+    let rows = mess_exec::par_map(legs, |_, (profile, traffic_label, mix, pause)| {
+        let mut backend: Box<dyn MemoryBackend + Send> = match profile {
+            None => Box::new(platform.build_dram()),
+            Some(profile) => Box::new(ApproxDramSim::new(
+                profile,
+                platform.theoretical_bandwidth(),
+                platform.frequency,
+            )),
+        };
+        let label = profile.map_or("detailed-dram", |p| p.label());
+        let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
+        vec![
+            label.to_string(),
+            traffic_label.to_string(),
+            pause.to_string(),
+            format!("{bw:.1}"),
+            format!("{:.0}", rb.hit_rate() * 100.0),
+            format!("{:.0}", rb.empty_rate() * 100.0),
+            format!("{:.0}", rb.miss_rate() * 100.0),
+        ]
     });
-    run_for("ramulator-like", &mut || {
-        Box::new(ApproxDramSim::new(
-            ApproxProfile::RamulatorLike,
-            p.theoretical_bandwidth(),
-            p.frequency,
-        ))
-    });
+    report.push_rows(rows);
     report.note(
         "paper: the actual platform starts at 84/13/3% hit/empty/miss for unloaded reads \
                  and degrades with load and with the write share",

@@ -32,3 +32,13 @@ fn simple_ddr_ddr5_variant_conforms() {
         SimpleDdrModel::new(SimpleDdrConfig::ddr5_4800_x8(), Frequency::from_ghz(2.0))
     });
 }
+
+#[test]
+fn baseline_models_are_send_at_the_type_level() {
+    // The parallel sweep builds these models inside mess-exec workers; a non-Send field
+    // would fail this test at compile time instead of deep inside a harness driver.
+    fn assert_send<T: Send>() {}
+    assert_send::<FixedLatencyModel>();
+    assert_send::<Md1QueueModel>();
+    assert_send::<SimpleDdrModel>();
+}

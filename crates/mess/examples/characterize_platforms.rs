@@ -34,8 +34,12 @@ fn main() -> Result<(), MessError> {
 
     for id in platforms {
         let platform = id.spec();
-        let mut dram = platform.build_dram();
-        let c = characterize(platform.name, &platform.cpu_config(), &mut dram, &sweep)?;
+        let c = characterize(
+            platform.name,
+            &platform.cpu_config(),
+            || platform.build_dram(),
+            &sweep,
+        )?;
         let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
         println!("{}", m.table_row());
         if let Some(r) = &platform.reference {

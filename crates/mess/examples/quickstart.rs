@@ -27,15 +27,21 @@ fn main() -> Result<(), MessError> {
         platform.theoretical_bandwidth().as_gbs()
     );
 
-    // 2. Mess benchmark: pointer-chase + traffic generator sweep over the detailed DRAM model.
-    let mut dram = platform.build_dram();
+    // 2. Mess benchmark: pointer-chase + traffic generator sweep over the detailed DRAM
+    //    model. The sweep runs its points in parallel; each worker builds a private DRAM
+    //    system through the factory closure.
     let sweep = SweepConfig {
         store_mixes: vec![0.0, 0.5, 1.0],
         pause_levels: vec![200, 80, 40, 20, 8, 0],
         chase_loads: 200,
         max_cycles_per_point: 1_500_000,
     };
-    let characterization = characterize(platform.name, &platform.cpu_config(), &mut dram, &sweep)?;
+    let characterization = characterize(
+        platform.name,
+        &platform.cpu_config(),
+        || platform.build_dram(),
+        &sweep,
+    )?;
 
     // 3. The quantitative metrics of paper Table I.
     let metrics =

@@ -5,13 +5,16 @@
 //!
 //! * [`types`] — units, requests, the [`types::MemoryBackend`] interface v2 and its
 //!   conformance suite;
+//! * [`exec`] — deterministic parallel execution: the order-preserving `par_map` worker
+//!   pool and the job-graph runner behind every parallel sweep and experiment campaign;
 //! * [`core`] — bandwidth–latency curves, curve families, metrics and the Mess analytical
 //!   simulator (the paper's primary contribution);
 //! * [`dram`] — the cycle-level multi-channel DRAM reference model;
 //! * [`memmodels`] — the fixed-latency, M/D/1 and internal-DDR baselines;
 //! * [`cxl`] — the CXL memory-expander model, manufacturer curves and remote-socket emulation;
 //! * [`cpu`] — the multi-core front-end with a write-allocate LLC and MSHR-limited parallelism;
-//! * [`bench`] — the Mess benchmark (pointer-chase + traffic generator + sweeps + traces);
+//! * [`mod@bench`] — the Mess benchmark (pointer-chase + traffic generator + sweeps +
+//!   traces);
 //! * [`workloads`] — STREAM, LMbench, multichase, GUPS, HPCG-proxy and the SPEC-like suite;
 //! * [`platforms`] — the Table I platform configurations and the memory-model factory;
 //! * [`profiler`] — curve positioning, stress scores and timeline analysis;
@@ -37,6 +40,17 @@
 //! bench), while bandwidth-bound runs pay one virtual call per cycle instead of one per
 //! request.
 //!
+//! # Parallel execution
+//!
+//! Above the per-run protocol sits [`exec`]: sweeps and experiment campaigns fan their
+//! independent legs out to a scoped worker pool whose results are reassembled **in input
+//! order**, so every curve family and CSV is byte-identical at any thread count (the
+//! `mess-bench` determinism suite pins this at 1/2/8 workers). Parallel callers never share
+//! a backend; they share a `Send + Sync` *factory* — a closure, or a
+//! [`platforms::ModelFactory`] — and each worker builds a private model and a private
+//! [`cpu::Engine`]. The harness binary's `--threads N` maps to
+//! [`exec::set_default_threads`].
+//!
 //! # Backend authors' guide
 //!
 //! New memory models implement the seven required methods of [`types::MemoryBackend`] —
@@ -47,6 +61,13 @@
 //! and back-pressure accounting; the factory-level test in [`platforms`] runs it against
 //! every model the experiment factory can build. The full protocol contract lives in the
 //! [`types::backend`] module docs.
+//!
+//! Two `Send` requirements come with the parallel paths: backends must be `Send` (they are
+//! built inside — and may be moved onto — `mess-exec` workers; the platform factory hands
+//! out `Box<dyn MemoryBackend + Send>`), and op streams are `Send` by trait definition
+//! ([`cpu::OpStream`] has `Send` as a supertrait). Both are free for plain simulation
+//! state; pin them with a compile-time `fn assert_send<T: Send>()` test next to your
+//! conformance test, as every in-tree backend does.
 //!
 //! ```
 //! use mess::platforms::PlatformId;
@@ -62,6 +83,7 @@ pub use mess_core as core;
 pub use mess_cpu as cpu;
 pub use mess_cxl as cxl;
 pub use mess_dram as dram;
+pub use mess_exec as exec;
 pub use mess_harness as harness;
 pub use mess_memmodels as memmodels;
 pub use mess_platforms as platforms;

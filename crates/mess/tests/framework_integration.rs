@@ -29,12 +29,12 @@ fn small_platform() -> mess::platforms::PlatformSpec {
 fn benchmark_to_simulator_pipeline_preserves_the_memory_behaviour() {
     let platform = small_platform();
 
-    // 1. Characterize the detailed DRAM reference with the Mess benchmark.
-    let mut dram = platform.build_dram();
+    // 1. Characterize the detailed DRAM reference with the Mess benchmark (each sweep point
+    //    builds a private DRAM system on its worker).
     let characterization = characterize(
         platform.name,
         &platform.cpu_config(),
-        &mut dram,
+        || platform.build_dram(),
         &quick_sweep(),
     )
     .expect("sweep is valid");
@@ -52,8 +52,8 @@ fn benchmark_to_simulator_pipeline_preserves_the_memory_behaviour() {
         platform.frequency,
         platform.cpu.on_chip_latency,
     );
-    let mut mess = MessSimulator::new(config).expect("measured curves are valid");
-    let simulated = characterize("mess", &platform.cpu_config(), &mut mess, &quick_sweep())
+    let mess_factory = || MessSimulator::new(config.clone()).expect("measured curves are valid");
+    let simulated = characterize("mess", &platform.cpu_config(), mess_factory, &quick_sweep())
         .expect("sweep is valid");
     let simulated_metrics =
         FamilyMetrics::compute(&simulated.family, platform.theoretical_bandwidth());
@@ -123,11 +123,10 @@ fn stream_triad_ipc_ranks_memory_models_like_the_paper() {
 #[test]
 fn profiler_places_benchmark_measurements_consistently() {
     let platform = small_platform();
-    let mut dram = platform.build_dram();
     let characterization = characterize(
         platform.name,
         &platform.cpu_config(),
-        &mut dram,
+        || platform.build_dram(),
         &quick_sweep(),
     )
     .expect("sweep is valid");

@@ -8,7 +8,9 @@
 //! * [`MemoryModelKind`] / [`build_memory_model`] — a factory for every memory model the paper
 //!   evaluates against those platforms (fixed latency, M/D/1, internal DDR, DRAMsim3-like,
 //!   Ramulator-like, Ramulator-2-like, the detailed DRAM reference, the Mess simulator and the
-//!   CXL expander).
+//!   CXL expander);
+//! * [`ModelFactory`] — the reusable `Send + Sync` recipe the parallel sweep and experiment
+//!   paths hand to `mess-exec` workers so each one builds a private backend.
 //!
 //! ```
 //! use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId};
@@ -25,5 +27,5 @@
 pub mod models;
 pub mod spec;
 
-pub use models::{build_memory_model, MemoryModelKind};
+pub use models::{build_memory_model, MemoryModelKind, ModelFactory};
 pub use spec::{PlatformId, PlatformSpec, TableOneReference};

@@ -108,6 +108,12 @@ impl fmt::Display for MemoryModelKind {
 /// `mess-bench` or generated from [`PlatformSpec::reference_family`]); every other model
 /// ignores the argument.
 ///
+/// The returned box is `Send`: every model the factory can build is plain simulation state,
+/// and the parallel experiment paths (`mess-exec` workers) rely on being able to build a
+/// model on — or move it onto — a worker thread. A new model that cannot be `Send` must not
+/// enter this factory; it would fail here, at the type level, rather than deep in a harness
+/// driver.
+///
 /// # Errors
 ///
 /// Returns [`MessError::InvalidConfig`] if `kind` is [`MemoryModelKind::Mess`] and `curves` is
@@ -116,7 +122,7 @@ pub fn build_memory_model(
     kind: MemoryModelKind,
     platform: &PlatformSpec,
     curves: Option<CurveFamily>,
-) -> Result<Box<dyn MemoryBackend>, MessError> {
+) -> Result<Box<dyn MemoryBackend + Send>, MessError> {
     let freq = platform.frequency;
     let theoretical = platform.theoretical_bandwidth();
     let device_unloaded = Latency::from_ns(platform.preset.timing().unloaded_read_ns());
@@ -159,6 +165,72 @@ pub fn build_memory_model(
     })
 }
 
+/// A reusable `Send + Sync` recipe for building one memory model: the factory pattern the
+/// parallel sweep and experiment paths consume.
+///
+/// A characterization fans its sweep points out to worker threads, and each worker must
+/// build a *private* backend; sharing one mutable model across points is exactly the
+/// coupling that forced the old sequential sweep. The factory owns everything construction
+/// needs (the model kind, a platform spec clone, optionally a curve family), so a closure
+/// `|| factory.build()` can be handed to `mess_bench::characterize` or any `mess-exec`
+/// worker.
+///
+/// ```
+/// use mess_platforms::{MemoryModelKind, ModelFactory, PlatformId};
+///
+/// let factory = ModelFactory::new(MemoryModelKind::Md1Queue, &PlatformId::IntelSkylake.spec());
+/// let backend = factory.build().expect("md1 needs no curves");
+/// assert!(backend.name().starts_with("m/d/1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelFactory {
+    kind: MemoryModelKind,
+    platform: PlatformSpec,
+    curves: Option<CurveFamily>,
+}
+
+impl ModelFactory {
+    /// A factory for `kind` on `platform`. Curve-driven models ([`MemoryModelKind::Mess`])
+    /// use the platform's calibrated reference family; use [`ModelFactory::with_curves`] to
+    /// supply measured curves instead.
+    pub fn new(kind: MemoryModelKind, platform: &PlatformSpec) -> Self {
+        let curves = kind.needs_curves().then(|| platform.reference_family());
+        ModelFactory {
+            kind,
+            platform: platform.clone(),
+            curves,
+        }
+    }
+
+    /// A factory for `kind` on `platform` driven by an explicit curve family.
+    pub fn with_curves(
+        kind: MemoryModelKind,
+        platform: &PlatformSpec,
+        curves: CurveFamily,
+    ) -> Self {
+        ModelFactory {
+            kind,
+            platform: platform.clone(),
+            curves: Some(curves),
+        }
+    }
+
+    /// The model kind this factory builds.
+    pub fn kind(&self) -> MemoryModelKind {
+        self.kind
+    }
+
+    /// Builds a fresh instance of the model (one per worker, one per sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`build_memory_model`]'s validation errors (only possible for curve-driven
+    /// models with an invalid family).
+    pub fn build(&self) -> Result<Box<dyn MemoryBackend + Send>, MessError> {
+        build_memory_model(self.kind, &self.platform, self.curves.clone())
+    }
+}
+
 /// A simplified-DDR configuration derived from the platform's channel count and device class.
 fn simple_ddr_config(platform: &PlatformSpec) -> SimpleDdrConfig {
     let timing = platform.preset.timing();
@@ -181,7 +253,7 @@ mod tests {
     use crate::spec::PlatformId;
     use mess_types::{Cycle, Request};
 
-    fn exercise(mut backend: Box<dyn MemoryBackend>) {
+    fn exercise<B: MemoryBackend + ?Sized>(backend: &mut B) {
         backend.tick(Cycle::ZERO);
         backend
             .try_enqueue(Request::read(0, 0x4000, Cycle::ZERO, 0))
@@ -211,8 +283,8 @@ mod tests {
             MemoryModelKind::DetailedDram,
             MemoryModelKind::CxlExpander,
         ] {
-            let backend = build_memory_model(kind, &platform, None).expect("model builds");
-            exercise(backend);
+            let mut backend = build_memory_model(kind, &platform, None).expect("model builds");
+            exercise(backend.as_mut());
         }
     }
 
@@ -221,13 +293,13 @@ mod tests {
         let platform = PlatformId::IntelSkylake.spec();
         let err = build_memory_model(MemoryModelKind::Mess, &platform, None);
         assert!(err.is_err());
-        let ok = build_memory_model(
+        let mut ok = build_memory_model(
             MemoryModelKind::Mess,
             &platform,
             Some(platform.reference_family()),
         )
         .expect("mess model builds with curves");
-        exercise(ok);
+        exercise(ok.as_mut());
     }
 
     #[test]
@@ -247,6 +319,67 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn model_factory_builds_fresh_instances_for_every_kind() {
+        let platform = PlatformId::IntelSkylake.spec();
+        for kind in [
+            MemoryModelKind::FixedLatency,
+            MemoryModelKind::Md1Queue,
+            MemoryModelKind::InternalDdr,
+            MemoryModelKind::Dramsim3Like,
+            MemoryModelKind::RamulatorLike,
+            MemoryModelKind::Ramulator2Like,
+            MemoryModelKind::DetailedDram,
+            MemoryModelKind::Mess,
+            MemoryModelKind::CxlExpander,
+        ] {
+            let factory = ModelFactory::new(kind, &platform);
+            assert_eq!(factory.kind(), kind);
+            // Two builds are two independent models: exercising one leaves the other fresh.
+            let mut first = factory.build().expect("factory-validated model builds");
+            let second = factory.build().expect("factory-validated model builds");
+            exercise(first.as_mut());
+            assert_eq!(second.stats().total_completed(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn model_factory_accepts_measured_curves() {
+        let platform = PlatformId::IntelSkylake.spec();
+        let factory = ModelFactory::with_curves(
+            MemoryModelKind::Mess,
+            &platform,
+            platform.reference_family(),
+        );
+        exercise(factory.build().expect("curves supplied").as_mut());
+    }
+
+    #[test]
+    fn factory_products_and_factories_cross_threads() {
+        // The parallel experiment paths move factories into workers (Send + Sync) and may
+        // move built models across threads (Send); a regression here fails at compile time.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Box<dyn MemoryBackend + Send>>();
+        assert_send::<ModelFactory>();
+        assert_sync::<ModelFactory>();
+        let platform = PlatformId::IntelSkylake.spec();
+        let factory = ModelFactory::new(MemoryModelKind::DetailedDram, &platform);
+        let name = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    factory
+                        .build()
+                        .expect("builds on a worker thread")
+                        .name()
+                        .to_string()
+                })
+                .join()
+                .expect("worker thread succeeded")
+        });
+        assert!(name.contains("DDR4"), "unexpected model name {name}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //!
 //! # The v2 protocol: issue / drain / next_event
 //!
-//! The interface is *event-driven*: issuers are not required to call [`tick`] on every CPU
-//! cycle. One interaction round looks like this:
+//! The interface is *event-driven*: issuers are not required to call
+//! [`tick`](MemoryBackend::tick) on every CPU cycle. One interaction round looks like this:
 //!
 //! ```text
 //!   issuer                                  backend
@@ -69,9 +69,17 @@
 //! 2. Record completions into a [`MemoryStats`] and return it **by value** from
 //!    [`stats`](MemoryBackend::stats); per-window measurements are taken by the caller with
 //!    [`StatsWindow`] (the paper's snapshot-and-diff uncore-counter pattern).
-//! 3. Wire the model into `mess_platforms::MemoryModelKind` if experiments should be able
-//!    to select it.
-//! 4. Add a test calling [`crate::conformance::check`] with a factory closure for your
+//! 3. **Make the model `Send`.** The parallel sweep and experiment paths (`mess-exec`)
+//!    build every backend inside a worker thread through a `Send + Sync` factory — a
+//!    closure capturing only shared configuration — and the `mess-platforms` factory hands
+//!    out `Box<dyn MemoryBackend + Send>`. Plain simulation state (queues, counters,
+//!    configs) is `Send` automatically; avoid `Rc`, thread-local handles and raw pointers.
+//!    Add a compile-time `fn assert_send<T: Send>()` test next to your conformance test so
+//!    a regression fails at the type level instead of deep inside a harness driver.
+//! 4. Wire the model into `mess_platforms::MemoryModelKind` if experiments should be able
+//!    to select it (that is also what makes it constructible through
+//!    `mess_platforms::ModelFactory`, the factory the parallel drivers consume).
+//! 5. Add a test calling [`crate::conformance::check`] with a factory closure for your
 //!    backend; the factory-level test in `mess-platforms` will pick it up as well once it
 //!    is constructible through the factory.
 

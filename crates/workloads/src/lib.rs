@@ -9,6 +9,12 @@
 //! * [`random`] — HPC Challenge GUPS and an HPCG proxy (the §VI profiling workload);
 //! * [`spec_suite`] — the 25 SPEC CPU2006-like workloads of the CXL study (Fig. 18).
 //!
+//! Every workload follows the *factory* pattern the parallel paths rely on: a small
+//! `Send + Sync` config value (sizes, seeds, core counts) from which fresh op streams are
+//! built on demand — including inside a `mess-exec` worker thread. The streams themselves
+//! are `Send` by trait definition ([`mess_cpu::OpStream`] has a `Send` supertrait), so a
+//! stream prepared on one thread may also be moved into the engine of another.
+//!
 //! ```
 //! use mess_workloads::stream::{StreamConfig, StreamKernel};
 //!
@@ -46,6 +52,30 @@ pub fn partition_lines(total_lines: u64, parts: u32, index: u32) -> (u64, u64) {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn workload_streams_build_inside_workers_and_cross_threads() {
+        // The parallel experiment paths construct workload streams on mess-exec workers and
+        // may move them across threads; `OpStream: Send` makes the boxed streams `Send`, and
+        // every config is a plain `Send + Sync` value. A regression fails at compile time.
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<Box<dyn mess_cpu::OpStream>>();
+        assert_send_sync::<StreamConfig>();
+        assert_send_sync::<LatMemRdConfig>();
+        assert_send_sync::<MultichaseConfig>();
+        assert_send_sync::<GupsConfig>();
+        assert_send_sync::<HpcgConfig>();
+        assert_send_sync::<SpecWorkload>();
+        let config = StreamConfig::sized_against_llc(StreamKernel::Triad, 1 << 20, 2);
+        let streams = std::thread::scope(|scope| {
+            scope
+                .spawn(|| config.streams())
+                .join()
+                .expect("streams build on a worker thread")
+        });
+        assert_eq!(streams.len(), 2);
+    }
 
     #[test]
     fn partition_covers_range_without_gaps() {
