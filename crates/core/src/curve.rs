@@ -2,6 +2,7 @@
 
 use mess_types::{Bandwidth, Latency, MessError, RwRatio};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One measurement point on a bandwidth–latency curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,7 +41,7 @@ impl CurvePoint {
 /// assert!(lat.as_ns() > 90.0 && lat.as_ns() < 120.0);
 /// # Ok::<(), mess_types::MessError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Curve {
     ratio: RwRatio,
     /// Points in measurement (injection-rate) order.
@@ -48,6 +49,55 @@ pub struct Curve {
     /// Indices of `points` sorted by bandwidth, used for interpolation.
     #[serde(skip)]
     sorted: Vec<usize>,
+    /// Precomputed interpolation segments over the bandwidth-sorted view (segment `i`
+    /// spans `sorted[i]..sorted[i + 1]`), so the per-request lookup reads one cache line
+    /// instead of chasing two levels of indices.
+    #[serde(skip)]
+    segments: Vec<Segment>,
+    /// Index of the segment that served the previous query. The Mess feedback controller
+    /// moves the operating point slowly along the curve, so consecutive lookups almost
+    /// always land in the same segment; checking it first skips the binary search. Relaxed
+    /// atomics keep `Curve: Sync` (shared, read-only model factories) — the hint is a pure
+    /// accelerator and never changes a result.
+    #[serde(skip)]
+    hint: AtomicUsize,
+}
+
+/// One precomputed interpolation segment between two bandwidth-adjacent curve points.
+///
+/// Stores exactly the operands of the original two-point interpolation (`span` and `dlat`
+/// are the differences the old code recomputed per query), so the fast path is bit-identical
+/// to the indexed slow path.
+#[derive(Debug, Clone, Copy, Default)]
+struct Segment {
+    lo_bw: f64,
+    hi_bw: f64,
+    lo_lat: f64,
+    /// `hi_lat - lo_lat`.
+    dlat: f64,
+    /// `hi_bw - lo_bw`.
+    span: f64,
+    /// `max(lo_lat, hi_lat)`, the result for degenerate (zero-span) segments.
+    max_lat: f64,
+}
+
+impl Clone for Curve {
+    fn clone(&self) -> Self {
+        Curve {
+            ratio: self.ratio,
+            points: self.points.clone(),
+            sorted: self.sorted.clone(),
+            segments: self.segments.clone(),
+            hint: AtomicUsize::new(self.hint.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Curve {
+    fn eq(&self, other: &Self) -> bool {
+        // The sorted view, the segments and the hint are all derived from (ratio, points).
+        self.ratio == other.ratio && self.points == other.points
+    }
 }
 
 impl Curve {
@@ -77,12 +127,15 @@ impl Curve {
             ratio,
             points,
             sorted: Vec::new(),
+            segments: Vec::new(),
+            hint: AtomicUsize::new(usize::MAX),
         };
         curve.rebuild_index();
         Ok(curve)
     }
 
-    /// Rebuilds the bandwidth-sorted index. Called after construction and deserialization.
+    /// Rebuilds the bandwidth-sorted index and the precomputed interpolation segments.
+    /// Called after construction and deserialization.
     pub fn rebuild_index(&mut self) {
         let mut idx: Vec<usize> = (0..self.points.len()).collect();
         idx.sort_by(|&a, &b| {
@@ -92,6 +145,25 @@ impl Curve {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         self.sorted = idx;
+        self.segments = self
+            .sorted
+            .windows(2)
+            .map(|w| {
+                let a = &self.points[w[0]];
+                let b = &self.points[w[1]];
+                let (lo_bw, hi_bw) = (a.bandwidth.as_gbs(), b.bandwidth.as_gbs());
+                let (lo_lat, hi_lat) = (a.latency.as_ns(), b.latency.as_ns());
+                Segment {
+                    lo_bw,
+                    hi_bw,
+                    lo_lat,
+                    dlat: hi_lat - lo_lat,
+                    span: hi_bw - lo_bw,
+                    max_lat: lo_lat.max(hi_lat),
+                }
+            })
+            .collect();
+        self.hint.store(usize::MAX, Ordering::Relaxed);
     }
 
     /// The read/write ratio this curve was measured with.
@@ -165,7 +237,16 @@ impl Curve {
         if bw >= last.bandwidth.as_gbs() {
             return Self::extrapolate_wall(last, bw);
         }
-        // Binary search over the sorted view.
+        // Fast path: the segment that served the previous query. Strict containment
+        // guarantees it is the unique segment the binary search below would find, so the
+        // memoized and searched answers are bit-identical.
+        let hinted = self.hint.load(Ordering::Relaxed);
+        if let Some(seg) = self.segments.get(hinted) {
+            if seg.lo_bw < bw && bw < seg.hi_bw {
+                return Self::interpolate(seg, bw);
+            }
+        }
+        // Binary search over the sorted view; `lo` ends as the segment index.
         let mut lo = 0usize;
         let mut hi = self.sorted.len() - 1;
         while hi - lo > 1 {
@@ -176,14 +257,18 @@ impl Curve {
                 hi = mid;
             }
         }
-        let a = &self.points[self.sorted[lo]];
-        let b = &self.points[self.sorted[hi]];
-        let span = b.bandwidth.as_gbs() - a.bandwidth.as_gbs();
-        if span <= f64::EPSILON {
-            return a.latency.max(b.latency);
+        self.hint.store(lo, Ordering::Relaxed);
+        Self::interpolate(&self.segments[lo], bw)
+    }
+
+    /// Two-point interpolation inside one precomputed segment (same arithmetic, operand by
+    /// operand, as the original per-query computation).
+    fn interpolate(seg: &Segment, bw: f64) -> Latency {
+        if seg.span <= f64::EPSILON {
+            return Latency::from_ns(seg.max_lat);
         }
-        let t = (bw - a.bandwidth.as_gbs()) / span;
-        Latency::from_ns(a.latency.as_ns() + t * (b.latency.as_ns() - a.latency.as_ns()))
+        let t = (bw - seg.lo_bw) / seg.span;
+        Latency::from_ns(seg.lo_lat + t * seg.dlat)
     }
 
     /// Steep extrapolation beyond the last measured point.
@@ -355,6 +440,38 @@ mod tests {
         let c = simple_curve().shifted_latency(Latency::from_ns(95.0));
         assert!((c.unloaded_latency().as_ns() - 1.0).abs() < 1e-12);
         assert!((c.max_latency().as_ns() - 285.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoized_lookup_is_bit_identical_to_cold_search() {
+        // Walking up and down the curve makes the segment hint hit, miss, and cross
+        // boundaries; every answer must equal (to the bit) a cold curve's answer.
+        let warm = simple_curve();
+        for q in [
+            6.0, 7.0, 39.9, 40.0, 41.0, 60.0, 100.0, 41.0, 80.0, 5.0, 4.0, 109.99, 110.0, 130.0,
+            60.0,
+        ] {
+            let cold = simple_curve();
+            let bw = Bandwidth::from_gbs(q);
+            assert_eq!(
+                warm.latency_at(bw).as_ns().to_bits(),
+                cold.latency_at(bw).as_ns().to_bits(),
+                "memoized lookup diverged at {q} GB/s"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_lookup_hint() {
+        let a = simple_curve();
+        let _ = a.latency_at(Bandwidth::from_gbs(60.0)); // warm the hint
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(
+            b.latency_at(Bandwidth::from_gbs(60.0)).as_ns(),
+            a.latency_at(Bandwidth::from_gbs(60.0)).as_ns()
+        );
+        assert_eq!(a, simple_curve(), "equality is defined by ratio and points");
     }
 
     #[test]

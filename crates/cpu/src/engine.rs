@@ -8,7 +8,6 @@ use mess_types::{
     Request, RequestId, StatsWindow,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the simulated CPU.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -136,10 +135,10 @@ impl RunReport {
     }
 }
 
-/// Bookkeeping for an in-flight read fill.
+/// Bookkeeping for an in-flight read fill, held in its issuing core's slab.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
-    core: usize,
+    id: RequestId,
     dependent: bool,
     issued_at: u64,
 }
@@ -160,7 +159,12 @@ pub struct Engine {
     streams: Vec<Box<dyn OpStream>>,
     llc: LastLevelCache,
     next_request_id: u64,
-    in_flight: HashMap<RequestId, InFlight>,
+    /// In-flight read fills, one slab per issuing core. A core holds at most
+    /// `mshrs_per_core` fills, so the per-completion lookup is a short linear scan over a
+    /// dense slab — measurably cheaper than a hash map on the drain hot path.
+    in_flight: Vec<Vec<InFlight>>,
+    /// Total entries across the `in_flight` slabs.
+    in_flight_count: usize,
     /// Memory requests that were rejected (queue full) and must be retried, per core fills.
     retry_fills: Vec<(usize, Request, bool)>,
     /// Dirty writebacks waiting to be accepted by the backend.
@@ -168,13 +172,16 @@ pub struct Engine {
     /// Reusable per-cycle issue batch (requests and aligned metadata).
     issue_batch: Vec<Request>,
     issue_meta: Vec<IssueMeta>,
+    /// Reusable completion-drain buffer: one allocation for the engine's lifetime, shared
+    /// across runs, so the steady-state drain path never touches the allocator.
+    drain_buf: Vec<Completion>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("cores", &self.cores.len())
-            .field("in_flight", &self.in_flight.len())
+            .field("in_flight", &self.in_flight_count)
             .finish()
     }
 }
@@ -208,11 +215,13 @@ impl Engine {
             cores: (0..config.cores).map(Core::new).collect(),
             llc: LastLevelCache::new(config.llc),
             next_request_id: 0,
-            in_flight: HashMap::new(),
+            in_flight: (0..config.cores).map(|_| Vec::new()).collect(),
+            in_flight_count: 0,
             retry_fills: Vec::new(),
             retry_writebacks: Vec::new(),
             issue_batch: Vec::new(),
             issue_meta: Vec::new(),
+            drain_buf: Vec::new(),
             streams,
             config,
         }
@@ -256,7 +265,7 @@ impl Engine {
             .as_u64();
         let window = StatsWindow::open(backend);
         let mut completed_memory_ops = 0u64;
-        let mut completions: Vec<Completion> = Vec::new();
+        let mut completions = std::mem::take(&mut self.drain_buf);
         let mut now = 0u64;
         let mut hit_cycle_limit = true;
 
@@ -271,18 +280,38 @@ impl Engine {
                 if c.kind == AccessKind::Write {
                     continue;
                 }
-                if let Some(meta) = self.in_flight.remove(&c.id) {
-                    let core = &mut self.cores[meta.core];
-                    core.outstanding = core.outstanding.saturating_sub(1);
-                    if meta.dependent && core.blocked_on == Some(c.id) {
-                        // Data usable after the on-chip return path.
-                        let usable = c.complete_cycle.as_u64() + on_chip_cycles;
-                        core.busy_until = core.busy_until.max(usable);
-                        core.blocked_on = None;
-                        let latency = usable.saturating_sub(meta.issued_at);
-                        core.stats.dependent_load_latency_cycles += latency;
-                        core.stats.stall_cycles += usable.saturating_sub(meta.issued_at);
-                    }
+                // Backends echo `request.core` into the completion (the conformance suite
+                // enforces it), which routes the lookup to one short slab; fall back to a
+                // full scan rather than leaking the entry if a backend mislabels a core.
+                let slab_idx = self
+                    .in_flight
+                    .get(c.core as usize)
+                    .and_then(|slab| slab.iter().any(|f| f.id == c.id).then_some(c.core as usize))
+                    .or_else(|| {
+                        self.in_flight
+                            .iter()
+                            .position(|slab| slab.iter().any(|f| f.id == c.id))
+                    });
+                let Some(slab_idx) = slab_idx else {
+                    continue;
+                };
+                let slab = &mut self.in_flight[slab_idx];
+                let pos = slab
+                    .iter()
+                    .position(|f| f.id == c.id)
+                    .expect("slab was just checked to contain the id");
+                let meta = slab.swap_remove(pos);
+                self.in_flight_count -= 1;
+                let core = &mut self.cores[slab_idx];
+                core.outstanding = core.outstanding.saturating_sub(1);
+                if meta.dependent && core.blocked_on == Some(c.id) {
+                    // Data usable after the on-chip return path.
+                    let usable = c.complete_cycle.as_u64() + on_chip_cycles;
+                    core.busy_until = core.busy_until.max(usable);
+                    core.blocked_on = None;
+                    let latency = usable.saturating_sub(meta.issued_at);
+                    core.stats.dependent_load_latency_cycles += latency;
+                    core.stats.stall_cycles += usable.saturating_sub(meta.issued_at);
                 }
             }
 
@@ -319,7 +348,7 @@ impl Engine {
             let stop_now = match stop {
                 StopCondition::AllStreamsDone => {
                     self.cores.iter().all(|c| c.done)
-                        && self.in_flight.is_empty()
+                        && self.in_flight_count == 0
                         && self.retry_fills.is_empty()
                         && self.retry_writebacks.is_empty()
                         && backend.pending() == 0
@@ -337,6 +366,8 @@ impl Engine {
             now = self.next_cycle(now, backend).min(max_cycles);
         }
 
+        completions.clear();
+        self.drain_buf = completions;
         let memory = window.measure(backend);
         let bandwidth = memory.bandwidth_over(Cycle::new(now.max(1)), self.config.frequency);
         RunReport {
@@ -385,14 +416,12 @@ impl Engine {
                 .take(outcome.accepted)
             {
                 if let IssueMeta::Fill { core, dependent } = *meta {
-                    self.in_flight.insert(
-                        request.id,
-                        InFlight {
-                            core,
-                            dependent,
-                            issued_at: request.issue_cycle.as_u64(),
-                        },
-                    );
+                    self.in_flight[core].push(InFlight {
+                        id: request.id,
+                        dependent,
+                        issued_at: request.issue_cycle.as_u64(),
+                    });
+                    self.in_flight_count += 1;
                 }
             }
             let rejected = start + outcome.accepted;

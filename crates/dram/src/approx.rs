@@ -78,6 +78,9 @@ pub struct ApproxDramSim {
     server_free: u64,
     /// Service time per cache line in CPU cycles (0 = no queueing).
     service_cycles: u64,
+    /// Precomputed `(service_cycles.max(1) * 64) as f64`, the utilisation-proxy horizon,
+    /// hoisted out of the per-request accept path (the quotient stays bit-identical).
+    utilisation_horizon: f64,
     base_latency_cycles: u64,
     queue: CompletionQueue,
     stats: MemoryStats,
@@ -116,6 +119,7 @@ impl ApproxDramSim {
             now: Cycle::ZERO,
             server_free: 0,
             service_cycles,
+            utilisation_horizon: (service_cycles.max(1) * 64) as f64,
             base_latency_cycles,
             queue: CompletionQueue::new(),
             stats: MemoryStats::default(),
@@ -234,8 +238,7 @@ impl ApproxDramSim {
 
         // Utilisation proxy: how far ahead of "now" the server has been booked.
         let backlog = self.server_free.saturating_sub(issue) as f64;
-        let horizon = (self.service_cycles.max(1) * 64) as f64;
-        let utilisation = (backlog / horizon).min(1.0);
+        let utilisation = (backlog / self.utilisation_horizon).min(1.0);
         self.classify(utilisation);
 
         self.queue.schedule(Completion {

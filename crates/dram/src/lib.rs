@@ -18,6 +18,31 @@
 //! * [`approx`] — deliberately simplified models reproducing the error modes the paper
 //!   attributes to DRAMsim3, Ramulator and Ramulator 2.
 //!
+//! # Performance notes
+//!
+//! The detailed model is the expensive tail of every sweep (the paper's §V-B point:
+//! cycle-accurate DRAM simulation is 13–15× slower than the Mess model), so its hot path
+//! is organized around two ideas:
+//!
+//! * **Exact event scheduling.** A candidate command's readiness is a maximum of absolute
+//!   deadlines (its bank's tRCD/tRP/tRAS windows, the rank's tRRD/tFAW activate ring,
+//!   refresh blocking, data-bus occupancy), none of which depend on the current cycle. The
+//!   controller therefore computes the *exact* cycle of the next command issue instead of
+//!   being stepped to it, `ChannelController::tick` jumps straight between command issues
+//!   and refresh deadlines, and [`MemoryBackend::next_event`] reports the precise next
+//!   issue or data return. A cycle-skipping issuer (`mess_cpu::Engine::run`) ticks the
+//!   model a handful of times per request on low-occupancy traffic rather than once per
+//!   cycle — the schedule stays bit-identical to the retained cycle-by-cycle reference
+//!   path (`DramSystem::tick_reference`), which the `event_equivalence` test enforces.
+//! * **Flat state, allocation-free steady state.** Per-bank timing state lives in
+//!   [`bank::BankArray`], a structure of arrays keyed by the flat `(rank, bank)` index, so
+//!   the FR-FCFS scan walks dense `Vec<u64>` columns; the per-rank tFAW history is a flat
+//!   four-entry ring; scheduled completions sit in a min-heap keyed by (completion cycle,
+//!   acceptance sequence), popped directly into the caller's reusable drain buffer. After
+//!   warm-up, the issue → complete → drain cycle performs no heap allocation.
+//!
+//! [`MemoryBackend::next_event`]: mess_types::MemoryBackend::next_event
+//!
 //! # Example
 //!
 //! ```

@@ -121,6 +121,24 @@ impl DramSystem {
         total
     }
 
+    /// Advances every channel to `now` through the retained cycle-by-cycle reference
+    /// scheduler instead of the event engine, then collects completions exactly like
+    /// [`MemoryBackend::tick`].
+    ///
+    /// Validation only: the `event_equivalence` test drives this against the normal `tick`
+    /// on random traffic and asserts bit-identical per-request completion cycles. It is far
+    /// too slow for real runs.
+    pub fn tick_reference(&mut self, now: Cycle) {
+        if now > self.now {
+            self.now = now;
+        }
+        let cycle = self.now.as_u64();
+        for ch in &mut self.channels {
+            ch.tick_reference(cycle);
+        }
+        self.collect();
+    }
+
     fn collect(&mut self) {
         let now = self.now.as_u64();
         for ch in &mut self.channels {
@@ -172,9 +190,9 @@ impl MemoryBackend for DramSystem {
     }
 
     fn next_event(&self) -> Option<Cycle> {
-        // While any controller still has queued requests it schedules commands cycle by
-        // cycle, so the system asks for lockstep stepping; once the only outstanding work is
-        // scheduled data returns, the issuer can jump straight to the earliest one.
+        // Every controller reports the exact cycle its next DRAM command will issue (or its
+        // soonest scheduled data return), so the issuer can jump straight to the earliest
+        // one — the detailed model no longer degrades cycle-skipping runs to lockstep.
         let now = self.now.as_u64();
         let mut next = self.ready.next_ready().map(|c| c.as_u64().max(now + 1));
         for ch in &self.channels {

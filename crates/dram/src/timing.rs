@@ -293,6 +293,28 @@ pub struct TimingCycles {
     pub overhead: u64,
 }
 
+impl TimingCycles {
+    /// CAS latency of a column command of the given kind (CWL for writes, CL for reads).
+    pub fn data_latency(&self, is_write: bool) -> u64 {
+        if is_write {
+            self.cwl
+        } else {
+            self.cl
+        }
+    }
+
+    /// Cycles from a read's column command to the end of its data burst.
+    pub fn read_data_end(&self) -> u64 {
+        self.cl + self.burst
+    }
+
+    /// Cycles from a write's column command to the end of its data burst plus the write
+    /// recovery window tWR (the earliest a precharge may follow).
+    pub fn write_data_end(&self) -> u64 {
+        self.cwl + self.burst + self.wr
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,7 +58,10 @@ impl Md1QueueModel {
     /// Current utilisation estimate `ρ` in `[0, 1)`.
     fn utilisation(&self, now: u64) -> f64 {
         let horizon = now.saturating_sub(self.window_cycles as u64);
-        let recent = self.arrivals.iter().filter(|&&t| t >= horizon).count();
+        // `arrivals` is kept sorted (see `issue`), so the in-window count is a partition
+        // point instead of a full scan — the scan made this model quadratic in the arrival
+        // rate and, at saturation, slower than the detailed DRAM model.
+        let recent = self.arrivals.len() - self.arrivals.partition_point(|&t| t < horizon);
         let window = self.window_cycles.min(now.max(1) as f64);
         let arrival_rate = recent as f64 / window.max(1.0);
         (arrival_rate * self.service_cycles).min(0.995)
@@ -94,7 +97,16 @@ impl MemoryBackend for Md1QueueModel {
     fn issue(&mut self, batch: &[Request]) -> IssueOutcome {
         for request in batch {
             let issue = request.issue_cycle.max(self.now).as_u64();
-            self.arrivals.push_back(issue);
+            // Keep the arrival window sorted. Arrivals are non-decreasing in practice (the
+            // clock only moves forward), so this is an O(1) push; the binary insert is a
+            // correctness guard for issuers that back-date `issue_cycle` inside a batch.
+            // The utilisation count is order-independent, so sorting never changes results.
+            if self.arrivals.back().is_none_or(|&b| b <= issue) {
+                self.arrivals.push_back(issue);
+            } else {
+                let pos = self.arrivals.partition_point(|&t| t <= issue);
+                self.arrivals.insert(pos, issue);
+            }
             let latency =
                 self.unloaded_cycles + self.service_cycles as u64 + self.waiting_cycles(issue);
             // Writes get the same treatment: the M/D/1 model is oblivious to the traffic mix,

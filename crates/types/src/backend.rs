@@ -54,9 +54,35 @@
 //!    [`next_event`](MemoryBackend::next_event) returns `Some`. The returned cycle may be
 //!    *earlier* than the next real state change (the issuer just ticks once more), but it
 //!    must never be later than the cycle at which the next completion becomes drainable —
-//!    otherwise a cycle-skipping issuer would observe completions late. Cycle-accurate
-//!    backends that schedule commands incrementally may return `now + 1` to request
-//!    lockstep stepping while work is queued.
+//!    otherwise a cycle-skipping issuer would observe completions late.
+//! 6. **Next-event precision.** After a tick and drain, the promise is strictly in the
+//!    future, repeated calls without a state change agree, and advancing the clock to a
+//!    cycle before the promise (a *dead tick*) drains nothing and never moves the promise
+//!    earlier. See the precision notes in the authors' guide below.
+//!
+//! ## The `next_event` precision contract
+//!
+//! `next_event` answers one question: *how far may the issuer fast-forward without
+//! observing anything late?* Two bounds satisfy the letter of the honesty rule:
+//!
+//! * an **exact bound** — the first cycle at which the backend's observable state actually
+//!   changes (a completion becomes drainable, or internal scheduling commits a decision
+//!   that future completions depend on);
+//! * a **conservative bound** — any earlier cycle. The issuer ticks, nothing happens, and
+//!   the backend promises again. Correct, but every unnecessary wake-up costs a full
+//!   tick/drain/issue/next-event round through the issuer.
+//!
+//! The degenerate conservative bound is returning `now + 1` whenever work is queued. That
+//! is a **performance bug, not a correctness bug**: the conformance suite still passes
+//! (every completion is observed on time) but a cycle-skipping issuer degrades to per-cycle
+//! lockstep on exactly the backend that is most expensive to tick — this was the detailed
+//! DRAM model's behaviour before its event engine, and it single-handedly erased the
+//! protocol's speedup on low-occupancy traffic. Aim for the exact bound on the hot path:
+//! command-scheduling readiness is almost always a maximum of absolute deadlines that can
+//! be computed without stepping, as `mess-dram`'s controller does (see its crate docs). If
+//! an exact bound is genuinely unreachable, return the tightest deadline you can prove and
+//! let new arrivals re-sharpen it on the next tick — a *stale-early* promise costs one
+//! wake-up; a *late* promise is a contract violation the suite rejects.
 //!
 //! # Backend authors' guide
 //!
@@ -390,7 +416,9 @@ pub trait MemoryBackend {
     /// the backend is idle.
     ///
     /// Must return `Some` whenever [`pending`](MemoryBackend::pending) is non-zero. May be
-    /// conservative (early) but never later than the next completion's drain cycle.
+    /// conservative (early) but never later than the next completion's drain cycle — and
+    /// the closer it is to exact, the fewer wake-ups a cycle-skipping issuer burns (see
+    /// the precision contract in the [module docs](self)).
     fn next_event(&self) -> Option<Cycle>;
 
     /// Number of requests accepted but not yet drained.

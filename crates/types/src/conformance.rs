@@ -10,9 +10,14 @@
 //! * **gap tolerance** — an event-driven drive (clock jumps straight to `next_event`)
 //!   observes exactly the completions of a cycle-by-cycle lockstep drive;
 //! * **drain ordering** — completions drain sorted by completion cycle, same-cycle ties in
-//!   acceptance order, into a caller-owned buffer that is appended to, never cleared;
+//!   acceptance order, into a caller-owned buffer that is appended to, never cleared, and
+//!   every completion echoes its request's addr/kind/core (issuers route by them);
 //! * **next-event honesty** — `next_event` is `Some` while work is pending and never
 //!   promises a wake-up later than a completion's drain cycle;
+//! * **next-event precision** — after a tick + drain the promised cycle is strictly in the
+//!   future, stable across repeated calls, monotonically non-decreasing over dead ticks
+//!   (ticks that change no observable state), and ticking straight to it observes exactly
+//!   the completions of a cycle-by-cycle walk;
 //! * **back-pressure accounting** — `issue` accepts a prefix, reports its length
 //!   truthfully, records rejections in the stats, and the backend recovers after draining.
 
@@ -119,6 +124,8 @@ fn drive<B: MemoryBackend>(backend: &mut B, steps: &[Step], mode: DriveMode) -> 
     let name = backend.name().to_string();
     let mut completions = Vec::new();
     let mut accepted_order = Vec::new();
+    // (id, addr, kind, core) of every accepted request, for the echo check on drain.
+    let mut accepted_meta: Vec<(u64, u64, AccessKind, u32)> = Vec::new();
     let mut buf: Vec<Completion> = Vec::new();
     let mut last_drained_cycle = 0u64;
     // The wake-up promise made by `next_event` at the previous round, for honesty checking.
@@ -162,6 +169,15 @@ fn drive<B: MemoryBackend>(backend: &mut B, steps: &[Step], mode: DriveMode) -> 
                 );
             }
             last_drained_cycle = at;
+            // Completions must echo the request's identity fields; issuers route
+            // completions back to their cores by them.
+            if let Some(&(_, addr, kind, core)) = accepted_meta.iter().find(|m| m.0 == c.id.0) {
+                assert_eq!(
+                    (c.addr, c.kind, c.core),
+                    (addr, kind, core),
+                    "{name}: a completion must echo its request's addr, kind and core"
+                );
+            }
         }
         // Same-cycle ties must preserve acceptance order.
         for pair in buf[before..].windows(2) {
@@ -191,6 +207,7 @@ fn drive<B: MemoryBackend>(backend: &mut B, steps: &[Step], mode: DriveMode) -> 
             );
             for r in &batch[..outcome.accepted] {
                 accepted_order.push(r.id.0);
+                accepted_meta.push((r.id.0, r.addr, r.kind, r.core));
             }
             step_idx += 1;
         }
@@ -262,6 +279,149 @@ fn assert_same_observation(name: &str, what: &str, a: &Observation, b: &Observat
         scrub(a.stats),
         scrub(b.stats),
         "{name}: {what}: statistics diverged"
+    );
+}
+
+/// A compact mixed script for the next-event precision check. The check compares a
+/// jump-to-event drive against a cycle-by-cycle walk of the same schedule, so the horizon is
+/// kept deliberately short.
+fn precision_script() -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut id = 0u64;
+    let mut cycle = 0u64;
+    // Low-occupancy singles: the regime where an exact next_event pays off most.
+    for i in 0..10u64 {
+        let kind = if i % 4 == 3 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        steps.push(Step {
+            cycle,
+            batch: vec![request(id, (i % 5) * 0x2_0000 + i * 64, kind, cycle)],
+        });
+        id += 1;
+        cycle += 160 + (i * 97) % 400;
+    }
+    // One burst to put several completions in flight at once.
+    let batch: Vec<Request> = (0..12)
+        .map(|i| {
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            request(id + i, (id + i) * 64, kind, cycle)
+        })
+        .collect();
+    id += batch.len() as u64;
+    steps.push(Step { cycle, batch });
+    cycle += 900;
+    // Cool-down single far behind the burst.
+    steps.push(Step {
+        cycle,
+        batch: vec![request(id, 0x40, AccessKind::Read, cycle)],
+    });
+    steps
+}
+
+/// Enforces the `next_event` precision contract: after every tick + drain the promise is
+/// strictly in the future, repeated calls agree, a dead tick (advancing the clock to a cycle
+/// before the promise) drains nothing and never moves the promise earlier, and jumping the
+/// clock straight to each promise observes exactly the completions of a cycle-by-cycle walk.
+fn check_next_event_precision<B: MemoryBackend, F: FnMut() -> B>(make: &mut F) {
+    let steps = precision_script();
+    let stepped = drive(&mut make(), &steps, DriveMode::Lockstep);
+
+    let mut backend = make();
+    let name = backend.name().to_string();
+    let mut completions = Vec::new();
+    let mut accepted_order = Vec::new();
+    let mut buf: Vec<Completion> = Vec::new();
+    let mut step_idx = 0usize;
+    let mut now = 0u64;
+    let horizon = steps.last().map(|s| s.cycle).unwrap_or(0) + 2_000_000;
+    loop {
+        backend.tick(Cycle::new(now));
+        let before = buf.len();
+        backend.drain_completed(&mut buf);
+        completions.extend_from_slice(&buf[before..]);
+        while step_idx < steps.len() && steps[step_idx].cycle == now {
+            let batch = &steps[step_idx].batch;
+            let outcome = backend.issue(batch);
+            for r in &batch[..outcome.accepted] {
+                accepted_order.push(r.id.0);
+            }
+            step_idx += 1;
+        }
+        if step_idx >= steps.len() && backend.pending() == 0 {
+            break;
+        }
+        assert!(
+            now < horizon,
+            "{name}: {} requests still pending at the precision-check horizon",
+            backend.pending()
+        );
+
+        let next_script = steps.get(step_idx).map(|s| s.cycle);
+        let event = backend.next_event();
+        if backend.pending() > 0 {
+            let e1 = event
+                .unwrap_or_else(|| panic!("{name}: next_event must be Some while work is pending"));
+            let e1 = e1.as_u64();
+            assert!(
+                e1 > now,
+                "{name}: after tick({now}) + drain, next_event must be strictly in the \
+                 future, got {e1}"
+            );
+            assert_eq!(
+                backend.next_event().map(|c| c.as_u64()),
+                Some(e1),
+                "{name}: repeated next_event calls without a state change must agree"
+            );
+            // Dead tick: advance to a cycle strictly before the promise. Nothing may become
+            // drainable, and the promise may sharpen (move later) but never move earlier.
+            let mid = now + (e1 - now) / 2;
+            if mid > now && next_script.is_none_or(|s| mid < s) {
+                backend.tick(Cycle::new(mid));
+                let drained = backend.drain_completed(&mut buf);
+                assert_eq!(
+                    drained, 0,
+                    "{name}: a completion became drainable at {mid}, before the promised \
+                     cycle {e1}"
+                );
+                let e2 = backend
+                    .next_event()
+                    .unwrap_or_else(|| panic!("{name}: work still pending after a dead tick"))
+                    .as_u64();
+                assert!(
+                    e2 >= e1,
+                    "{name}: next_event moved earlier across a dead tick ({e1} -> {e2}); \
+                     promises must be monotonically non-decreasing between state changes"
+                );
+                now = mid;
+            }
+        }
+        let event = backend.next_event().map(|c| c.as_u64());
+        now = match (event, next_script) {
+            (Some(e), Some(s)) => e.min(s),
+            (Some(e), None) => e,
+            (None, Some(s)) => s,
+            (None, None) => now + 1,
+        }
+        .max(now + 1);
+    }
+
+    let jumped = Observation {
+        completions,
+        accepted_order,
+        stats: backend.stats(),
+    };
+    assert_same_observation(
+        &name,
+        "next-event precision (jump vs cycle-by-cycle)",
+        &jumped,
+        &stepped,
     );
 }
 
@@ -356,7 +516,10 @@ pub fn check<B: MemoryBackend, F: FnMut() -> B>(mut make: F) {
     let noisy = drive(&mut make(), &steps, DriveMode::LockstepNoisy);
     assert_same_observation(&name, "noisy ticks", &noisy, &lockstep);
 
-    // 4. Back-pressure accounting and recovery.
+    // 4. The next_event precision contract (exactness, stability, monotonicity).
+    check_next_event_precision(&mut make);
+
+    // 5. Back-pressure accounting and recovery.
     check_backpressure(&mut make);
 }
 
