@@ -40,7 +40,8 @@ pub mod traffic;
 
 pub use chase::{PointerChaseConfig, PointerChaseStream};
 pub use sweep::{
-    characterize, characterize_with, measure_point, Characterization, MeasuredPoint, SweepConfig,
+    characterize, characterize_spec, characterize_with, measure_point, Characterization,
+    MeasuredPoint, SweepConfig, SweepPreset, SweepSpec,
 };
 pub use trace::{replay, RecordingBackend, ReplayResult, Trace, TraceRecord};
 pub use traffic::{TrafficConfig, TrafficStream};

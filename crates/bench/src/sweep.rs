@@ -157,6 +157,108 @@ impl SweepConfig {
     }
 }
 
+/// A named base sweep that a [`SweepSpec`] starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepPreset {
+    /// [`SweepConfig::quick`].
+    Quick,
+    /// [`SweepConfig::full`].
+    Full,
+    /// [`SweepConfig::reduced`].
+    Reduced,
+}
+
+impl SweepPreset {
+    /// The preset's base configuration.
+    pub fn config(self) -> SweepConfig {
+        match self {
+            SweepPreset::Quick => SweepConfig::quick(),
+            SweepPreset::Full => SweepConfig::full(),
+            SweepPreset::Reduced => SweepConfig::reduced(),
+        }
+    }
+}
+
+/// A declarative, serializable sweep description: a named preset plus optional overrides.
+///
+/// This is the spec-driven face of [`SweepConfig`]: scenario files (and the `mess-scenario`
+/// builtin experiments) describe their sweeps as data — `{"preset": "Full",
+/// "chase_loads": 300}` — and [`SweepSpec::config`] resolves them into the concrete sweep
+/// [`characterize_spec`] runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// The base configuration the overrides below are applied to.
+    pub preset: SweepPreset,
+    /// Overrides [`SweepConfig::store_mixes`] when set.
+    pub store_mixes: Option<Vec<f64>>,
+    /// Overrides [`SweepConfig::pause_levels`] when set.
+    pub pause_levels: Option<Vec<u32>>,
+    /// Overrides [`SweepConfig::chase_loads`] when set.
+    pub chase_loads: Option<u64>,
+    /// Overrides [`SweepConfig::max_cycles_per_point`] when set.
+    pub max_cycles_per_point: Option<u64>,
+}
+
+impl SweepSpec {
+    /// A spec running `preset` unmodified.
+    pub fn preset(preset: SweepPreset) -> Self {
+        SweepSpec {
+            preset,
+            store_mixes: None,
+            pause_levels: None,
+            chase_loads: None,
+            max_cycles_per_point: None,
+        }
+    }
+
+    /// Resolves the spec into a concrete [`SweepConfig`].
+    pub fn config(&self) -> SweepConfig {
+        let mut config = self.preset.config();
+        if let Some(mixes) = &self.store_mixes {
+            config.store_mixes = mixes.clone();
+        }
+        if let Some(pauses) = &self.pause_levels {
+            config.pause_levels = pauses.clone();
+        }
+        if let Some(loads) = self.chase_loads {
+            config.chase_loads = loads;
+        }
+        if let Some(cycles) = self.max_cycles_per_point {
+            config.max_cycles_per_point = cycles;
+        }
+        config
+    }
+
+    /// Validates the resolved configuration (see [`SweepConfig::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepConfig::validate`].
+    pub fn validate(&self) -> Result<(), MessError> {
+        self.config().validate()
+    }
+}
+
+/// The spec-driven entry point of the characterization sweep: resolves `spec` and runs
+/// [`characterize_with`].
+///
+/// # Errors
+///
+/// Propagates [`characterize_with`]'s validation errors.
+pub fn characterize_spec<B, F>(
+    name: impl Into<String>,
+    cpu: &CpuConfig,
+    factory: F,
+    spec: &SweepSpec,
+    exec: &ExecConfig,
+) -> Result<Characterization, MessError>
+where
+    B: MemoryBackend,
+    F: Fn() -> B + Send + Sync,
+{
+    characterize_with(name, cpu, factory, &spec.config(), exec)
+}
+
 /// Runs one measurement point: pointer-chase on core 0, traffic lanes on the other cores.
 ///
 /// The point owns its backend for the duration of the run (the parallel sweep gives every
@@ -411,6 +513,58 @@ mod tests {
         // And a generous budget clears the flag for the same probe.
         let relaxed = characterize("relaxed", &cpu, backend, &SweepConfig::quick()).unwrap();
         assert!(relaxed.truncated_points().is_empty());
+    }
+
+    #[test]
+    fn sweep_spec_resolves_presets_and_overrides() {
+        assert_eq!(
+            SweepSpec::preset(SweepPreset::Full).config(),
+            SweepConfig::full()
+        );
+        let spec = SweepSpec {
+            preset: SweepPreset::Quick,
+            store_mixes: Some(vec![0.0, 1.0]),
+            pause_levels: Some(vec![120, 20, 0]),
+            chase_loads: Some(80),
+            max_cycles_per_point: None,
+        };
+        let config = spec.config();
+        assert_eq!(config.store_mixes, vec![0.0, 1.0]);
+        assert_eq!(config.pause_levels, vec![120, 20, 0]);
+        assert_eq!(config.chase_loads, 80);
+        assert_eq!(
+            config.max_cycles_per_point,
+            SweepConfig::quick().max_cycles_per_point
+        );
+        assert!(spec.validate().is_ok());
+        let mut bad = spec.clone();
+        bad.store_mixes = Some(vec![2.0]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn characterize_spec_matches_the_explicit_config_path() {
+        let cpu = small_cpu(2);
+        let backend = || FixedLatencyModel::new(Latency::from_ns(50.0), cpu.frequency);
+        let spec = SweepSpec::preset(SweepPreset::Reduced);
+        let via_spec = characterize_spec(
+            "spec",
+            &cpu,
+            backend,
+            &spec,
+            &mess_exec::ExecConfig::sequential(),
+        )
+        .unwrap();
+        let via_config = characterize_with(
+            "spec",
+            &cpu,
+            backend,
+            &SweepConfig::reduced(),
+            &mess_exec::ExecConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(via_spec.points, via_config.points);
+        assert_eq!(via_spec.to_csv(), via_config.to_csv());
     }
 
     #[test]

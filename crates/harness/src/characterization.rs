@@ -4,197 +4,52 @@
 //!   maximum-latency range, STREAM reference bandwidths);
 //! * `fig3` / `table1` — the curve families and quantitative metrics of the eight Table I
 //!   platforms, with the paper's measured values side by side.
+//!
+//! Both drivers are spec-built: they run the registered builtin scenario through
+//! [`mess_scenario::run_scenario`] — `mess-harness --dump-spec fig2` prints the exact
+//! experiment definition they execute.
 
 use crate::report::{ExperimentReport, Fidelity};
-use crate::runner::{run_streams, scaled_platform};
-use mess_bench::sweep::{characterize_with, Characterization, SweepConfig};
-use mess_core::metrics::FamilyMetrics;
-use mess_exec::ExecConfig;
-use mess_platforms::{PlatformId, PlatformSpec};
-use mess_workloads::stream::{StreamConfig, StreamKernel};
 
-fn sweep_for(fidelity: Fidelity) -> SweepConfig {
-    match fidelity {
-        Fidelity::Quick => SweepConfig {
-            store_mixes: vec![0.0, 1.0],
-            pause_levels: vec![200, 40, 8, 0],
-            chase_loads: 150,
-            max_cycles_per_point: 800_000,
-        },
-        Fidelity::Full => SweepConfig::full(),
-    }
-}
-
-/// Characterizes one platform's detailed-DRAM reference memory with the Mess benchmark on
-/// `exec.resolved_threads()` workers (each sweep point builds a private DRAM system).
-pub fn characterize_platform(
-    platform: &PlatformSpec,
-    fidelity: Fidelity,
-    exec: &ExecConfig,
-) -> Characterization {
-    characterize_with(
-        platform.name,
-        &platform.cpu_config(),
-        || platform.build_dram(),
-        &sweep_for(fidelity),
-        exec,
-    )
-    .expect("the sweep configuration is valid")
-}
-
-/// Measures the STREAM kernels' sustained bandwidth on the platform (the dashed reference
-/// lines of Figs. 2 and 3), using STREAM's own application-level accounting. The four
-/// kernels run in parallel, each against a private DRAM system.
-pub fn stream_bandwidths(
-    platform: &PlatformSpec,
-    fidelity: Fidelity,
-    exec: &ExecConfig,
-) -> Vec<(StreamKernel, f64)> {
-    let cpu = platform.cpu_config();
-    let scale = match fidelity {
-        Fidelity::Quick => 2,
-        Fidelity::Full => 6,
-    };
-    mess_exec::par_map_with(exec, StreamKernel::ALL.to_vec(), |_, kernel| {
-        let config = StreamConfig {
-            kernel,
-            array_bytes: (cpu.llc.capacity_bytes * scale).max(1 << 22),
-            iterations: 1,
-            cores: cpu.cores,
-        };
-        let mut dram = platform.build_dram();
-        let report = run_streams(platform, config.streams(), &mut dram, 80_000_000);
-        let gbs = config.stream_bytes() as f64 / report.elapsed().as_ns();
-        (kernel, gbs)
-    })
-}
+pub use mess_scenario::engine::stream_bandwidths;
 
 /// Paper Fig. 2: the Skylake bandwidth–latency family with its headline metrics.
 pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
-    let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), fidelity);
-    // One platform: parallelism lives inside the sweep (one worker per sweep point).
-    let c = characterize_platform(&platform, fidelity, &ExecConfig::default());
-    let metrics = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-
-    let mut report = ExperimentReport::new(
-        "fig2",
-        "Mess bandwidth-latency curves of the Skylake reference platform",
-        &["read_percent", "bandwidth_gbs", "latency_ns"],
-    );
-    for (pct, bw, lat) in c.family.to_rows() {
-        report.push_row(vec![
-            pct.to_string(),
-            format!("{bw:.2}"),
-            format!("{lat:.1}"),
-        ]);
-    }
-    report.note(metrics.table_row());
-    for (kernel, gbs) in stream_bandwidths(&platform, fidelity, &ExecConfig::default()) {
-        report.note(format!(
-            "STREAM {kernel}: {gbs:.1} GB/s (application-level)"
-        ));
-    }
-    if let Some(r) = &platform.reference {
-        report.note(format!(
-            "paper reference: unloaded {} ns, saturated {}-{}% of theoretical, max latency {}-{} ns",
-            r.unloaded_latency_ns,
-            r.saturated_bw_low_pct,
-            r.saturated_bw_high_pct,
-            r.max_latency_low_ns,
-            r.max_latency_high_ns
-        ));
-    }
-    report
+    mess_scenario::run_builtin("fig2", fidelity).expect("fig2 is a builtin scenario")
 }
 
 /// Paper Fig. 3 and Table I: metrics of every platform under study.
 pub fn table1(fidelity: Fidelity) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "table1",
-        "Quantitative memory performance comparison (paper Table I / Fig. 3)",
-        &[
-            "platform",
-            "theoretical_gbs",
-            "unloaded_ns",
-            "unloaded_ns_paper",
-            "sat_bw_low_pct",
-            "sat_bw_high_pct",
-            "sat_bw_paper",
-            "max_lat_range_ns",
-            "max_lat_paper",
-            "stream_pct",
-            "stream_paper",
-        ],
-    );
-    let platforms: Vec<PlatformId> = match fidelity {
-        Fidelity::Quick => vec![PlatformId::IntelSkylake, PlatformId::AmazonGraviton3],
-        Fidelity::Full => PlatformId::TABLE_ONE.to_vec(),
-    };
-    // One leg per platform; rows come back in platform order. With fewer platforms than
-    // pool workers the legs run sequentially and the parallelism moves into each leg's
-    // sweep instead (for_fanout) — nested calls on a pool worker never fan out, so the two
-    // schedules produce identical rows.
-    let rows = mess_exec::par_map_with(
-        &ExecConfig::for_fanout(platforms.len()),
-        platforms,
-        |_, id| {
-            let platform = scaled_platform(&id.spec(), fidelity);
-            let theoretical = platform.theoretical_bandwidth();
-            let c = characterize_platform(&platform, fidelity, &ExecConfig::default());
-            let m = FamilyMetrics::compute(&c.family, theoretical);
-            let streams = stream_bandwidths(&platform, fidelity, &ExecConfig::default());
-            let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
-            let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-            let r = platform.reference;
-            vec![
-                id.key().to_string(),
-                format!("{:.0}", theoretical.as_gbs()),
-                format!("{:.0}", m.unloaded_latency.as_ns()),
-                r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
-                    .unwrap_or_default(),
-                format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
-                format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-                r.map(|r| {
-                    format!(
-                        "{:.0}-{:.0}",
-                        r.saturated_bw_low_pct, r.saturated_bw_high_pct
-                    )
-                })
-                .unwrap_or_default(),
-                format!(
-                    "{:.0}-{:.0}",
-                    m.max_latency_range.low.as_ns(),
-                    m.max_latency_range.high.as_ns()
-                ),
-                r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
-                    .unwrap_or_default(),
-                format!(
-                    "{:.0}-{:.0}",
-                    stream_low / theoretical.as_gbs() * 100.0,
-                    stream_high / theoretical.as_gbs() * 100.0
-                ),
-                r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
-                    .unwrap_or_default(),
-            ]
-        },
-    );
-    report.push_rows(rows);
-    report.note(
-        "Quick fidelity characterizes a scaled-down platform (fewer cores/channels); \
-         full fidelity runs the paper configuration.",
-    );
-    report
+    mess_scenario::run_builtin("table1", fidelity).expect("table1 is a builtin scenario")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::scaled_platform;
+    use mess_bench::sweep::{characterize_with, SweepConfig};
+    use mess_exec::ExecConfig;
+    use mess_platforms::PlatformId;
     use mess_types::RwRatio;
 
     #[test]
     fn skylake_characterization_produces_rising_write_sensitive_curves() {
         let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), Fidelity::Quick);
-        let c = characterize_platform(&platform, Fidelity::Quick, &ExecConfig::default());
+        // The same sweep the fig2 builtin scenario uses at quick fidelity.
+        let sweep = SweepConfig {
+            store_mixes: vec![0.0, 1.0],
+            pause_levels: vec![200, 40, 8, 0],
+            chase_loads: 150,
+            max_cycles_per_point: 800_000,
+        };
+        let c = characterize_with(
+            platform.name,
+            &platform.cpu_config(),
+            || platform.build_dram(),
+            &sweep,
+            &ExecConfig::default(),
+        )
+        .expect("sweep is valid");
         assert_eq!(c.family.len(), 2);
         let reads = c.family.closest_curve(RwRatio::ALL_READS);
         assert!(reads.max_latency() > reads.unloaded_latency());

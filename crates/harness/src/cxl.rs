@@ -4,195 +4,21 @@
 //!   inside ZSim-, gem5- and OpenPiton-style hosts;
 //! * `fig17` / `fig18` — CXL expansion versus remote-NUMA-socket emulation for the SPEC-like
 //!   suite, sorted by bandwidth utilisation.
+//!
+//! Both drivers are spec-built: each runs its registered builtin scenario through
+//! [`mess_scenario::run_scenario`] (`mess-harness --dump-spec fig14` prints the definition).
 
 use crate::report::{ExperimentReport, Fidelity};
-use crate::runner::scaled_platform;
-use mess_bench::sweep::{characterize_with, SweepConfig};
-use mess_core::metrics::FamilyMetrics;
-use mess_core::{CurveFamily, MessSimulator, MessSimulatorConfig};
-use mess_cpu::{Engine, OpStream, StopCondition};
-use mess_cxl::manufacturer::{
-    load_to_use_curves, CXL_THEORETICAL_BANDWIDTH_GBS, HOST_TO_CXL_LATENCY_NS,
-};
-use mess_cxl::remote_socket::{remote_socket_curves, RemoteSocketConfig};
-use mess_exec::ExecConfig;
-use mess_platforms::{PlatformId, PlatformSpec};
-use mess_types::{Bandwidth, Latency};
-use mess_workloads::spec_suite::{
-    classify_utilisation, spec2006_suite, IntensityClass, SpecWorkload,
-};
-
-fn sweep_for(fidelity: Fidelity) -> SweepConfig {
-    match fidelity {
-        Fidelity::Quick => SweepConfig {
-            store_mixes: vec![0.0, 1.0],
-            pause_levels: vec![120, 20, 0],
-            chase_loads: 100,
-            max_cycles_per_point: 500_000,
-        },
-        Fidelity::Full => SweepConfig {
-            store_mixes: vec![0.0, 0.5, 1.0],
-            pause_levels: vec![400, 200, 120, 80, 40, 20, 8, 0],
-            chase_loads: 300,
-            max_cycles_per_point: 2_000_000,
-        },
-    }
-}
-
-/// Builds a Mess simulator loaded with the CXL expander's load-to-use curves for `platform`.
-fn cxl_mess(platform: &PlatformSpec) -> MessSimulator {
-    let curves = load_to_use_curves(Latency::from_ns(HOST_TO_CXL_LATENCY_NS));
-    let config = MessSimulatorConfig::new(curves, platform.frequency, platform.cpu.on_chip_latency);
-    MessSimulator::new(config).expect("manufacturer curves are valid")
-}
 
 /// Paper Fig. 14: the CXL curves as seen by three simulated hosts running the Mess simulator.
 pub fn fig14(fidelity: Fidelity) -> ExperimentReport {
-    let hosts: Vec<PlatformId> = match fidelity {
-        Fidelity::Quick => vec![PlatformId::IntelSkylake, PlatformId::OpenPitonAriane],
-        Fidelity::Full => vec![
-            PlatformId::IntelSkylake,
-            PlatformId::AmazonGraviton3,
-            PlatformId::OpenPitonAriane,
-        ],
-    };
-    let manufacturer = load_to_use_curves(Latency::from_ns(HOST_TO_CXL_LATENCY_NS));
-    let reference = FamilyMetrics::compute(
-        &manufacturer,
-        Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
-    );
-
-    let mut report = ExperimentReport::new(
-        "fig14",
-        "CXL expander: manufacturer curves vs Mess simulation in different hosts (paper Fig. 14)",
-        &[
-            "host",
-            "unloaded_ns",
-            "max_bandwidth_gbs",
-            "max_bw_pct_of_cxl_peak",
-        ],
-    );
-    report.push_row(vec![
-        "manufacturer-model".to_string(),
-        format!("{:.0}", reference.unloaded_latency.as_ns()),
-        format!("{:.1}", reference.saturated_bandwidth_range.high.as_gbs()),
-        format!(
-            "{:.0}",
-            reference.saturated_bandwidth_range.high_fraction * 100.0
-        ),
-    ]);
-    // One leg per simulated host, each characterizing a private curve-driven Mess
-    // simulator. With fewer hosts than pool workers the legs run sequentially and each
-    // sweep takes the pool instead (for_fanout).
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(hosts.len()), hosts, |_, id| {
-        let platform = scaled_platform(&id.spec(), fidelity);
-        let c = characterize_with(
-            "cxl",
-            &platform.cpu_config(),
-            || cxl_mess(&platform),
-            &sweep_for(fidelity),
-            // Inline under the parallel host fan-out; parallel across sweep points if the
-            // host list ever degenerates to one entry.
-            &ExecConfig::default(),
-        )
-        .expect("sweep configuration is valid");
-        let m = FamilyMetrics::compute(
-            &c.family,
-            Bandwidth::from_gbs(CXL_THEORETICAL_BANDWIDTH_GBS),
-        );
-        vec![
-            id.key().to_string(),
-            format!("{:.0}", m.unloaded_latency.as_ns()),
-            format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
-            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-        ]
-    });
-    report.push_rows(rows);
-    report.note(
-        "the in-order Ariane host cannot saturate the device (2-entry MSHRs), exactly as the \
-         paper observes for OpenPiton Metro-MPI",
-    );
-    report
-}
-
-/// Runs one SPEC-like workload on a host whose memory is modelled by `curves`, returning
-/// (IPC, bandwidth utilisation of the CXL peak).
-fn run_spec_on(
-    platform: &PlatformSpec,
-    workload: &SpecWorkload,
-    curves: CurveFamily,
-    ops_per_core: u64,
-    max_cycles: u64,
-) -> (f64, f64) {
-    let config = MessSimulatorConfig::new(curves, platform.frequency, platform.cpu.on_chip_latency);
-    let mut backend = MessSimulator::new(config).expect("curve families are valid");
-    let streams: Vec<Box<dyn OpStream>> =
-        workload.multiprogrammed(platform.cpu.cores, ops_per_core);
-    let mut engine = Engine::from_boxed(platform.cpu_config(), streams);
-    let report = engine.run(&mut backend, StopCondition::AllStreamsDone, max_cycles);
-    let utilisation = report.bandwidth.as_gbs() / CXL_THEORETICAL_BANDWIDTH_GBS;
-    (report.ipc(), utilisation)
+    mess_scenario::run_builtin("fig14", fidelity).expect("fig14 is a builtin scenario")
 }
 
 /// Paper Figs. 17 and 18: remote-socket emulation versus the CXL expander for the SPEC-like
 /// suite, sorted by bandwidth utilisation.
 pub fn fig18(fidelity: Fidelity) -> ExperimentReport {
-    let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), fidelity);
-    let (ops_per_core, max_cycles, suite): (u64, u64, Vec<SpecWorkload>) = match fidelity {
-        Fidelity::Quick => {
-            let suite = spec2006_suite();
-            (600, 2_000_000, vec![suite[4], suite[24]]) // perlbench and lbm (Fig. 17's pair)
-        }
-        Fidelity::Full => (5_000, 40_000_000, spec2006_suite()),
-    };
-    let cxl_curves = load_to_use_curves(Latency::from_ns(HOST_TO_CXL_LATENCY_NS));
-    let remote_curves = remote_socket_curves(&RemoteSocketConfig::default());
-
-    let mut report = ExperimentReport::new(
-        "fig18",
-        "Remote-socket emulation of CXL: per-benchmark performance difference (paper Figs. 17-18)",
-        &[
-            "benchmark",
-            "cxl_bw_utilisation_pct",
-            "class",
-            "ipc_cxl",
-            "ipc_remote_socket",
-            "perf_difference_pct",
-        ],
-    );
-    // One leg per benchmark: both the CXL and the remote-socket runs of a benchmark happen
-    // on the same worker (they feed one row), different benchmarks run concurrently.
-    let rows = mess_exec::par_map(suite, |_, w| {
-        let (ipc_cxl, utilisation) =
-            run_spec_on(&platform, &w, cxl_curves.clone(), ops_per_core, max_cycles);
-        let (ipc_remote, _) = run_spec_on(
-            &platform,
-            &w,
-            remote_curves.clone(),
-            ops_per_core,
-            max_cycles,
-        );
-        let diff = (ipc_remote - ipc_cxl) / ipc_cxl.max(1e-12) * 100.0;
-        let class = match classify_utilisation(utilisation) {
-            IntensityClass::Low => "low",
-            IntensityClass::Medium => "medium",
-            IntensityClass::High => "high",
-        };
-        vec![
-            w.name.to_string(),
-            format!("{:.0}", utilisation * 100.0),
-            class.to_string(),
-            format!("{ipc_cxl:.3}"),
-            format!("{ipc_remote:.3}"),
-            format!("{diff:+.1}"),
-        ]
-    });
-    report.push_rows(rows);
-    report.note(
-        "paper: low-bandwidth benchmarks lose up to ~12% on the remote socket (higher unloaded \
-         latency); high-bandwidth benchmarks gain 11-22% (higher saturated bandwidth)",
-    );
-    report
+    mess_scenario::run_builtin("fig18", fidelity).expect("fig18 is a builtin scenario")
 }
 
 #[cfg(test)]

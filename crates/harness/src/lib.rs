@@ -1,9 +1,14 @@
 //! Experiment drivers that regenerate every table and figure of the Mess paper.
 //!
-//! Each module maps to one group of figures of the evaluation; each driver returns an
-//! [`ExperimentReport`] (a table plus notes) at either [`Fidelity::Quick`] — used by the test
-//! suite — or [`Fidelity::Full`] — used by the `mess-harness` binary and the Criterion
-//! benches to regenerate the paper's results:
+//! Since the declarative scenario refactor every driver is a thin wrapper: it runs its
+//! registered `mess-scenario` builtin spec through the single `run_scenario` engine
+//! (characterize → simulate → report). The same pipeline executes arbitrary scenario and
+//! campaign *files* (`--scenario` / `--campaign`), and `--dump-spec <id>` exports any
+//! builtin as editable JSON — a new experiment is a JSON file, not a new driver.
+//!
+//! Each driver returns an [`ExperimentReport`] (a table plus notes) at either
+//! [`Fidelity::Quick`] — used by the test suite — or [`Fidelity::Full`] — used by the
+//! `mess-harness` binary and the Criterion benches to regenerate the paper's results:
 //!
 //! | experiment | paper content | module |
 //! |---|---|---|
@@ -24,12 +29,15 @@
 pub mod characterization;
 pub mod cxl;
 pub mod mess_sim;
+pub mod output;
 pub mod profiling;
 pub mod report;
 pub mod runner;
 pub mod simulators;
 
-pub use report::{ExperimentReport, Fidelity};
+pub use mess_scenario::{builtin_spec, BuiltinScenario, BUILTINS};
+pub use output::write_reports;
+pub use report::{CampaignSummary, ExperimentReport, Fidelity};
 
 /// The signature every experiment driver shares.
 pub type ExperimentDriver = fn(Fidelity) -> ExperimentReport;
@@ -38,7 +46,8 @@ pub type ExperimentDriver = fn(Fidelity) -> ExperimentReport;
 ///
 /// This table is the single source of truth: [`EXPERIMENTS`] is derived from it and
 /// [`run_experiment`] dispatches through it, so an id can never be listed without a driver
-/// (or vice versa).
+/// (or vice versa). Every driver executes through the spec pipeline
+/// ([`mess_scenario::run_builtin`]).
 pub const DRIVERS: [(&str, ExperimentDriver); 13] = [
     ("fig2", characterization::fig2),
     ("table1", characterization::table1),
@@ -80,6 +89,12 @@ pub fn canonical_experiment_id(id: &str) -> Option<&'static str> {
         other => other,
     };
     DRIVERS.iter().map(|(c, _)| *c).find(|c| *c == canonical)
+}
+
+/// The builtin-registry entry (description, paper anchor, spec builder) behind `id`,
+/// accepting the same aliases as [`run_experiment`].
+pub fn experiment_info(id: &str) -> Option<&'static BuiltinScenario> {
+    mess_scenario::builtin(canonical_experiment_id(id)?)
 }
 
 /// Runs the experiment named `id` (see [`EXPERIMENTS`], plus the aliases handled by
@@ -142,6 +157,22 @@ mod tests {
     }
 
     #[test]
+    fn every_driver_id_is_a_registered_builtin_scenario() {
+        // The DRIVERS table and the scenario builtin registry must stay in lockstep: every
+        // driver dispatches to `run_builtin`, so a missing registration would panic at run
+        // time — catch it here instead.
+        for id in EXPERIMENTS {
+            let info = experiment_info(id)
+                .unwrap_or_else(|| panic!("{id} has a driver but no builtin scenario"));
+            assert_eq!(info.id, id);
+        }
+        assert_eq!(BUILTINS.len(), DRIVERS.len());
+        // Aliases resolve to registry entries too.
+        assert_eq!(experiment_info("fig3").unwrap().id, "table1");
+        assert!(experiment_info("fig99").is_none());
+    }
+
+    #[test]
     fn aliases_resolve_to_canonical_drivers() {
         assert_eq!(canonical_experiment_id("fig3"), Some("table1"));
         assert_eq!(canonical_experiment_id("fig16"), Some("fig15"));
@@ -151,7 +182,7 @@ mod tests {
 
     #[test]
     fn one_cheap_experiment_actually_runs_at_quick_fidelity() {
-        // Executing all twelve drivers is the integration suite's job; here one cheap
+        // Executing all thirteen drivers is the integration suite's job; here one cheap
         // driver proves the table dispatch end to end.
         let report = run_experiment("fig7", Fidelity::Quick).expect("fig7 is listed");
         assert!(!report.rows.is_empty());

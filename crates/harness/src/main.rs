@@ -1,36 +1,106 @@
-//! CLI entry point: regenerate the paper's tables and figures.
+//! CLI entry point: regenerate the paper's tables and figures, or run scenario files.
 //!
 //! ```text
-//! mess-harness --experiment fig5            # one experiment at full fidelity
-//! mess-harness --experiment all --quick     # smoke-run everything (parallel job runner)
-//! mess-harness --experiment all --threads 4 # cap the worker pool at 4 threads
-//! mess-harness --threads 1 -e fig2          # fully sequential reference run
-//! mess-harness --list                       # show the experiment index
-//! mess-harness --experiment fig2 --csv      # machine-readable output
+//! mess-harness --experiment fig5              # one builtin experiment at full fidelity
+//! mess-harness --experiment all --quick       # smoke-run everything (parallel job runner)
+//! mess-harness --experiment fig2 --out out/   # also write out/fig2.csv + summary JSON
+//! mess-harness --dump-spec fig11 --quick      # export the builtin as editable JSON
+//! mess-harness --scenario my-scenario.json    # run one scenario from a file
+//! mess-harness --campaign my-campaign.json    # run a batch of scenarios from a file
+//! mess-harness --list                         # experiment index with paper anchors
+//! mess-harness --experiment fig2 --csv        # machine-readable stdout
+//! mess-harness --threads 1 -e fig2            # fully sequential reference run
 //! ```
 //!
 //! `--threads N` sets the process-wide `mess-exec` worker count — a true cap, because
 //! nested pools run inline. For a single experiment the N workers go to the driver's
-//! per-sweep-point / per-leg parallelism; for `--experiment all` they go to running up to N
-//! experiments concurrently (each internally sequential). The default is one worker per
-//! available hardware thread; the output is byte-identical at every setting.
+//! per-sweep-point / per-leg parallelism; for `--experiment all` and `--campaign` they go
+//! to running up to N experiments concurrently (each internally sequential). The default is
+//! one worker per available hardware thread; the output is byte-identical at every setting.
+//!
+//! Scenario and campaign files carry their own sizing (a `--dump-spec` export bakes the
+//! chosen fidelity in), so `--quick`/`--full` only affect builtin experiment ids.
 
 use mess_exec::JobEvent;
-use mess_harness::{run_experiment, run_experiments, Fidelity, EXPERIMENTS};
+use mess_harness::{
+    run_experiment, run_experiments, write_reports, Fidelity, BUILTINS, EXPERIMENTS,
+};
+use mess_scenario::{CampaignSpec, ScenarioSpec};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// What the invocation asks for.
+enum Mode {
+    /// Run a builtin experiment id (or `all`).
+    Experiment(String),
+    /// Print a builtin experiment's scenario spec as JSON.
+    DumpSpec(String),
+    /// Run one scenario from a JSON file.
+    Scenario(PathBuf),
+    /// Run a campaign of scenarios from a JSON file.
+    Campaign(PathBuf),
+    /// Print the experiment index.
+    List,
+}
+
+fn usage() {
+    println!(
+        "usage: mess-harness --experiment|-e <id|all> [--quick|--full] [--csv] [--out DIR] \
+         [--threads|-j N]\n\
+         \x20      mess-harness --dump-spec <id> [--quick|--full]\n\
+         \x20      mess-harness --scenario <file.json> [--csv] [--out DIR] [--threads|-j N]\n\
+         \x20      mess-harness --campaign <file.json> [--csv] [--out DIR] [--threads|-j N]\n\
+         \x20      mess-harness --list"
+    );
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment: Option<String> = None;
+    let mut mode: Option<Mode> = None;
     let mut fidelity = Fidelity::Full;
     let mut csv = false;
+    let mut out: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--experiment" | "-e" => experiment = iter.next().cloned(),
+            "--experiment" | "-e" => {
+                let Some(id) = iter.next() else {
+                    eprintln!("--experiment expects an id (use --list)");
+                    return ExitCode::FAILURE;
+                };
+                mode = Some(Mode::Experiment(id.clone()));
+            }
+            "--dump-spec" => {
+                let Some(id) = iter.next() else {
+                    eprintln!("--dump-spec expects an experiment id (use --list)");
+                    return ExitCode::FAILURE;
+                };
+                mode = Some(Mode::DumpSpec(id.clone()));
+            }
+            "--scenario" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--scenario expects a JSON file path");
+                    return ExitCode::FAILURE;
+                };
+                mode = Some(Mode::Scenario(PathBuf::from(path)));
+            }
+            "--campaign" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--campaign expects a JSON file path");
+                    return ExitCode::FAILURE;
+                };
+                mode = Some(Mode::Campaign(PathBuf::from(path)));
+            }
             "--quick" => fidelity = Fidelity::Quick,
             "--full" => fidelity = Fidelity::Full,
             "--csv" => csv = true,
+            "--out" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--out expects a directory path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(dir));
+            }
             "--threads" | "-j" => {
                 let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("--threads expects a positive integer");
@@ -42,17 +112,9 @@ fn main() -> ExitCode {
                 }
                 mess_exec::set_default_threads(n);
             }
-            "--list" => {
-                for id in EXPERIMENTS {
-                    println!("{id}");
-                }
-                return ExitCode::SUCCESS;
-            }
+            "--list" => mode = Some(Mode::List),
             "--help" | "-h" => {
-                println!(
-                    "usage: mess-harness --experiment|-e <id|all> [--quick|--full] [--csv] \
-                     [--threads|-j N] [--list]"
-                );
+                usage();
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -61,8 +123,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    let Some(experiment) = experiment else {
-        eprintln!("missing --experiment <id|all>; use --list to see the available experiments");
+    let Some(mode) = mode else {
+        eprintln!("missing --experiment <id|all>, --scenario, --campaign, --dump-spec or --list");
         return ExitCode::FAILURE;
     };
 
@@ -73,31 +135,131 @@ fn main() -> ExitCode {
             println!("{report}");
         }
     };
-    if experiment == "all" {
-        // The whole campaign goes through the job-graph runner: experiments execute
-        // concurrently, progress is narrated on stderr, reports print in paper order.
-        let progress = |event: JobEvent<'_>| match event {
-            JobEvent::Started { name, .. } => eprintln!("[mess-harness] {name} started"),
-            JobEvent::Finished {
-                name,
-                completed,
-                total,
-                ..
-            } => eprintln!("[mess-harness] {name} finished ({completed}/{total})"),
-        };
-        let reports = run_experiments(&EXPERIMENTS, fidelity, progress)
-            .expect("EXPERIMENTS contains only known ids");
-        for report in &reports {
-            print(report);
+    let progress = |event: JobEvent<'_>| match event {
+        JobEvent::Started { name, .. } => eprintln!("[mess-harness] {name} started"),
+        JobEvent::Finished {
+            name,
+            completed,
+            total,
+            ..
+        } => eprintln!("[mess-harness] {name} finished ({completed}/{total})"),
+    };
+    let write_out = |name: &str, reports: &[mess_harness::ExperimentReport]| -> bool {
+        let Some(dir) = &out else { return true };
+        match write_reports(dir, name, reports) {
+            Ok(written) => {
+                eprintln!(
+                    "[mess-harness] wrote {} files to {}",
+                    written.len(),
+                    dir.display()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("cannot write to {}: {e}", dir.display());
+                false
+            }
         }
-    } else {
-        match run_experiment(&experiment, fidelity) {
-            Some(report) => print(&report),
+    };
+
+    match mode {
+        Mode::List => {
+            for b in &BUILTINS {
+                println!("{:<8} {} [{}]", b.id, b.description, b.anchor);
+            }
+            ExitCode::SUCCESS
+        }
+        Mode::DumpSpec(id) => match mess_harness::experiment_info(&id) {
+            Some(info) => {
+                println!("{}", info.spec(fidelity).to_json());
+                ExitCode::SUCCESS
+            }
             None => {
-                eprintln!("unknown experiment: {experiment}");
-                return ExitCode::FAILURE;
+                eprintln!("unknown experiment: {id}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Experiment(id) if id == "all" => {
+            // The whole campaign goes through the job-graph runner: experiments execute
+            // concurrently, progress is narrated on stderr, reports print in paper order.
+            let reports = run_experiments(&EXPERIMENTS, fidelity, progress)
+                .expect("EXPERIMENTS contains only known ids");
+            for report in &reports {
+                print(report);
+            }
+            if write_out("all", &reports) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Mode::Experiment(id) => match run_experiment(&id, fidelity) {
+            Some(report) => {
+                print(&report);
+                if write_out(&report.id, std::slice::from_ref(&report)) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Scenario(path) => {
+            let spec = match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| ScenarioSpec::from_json(&text).map_err(|e| e.to_string()))
+            {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("cannot load scenario {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match mess_scenario::run_scenario(&spec) {
+                Ok(report) => {
+                    print(&report);
+                    if write_out(&spec.id, std::slice::from_ref(&report)) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("scenario {} failed: {e}", spec.id);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Campaign(path) => {
+            let campaign = match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| CampaignSpec::from_json(&text).map_err(|e| e.to_string()))
+            {
+                Ok(campaign) => campaign,
+                Err(e) => {
+                    eprintln!("cannot load campaign {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match mess_scenario::run_campaign(&campaign, progress) {
+                Ok(reports) => {
+                    for report in &reports {
+                        print(report);
+                    }
+                    if write_out(&campaign.name, &reports) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("campaign {} failed: {e}", campaign.name);
+                    ExitCode::FAILURE
+                }
             }
         }
     }
-    ExitCode::SUCCESS
 }

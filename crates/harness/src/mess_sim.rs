@@ -4,224 +4,30 @@
 //!   and HBM2, compared with the curves it was fed;
 //! * `fig11` / `fig13` — IPC error of every memory model against the detailed-DRAM reference
 //!   for the six validation workloads (ZSim-style and gem5-style model sets).
+//!
+//! All four drivers are spec-built: each runs its registered builtin scenario through
+//! [`mess_scenario::run_scenario`] (`mess-harness --dump-spec fig11` prints the definition).
 
 use crate::report::{ExperimentReport, Fidelity};
-use crate::runner::{ipc_error_percent, scaled_platform, workload_ipc, ValidationWorkload};
-use mess_bench::sweep::{characterize_with, SweepConfig};
-use mess_core::metrics::FamilyMetrics;
-use mess_core::{MessSimulator, MessSimulatorConfig};
-use mess_exec::ExecConfig;
-use mess_platforms::{MemoryModelKind, ModelFactory, PlatformId, PlatformSpec};
-
-fn sweep_for(fidelity: Fidelity) -> SweepConfig {
-    match fidelity {
-        Fidelity::Quick => SweepConfig {
-            store_mixes: vec![0.0, 1.0],
-            pause_levels: vec![120, 20, 0],
-            chase_loads: 120,
-            max_cycles_per_point: 600_000,
-        },
-        Fidelity::Full => SweepConfig::full(),
-    }
-}
-
-/// Builds a Mess simulator for `platform` from its reference curve family.
-fn mess_backend(platform: &PlatformSpec) -> MessSimulator {
-    let config = MessSimulatorConfig::new(
-        platform.reference_family(),
-        platform.frequency,
-        platform.cpu.on_chip_latency,
-    );
-    MessSimulator::new(config).expect("reference families are valid")
-}
-
-/// Characterizes the Mess simulator itself with the Mess benchmark and compares the result to
-/// the curves it was configured with (paper Figs. 10 and 12).
-fn mess_curve_experiment(
-    id: &str,
-    title: &str,
-    platforms: &[PlatformId],
-    fidelity: Fidelity,
-) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        id,
-        title,
-        &[
-            "platform",
-            "input_unloaded_ns",
-            "simulated_unloaded_ns",
-            "input_max_bw_gbs",
-            "simulated_max_bw_gbs",
-            "max_bw_error_pct",
-        ],
-    );
-    // One leg per platform; each leg characterizes its own private Mess simulator, built
-    // inside the worker from the platform's reference curves. With fewer platforms than
-    // pool workers the legs run sequentially and each sweep takes the pool (for_fanout).
-    let legs = platforms.to_vec();
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, id| {
-        let platform = scaled_platform(&id.spec(), fidelity);
-        let input = platform.reference_family();
-        let c = characterize_with(
-            "mess",
-            &platform.cpu_config(),
-            || mess_backend(&platform),
-            &sweep_for(fidelity),
-            // Inline under a parallel platform fan-out; parallel across sweep points when
-            // there is only one platform leg (fig10/fig12 at quick fidelity).
-            &ExecConfig::default(),
-        )
-        .expect("sweep configuration is valid");
-        let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-        let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
-        let bw_err = ipc_error_percent(
-            simulated.saturated_bandwidth_range.high.as_gbs(),
-            input_metrics.saturated_bandwidth_range.high.as_gbs(),
-        );
-        vec![
-            id.key().to_string(),
-            format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
-            format!("{:.0}", simulated.unloaded_latency.as_ns()),
-            format!(
-                "{:.0}",
-                input_metrics.saturated_bandwidth_range.high.as_gbs()
-            ),
-            format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
-            format!("{bw_err:.1}"),
-        ]
-    });
-    report.push_rows(rows);
-    report.note(
-        "the simulated curves are measured by running the Mess benchmark against the Mess \
-         simulator, exactly like the ZSim+Mess / gem5+Mess runs of the paper",
-    );
-    report
-}
 
 /// Paper Fig. 10: ZSim-style host running the Mess simulator for DDR4, DDR5 and HBM2.
 pub fn fig10(fidelity: Fidelity) -> ExperimentReport {
-    let platforms = match fidelity {
-        Fidelity::Quick => vec![PlatformId::IntelSkylake],
-        Fidelity::Full => vec![
-            PlatformId::IntelSkylake,
-            PlatformId::AmazonGraviton3,
-            PlatformId::FujitsuA64fx,
-        ],
-    };
-    mess_curve_experiment(
-        "fig10",
-        "Mess simulator curves vs the curves it was fed (DDR4/DDR5/HBM2, paper Fig. 10)",
-        &platforms,
-        fidelity,
-    )
-}
-
-/// Paper Fig. 12: gem5-style host (fewer cores, one channel) running the Mess simulator.
-pub fn fig12(fidelity: Fidelity) -> ExperimentReport {
-    let platforms = match fidelity {
-        Fidelity::Quick => vec![PlatformId::AmazonGraviton3],
-        Fidelity::Full => vec![PlatformId::AmazonGraviton3, PlatformId::FujitsuA64fx],
-    };
-    mess_curve_experiment(
-        "fig12",
-        "Mess simulator in a gem5-style host (paper Fig. 12)",
-        &platforms,
-        fidelity,
-    )
-}
-
-/// IPC-error comparison for a platform and a set of memory models (paper Figs. 11 and 13).
-fn ipc_error_experiment(
-    id: &str,
-    title: &str,
-    platform_id: PlatformId,
-    models: &[MemoryModelKind],
-    fidelity: Fidelity,
-) -> ExperimentReport {
-    let platform = scaled_platform(&platform_id.spec(), fidelity);
-    let workloads: Vec<ValidationWorkload> = match fidelity {
-        Fidelity::Quick => vec![
-            ValidationWorkload::StreamTriad,
-            ValidationWorkload::Multichase,
-        ],
-        Fidelity::Full => ValidationWorkload::ALL.to_vec(),
-    };
-    let mut headers: Vec<String> = vec!["memory_model".to_string()];
-    headers.extend(workloads.iter().map(|w| w.label().to_string()));
-    headers.push("average".to_string());
-    let mut report = ExperimentReport::new(id, title, &[]);
-    report.headers = headers;
-
-    // Reference IPCs from the detailed DRAM model, one private DRAM system per workload leg.
-    let reference: Vec<f64> = mess_exec::par_map(workloads.clone(), |_, w| {
-        let mut dram = platform.build_dram();
-        workload_ipc(w, &platform, &mut dram, fidelity)
-    });
-
-    // The full (model × workload) grid runs in parallel; every leg builds a private model
-    // instance, but the factories (which carry a platform clone and, for curve-driven
-    // models, the generated reference family) are created once per model kind and shared.
-    // Results come back in grid order, so the rows (and the per-model averages computed
-    // from them) are identical to the sequential loop's.
-    let factories: Vec<ModelFactory> = models
-        .iter()
-        .map(|&kind| ModelFactory::new(kind, &platform))
-        .collect();
-    let mut grid: Vec<(usize, ValidationWorkload, f64)> = Vec::new();
-    for model_idx in 0..models.len() {
-        for (i, &w) in workloads.iter().enumerate() {
-            grid.push((model_idx, w, reference[i]));
-        }
-    }
-    let errors = mess_exec::par_map(grid, |_, (model_idx, w, reference_ipc)| {
-        let mut backend = factories[model_idx]
-            .build()
-            .expect("model construction is valid here");
-        let ipc = workload_ipc(w, &platform, backend.as_mut(), fidelity);
-        ipc_error_percent(ipc, reference_ipc)
-    });
-    for (kind, model_errors) in models.iter().zip(errors.chunks(workloads.len())) {
-        let mut cells = vec![kind.label().to_string()];
-        cells.extend(model_errors.iter().map(|err| format!("{err:.1}")));
-        let avg = model_errors.iter().sum::<f64>() / model_errors.len() as f64;
-        cells.push(format!("{avg:.1}"));
-        report.push_row(cells);
-    }
-    report.note(format!(
-        "absolute IPC error in percent against the detailed-DRAM reference on {}",
-        platform.name
-    ));
-    report
+    mess_scenario::run_builtin("fig10", fidelity).expect("fig10 is a builtin scenario")
 }
 
 /// Paper Fig. 11: ZSim-style IPC error of six memory models on the Skylake platform.
 pub fn fig11(fidelity: Fidelity) -> ExperimentReport {
-    let models = match fidelity {
-        Fidelity::Quick => vec![MemoryModelKind::FixedLatency, MemoryModelKind::Mess],
-        Fidelity::Full => MemoryModelKind::ZSIM_IPC_SET.to_vec(),
-    };
-    ipc_error_experiment(
-        "fig11",
-        "IPC error of ZSim-style memory models (paper Fig. 11)",
-        PlatformId::IntelSkylake,
-        &models,
-        fidelity,
-    )
+    mess_scenario::run_builtin("fig11", fidelity).expect("fig11 is a builtin scenario")
+}
+
+/// Paper Fig. 12: gem5-style host (fewer cores, one channel) running the Mess simulator.
+pub fn fig12(fidelity: Fidelity) -> ExperimentReport {
+    mess_scenario::run_builtin("fig12", fidelity).expect("fig12 is a builtin scenario")
 }
 
 /// Paper Fig. 13: gem5-style IPC error of four memory models on the Graviton 3 platform.
 pub fn fig13(fidelity: Fidelity) -> ExperimentReport {
-    let models = match fidelity {
-        Fidelity::Quick => vec![MemoryModelKind::Ramulator2Like, MemoryModelKind::Mess],
-        Fidelity::Full => MemoryModelKind::GEM5_IPC_SET.to_vec(),
-    };
-    ipc_error_experiment(
-        "fig13",
-        "IPC error of gem5-style memory models (paper Fig. 13)",
-        PlatformId::AmazonGraviton3,
-        &models,
-        fidelity,
-    )
+    mess_scenario::run_builtin("fig13", fidelity).expect("fig13 is a builtin scenario")
 }
 
 #[cfg(test)]

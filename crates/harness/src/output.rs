@@ -1,0 +1,84 @@
+//! File output for experiment runs (`mess-harness --out <dir>`).
+//!
+//! Each report becomes `<dir>/<id>.csv` (the same CSV `--csv` prints) and the whole batch is
+//! indexed by `<dir>/campaign-summary.json` — a [`CampaignSummary`] carrying every
+//! experiment's title, row count and notes, so downstream tooling can discover the CSVs
+//! without parsing them.
+
+use crate::report::{CampaignSummary, ExperimentReport};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes one CSV file per report plus a `campaign-summary.json` index into `dir` (created
+/// if missing). Returns the paths written, the summary last.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, disk full, ...).
+pub fn write_reports(
+    dir: &Path,
+    campaign_name: &str,
+    reports: &[ExperimentReport],
+) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(reports.len() + 1);
+    for report in reports {
+        let path = dir.join(format!("{}.csv", report.id));
+        fs::write(&path, report.to_csv())?;
+        written.push(path);
+    }
+    let summary_path = dir.join("campaign-summary.json");
+    let summary = CampaignSummary::new(campaign_name, reports);
+    fs::write(&summary_path, summary.to_json() + "\n")?;
+    written.push(summary_path);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CampaignSummary;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mess-harness-output-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_one_csv_per_report_and_a_summary_index() {
+        let dir = temp_dir("basic");
+        let mut a = ExperimentReport::new("fig0", "first", &["x", "y"]);
+        a.push_row(vec!["1".into(), "2".into()]);
+        a.note("headline");
+        let mut b = ExperimentReport::new("fig1", "second", &["z"]);
+        b.push_row(vec!["3".into()]);
+
+        let written = write_reports(&dir, "demo", &[a.clone(), b]).unwrap();
+        assert_eq!(written.len(), 3);
+        assert_eq!(written[0].file_name().unwrap(), "fig0.csv");
+        assert_eq!(written[2].file_name().unwrap(), "campaign-summary.json");
+
+        let csv = fs::read_to_string(&written[0]).unwrap();
+        assert_eq!(csv, a.to_csv());
+        let summary: CampaignSummary =
+            serde_json::from_str(&fs::read_to_string(&written[2]).unwrap()).unwrap();
+        assert_eq!(summary.name, "demo");
+        assert_eq!(summary.experiments.len(), 2);
+        assert_eq!(summary.experiments[0].rows, 1);
+        assert_eq!(summary.experiments[0].notes, vec!["headline".to_string()]);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_nested_output_directories() {
+        let dir = temp_dir("nested").join("a/b");
+        let report = ExperimentReport::new("fig9", "nested", &["c"]);
+        let written = write_reports(&dir, "nested", &[report]).unwrap();
+        assert!(written.iter().all(|p| p.exists()));
+        fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).unwrap();
+    }
+}

@@ -4,120 +4,27 @@
 //! reference platform; its memory trace is folded into fixed time windows to obtain the
 //! bandwidth samples Extrae would collect from the uncore counters, and the profiler places
 //! each window on the platform's curves to produce the stress-score timeline.
+//!
+//! The driver is spec-built: it runs the registered builtin scenario through
+//! [`mess_scenario::run_scenario`] (`mess-harness --dump-spec fig15` prints the
+//! definition — any other workload spec can be profiled the same way from a scenario file).
 
 use crate::report::{ExperimentReport, Fidelity};
-use crate::runner::scaled_platform;
-use mess_bench::trace::{RecordingBackend, Trace};
-use mess_cpu::{Engine, OpStream, StopCondition};
-use mess_platforms::{PlatformId, PlatformSpec};
-use mess_profiler::{BandwidthSample, Profiler, Timeline};
-use mess_types::{AccessKind, Bandwidth, Cycle, RwRatio, CACHE_LINE_BYTES};
-use mess_workloads::random::HpcgConfig;
 
-/// Folds a memory trace into bandwidth samples of `window_us` microseconds each.
-pub fn trace_to_samples(
-    trace: &Trace,
-    frequency: mess_types::Frequency,
-    window_us: f64,
-) -> Vec<BandwidthSample> {
-    if trace.is_empty() {
-        return Vec::new();
-    }
-    let window_cycles = (window_us * 1_000.0 * frequency.as_ghz()).max(1.0) as u64;
-    let mut samples = Vec::new();
-    let mut window_start = trace.records[0].cycle;
-    let (mut reads, mut writes) = (0u64, 0u64);
-    let flush = |start: u64, reads: u64, writes: u64, samples: &mut Vec<BandwidthSample>| {
-        let bytes = (reads + writes) * CACHE_LINE_BYTES;
-        let elapsed = Cycle::new(window_cycles).to_latency(frequency);
-        samples.push(BandwidthSample::new(
-            Cycle::new(start).to_latency(frequency).as_us(),
-            Bandwidth::from_bytes_over(mess_types::Bytes::new(bytes), elapsed),
-            RwRatio::from_counts(reads, writes),
-        ));
-    };
-    for r in &trace.records {
-        while r.cycle >= window_start + window_cycles {
-            flush(window_start, reads, writes, &mut samples);
-            window_start += window_cycles;
-            reads = 0;
-            writes = 0;
-        }
-        match r.kind {
-            AccessKind::Read => reads += 1,
-            AccessKind::Write => writes += 1,
-        }
-    }
-    flush(window_start, reads, writes, &mut samples);
-    samples
-}
-
-/// Runs the HPCG proxy on `platform` and returns the profiled timeline.
-pub fn profile_hpcg(platform: &PlatformSpec, fidelity: Fidelity) -> Timeline {
-    let cpu = platform.cpu_config();
-    let rows = match fidelity {
-        Fidelity::Quick => 120,
-        Fidelity::Full => 2_000,
-    };
-    let config = HpcgConfig::sized_against_llc(cpu.llc.capacity_bytes, cpu.cores, rows);
-    let streams: Vec<Box<dyn OpStream>> = config.streams();
-    let mut recorder = RecordingBackend::new(platform.build_dram());
-    let mut engine = Engine::from_boxed(cpu, streams);
-    let _ = engine.run(&mut recorder, StopCondition::AllStreamsDone, 60_000_000);
-    let (_, trace) = recorder.into_parts();
-
-    let samples = trace_to_samples(&trace, platform.frequency, 2.0);
-    let profiler = Profiler::new(platform.reference_family());
-    profiler.profile(&samples)
-}
+pub use mess_scenario::engine::{profile_hpcg, profile_workload, trace_to_samples};
 
 /// Paper Figs. 15 and 16: the HPCG stress-score profile and its timeline phases.
 pub fn fig15(fidelity: Fidelity) -> ExperimentReport {
-    let platform = scaled_platform(&PlatformId::IntelCascadeLake.spec(), fidelity);
-    let timeline = profile_hpcg(&platform, fidelity);
-
-    let mut report = ExperimentReport::new(
-        "fig15",
-        "Mess application profiling of HPCG on the Cascade Lake platform (paper Figs. 15-16)",
-        &[
-            "time_us",
-            "bandwidth_gbs",
-            "read_percent",
-            "latency_ns",
-            "stress_score",
-        ],
-    );
-    for s in &timeline.samples {
-        report.push_row(vec![
-            format!("{:.1}", s.sample.time_us),
-            format!("{:.2}", s.sample.bandwidth.as_gbs()),
-            s.sample.ratio.read_percent().to_string(),
-            format!("{:.1}", s.latency.as_ns()),
-            format!("{:.3}", s.stress_score),
-        ]);
-    }
-    report.note(format!(
-        "mean stress {:.2}, {:.0}% of the samples above 0.5, peak bandwidth {:.1} GB/s, peak latency {:.0} ns",
-        timeline.mean_stress(),
-        timeline.fraction_above(0.5) * 100.0,
-        timeline.peak_bandwidth().as_gbs(),
-        timeline.peak_latency().as_ns()
-    ));
-    for phase in timeline.phases(0.5) {
-        report.note(format!("phase: {phase}"));
-    }
-    report.note(
-        "paper: most of the HPCG execution sits in the saturated bandwidth area with stress \
-         scores around 0.64-0.71",
-    );
-    report
+    mess_scenario::run_builtin("fig15", fidelity).expect("fig15 is a builtin scenario")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mess_bench::trace::TraceRecord;
-    use mess_types::Frequency;
+    use crate::runner::scaled_platform;
+    use mess_bench::trace::{Trace, TraceRecord};
+    use mess_platforms::PlatformId;
+    use mess_types::{AccessKind, Cycle, Frequency};
 
     #[test]
     fn trace_folding_counts_every_request_once() {

@@ -1,137 +1,7 @@
-//! Tabular experiment reports.
+//! Tabular experiment reports (re-exported from the scenario layer).
 //!
-//! Every experiment driver returns an [`ExperimentReport`]: a named table of rows plus
-//! free-form notes, which the CLI prints and EXPERIMENTS.md records. Keeping the output
-//! structural (rather than plotting) mirrors the paper artifact's `results.csv` files.
+//! The report types moved into `mess-scenario` with the declarative scenario refactor — the
+//! engine that produces them lives there — and are re-exported here so harness callers and
+//! the Criterion benches keep their import paths.
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-
-/// How much simulation work an experiment driver should spend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Fidelity {
-    /// Small sweeps and short runs: suitable for unit tests and smoke runs (seconds).
-    Quick,
-    /// The full sweeps used to regenerate the paper's figures (minutes in release builds).
-    Full,
-}
-
-/// The result of one experiment driver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ExperimentReport {
-    /// Experiment identifier (`fig2`, `table1`, ...).
-    pub id: String,
-    /// Human-readable title.
-    pub title: String,
-    /// Column headers.
-    pub headers: Vec<String>,
-    /// Table rows.
-    pub rows: Vec<Vec<String>>,
-    /// Free-form notes: headline metrics, paper-vs-measured comparisons.
-    pub notes: Vec<String>,
-}
-
-impl ExperimentReport {
-    /// Creates an empty report.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
-        ExperimentReport {
-            id: id.into(),
-            title: title.into(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
-            rows: Vec::new(),
-            notes: Vec::new(),
-        }
-    }
-
-    /// Appends a row; the cell count should match the headers.
-    pub fn push_row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match headers"
-        );
-        self.rows.push(cells);
-    }
-
-    /// Appends every row of a batch in order — the collection side of the parallel drivers,
-    /// which compute rows with `mess_exec::par_map` and push them here.
-    pub fn push_rows(&mut self, rows: impl IntoIterator<Item = Vec<String>>) {
-        for row in rows {
-            self.push_row(row);
-        }
-    }
-
-    /// Appends a note line.
-    pub fn note(&mut self, line: impl Into<String>) {
-        self.notes.push(line.into());
-    }
-
-    /// Renders the report as CSV (headers + rows; notes become `#` comments).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        for n in &self.notes {
-            out.push_str(&format!("# {n}\n"));
-        }
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-impl fmt::Display for ExperimentReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== {} — {} ==", self.id, self.title)?;
-        for n in &self.notes {
-            writeln!(f, "   {n}")?;
-        }
-        let widths: Vec<usize> = self
-            .headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| {
-                self.rows
-                    .iter()
-                    .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
-                    .chain(std::iter::once(h.len()))
-                    .max()
-                    .unwrap_or(0)
-            })
-            .collect();
-        let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        writeln!(f, "   {}", fmt_row(&self.headers))?;
-        for row in &self.rows {
-            writeln!(f, "   {}", fmt_row(row))?;
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn csv_and_display_contain_headers_rows_and_notes() {
-        let mut r = ExperimentReport::new("fig0", "demo", &["a", "b"]);
-        r.note("a note");
-        r.push_row(vec!["1".into(), "2".into()]);
-        r.push_row(vec!["3".into(), "4".into()]);
-        let csv = r.to_csv();
-        assert!(csv.starts_with("# a note\na,b\n1,2\n3,4\n"));
-        let text = r.to_string();
-        assert!(text.contains("fig0"));
-        assert!(text.contains("a note"));
-        assert!(text.contains('4'));
-    }
-}
+pub use mess_scenario::report::{CampaignSummary, ExperimentReport, ExperimentSummary, Fidelity};

@@ -1,162 +1,20 @@
-//! Shared helpers for the experiment drivers: workload construction and IPC measurement.
+//! Shared experiment plumbing (re-exported from the scenario engine).
+//!
+//! The helpers that every driver used to need — workload construction, IPC measurement,
+//! quick-fidelity platform scaling — moved into `mess_scenario::engine` with the
+//! declarative scenario refactor. [`ValidationWorkload`] is now a thin name over
+//! [`mess_scenario::WorkloadSpec`]: its `streams` build the same op streams as before, but
+//! through the one spec-resolution pipeline every scenario file uses.
 
-use crate::report::Fidelity;
-use mess_cpu::{Engine, OpStream, RunReport, StopCondition};
-use mess_platforms::PlatformSpec;
-use mess_types::MemoryBackend;
-use mess_workloads::latency::{LatMemRdConfig, MultichaseConfig};
-use mess_workloads::stream::{StreamConfig, StreamKernel};
-
-/// The six validation workloads of the IPC-error comparisons (Figs. 11 and 13).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ValidationWorkload {
-    /// STREAM Copy.
-    StreamCopy,
-    /// STREAM Scale.
-    StreamScale,
-    /// STREAM Add.
-    StreamAdd,
-    /// STREAM Triad.
-    StreamTriad,
-    /// LMbench `lat_mem_rd`.
-    Lmbench,
-    /// Google multichase.
-    Multichase,
-}
-
-impl ValidationWorkload {
-    /// The workloads in the order the paper's bar charts list them.
-    pub const ALL: [ValidationWorkload; 6] = [
-        ValidationWorkload::StreamCopy,
-        ValidationWorkload::StreamScale,
-        ValidationWorkload::StreamAdd,
-        ValidationWorkload::StreamTriad,
-        ValidationWorkload::Lmbench,
-        ValidationWorkload::Multichase,
-    ];
-
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            ValidationWorkload::StreamCopy => "STREAM:copy",
-            ValidationWorkload::StreamScale => "STREAM:scale",
-            ValidationWorkload::StreamAdd => "STREAM:add",
-            ValidationWorkload::StreamTriad => "STREAM:triad",
-            ValidationWorkload::Lmbench => "LMbench",
-            ValidationWorkload::Multichase => "multichase",
-        }
-    }
-
-    /// Builds the workload's per-core op streams for `platform`, scaled by `fidelity`.
-    pub fn streams(self, platform: &PlatformSpec, fidelity: Fidelity) -> Vec<Box<dyn OpStream>> {
-        let cpu = platform.cpu_config();
-        let cores = cpu.cores;
-        let llc = cpu.llc.capacity_bytes;
-        let scale = match fidelity {
-            Fidelity::Quick => 1,
-            Fidelity::Full => 4,
-        };
-        match self {
-            ValidationWorkload::StreamCopy
-            | ValidationWorkload::StreamScale
-            | ValidationWorkload::StreamAdd
-            | ValidationWorkload::StreamTriad => {
-                let kernel = match self {
-                    ValidationWorkload::StreamCopy => StreamKernel::Copy,
-                    ValidationWorkload::StreamScale => StreamKernel::Scale,
-                    ValidationWorkload::StreamAdd => StreamKernel::Add,
-                    _ => StreamKernel::Triad,
-                };
-                let config = StreamConfig {
-                    kernel,
-                    array_bytes: (llc * scale).max(1 << 22),
-                    iterations: 1,
-                    cores,
-                };
-                config.streams()
-            }
-            ValidationWorkload::Lmbench => {
-                let mut config = LatMemRdConfig::main_memory(llc);
-                config.loads = 3_000 * scale;
-                one_active_core(config.stream(), cores)
-            }
-            ValidationWorkload::Multichase => {
-                let mut config = MultichaseConfig::main_memory(llc);
-                config.loads = 3_000 * scale;
-                one_active_core(config.stream(), cores)
-            }
-        }
-    }
-}
-
-/// Pads a single-core workload with idle streams so the engine still models every core.
-fn one_active_core(active: Box<dyn OpStream>, cores: u32) -> Vec<Box<dyn OpStream>> {
-    let mut streams = vec![active];
-    for _ in 1..cores {
-        streams.push(
-            Box::new(mess_cpu::VecStream::with_label(Vec::new(), "idle")) as Box<dyn OpStream>,
-        );
-    }
-    streams
-}
-
-/// Runs `streams` on `platform`'s CPU configuration against `backend` and returns the report.
-pub fn run_streams(
-    platform: &PlatformSpec,
-    streams: Vec<Box<dyn OpStream>>,
-    backend: &mut dyn MemoryBackend,
-    max_cycles: u64,
-) -> RunReport {
-    let mut engine = Engine::from_boxed(platform.cpu_config(), streams);
-    engine.run(backend, StopCondition::AllStreamsDone, max_cycles)
-}
-
-/// Runs a validation workload and returns its IPC.
-pub fn workload_ipc(
-    workload: ValidationWorkload,
-    platform: &PlatformSpec,
-    backend: &mut dyn MemoryBackend,
-    fidelity: Fidelity,
-) -> f64 {
-    let max_cycles = match fidelity {
-        Fidelity::Quick => 3_000_000,
-        Fidelity::Full => 60_000_000,
-    };
-    run_streams(
-        platform,
-        workload.streams(platform, fidelity),
-        backend,
-        max_cycles,
-    )
-    .ipc()
-}
-
-/// Absolute relative error of `simulated` IPC with respect to `reference` IPC, in percent.
-pub fn ipc_error_percent(simulated: f64, reference: f64) -> f64 {
-    if reference.abs() < 1e-12 {
-        return 0.0;
-    }
-    ((simulated - reference) / reference).abs() * 100.0
-}
-
-/// Shrinks a platform's core count for quick runs so unit tests stay fast while the full runs
-/// keep the paper's configuration.
-pub fn scaled_platform(platform: &PlatformSpec, fidelity: Fidelity) -> PlatformSpec {
-    match fidelity {
-        Fidelity::Full => platform.clone(),
-        Fidelity::Quick => {
-            let mut p = platform.clone();
-            p.cores = p.cores.min(8);
-            p.cpu = p.cpu_config_with_cores(p.cores);
-            p.channels = p.channels.clamp(1, 4);
-            p
-        }
-    }
-}
+pub use mess_scenario::engine::{
+    ipc_error_percent, run_streams, scaled_platform, spec_workload_ipc, workload_ipc,
+    ValidationWorkload,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::Fidelity;
     use mess_platforms::PlatformId;
 
     #[test]

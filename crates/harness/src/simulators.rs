@@ -4,289 +4,33 @@
 //! * `fig5` — ZSim-style memory models against the Skylake reference;
 //! * `fig6` — trace-driven evaluation of the external DRAM-simulator stand-ins;
 //! * `fig7` — row-buffer hit/empty/miss statistics, actual versus approximate models.
+//!
+//! All four drivers are spec-built: each runs its registered builtin scenario through
+//! [`mess_scenario::run_scenario`] (`mess-harness --dump-spec fig5` prints the definition).
 
 use crate::report::{ExperimentReport, Fidelity};
-use crate::runner::scaled_platform;
-use mess_bench::sweep::{characterize_with, SweepConfig};
-use mess_bench::trace::{replay, RecordingBackend, Trace};
-use mess_bench::TrafficConfig;
-use mess_core::metrics::FamilyMetrics;
-use mess_cpu::{Engine, OpStream, StopCondition};
-use mess_dram::{ApproxDramSim, ApproxProfile};
-use mess_exec::ExecConfig;
-use mess_platforms::{MemoryModelKind, ModelFactory, PlatformId, PlatformSpec};
-use mess_types::MemoryBackend;
 
-fn sweep_for(fidelity: Fidelity) -> SweepConfig {
-    match fidelity {
-        Fidelity::Quick => SweepConfig {
-            store_mixes: vec![0.0, 1.0],
-            pause_levels: vec![120, 20, 0],
-            chase_loads: 120,
-            max_cycles_per_point: 600_000,
-        },
-        Fidelity::Full => SweepConfig::full(),
-    }
-}
-
-/// Characterizes one memory model for `platform` and returns its summary row. The model is
-/// built *inside* the calling worker through a [`ModelFactory`], so every sweep point and
-/// every parallel leg gets a private instance.
-fn model_row(platform: &PlatformSpec, kind: MemoryModelKind, fidelity: Fidelity) -> Vec<String> {
-    let factory = ModelFactory::new(kind, platform);
-    let c = characterize_with(
-        kind.label(),
-        &platform.cpu_config(),
-        || factory.build().expect("model construction is valid here"),
-        &sweep_for(fidelity),
-        // Runs inline when the per-model legs are parallel (nested pools never fan out);
-        // parallelizes the sweep itself if this row is computed on the caller's thread.
-        &ExecConfig::default(),
-    )
-    .expect("sweep configuration is valid");
-    let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-    vec![
-        kind.label().to_string(),
-        format!("{:.0}", m.unloaded_latency.as_ns()),
-        format!("{:.0}", m.max_latency_range.high.as_ns()),
-        format!("{:.0}", m.saturated_bandwidth_range.high.as_gbs()),
-        format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-    ]
-}
-
-fn simulator_comparison(
-    id: &str,
-    title: &str,
-    platform_id: PlatformId,
-    models: &[MemoryModelKind],
-    fidelity: Fidelity,
-) -> ExperimentReport {
-    let platform = scaled_platform(&platform_id.spec(), fidelity);
-    let mut report = ExperimentReport::new(
-        id,
-        title,
-        &[
-            "memory_model",
-            "unloaded_ns",
-            "max_latency_ns",
-            "max_bandwidth_gbs",
-            "max_bw_pct_of_theoretical",
-        ],
-    );
-    // One leg per memory model; row order (reference first, then the paper's model order)
-    // is preserved. With fewer models than pool workers the legs run sequentially and each
-    // leg's characterization sweep takes the pool instead (for_fanout).
-    let mut kinds = vec![MemoryModelKind::DetailedDram];
-    kinds.extend_from_slice(models);
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(kinds.len()), kinds, |_, kind| {
-        model_row(&platform, kind, fidelity)
-    });
-    report.push_rows(rows);
-    report.note(format!(
-        "reference platform: {} ({:.0} GB/s theoretical); the detailed-dram row plays the role \
-         of the actual hardware",
-        platform.name,
-        platform.theoretical_bandwidth().as_gbs()
-    ));
-    report
-}
+pub use mess_scenario::engine::capture_trace;
 
 /// Paper Fig. 4: Graviton 3 versus the gem5 memory models.
 pub fn fig4(fidelity: Fidelity) -> ExperimentReport {
-    let models = match fidelity {
-        Fidelity::Quick => vec![
-            MemoryModelKind::FixedLatency,
-            MemoryModelKind::Ramulator2Like,
-        ],
-        Fidelity::Full => MemoryModelKind::GEM5_SET.to_vec(),
-    };
-    simulator_comparison(
-        "fig4",
-        "Graviton 3 reference vs gem5-style memory models",
-        PlatformId::AmazonGraviton3,
-        &models,
-        fidelity,
-    )
+    mess_scenario::run_builtin("fig4", fidelity).expect("fig4 is a builtin scenario")
 }
 
 /// Paper Fig. 5: Skylake versus the ZSim memory models.
 pub fn fig5(fidelity: Fidelity) -> ExperimentReport {
-    let models = match fidelity {
-        Fidelity::Quick => vec![MemoryModelKind::FixedLatency, MemoryModelKind::Dramsim3Like],
-        Fidelity::Full => MemoryModelKind::ZSIM_SET.to_vec(),
-    };
-    simulator_comparison(
-        "fig5",
-        "Skylake reference vs ZSim-style memory models",
-        PlatformId::IntelSkylake,
-        &models,
-        fidelity,
-    )
-}
-
-/// Captures a Mess-style memory trace from the reference platform at a given traffic level.
-pub fn capture_trace(platform: &PlatformSpec, pause: u32, memory_ops: u64) -> Trace {
-    let cpu = platform.cpu_config();
-    let traffic = TrafficConfig::new(0.3, pause, cpu.llc.capacity_bytes);
-    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
-    let mut recorder = RecordingBackend::new(platform.build_dram());
-    let mut engine = Engine::from_boxed(cpu, streams);
-    let _ = engine.run(
-        &mut recorder,
-        StopCondition::MemoryOps(memory_ops),
-        20_000_000,
-    );
-    let (_, trace) = recorder.into_parts();
-    trace
+    mess_scenario::run_builtin("fig5", fidelity).expect("fig5 is a builtin scenario")
 }
 
 /// Paper Fig. 6: trace-driven evaluation of the DRAMsim3/Ramulator/Ramulator2 stand-ins.
 pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
-    let platform = scaled_platform(&PlatformId::IntelSkylake.spec(), fidelity);
-    let (ops, speeds): (u64, Vec<f64>) = match fidelity {
-        Fidelity::Quick => (4_000, vec![1.0, 4.0]),
-        Fidelity::Full => (40_000, vec![0.5, 1.0, 2.0, 4.0, 8.0]),
-    };
-    let trace = capture_trace(&platform, 20, ops);
-    let mut report = ExperimentReport::new(
-        "fig6",
-        "Trace-driven external memory simulators (paper Fig. 6)",
-        &[
-            "memory_model",
-            "replay_speed",
-            "bandwidth_gbs",
-            "avg_read_latency_ns",
-        ],
-    );
-    report.note(format!(
-        "trace: {} requests, {} of them reads",
-        trace.len(),
-        trace.rw_ratio()
-    ));
-    // One replay leg per (model, speed): the trace is shared read-only, each leg builds its
-    // own model. `None` marks the detailed-DRAM reference legs.
-    let mut legs: Vec<(Option<ApproxProfile>, f64)> = Vec::new();
-    for profile in ApproxProfile::ALL {
-        legs.extend(speeds.iter().map(|&speed| (Some(profile), speed)));
-    }
-    legs.extend(speeds.iter().map(|&speed| (None, speed)));
-    let rows = mess_exec::par_map(legs, |_, (profile, speed)| {
-        let (label, r) = match profile {
-            Some(profile) => {
-                let mut model = ApproxDramSim::new(
-                    profile,
-                    platform.theoretical_bandwidth(),
-                    platform.frequency,
-                );
-                (
-                    profile.label(),
-                    replay(&trace, &mut model, platform.frequency, speed),
-                )
-            }
-            None => {
-                let mut dram = platform.build_dram();
-                (
-                    "detailed-dram",
-                    replay(&trace, &mut dram, platform.frequency, speed),
-                )
-            }
-        };
-        vec![
-            label.to_string(),
-            format!("{speed:.1}"),
-            format!("{:.2}", r.bandwidth.as_gbs()),
-            format!("{:.1}", r.latency.as_ns()),
-        ]
-    });
-    report.push_rows(rows);
-    report
-}
-
-/// Drives a backend with the Mess traffic generator at full intensity and returns the
-/// row-buffer statistics (hit/empty/miss percentages).
-fn row_buffer_stats(
-    platform: &PlatformSpec,
-    backend: &mut dyn MemoryBackend,
-    store_mix: f64,
-    pause: u32,
-    max_cycles: u64,
-) -> (f64, mess_types::RowBufferStats) {
-    let cpu = platform.cpu_config();
-    let traffic = TrafficConfig::new(store_mix, pause, cpu.llc.capacity_bytes);
-    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
-    let mut engine = Engine::from_boxed(cpu, streams);
-    let report = engine.run(backend, StopCondition::AllStreamsDone, max_cycles);
-    (report.bandwidth.as_gbs(), report.memory.row_buffer)
+    mess_scenario::run_builtin("fig6", fidelity).expect("fig6 is a builtin scenario")
 }
 
 /// Paper Fig. 7: row-buffer statistics of the actual platform versus DRAMsim3- and
 /// Ramulator-like models, for 100 %-read and 100 %-store traffic.
 pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
-    let platform = scaled_platform(&PlatformId::IntelCascadeLake.spec(), fidelity);
-    let max_cycles = match fidelity {
-        Fidelity::Quick => 400_000,
-        Fidelity::Full => 4_000_000,
-    };
-    let pauses: Vec<u32> = match fidelity {
-        Fidelity::Quick => vec![80, 0],
-        Fidelity::Full => vec![200, 80, 40, 20, 8, 0],
-    };
-    let mut report = ExperimentReport::new(
-        "fig7",
-        "Row-buffer statistics: actual vs DRAMsim3-like vs Ramulator-like (paper Fig. 7)",
-        &[
-            "memory_model",
-            "traffic",
-            "pause",
-            "bandwidth_gbs",
-            "hit_pct",
-            "empty_pct",
-            "miss_pct",
-        ],
-    );
-    // The full (model, traffic, pause) grid runs in parallel; each leg builds its own
-    // backend. `None` marks the detailed-DRAM legs, like fig6.
-    let mut legs: Vec<(Option<ApproxProfile>, &str, f64, u32)> = Vec::new();
-    for profile in [
-        None,
-        Some(ApproxProfile::Dramsim3Like),
-        Some(ApproxProfile::RamulatorLike),
-    ] {
-        for (traffic_label, mix) in [("100%-read", 0.0), ("100%-store", 1.0)] {
-            legs.extend(
-                pauses
-                    .iter()
-                    .map(|&pause| (profile, traffic_label, mix, pause)),
-            );
-        }
-    }
-    let rows = mess_exec::par_map(legs, |_, (profile, traffic_label, mix, pause)| {
-        let mut backend: Box<dyn MemoryBackend + Send> = match profile {
-            None => Box::new(platform.build_dram()),
-            Some(profile) => Box::new(ApproxDramSim::new(
-                profile,
-                platform.theoretical_bandwidth(),
-                platform.frequency,
-            )),
-        };
-        let label = profile.map_or("detailed-dram", |p| p.label());
-        let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
-        vec![
-            label.to_string(),
-            traffic_label.to_string(),
-            pause.to_string(),
-            format!("{bw:.1}"),
-            format!("{:.0}", rb.hit_rate() * 100.0),
-            format!("{:.0}", rb.empty_rate() * 100.0),
-            format!("{:.0}", rb.miss_rate() * 100.0),
-        ]
-    });
-    report.push_rows(rows);
-    report.note(
-        "paper: the actual platform starts at 84/13/3% hit/empty/miss for unloaded reads \
-                 and degrades with load and with the write share",
-    );
-    report
+    mess_scenario::run_builtin("fig7", fidelity).expect("fig7 is a builtin scenario")
 }
 
 #[cfg(test)]

@@ -18,7 +18,11 @@
 //! * [`workloads`] — STREAM, LMbench, multichase, GUPS, HPCG-proxy and the SPEC-like suite;
 //! * [`platforms`] — the Table I platform configurations and the memory-model factory;
 //! * [`profiler`] — curve positioning, stress scores and timeline analysis;
-//! * [`harness`] — the experiment drivers that regenerate every table and figure.
+//! * [`scenario`] — the declarative scenario layer: serializable experiment specs
+//!   (workloads × models × platforms × sweeps), the `run_scenario`/`run_campaign` engine,
+//!   and the builtin registry behind every paper figure;
+//! * [`harness`] — the experiment drivers (thin spec-runners since the scenario refactor)
+//!   that regenerate every table and figure.
 //!
 //! # The CPU↔memory interface (v2)
 //!
@@ -88,5 +92,6 @@ pub use mess_harness as harness;
 pub use mess_memmodels as memmodels;
 pub use mess_platforms as platforms;
 pub use mess_profiler as profiler;
+pub use mess_scenario as scenario;
 pub use mess_types as types;
 pub use mess_workloads as workloads;

@@ -27,5 +27,5 @@
 pub mod models;
 pub mod spec;
 
-pub use models::{build_memory_model, MemoryModelKind, ModelFactory};
-pub use spec::{PlatformId, PlatformSpec, TableOneReference};
+pub use models::{build_memory_model, CurveSourceSpec, MemoryModelKind, ModelFactory, ModelSpec};
+pub use spec::{PlatformId, PlatformRef, PlatformSpec, TableOneReference};

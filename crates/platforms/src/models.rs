@@ -17,7 +17,10 @@ use std::fmt;
 
 /// Every memory model that the paper's simulator-characterization and validation experiments
 /// exercise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as its [`MemoryModelKind::label`] string (`"md1-queue"`, `"detailed-dram"`,
+/// ...), which is what scenario JSON files and CSV output use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum MemoryModelKind {
     /// ZSim/gem5 fixed-latency ("simple memory") model.
@@ -90,6 +93,26 @@ impl MemoryModelKind {
         }
     }
 
+    /// Every model kind, in the order the factory tests exercise them.
+    pub const ALL: [MemoryModelKind; 9] = [
+        MemoryModelKind::FixedLatency,
+        MemoryModelKind::Md1Queue,
+        MemoryModelKind::InternalDdr,
+        MemoryModelKind::Dramsim3Like,
+        MemoryModelKind::RamulatorLike,
+        MemoryModelKind::Ramulator2Like,
+        MemoryModelKind::DetailedDram,
+        MemoryModelKind::Mess,
+        MemoryModelKind::CxlExpander,
+    ];
+
+    /// Parses a [`MemoryModelKind::label`] string.
+    pub fn from_label(label: &str) -> Option<MemoryModelKind> {
+        MemoryModelKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+
     /// Whether this model needs a measured curve family (only [`MemoryModelKind::Mess`]).
     pub fn needs_curves(self) -> bool {
         matches!(self, MemoryModelKind::Mess)
@@ -99,6 +122,20 @@ impl MemoryModelKind {
 impl fmt::Display for MemoryModelKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl Serialize for MemoryModelKind {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for MemoryModelKind {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let label = v.as_str()?;
+        MemoryModelKind::from_label(label)
+            .ok_or_else(|| serde::Error::new(format!("unknown memory model `{label}`")))
     }
 }
 
@@ -228,6 +265,80 @@ impl ModelFactory {
     /// models with an invalid family).
     pub fn build(&self) -> Result<Box<dyn MemoryBackend + Send>, MessError> {
         build_memory_model(self.kind, &self.platform, self.curves.clone())
+    }
+}
+
+/// A serializable description of where a curve-driven model's bandwidth–latency curves come
+/// from.
+///
+/// Only [`MemoryModelKind::Mess`] consumes curves; every other model ignores its curve
+/// source. The variants cover the paper's three curve providers: the platform's calibrated
+/// Table I reference family, the CXL expander's manufacturer curves (§V-C), and the
+/// remote-NUMA-socket emulation curves (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CurveSourceSpec {
+    /// The platform's calibrated reference family ([`PlatformSpec::reference_family`]).
+    PlatformReference,
+    /// The CXL expander's manufacturer load-to-use curves, shifted by the host-to-device
+    /// link latency in nanoseconds.
+    CxlManufacturer {
+        /// Host-to-CXL-device link latency added to the device curves, in nanoseconds.
+        host_link_ns: f64,
+    },
+    /// The remote-NUMA-socket emulation curves
+    /// ([`mess_cxl::remote_socket::remote_socket_curves`] with the default configuration).
+    RemoteSocket,
+}
+
+impl CurveSourceSpec {
+    /// Resolves the source into a concrete curve family for `platform`.
+    pub fn family(&self, platform: &PlatformSpec) -> CurveFamily {
+        match self {
+            CurveSourceSpec::PlatformReference => platform.reference_family(),
+            CurveSourceSpec::CxlManufacturer { host_link_ns } => {
+                mess_cxl::manufacturer::load_to_use_curves(Latency::from_ns(*host_link_ns))
+            }
+            CurveSourceSpec::RemoteSocket => mess_cxl::remote_socket::remote_socket_curves(
+                &mess_cxl::remote_socket::RemoteSocketConfig::default(),
+            ),
+        }
+    }
+}
+
+/// A serializable description of one memory model: the kind plus, for curve-driven models,
+/// where its curves come from.
+///
+/// This is how scenario files name memory models; [`ModelSpec::factory`] resolves a spec
+/// into the [`ModelFactory`] the parallel experiment paths consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Which model to build.
+    pub kind: MemoryModelKind,
+    /// Curve source for curve-driven models (ignored by all others).
+    pub curves: CurveSourceSpec,
+}
+
+impl ModelSpec {
+    /// A spec for `kind` with the default curve source (the platform's reference family).
+    pub fn of(kind: MemoryModelKind) -> Self {
+        ModelSpec {
+            kind,
+            curves: CurveSourceSpec::PlatformReference,
+        }
+    }
+
+    /// A spec for `kind` driven by an explicit curve source.
+    pub fn with_curves(kind: MemoryModelKind, curves: CurveSourceSpec) -> Self {
+        ModelSpec { kind, curves }
+    }
+
+    /// Resolves the spec into a reusable factory for `platform`.
+    pub fn factory(&self, platform: &PlatformSpec) -> ModelFactory {
+        if self.kind.needs_curves() {
+            ModelFactory::with_curves(self.kind, platform, self.curves.family(platform))
+        } else {
+            ModelFactory::new(self.kind, platform)
+        }
     }
 }
 
@@ -380,6 +491,53 @@ mod tests {
                 .expect("worker thread succeeded")
         });
         assert!(name.contains("DDR4"), "unexpected model name {name}");
+    }
+
+    #[test]
+    fn model_kinds_serialize_as_their_labels() {
+        for kind in MemoryModelKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.label()));
+            let back: MemoryModelKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+            assert_eq!(MemoryModelKind::from_label(kind.label()), Some(kind));
+        }
+        assert!(serde_json::from_str::<MemoryModelKind>("\"zsim\"").is_err());
+    }
+
+    #[test]
+    fn model_spec_resolves_curve_sources() {
+        let platform = PlatformId::IntelSkylake.spec();
+        // Default curve source: the platform's reference family.
+        let mut mess = ModelSpec::of(MemoryModelKind::Mess)
+            .factory(&platform)
+            .build()
+            .unwrap();
+        exercise(mess.as_mut());
+        // Explicit CXL manufacturer curves produce a much slower unloaded device.
+        let cxl_spec = ModelSpec::with_curves(
+            MemoryModelKind::Mess,
+            CurveSourceSpec::CxlManufacturer {
+                host_link_ns: 180.0,
+            },
+        );
+        let cxl_family = cxl_spec.curves.family(&platform);
+        assert!(
+            cxl_family.unloaded_latency().as_ns()
+                > platform.reference_family().unloaded_latency().as_ns()
+        );
+        let mut cxl = cxl_spec.factory(&platform).build().unwrap();
+        exercise(cxl.as_mut());
+        // Non-curve models ignore the curve source.
+        let mut md1 = ModelSpec::of(MemoryModelKind::Md1Queue)
+            .factory(&platform)
+            .build()
+            .unwrap();
+        exercise(md1.as_mut());
+        // And specs round-trip through JSON.
+        let json = serde_json::to_string(&cxl_spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cxl_spec);
     }
 
     #[test]

@@ -16,7 +16,10 @@ use std::fmt;
 
 /// Identifier of one of the platforms characterized in the paper (Table I / Fig. 3), plus the
 /// OpenPiton Ariane RTL platform of §IV-C.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as its [`PlatformId::key`] string (`"skylake"`, `"graviton3"`, ...), which is
+/// what scenario JSON files and CSV output use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum PlatformId {
     /// 24-core Intel Skylake Xeon Platinum, 6×DDR4-2666 (Fig. 3a).
@@ -94,6 +97,72 @@ impl PlatformId {
 impl fmt::Display for PlatformId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.key())
+    }
+}
+
+impl Serialize for PlatformId {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(self.key().to_string())
+    }
+}
+
+impl Deserialize for PlatformId {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let key = v.as_str()?;
+        PlatformId::from_key(key)
+            .ok_or_else(|| serde::Error::new(format!("unknown platform key `{key}`")))
+    }
+}
+
+/// A serializable *reference* to a platform: the platform's key plus optional overrides.
+///
+/// This is how scenario files name platforms. A bare reference resolves to the paper's full
+/// configuration; the overrides express deliberate deviations — most importantly the
+/// quick-fidelity scaling (fewer simulated cores and channels) that used to live as code in
+/// the harness (`scaled_platform`) and is now plain data in the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformRef {
+    /// Which platform to build.
+    pub id: PlatformId,
+    /// Overrides the simulated core count (the CPU config follows).
+    pub cores: Option<u32>,
+    /// Overrides the memory channel count.
+    pub channels: Option<u32>,
+}
+
+impl PlatformRef {
+    /// A reference to the platform's full (paper) configuration.
+    pub fn full(id: PlatformId) -> Self {
+        PlatformRef {
+            id,
+            cores: None,
+            channels: None,
+        }
+    }
+
+    /// A reference to the platform's quick-fidelity scaling: at most 8 cores and 1–4
+    /// channels, so unit tests and smoke runs stay fast while keeping the platform's timing
+    /// and cache geometry.
+    pub fn quick(id: PlatformId) -> Self {
+        let spec = id.spec();
+        PlatformRef {
+            id,
+            cores: Some(spec.cores.min(8)),
+            channels: Some(spec.channels.clamp(1, 4)),
+        }
+    }
+
+    /// Resolves the reference into a concrete [`PlatformSpec`], applying the overrides.
+    pub fn resolve(&self) -> PlatformSpec {
+        let mut platform = self.id.spec();
+        if let Some(cores) = self.cores {
+            platform.cores = cores;
+            platform.cpu = platform.cpu_config_with_cores(cores);
+        }
+        if let Some(channels) = self.channels {
+            platform.channels = channels;
+        }
+        platform
     }
 }
 
@@ -552,6 +621,48 @@ mod tests {
         assert_eq!(PlatformId::IntelSapphireRapids.spec().cores, 56);
         assert_eq!(PlatformId::FujitsuA64fx.spec().cores, 48);
         assert_eq!(PlatformId::NvidiaH100.spec().cores, 132);
+    }
+
+    #[test]
+    fn platform_ids_serialize_as_their_keys() {
+        for id in PlatformId::ALL {
+            let json = serde_json::to_string(&id).unwrap();
+            assert_eq!(json, format!("\"{}\"", id.key()));
+            let back: PlatformId = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, id);
+        }
+        assert!(serde_json::from_str::<PlatformId>("\"not-a-platform\"").is_err());
+    }
+
+    #[test]
+    fn platform_ref_full_resolves_to_the_paper_configuration() {
+        let spec = PlatformRef::full(PlatformId::AmdZen2).resolve();
+        assert_eq!(spec.cores, 64);
+        assert_eq!(spec.channels, 8);
+        assert_eq!(spec.cpu.cores, 64);
+    }
+
+    #[test]
+    fn platform_ref_quick_scales_cores_and_channels() {
+        for id in PlatformId::ALL {
+            let quick = PlatformRef::quick(id).resolve();
+            assert!(quick.cores <= 8, "{id}");
+            assert_eq!(quick.cpu.cores, quick.cores, "{id}");
+            assert!((1..=4).contains(&quick.channels), "{id}");
+            // Overrides never touch timing or cache geometry.
+            assert_eq!(
+                quick.cpu.llc.capacity_bytes,
+                id.spec().cpu.llc.capacity_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn platform_ref_round_trips_through_json() {
+        let reference = PlatformRef::quick(PlatformId::FujitsuA64fx);
+        let json = serde_json::to_string(&reference).unwrap();
+        let back: PlatformRef = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reference);
     }
 
     #[test]

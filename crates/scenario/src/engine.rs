@@ -1,0 +1,1223 @@
+//! The scenario engine: one `characterize → simulate → report` pipeline for every spec.
+//!
+//! [`run_scenario`] resolves a [`ScenarioSpec`] through the lower-layer registries
+//! (platforms, models, workloads, sweeps) and executes it; [`run_campaign`] fans a
+//! [`CampaignSpec`] out through the `mess-exec` job runner, one job per scenario. Every
+//! parallel leg keeps the order-preserving `par_map` structure of the original hand-written
+//! drivers, so reports are byte-identical at any worker count.
+//!
+//! The free functions in this module (trace capture, trace folding, STREAM reference
+//! bandwidths, the quick-fidelity platform scaling) are the shared plumbing the old
+//! per-figure drivers each carried a copy of.
+
+use crate::report::{ExperimentReport, Fidelity};
+use crate::spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
+use mess_bench::sweep::characterize_spec;
+use mess_bench::trace::{replay, RecordingBackend, Trace};
+use mess_bench::{SweepSpec, TrafficConfig};
+use mess_core::metrics::FamilyMetrics;
+use mess_core::{CurveFamily, MessSimulator, MessSimulatorConfig};
+use mess_cpu::{Engine, OpStream, RunReport, StopCondition};
+use mess_exec::ExecConfig;
+use mess_platforms::{
+    CurveSourceSpec, MemoryModelKind, ModelFactory, ModelSpec, PlatformRef, PlatformSpec,
+};
+use mess_profiler::{BandwidthSample, Profiler, Timeline};
+use mess_types::{
+    AccessKind, Bandwidth, Cycle, MemoryBackend, MessError, RwRatio, CACHE_LINE_BYTES,
+};
+use mess_workloads::spec::WorkloadSpec;
+use mess_workloads::spec_suite::{classify_utilisation, IntensityClass};
+use mess_workloads::stream::{StreamConfig, StreamKernel};
+
+// ---------------------------------------------------------------------------
+// Shared helpers (formerly duplicated across the harness drivers)
+// ---------------------------------------------------------------------------
+
+/// Shrinks a platform's core count for quick runs so unit tests stay fast while the full runs
+/// keep the paper's configuration.
+///
+/// The same scaling is available declaratively as [`PlatformRef::quick`]; this function
+/// exists for callers that already hold a (possibly modified) [`PlatformSpec`].
+pub fn scaled_platform(platform: &PlatformSpec, fidelity: Fidelity) -> PlatformSpec {
+    match fidelity {
+        Fidelity::Full => platform.clone(),
+        Fidelity::Quick => {
+            let mut p = platform.clone();
+            p.cores = p.cores.min(8);
+            p.cpu = p.cpu_config_with_cores(p.cores);
+            p.channels = p.channels.clamp(1, 4);
+            p
+        }
+    }
+}
+
+/// Runs `streams` on `platform`'s CPU configuration against `backend` and returns the report.
+pub fn run_streams(
+    platform: &PlatformSpec,
+    streams: Vec<Box<dyn OpStream>>,
+    backend: &mut dyn MemoryBackend,
+    max_cycles: u64,
+) -> RunReport {
+    let mut engine = Engine::from_boxed(platform.cpu_config(), streams);
+    engine.run(backend, StopCondition::AllStreamsDone, max_cycles)
+}
+
+/// Resolves `workload` for `platform` and returns the run's IPC.
+pub fn spec_workload_ipc(
+    workload: &WorkloadSpec,
+    platform: &PlatformSpec,
+    backend: &mut dyn MemoryBackend,
+    max_cycles: u64,
+) -> f64 {
+    let streams = workload
+        .streams(platform.cpu.llc.capacity_bytes, platform.cpu.cores)
+        .expect("workload specs are validated before execution");
+    run_streams(platform, streams, backend, max_cycles).ipc()
+}
+
+/// Absolute relative error of `simulated` IPC with respect to `reference` IPC, in percent.
+pub fn ipc_error_percent(simulated: f64, reference: f64) -> f64 {
+    if reference.abs() < 1e-12 {
+        return 0.0;
+    }
+    ((simulated - reference) / reference).abs() * 100.0
+}
+
+/// The six validation workloads of the IPC-error comparisons (Figs. 11 and 13).
+///
+/// Each one is now a thin name over a [`WorkloadSpec`]: [`ValidationWorkload::spec`] builds
+/// the declarative spec and [`ValidationWorkload::streams`] resolves it, so the validation
+/// set and any scenario file construct their workloads through the same pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationWorkload {
+    /// STREAM Copy.
+    StreamCopy,
+    /// STREAM Scale.
+    StreamScale,
+    /// STREAM Add.
+    StreamAdd,
+    /// STREAM Triad.
+    StreamTriad,
+    /// LMbench `lat_mem_rd`.
+    Lmbench,
+    /// Google multichase.
+    Multichase,
+}
+
+impl ValidationWorkload {
+    /// The workloads in the order the paper's bar charts list them.
+    pub const ALL: [ValidationWorkload; 6] = [
+        ValidationWorkload::StreamCopy,
+        ValidationWorkload::StreamScale,
+        ValidationWorkload::StreamAdd,
+        ValidationWorkload::StreamTriad,
+        ValidationWorkload::Lmbench,
+        ValidationWorkload::Multichase,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValidationWorkload::StreamCopy => "STREAM:copy",
+            ValidationWorkload::StreamScale => "STREAM:scale",
+            ValidationWorkload::StreamAdd => "STREAM:add",
+            ValidationWorkload::StreamTriad => "STREAM:triad",
+            ValidationWorkload::Lmbench => "LMbench",
+            ValidationWorkload::Multichase => "multichase",
+        }
+    }
+
+    /// The workload's declarative spec, scaled by `fidelity`.
+    pub fn spec(self, fidelity: Fidelity) -> WorkloadSpec {
+        let scale = match fidelity {
+            Fidelity::Quick => 1,
+            Fidelity::Full => 4,
+        };
+        match self {
+            ValidationWorkload::StreamCopy => WorkloadSpec::stream(StreamKernel::Copy, scale),
+            ValidationWorkload::StreamScale => WorkloadSpec::stream(StreamKernel::Scale, scale),
+            ValidationWorkload::StreamAdd => WorkloadSpec::stream(StreamKernel::Add, scale),
+            ValidationWorkload::StreamTriad => WorkloadSpec::stream(StreamKernel::Triad, scale),
+            ValidationWorkload::Lmbench => WorkloadSpec::lat_mem_rd(3_000 * scale),
+            ValidationWorkload::Multichase => WorkloadSpec::multichase(3_000 * scale),
+        }
+    }
+
+    /// Builds the workload's per-core op streams for `platform`, scaled by `fidelity`.
+    pub fn streams(self, platform: &PlatformSpec, fidelity: Fidelity) -> Vec<Box<dyn OpStream>> {
+        let cpu = platform.cpu_config();
+        self.spec(fidelity)
+            .streams(cpu.llc.capacity_bytes, cpu.cores)
+            .expect("validation workload specs are always valid")
+    }
+}
+
+/// Runs a validation workload and returns its IPC.
+pub fn workload_ipc(
+    workload: ValidationWorkload,
+    platform: &PlatformSpec,
+    backend: &mut dyn MemoryBackend,
+    fidelity: Fidelity,
+) -> f64 {
+    let max_cycles = match fidelity {
+        Fidelity::Quick => 3_000_000,
+        Fidelity::Full => 60_000_000,
+    };
+    spec_workload_ipc(&workload.spec(fidelity), platform, backend, max_cycles)
+}
+
+/// Measures the STREAM kernels' sustained bandwidth on the platform's reference memory (the
+/// dashed reference lines of Figs. 2 and 3), using STREAM's own application-level
+/// accounting. The four kernels run in parallel, each against a private DRAM system; arrays
+/// are `llc_multiple` times the LLC.
+pub fn stream_bandwidths(
+    platform: &PlatformSpec,
+    llc_multiple: u64,
+    exec: &ExecConfig,
+) -> Vec<(StreamKernel, f64)> {
+    let cpu = platform.cpu_config();
+    mess_exec::par_map_with(exec, StreamKernel::ALL.to_vec(), |_, kernel| {
+        let config = StreamConfig {
+            kernel,
+            array_bytes: (cpu.llc.capacity_bytes * llc_multiple).max(1 << 22),
+            iterations: 1,
+            cores: cpu.cores,
+        };
+        let mut dram = platform.build_dram();
+        let report = run_streams(platform, config.streams(), &mut dram, 80_000_000);
+        let gbs = config.stream_bytes() as f64 / report.elapsed().as_ns();
+        (kernel, gbs)
+    })
+}
+
+/// Captures a Mess-style memory trace from the platform's reference memory at a given
+/// traffic level.
+pub fn capture_trace(platform: &PlatformSpec, pause: u32, memory_ops: u64) -> Trace {
+    let cpu = platform.cpu_config();
+    let traffic = TrafficConfig::new(0.3, pause, cpu.llc.capacity_bytes);
+    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
+    let mut recorder = RecordingBackend::new(platform.build_dram());
+    let mut engine = Engine::from_boxed(cpu, streams);
+    let _ = engine.run(
+        &mut recorder,
+        StopCondition::MemoryOps(memory_ops),
+        20_000_000,
+    );
+    let (_, trace) = recorder.into_parts();
+    trace
+}
+
+/// Folds a memory trace into bandwidth samples of `window_us` microseconds each.
+pub fn trace_to_samples(
+    trace: &Trace,
+    frequency: mess_types::Frequency,
+    window_us: f64,
+) -> Vec<BandwidthSample> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let window_cycles = (window_us * 1_000.0 * frequency.as_ghz()).max(1.0) as u64;
+    let mut samples = Vec::new();
+    let mut window_start = trace.records[0].cycle;
+    let (mut reads, mut writes) = (0u64, 0u64);
+    let flush = |start: u64, reads: u64, writes: u64, samples: &mut Vec<BandwidthSample>| {
+        let bytes = (reads + writes) * CACHE_LINE_BYTES;
+        let elapsed = Cycle::new(window_cycles).to_latency(frequency);
+        samples.push(BandwidthSample::new(
+            Cycle::new(start).to_latency(frequency).as_us(),
+            Bandwidth::from_bytes_over(mess_types::Bytes::new(bytes), elapsed),
+            RwRatio::from_counts(reads, writes),
+        ));
+    };
+    for r in &trace.records {
+        while r.cycle >= window_start + window_cycles {
+            flush(window_start, reads, writes, &mut samples);
+            window_start += window_cycles;
+            reads = 0;
+            writes = 0;
+        }
+        match r.kind {
+            AccessKind::Read => reads += 1,
+            AccessKind::Write => writes += 1,
+        }
+    }
+    flush(window_start, reads, writes, &mut samples);
+    samples
+}
+
+/// Profiles one workload on `platform`: record its memory trace against `model`, fold it
+/// into bandwidth windows, and place every window on the platform's reference curves.
+pub fn profile_workload(
+    platform: &PlatformSpec,
+    workload: &WorkloadSpec,
+    model: &ModelSpec,
+    window_us: f64,
+    max_cycles: u64,
+) -> Result<Timeline, MessError> {
+    let cpu = platform.cpu_config();
+    let streams = workload.streams(cpu.llc.capacity_bytes, cpu.cores)?;
+    let mut recorder = RecordingBackend::new(model.factory(platform).build()?);
+    let mut engine = Engine::from_boxed(cpu, streams);
+    let _ = engine.run(&mut recorder, StopCondition::AllStreamsDone, max_cycles);
+    let (_, trace) = recorder.into_parts();
+
+    let samples = trace_to_samples(&trace, platform.frequency, window_us);
+    let profiler = Profiler::new(platform.reference_family());
+    Ok(profiler.profile(&samples))
+}
+
+/// Runs the HPCG proxy on `platform`'s reference memory and returns the profiled timeline
+/// (the §VI study behind Figs. 15 and 16).
+pub fn profile_hpcg(platform: &PlatformSpec, fidelity: Fidelity) -> Timeline {
+    let rows = match fidelity {
+        Fidelity::Quick => 120,
+        Fidelity::Full => 2_000,
+    };
+    profile_workload(
+        platform,
+        &WorkloadSpec::hpcg(rows),
+        &ModelSpec::of(MemoryModelKind::DetailedDram),
+        2.0,
+        60_000_000,
+    )
+    .expect("the HPCG profiling spec is always valid")
+}
+
+/// Builds `model`'s factory for `platform` and proves one instance constructs, so spec
+/// errors surface as `Err` before any parallel leg would `expect` on them.
+fn checked_factory(model: &ModelSpec, platform: &PlatformSpec) -> Result<ModelFactory, MessError> {
+    let factory = model.factory(platform);
+    factory.build()?;
+    Ok(factory)
+}
+
+// ---------------------------------------------------------------------------
+// The scenario engine
+// ---------------------------------------------------------------------------
+
+/// Resolves and executes one scenario, returning its report.
+///
+/// # Errors
+///
+/// Returns the spec's validation error, or a model/workload resolution error, without
+/// running anything; the simulation itself cannot fail.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ExperimentReport, MessError> {
+    spec.validate()?;
+    let mut report = match &spec.kind {
+        ScenarioKind::CurveFamily {
+            model,
+            sweep,
+            stream_llc_multiple,
+            paper_reference,
+        } => run_curve_family(spec, model, sweep, *stream_llc_multiple, *paper_reference)?,
+        ScenarioKind::PlatformTable {
+            platforms,
+            model,
+            sweep,
+            stream_llc_multiple,
+        } => run_platform_table(spec, platforms, model, sweep, *stream_llc_multiple)?,
+        ScenarioKind::ModelComparison { models, sweep } => {
+            run_model_comparison(spec, models, sweep)?
+        }
+        ScenarioKind::TraceReplay {
+            models,
+            trace_ops,
+            trace_pause,
+            speeds,
+        } => run_trace_replay(spec, models, *trace_ops, *trace_pause, speeds)?,
+        ScenarioKind::RowBuffer {
+            models,
+            store_mixes,
+            pauses,
+            max_cycles,
+        } => run_row_buffer(spec, models, store_mixes, pauses, *max_cycles)?,
+        ScenarioKind::MessCurves { platforms, sweep } => run_mess_curves(spec, platforms, sweep)?,
+        ScenarioKind::IpcError {
+            models,
+            workloads,
+            max_cycles,
+        } => run_ipc_error(spec, models, workloads, *max_cycles)?,
+        ScenarioKind::CxlHosts {
+            hosts,
+            curves,
+            device_peak_gbs,
+            sweep,
+        } => run_cxl_hosts(spec, hosts, curves, *device_peak_gbs, sweep)?,
+        ScenarioKind::CxlVsRemote {
+            benchmarks,
+            ops_per_core,
+            max_cycles,
+            expander,
+            emulation,
+            device_peak_gbs,
+        } => run_cxl_vs_remote(
+            spec,
+            benchmarks,
+            *ops_per_core,
+            *max_cycles,
+            expander,
+            emulation,
+            *device_peak_gbs,
+        )?,
+        ScenarioKind::Profile {
+            workload,
+            model,
+            window_us,
+            phase_threshold,
+            max_cycles,
+        } => run_profile(
+            spec,
+            workload,
+            model,
+            *window_us,
+            *phase_threshold,
+            *max_cycles,
+        )?,
+        ScenarioKind::Run {
+            workload,
+            model,
+            max_cycles,
+        } => run_single(spec, workload, model, *max_cycles)?,
+    };
+    for note in &spec.notes {
+        report.note(note.clone());
+    }
+    Ok(report)
+}
+
+/// Runs a campaign through the `mess-exec` job runner: one job per scenario, executed
+/// concurrently, with `progress` narrating job starts and finishes. Reports come back in
+/// campaign order.
+///
+/// # Errors
+///
+/// Returns the first validation error before anything runs, or the first scenario execution
+/// error after the batch drains.
+pub fn run_campaign(
+    campaign: &CampaignSpec,
+    progress: impl FnMut(mess_exec::JobEvent<'_>),
+) -> Result<Vec<ExperimentReport>, MessError> {
+    campaign.validate()?;
+    let mut graph = mess_exec::JobGraph::new();
+    for scenario in &campaign.scenarios {
+        graph.add_job(scenario.id.clone(), &[], move || run_scenario(scenario));
+    }
+    let results = graph
+        .run(&ExecConfig::default(), progress)
+        .expect("campaign jobs declare no dependencies");
+    results.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind execution (ported from the hand-written per-figure drivers)
+// ---------------------------------------------------------------------------
+
+fn run_curve_family(
+    spec: &ScenarioSpec,
+    model: &ModelSpec,
+    sweep: &SweepSpec,
+    stream_llc_multiple: Option<u64>,
+    paper_reference: bool,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let factory = checked_factory(model, &platform)?;
+    let c = characterize_spec(
+        platform.name,
+        &platform.cpu_config(),
+        || factory.build().expect("checked above"),
+        sweep,
+        &ExecConfig::default(),
+    )?;
+    let metrics = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &["read_percent", "bandwidth_gbs", "latency_ns"],
+    );
+    for (pct, bw, lat) in c.family.to_rows() {
+        report.push_row(vec![
+            pct.to_string(),
+            format!("{bw:.2}"),
+            format!("{lat:.1}"),
+        ]);
+    }
+    report.note(metrics.table_row());
+    if let Some(llc_multiple) = stream_llc_multiple {
+        for (kernel, gbs) in stream_bandwidths(&platform, llc_multiple, &ExecConfig::default()) {
+            report.note(format!(
+                "STREAM {kernel}: {gbs:.1} GB/s (application-level)"
+            ));
+        }
+    }
+    if paper_reference {
+        if let Some(r) = &platform.reference {
+            report.note(format!(
+                "paper reference: unloaded {} ns, saturated {}-{}% of theoretical, max latency {}-{} ns",
+                r.unloaded_latency_ns,
+                r.saturated_bw_low_pct,
+                r.saturated_bw_high_pct,
+                r.max_latency_low_ns,
+                r.max_latency_high_ns
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn run_platform_table(
+    spec: &ScenarioSpec,
+    platforms: &[PlatformRef],
+    model: &ModelSpec,
+    sweep: &SweepSpec,
+    stream_llc_multiple: u64,
+) -> Result<ExperimentReport, MessError> {
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "platform",
+            "theoretical_gbs",
+            "unloaded_ns",
+            "unloaded_ns_paper",
+            "sat_bw_low_pct",
+            "sat_bw_high_pct",
+            "sat_bw_paper",
+            "max_lat_range_ns",
+            "max_lat_paper",
+            "stream_pct",
+            "stream_paper",
+        ],
+    );
+    // One leg per platform; rows come back in platform order. With fewer platforms than
+    // pool workers the legs run sequentially and the parallelism moves into each leg's
+    // sweep instead (for_fanout) — nested calls on a pool worker never fan out, so the two
+    // schedules produce identical rows.
+    let legs = platforms.to_vec();
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, leg| {
+        let platform = leg.resolve();
+        let theoretical = platform.theoretical_bandwidth();
+        let factory = model.factory(&platform);
+        let c = characterize_spec(
+            platform.name,
+            &platform.cpu_config(),
+            || factory.build().expect("model construction is valid here"),
+            sweep,
+            &ExecConfig::default(),
+        )
+        .expect("sweep specs are validated before execution");
+        let m = FamilyMetrics::compute(&c.family, theoretical);
+        let streams = stream_bandwidths(&platform, stream_llc_multiple, &ExecConfig::default());
+        let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
+        let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+        let r = platform.reference;
+        vec![
+            leg.id.key().to_string(),
+            format!("{:.0}", theoretical.as_gbs()),
+            format!("{:.0}", m.unloaded_latency.as_ns()),
+            r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+                .unwrap_or_default(),
+            format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
+            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+            r.map(|r| {
+                format!(
+                    "{:.0}-{:.0}",
+                    r.saturated_bw_low_pct, r.saturated_bw_high_pct
+                )
+            })
+            .unwrap_or_default(),
+            format!(
+                "{:.0}-{:.0}",
+                m.max_latency_range.low.as_ns(),
+                m.max_latency_range.high.as_ns()
+            ),
+            r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
+                .unwrap_or_default(),
+            format!(
+                "{:.0}-{:.0}",
+                stream_low / theoretical.as_gbs() * 100.0,
+                stream_high / theoretical.as_gbs() * 100.0
+            ),
+            r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
+                .unwrap_or_default(),
+        ]
+    });
+    report.push_rows(rows);
+    Ok(report)
+}
+
+/// Characterizes one memory model for `platform` and returns its summary row. The shared
+/// factory builds a private model instance *inside* every sweep-point worker.
+fn model_row(platform: &PlatformSpec, factory: &ModelFactory, sweep: &SweepSpec) -> Vec<String> {
+    let c = characterize_spec(
+        factory.kind().label(),
+        &platform.cpu_config(),
+        || factory.build().expect("model construction is valid here"),
+        sweep,
+        // Runs inline when the per-model legs are parallel (nested pools never fan out);
+        // parallelizes the sweep itself if this row is computed on the caller's thread.
+        &ExecConfig::default(),
+    )
+    .expect("sweep configuration is valid");
+    let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+    vec![
+        factory.kind().label().to_string(),
+        format!("{:.0}", m.unloaded_latency.as_ns()),
+        format!("{:.0}", m.max_latency_range.high.as_ns()),
+        format!("{:.0}", m.saturated_bandwidth_range.high.as_gbs()),
+        format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+    ]
+}
+
+fn run_model_comparison(
+    spec: &ScenarioSpec,
+    models: &[ModelSpec],
+    sweep: &SweepSpec,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let factories: Vec<ModelFactory> = models
+        .iter()
+        .map(|model| checked_factory(model, &platform))
+        .collect::<Result<_, _>>()?;
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "memory_model",
+            "unloaded_ns",
+            "max_latency_ns",
+            "max_bandwidth_gbs",
+            "max_bw_pct_of_theoretical",
+        ],
+    );
+    // One leg per memory model; row order (reference first, then the paper's model order)
+    // is preserved. With fewer models than pool workers the legs run sequentially and each
+    // leg's characterization sweep takes the pool instead (for_fanout).
+    let legs: Vec<usize> = (0..factories.len()).collect();
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, i| {
+        model_row(&platform, &factories[i], sweep)
+    });
+    report.push_rows(rows);
+    report.note(format!(
+        "reference platform: {} ({:.0} GB/s theoretical); the detailed-dram row plays the role \
+         of the actual hardware",
+        platform.name,
+        platform.theoretical_bandwidth().as_gbs()
+    ));
+    Ok(report)
+}
+
+fn run_trace_replay(
+    spec: &ScenarioSpec,
+    models: &[ModelSpec],
+    trace_ops: u64,
+    trace_pause: u32,
+    speeds: &[f64],
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let factories: Vec<ModelFactory> = models
+        .iter()
+        .map(|model| checked_factory(model, &platform))
+        .collect::<Result<_, _>>()?;
+    let trace = capture_trace(&platform, trace_pause, trace_ops);
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "memory_model",
+            "replay_speed",
+            "bandwidth_gbs",
+            "avg_read_latency_ns",
+        ],
+    );
+    report.note(format!(
+        "trace: {} requests, {} of them reads",
+        trace.len(),
+        trace.rw_ratio()
+    ));
+    // One replay leg per (model, speed): the trace and the per-model factories are shared
+    // read-only, each leg builds its own model instance.
+    let mut legs: Vec<(usize, f64)> = Vec::new();
+    for i in 0..factories.len() {
+        legs.extend(speeds.iter().map(|&speed| (i, speed)));
+    }
+    let rows = mess_exec::par_map(legs, |_, (i, speed)| {
+        let mut backend = factories[i]
+            .build()
+            .expect("model construction is valid here");
+        let r = replay(&trace, backend.as_mut(), platform.frequency, speed);
+        vec![
+            factories[i].kind().label().to_string(),
+            format!("{speed:.1}"),
+            format!("{:.2}", r.bandwidth.as_gbs()),
+            format!("{:.1}", r.latency.as_ns()),
+        ]
+    });
+    report.push_rows(rows);
+    Ok(report)
+}
+
+/// Drives a backend with the Mess traffic generator at full intensity and returns the
+/// row-buffer statistics (hit/empty/miss percentages).
+fn row_buffer_stats(
+    platform: &PlatformSpec,
+    backend: &mut dyn MemoryBackend,
+    store_mix: f64,
+    pause: u32,
+    max_cycles: u64,
+) -> (f64, mess_types::RowBufferStats) {
+    let cpu = platform.cpu_config();
+    let traffic = TrafficConfig::new(store_mix, pause, cpu.llc.capacity_bytes);
+    let streams: Vec<Box<dyn OpStream>> = traffic.lanes(cpu.cores);
+    let mut engine = Engine::from_boxed(cpu, streams);
+    let report = engine.run(backend, StopCondition::AllStreamsDone, max_cycles);
+    (report.bandwidth.as_gbs(), report.memory.row_buffer)
+}
+
+fn run_row_buffer(
+    spec: &ScenarioSpec,
+    models: &[ModelSpec],
+    store_mixes: &[f64],
+    pauses: &[u32],
+    max_cycles: u64,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let factories: Vec<ModelFactory> = models
+        .iter()
+        .map(|model| checked_factory(model, &platform))
+        .collect::<Result<_, _>>()?;
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "memory_model",
+            "traffic",
+            "pause",
+            "bandwidth_gbs",
+            "hit_pct",
+            "empty_pct",
+            "miss_pct",
+        ],
+    );
+    // The full (model, traffic, pause) grid runs in parallel; the per-model factories are
+    // shared and each leg builds its own backend instance.
+    let mut legs: Vec<(usize, f64, u32)> = Vec::new();
+    for i in 0..factories.len() {
+        for &mix in store_mixes {
+            legs.extend(pauses.iter().map(|&pause| (i, mix, pause)));
+        }
+    }
+    let rows = mess_exec::par_map(legs, |_, (i, mix, pause)| {
+        let mut backend = factories[i]
+            .build()
+            .expect("model construction is valid here");
+        let traffic_label = if mix == 0.0 {
+            "100%-read".to_string()
+        } else {
+            format!("{:.0}%-store", mix * 100.0)
+        };
+        let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
+        vec![
+            factories[i].kind().label().to_string(),
+            traffic_label,
+            pause.to_string(),
+            format!("{bw:.1}"),
+            format!("{:.0}", rb.hit_rate() * 100.0),
+            format!("{:.0}", rb.empty_rate() * 100.0),
+            format!("{:.0}", rb.miss_rate() * 100.0),
+        ]
+    });
+    report.push_rows(rows);
+    Ok(report)
+}
+
+fn run_mess_curves(
+    spec: &ScenarioSpec,
+    platforms: &[PlatformRef],
+    sweep: &SweepSpec,
+) -> Result<ExperimentReport, MessError> {
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "platform",
+            "input_unloaded_ns",
+            "simulated_unloaded_ns",
+            "input_max_bw_gbs",
+            "simulated_max_bw_gbs",
+            "max_bw_error_pct",
+        ],
+    );
+    // One leg per platform; each leg characterizes its own private Mess simulator, built
+    // inside the worker from the platform's reference curves. With fewer platforms than
+    // pool workers the legs run sequentially and each sweep takes the pool (for_fanout).
+    let legs = platforms.to_vec();
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, leg| {
+        let platform = leg.resolve();
+        let input = platform.reference_family();
+        let factory = ModelSpec::of(MemoryModelKind::Mess).factory(&platform);
+        let c = characterize_spec(
+            "mess",
+            &platform.cpu_config(),
+            || factory.build().expect("reference families are valid"),
+            sweep,
+            // Inline under a parallel platform fan-out; parallel across sweep points when
+            // there is only one platform leg.
+            &ExecConfig::default(),
+        )
+        .expect("sweep configuration is valid");
+        let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+        let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
+        let bw_err = ipc_error_percent(
+            simulated.saturated_bandwidth_range.high.as_gbs(),
+            input_metrics.saturated_bandwidth_range.high.as_gbs(),
+        );
+        vec![
+            leg.id.key().to_string(),
+            format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
+            format!("{:.0}", simulated.unloaded_latency.as_ns()),
+            format!(
+                "{:.0}",
+                input_metrics.saturated_bandwidth_range.high.as_gbs()
+            ),
+            format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
+            format!("{bw_err:.1}"),
+        ]
+    });
+    report.push_rows(rows);
+    Ok(report)
+}
+
+fn run_ipc_error(
+    spec: &ScenarioSpec,
+    models: &[ModelSpec],
+    workloads: &[WorkloadSpec],
+    max_cycles: u64,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let factories: Vec<ModelFactory> = models
+        .iter()
+        .map(|model| checked_factory(model, &platform))
+        .collect::<Result<_, _>>()?;
+
+    let mut headers: Vec<String> = vec!["memory_model".to_string()];
+    headers.extend(workloads.iter().map(|w| w.label()));
+    headers.push("average".to_string());
+    let mut report = ExperimentReport::new(&spec.id, &spec.title, &[]);
+    report.headers = headers;
+
+    // Reference IPCs from the detailed DRAM model, one private DRAM system per workload leg.
+    let indices: Vec<usize> = (0..workloads.len()).collect();
+    let reference: Vec<f64> = mess_exec::par_map(indices, |_, i| {
+        let mut dram = platform.build_dram();
+        spec_workload_ipc(&workloads[i], &platform, &mut dram, max_cycles)
+    });
+
+    // The full (model × workload) grid runs in parallel; every leg builds a private model
+    // instance, but the factories (which carry a platform clone and, for curve-driven
+    // models, the generated reference family) are created once per model and shared.
+    // Results come back in grid order, so the rows (and the per-model averages computed
+    // from them) are identical to the sequential loop's.
+    let mut grid: Vec<(usize, usize, f64)> = Vec::new();
+    for model_idx in 0..models.len() {
+        for (i, _) in workloads.iter().enumerate() {
+            grid.push((model_idx, i, reference[i]));
+        }
+    }
+    let errors = mess_exec::par_map(grid, |_, (model_idx, workload_idx, reference_ipc)| {
+        let mut backend = factories[model_idx]
+            .build()
+            .expect("model construction is valid here");
+        let ipc = spec_workload_ipc(
+            &workloads[workload_idx],
+            &platform,
+            backend.as_mut(),
+            max_cycles,
+        );
+        ipc_error_percent(ipc, reference_ipc)
+    });
+    for (model, model_errors) in models.iter().zip(errors.chunks(workloads.len())) {
+        let mut cells = vec![model.kind.label().to_string()];
+        cells.extend(model_errors.iter().map(|err| format!("{err:.1}")));
+        let avg = model_errors.iter().sum::<f64>() / model_errors.len() as f64;
+        cells.push(format!("{avg:.1}"));
+        report.push_row(cells);
+    }
+    report.note(format!(
+        "absolute IPC error in percent against the detailed-DRAM reference on {}",
+        platform.name
+    ));
+    Ok(report)
+}
+
+fn run_cxl_hosts(
+    spec: &ScenarioSpec,
+    hosts: &[PlatformRef],
+    curves: &CurveSourceSpec,
+    device_peak_gbs: f64,
+    sweep: &SweepSpec,
+) -> Result<ExperimentReport, MessError> {
+    let manufacturer = curves.family(&spec.platform.resolve());
+    let reference = FamilyMetrics::compute(&manufacturer, Bandwidth::from_gbs(device_peak_gbs));
+
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "host",
+            "unloaded_ns",
+            "max_bandwidth_gbs",
+            "max_bw_pct_of_cxl_peak",
+        ],
+    );
+    report.push_row(vec![
+        "manufacturer-model".to_string(),
+        format!("{:.0}", reference.unloaded_latency.as_ns()),
+        format!("{:.1}", reference.saturated_bandwidth_range.high.as_gbs()),
+        format!(
+            "{:.0}",
+            reference.saturated_bandwidth_range.high_fraction * 100.0
+        ),
+    ]);
+    // One leg per simulated host, each characterizing a private curve-driven Mess
+    // simulator. With fewer hosts than pool workers the legs run sequentially and each
+    // sweep takes the pool instead (for_fanout).
+    let legs = hosts.to_vec();
+    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, leg| {
+        let platform = leg.resolve();
+        let factory = ModelSpec::with_curves(MemoryModelKind::Mess, *curves).factory(&platform);
+        let c = characterize_spec(
+            "cxl",
+            &platform.cpu_config(),
+            || factory.build().expect("manufacturer curves are valid"),
+            sweep,
+            // Inline under the parallel host fan-out; parallel across sweep points if the
+            // host list ever degenerates to one entry.
+            &ExecConfig::default(),
+        )
+        .expect("sweep configuration is valid");
+        let m = FamilyMetrics::compute(&c.family, Bandwidth::from_gbs(device_peak_gbs));
+        vec![
+            leg.id.key().to_string(),
+            format!("{:.0}", m.unloaded_latency.as_ns()),
+            format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
+            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+        ]
+    });
+    report.push_rows(rows);
+    Ok(report)
+}
+
+/// Runs one SPEC-like workload on a host whose memory is modelled by `curves`, returning
+/// (IPC, bandwidth utilisation of the device peak).
+fn run_spec_on(
+    platform: &PlatformSpec,
+    workload: &mess_workloads::SpecWorkload,
+    curves: CurveFamily,
+    ops_per_core: u64,
+    max_cycles: u64,
+    device_peak_gbs: f64,
+) -> (f64, f64) {
+    let config = MessSimulatorConfig::new(curves, platform.frequency, platform.cpu.on_chip_latency);
+    let mut backend = MessSimulator::new(config).expect("curve families are valid");
+    let streams: Vec<Box<dyn OpStream>> =
+        workload.multiprogrammed(platform.cpu.cores, ops_per_core);
+    let mut engine = Engine::from_boxed(platform.cpu_config(), streams);
+    let report = engine.run(&mut backend, StopCondition::AllStreamsDone, max_cycles);
+    let utilisation = report.bandwidth.as_gbs() / device_peak_gbs;
+    (report.ipc(), utilisation)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cxl_vs_remote(
+    spec: &ScenarioSpec,
+    benchmarks: &[String],
+    ops_per_core: u64,
+    max_cycles: u64,
+    expander: &CurveSourceSpec,
+    emulation: &CurveSourceSpec,
+    device_peak_gbs: f64,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let suite: Vec<mess_workloads::SpecWorkload> = benchmarks
+        .iter()
+        .map(|name| {
+            mess_workloads::spec_suite::find(name).ok_or_else(|| {
+                MessError::InvalidConfig(format!("unknown SPEC CPU2006 benchmark `{name}`"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let cxl_curves = expander.family(&platform);
+    let remote_curves = emulation.family(&platform);
+
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "benchmark",
+            "cxl_bw_utilisation_pct",
+            "class",
+            "ipc_cxl",
+            "ipc_remote_socket",
+            "perf_difference_pct",
+        ],
+    );
+    // One leg per benchmark: both the CXL and the remote-socket runs of a benchmark happen
+    // on the same worker (they feed one row), different benchmarks run concurrently.
+    let rows = mess_exec::par_map(suite, |_, w| {
+        let (ipc_cxl, utilisation) = run_spec_on(
+            &platform,
+            &w,
+            cxl_curves.clone(),
+            ops_per_core,
+            max_cycles,
+            device_peak_gbs,
+        );
+        let (ipc_remote, _) = run_spec_on(
+            &platform,
+            &w,
+            remote_curves.clone(),
+            ops_per_core,
+            max_cycles,
+            device_peak_gbs,
+        );
+        let diff = (ipc_remote - ipc_cxl) / ipc_cxl.max(1e-12) * 100.0;
+        let class = match classify_utilisation(utilisation) {
+            IntensityClass::Low => "low",
+            IntensityClass::Medium => "medium",
+            IntensityClass::High => "high",
+        };
+        vec![
+            w.name.to_string(),
+            format!("{:.0}", utilisation * 100.0),
+            class.to_string(),
+            format!("{ipc_cxl:.3}"),
+            format!("{ipc_remote:.3}"),
+            format!("{diff:+.1}"),
+        ]
+    });
+    report.push_rows(rows);
+    Ok(report)
+}
+
+fn run_profile(
+    spec: &ScenarioSpec,
+    workload: &WorkloadSpec,
+    model: &ModelSpec,
+    window_us: f64,
+    phase_threshold: f64,
+    max_cycles: u64,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let timeline = profile_workload(&platform, workload, model, window_us, max_cycles)?;
+
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "time_us",
+            "bandwidth_gbs",
+            "read_percent",
+            "latency_ns",
+            "stress_score",
+        ],
+    );
+    for s in &timeline.samples {
+        report.push_row(vec![
+            format!("{:.1}", s.sample.time_us),
+            format!("{:.2}", s.sample.bandwidth.as_gbs()),
+            s.sample.ratio.read_percent().to_string(),
+            format!("{:.1}", s.latency.as_ns()),
+            format!("{:.3}", s.stress_score),
+        ]);
+    }
+    report.note(format!(
+        "mean stress {:.2}, {:.0}% of the samples above 0.5, peak bandwidth {:.1} GB/s, peak latency {:.0} ns",
+        timeline.mean_stress(),
+        timeline.fraction_above(0.5) * 100.0,
+        timeline.peak_bandwidth().as_gbs(),
+        timeline.peak_latency().as_ns()
+    ));
+    for phase in timeline.phases(phase_threshold) {
+        report.note(format!("phase: {phase}"));
+    }
+    Ok(report)
+}
+
+fn run_single(
+    spec: &ScenarioSpec,
+    workload: &WorkloadSpec,
+    model: &ModelSpec,
+    max_cycles: u64,
+) -> Result<ExperimentReport, MessError> {
+    let platform = spec.platform.resolve();
+    let cpu = platform.cpu_config();
+    let streams = workload.streams(cpu.llc.capacity_bytes, cpu.cores)?;
+    let mut backend = model.factory(&platform).build()?;
+    let run = run_streams(&platform, streams, backend.as_mut(), max_cycles);
+
+    let mut report = ExperimentReport::new(
+        &spec.id,
+        &spec.title,
+        &[
+            "workload",
+            "memory_model",
+            "platform",
+            "ipc",
+            "bandwidth_gbs",
+            "instructions",
+            "cycles",
+        ],
+    );
+    report.push_row(vec![
+        workload.label(),
+        model.kind.label().to_string(),
+        platform.id.key().to_string(),
+        format!("{:.3}", run.ipc()),
+        format!("{:.2}", run.bandwidth.as_gbs()),
+        run.total_instructions.to_string(),
+        run.cycles.to_string(),
+    ]);
+    if run.hit_cycle_limit {
+        report.note("the run hit its cycle budget before the workload finished");
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_bench::SweepPreset;
+    use mess_platforms::PlatformId;
+
+    #[test]
+    fn validation_workload_specs_resolve_for_every_core() {
+        let platform = PlatformRef::quick(PlatformId::IntelSkylake).resolve();
+        for w in ValidationWorkload::ALL {
+            let streams = w.streams(&platform, Fidelity::Quick);
+            assert_eq!(streams.len(), platform.cores as usize, "{}", w.label());
+            assert_eq!(w.spec(Fidelity::Quick).label(), w.label());
+        }
+    }
+
+    #[test]
+    fn ipc_error_is_symmetric_in_sign_and_zero_for_exact_match() {
+        assert_eq!(ipc_error_percent(1.0, 1.0), 0.0);
+        assert!((ipc_error_percent(0.5, 1.0) - 50.0).abs() < 1e-9);
+        assert!((ipc_error_percent(1.5, 1.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_platform_matches_the_quick_platform_ref() {
+        for id in PlatformId::ALL {
+            let via_fn = scaled_platform(&id.spec(), Fidelity::Quick);
+            let via_ref = PlatformRef::quick(id).resolve();
+            assert_eq!(via_fn.cores, via_ref.cores, "{id}");
+            assert_eq!(via_fn.channels, via_ref.channels, "{id}");
+            assert_eq!(via_fn.cpu.cores, via_ref.cpu.cores, "{id}");
+        }
+        // And the function keeps honouring pre-modified specs.
+        let mut zero = PlatformId::IntelSkylake.spec();
+        zero.channels = 0;
+        assert_eq!(scaled_platform(&zero, Fidelity::Quick).channels, 1);
+        assert_eq!(
+            scaled_platform(&PlatformId::AmdZen2.spec(), Fidelity::Full).cores,
+            64
+        );
+    }
+
+    #[test]
+    fn run_scenario_rejects_invalid_specs_before_running() {
+        let spec = ScenarioSpec {
+            id: "bad".into(),
+            title: "bad".into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::Run {
+                workload: WorkloadSpec::spec_cpu2006("nope", 10),
+                model: ModelSpec::of(MemoryModelKind::Md1Queue),
+                max_cycles: 1_000,
+            },
+            notes: vec![],
+        };
+        assert!(run_scenario(&spec).is_err());
+    }
+
+    #[test]
+    fn run_kind_reports_one_row_and_appends_spec_notes() {
+        let spec = ScenarioSpec {
+            id: "gups-md1".into(),
+            title: "GUPS on M/D/1".into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::Run {
+                workload: WorkloadSpec::gups(200),
+                model: ModelSpec::of(MemoryModelKind::Md1Queue),
+                max_cycles: 4_000_000,
+            },
+            notes: vec!["a fixed note".into()],
+        };
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.id, "gups-md1");
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0][0], "GUPS");
+        assert_eq!(report.rows[0][1], "md1-queue");
+        let ipc: f64 = report.rows[0][3].parse().unwrap();
+        assert!(ipc > 0.0, "the run must retire instructions");
+        assert_eq!(report.notes.last().unwrap(), "a fixed note");
+    }
+
+    #[test]
+    fn campaigns_run_through_the_job_runner_in_order() {
+        let scenario = |id: &str, updates: u64| ScenarioSpec {
+            id: id.into(),
+            title: id.into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::Run {
+                workload: WorkloadSpec::gups(updates),
+                model: ModelSpec::of(MemoryModelKind::FixedLatency),
+                max_cycles: 2_000_000,
+            },
+            notes: vec![],
+        };
+        let campaign = CampaignSpec {
+            name: "two-runs".into(),
+            scenarios: vec![scenario("first", 100), scenario("second", 150)],
+        };
+        let mut finished = Vec::new();
+        let reports = run_campaign(&campaign, |event| {
+            if let mess_exec::JobEvent::Finished { name, .. } = event {
+                finished.push(name.to_string());
+            }
+        })
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].id, "first");
+        assert_eq!(reports[1].id, "second");
+        finished.sort();
+        assert_eq!(finished, vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn campaign_runs_are_deterministic_across_worker_counts() {
+        let spec = ScenarioSpec {
+            id: "det".into(),
+            title: "determinism".into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::ModelComparison {
+                models: vec![
+                    ModelSpec::of(MemoryModelKind::FixedLatency),
+                    ModelSpec::of(MemoryModelKind::Md1Queue),
+                ],
+                sweep: SweepSpec::preset(SweepPreset::Reduced),
+            },
+            notes: vec![],
+        };
+        mess_exec::set_default_threads(1);
+        let sequential = run_scenario(&spec).unwrap();
+        mess_exec::set_default_threads(4);
+        let parallel = run_scenario(&spec).unwrap();
+        mess_exec::set_default_threads(0);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
+    }
+}

@@ -1,0 +1,39 @@
+//! The declarative scenario layer: experiments as data, from CLI to report.
+//!
+//! The paper's methodology is one recipe — characterize a memory system with the Mess
+//! benchmark, simulate workloads against memory models, compare — applied to *any*
+//! platform × workload × memory-model combination. This crate makes that recipe
+//! declarative:
+//!
+//! * [`spec`] — the serializable vocabulary: [`ScenarioSpec`] / [`CampaignSpec`] on top of
+//!   the lower-layer specs ([`WorkloadSpec`], [`ModelSpec`], [`PlatformRef`],
+//!   [`SweepSpec`]), all JSON-serializable through the workspace serde stand-ins;
+//! * [`engine`] — [`run_scenario`] / [`run_campaign`]: the single
+//!   `characterize → simulate → report` pipeline every spec executes through, with
+//!   campaign fan-out over the deterministic `mess-exec` job runner;
+//! * [`mod@builtin`] — every table and figure of the paper as a registered spec builder, so
+//!   `mess-harness --dump-spec fig11 > my.json`, edit, `--scenario my.json` is a complete
+//!   workflow;
+//! * [`report`] — the [`ExperimentReport`] tables the engine produces and the
+//!   [`CampaignSummary`] index written next to per-experiment CSV files.
+//!
+//! Adding a new experiment is a JSON file, not a driver: pick a [`spec::ScenarioKind`]
+//! (including the open `Run` combination no paper figure covers), name a platform, a
+//! workload, and a model, and hand the file to the harness.
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use builtin::{builtin, builtin_spec, run_builtin, BuiltinScenario, BUILTINS};
+pub use engine::{run_campaign, run_scenario, ValidationWorkload};
+pub use report::{CampaignSummary, ExperimentReport, ExperimentSummary, Fidelity};
+pub use spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
+
+// One-stop re-exports of the lower-layer spec vocabulary.
+pub use mess_bench::{SweepPreset, SweepSpec};
+pub use mess_platforms::{CurveSourceSpec, ModelSpec, PlatformRef};
+pub use mess_workloads::spec::WorkloadSpec;

@@ -246,6 +246,35 @@ mod tests {
         assert_eq!(seen.len(), 256);
     }
 
+    proptest::proptest! {
+        #[test]
+        fn sattolo_cycle_is_a_single_full_cycle_for_any_size_and_seed(
+            n in 1u32..700,
+            seed in 0u64..1_000_000_000,
+        ) {
+            // Following `next` from index 0 must visit every index exactly once and land
+            // back on 0 after exactly `n` hops — the property the multichase stream (and
+            // the real multichase's initialization) relies on.
+            let next = sattolo_cycle(n, seed);
+            proptest::prop_assert_eq!(next.len(), n as usize);
+            let mut seen = vec![false; n as usize];
+            let mut at = 0u32;
+            for _ in 0..n {
+                proptest::prop_assert!(
+                    !seen[at as usize],
+                    "revisited index {} before the cycle closed (n={}, seed={})",
+                    at,
+                    n,
+                    seed
+                );
+                seen[at as usize] = true;
+                at = next[at as usize];
+            }
+            proptest::prop_assert_eq!(at, 0);
+            proptest::prop_assert!(seen.iter().all(|&v| v), "every index must be visited");
+        }
+    }
+
     #[test]
     fn multichase_is_deterministic_for_a_seed() {
         let config = MultichaseConfig {

@@ -15,11 +15,18 @@
 //! are `Send` by trait definition ([`mess_cpu::OpStream`] has a `Send` supertrait), so a
 //! stream prepared on one thread may also be moved into the engine of another.
 //!
-//! ```
-//! use mess_workloads::stream::{StreamConfig, StreamKernel};
+//! The per-family `*Config` types remain the low-level constructors; [`spec::WorkloadSpec`]
+//! unifies them behind one serializable, declarative spec that sizes itself against any
+//! platform's LLC — the entry point the scenario layer (`mess-scenario`) and every experiment
+//! driver resolve workloads through.
 //!
-//! let config = StreamConfig::sized_against_llc(StreamKernel::Triad, 8 * 1024 * 1024, 4);
-//! let streams = config.streams();
+//! ```
+//! use mess_workloads::spec::WorkloadSpec;
+//! use mess_workloads::stream::StreamKernel;
+//!
+//! let streams = WorkloadSpec::stream(StreamKernel::Triad, 4)
+//!     .streams(8 * 1024 * 1024, 4)
+//!     .unwrap();
 //! assert_eq!(streams.len(), 4);
 //! ```
 
@@ -27,11 +34,13 @@
 
 pub mod latency;
 pub mod random;
+pub mod spec;
 pub mod spec_suite;
 pub mod stream;
 
 pub use latency::{LatMemRdConfig, MultichaseConfig};
 pub use random::{GupsConfig, HpcgConfig};
+pub use spec::WorkloadSpec;
 pub use spec_suite::{spec2006_suite, IntensityClass, SpecWorkload};
 pub use stream::{StreamConfig, StreamKernel};
 

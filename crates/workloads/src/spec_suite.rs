@@ -110,6 +110,11 @@ pub fn spec2006_suite() -> Vec<SpecWorkload> {
     ]
 }
 
+/// Looks up a suite benchmark by its Fig. 18 name (e.g. `"lbm"`).
+pub fn find(name: &str) -> Option<SpecWorkload> {
+    spec2006_suite().into_iter().find(|w| w.name == name)
+}
+
 /// Classifies a measured bandwidth utilisation (fraction of the reference peak) into the
 /// paper's three buckets.
 pub fn classify_utilisation(fraction_of_peak: f64) -> IntensityClass {
