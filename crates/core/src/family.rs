@@ -90,7 +90,17 @@ impl CurveFamily {
     }
 
     /// The curve measured closest to `ratio`.
+    ///
+    /// Tie-breaking is deterministic: when two curves are exactly equidistant from `ratio`
+    /// (e.g. a 60 %-read query against curves at 50 % and 70 %), the **more write-heavy**
+    /// curve wins — curves are stored in ascending read-fraction order and the scan keeps
+    /// the first minimum it sees. The write-heavy curve is the conservative choice (it
+    /// reports the higher latency on DDR systems), and pinning the rule means ratio
+    /// selection can never depend on float noise in how the family was assembled.
     pub fn closest_curve(&self, ratio: RwRatio) -> &Curve {
+        // `Iterator::min_by` returns the *first* of several equally-minimal elements, and
+        // `self.curves` is sorted by ascending read fraction — together these two facts are
+        // the tie-break contract documented above (pinned by `closest_curve_tie_breaking`).
         self.curves
             .iter()
             .min_by(|a, b| {
@@ -241,11 +251,71 @@ impl CurveFamily {
         }
         CurveFamily::new(name, curves)
     }
+
+    /// Flattens the family into `(read_fraction, bandwidth_gbs, latency_ns)` rows — the
+    /// exact-precision sibling of [`CurveFamily::to_rows`] used by the on-disk
+    /// [`crate::curveset::CurveSet`] artifact.
+    ///
+    /// Unlike the integer-percent encoding, the read fraction is the curve's raw `f64` key,
+    /// so characterized families (whose measured mean compositions are arbitrary fractions
+    /// like `0.9873…`) survive a `to_ratio_rows → from_ratio_rows` round trip **bit
+    /// identically**. Rows come out curve by curve (ratios ascending), points in
+    /// measurement order.
+    pub fn to_ratio_rows(&self) -> Vec<(f64, f64, f64)> {
+        let mut rows = Vec::new();
+        for c in &self.curves {
+            for p in c.points() {
+                rows.push((
+                    c.ratio().read_fraction(),
+                    p.bandwidth.as_gbs(),
+                    p.latency.as_ns(),
+                ));
+            }
+        }
+        rows
+    }
+
+    /// Builds a family from `(read_fraction, bandwidth_gbs, latency_ns)` rows (the inverse
+    /// of [`CurveFamily::to_ratio_rows`]).
+    ///
+    /// Rows are grouped into curves by **exact** (`f64`-bit) read-fraction equality, in
+    /// first-seen order, preserving each group's row order as the curve's measurement
+    /// order; [`CurveFamily::new`] then sorts the curves by ratio. Every validation of the
+    /// normal constructors applies: at least two points per curve, finite non-negative
+    /// coordinates, positive latencies, no duplicate ratios.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a read fraction is outside `[0, 1]` or the rows do not form at
+    /// least one valid curve.
+    pub fn from_ratio_rows(
+        name: impl Into<String>,
+        rows: &[(f64, f64, f64)],
+    ) -> Result<Self, MessError> {
+        let mut grouped: Vec<(f64, Vec<CurvePoint>)> = Vec::new();
+        for &(fraction, bw, lat) in rows {
+            let point = CurvePoint::new(Bandwidth::from_gbs(bw), Latency::from_ns(lat));
+            match grouped
+                .iter_mut()
+                .find(|(f, _)| f.to_bits() == fraction.to_bits())
+            {
+                Some((_, points)) => points.push(point),
+                None => grouped.push((fraction, vec![point])),
+            }
+        }
+        let mut curves = Vec::new();
+        for (fraction, points) in grouped {
+            let ratio = RwRatio::from_read_fraction(fraction)?;
+            curves.push(Curve::new(ratio, points)?);
+        }
+        CurveFamily::new(name, curves)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn curve(read_pct: u32, max_bw: f64, unloaded: f64, max_lat: f64) -> Curve {
         Curve::new(
@@ -390,5 +460,143 @@ mod tests {
             Bandwidth::from_gbs(100.0),
         );
         assert!(i > 0.0);
+    }
+
+    #[test]
+    fn closest_curve_tie_breaking_prefers_the_write_heavy_curve() {
+        // 62.5 % reads is *exactly* equidistant (0.125, a binary fraction) from the 50 %
+        // and 75 % curves; 87.5 % ties the 75 % and 100 % curves. The documented contract:
+        // ties resolve to the more write-heavy (lower-ratio) curve, deterministically.
+        let f = family();
+        let tie =
+            |pct_times_10: u32| RwRatio::from_read_fraction(pct_times_10 as f64 / 1000.0).unwrap();
+        assert_eq!(f.closest_curve(tie(625)).ratio().read_percent(), 50);
+        assert_eq!(f.closest_curve(tie(875)).ratio().read_percent(), 75);
+        // Sanity: the tie-break never fires for clearly one-sided queries.
+        assert_eq!(f.closest_curve(tie(630)).ratio().read_percent(), 75);
+        assert_eq!(f.closest_curve(tie(620)).ratio().read_percent(), 50);
+    }
+
+    #[test]
+    fn every_mutation_path_leaves_indices_consistent_with_an_explicit_rebuild() {
+        // Audit of `rebuild_index` coverage: each way of producing a family must yield
+        // interpolation indices such that an explicit `rebuild_indices()` changes no
+        // answer. A failure here means a construction path forgot to (re)build.
+        let queries: Vec<(RwRatio, Bandwidth)> = [(55u32, 20.0f64), (75, 70.0), (100, 95.0)]
+            .iter()
+            .map(|&(pct, bw)| {
+                (
+                    RwRatio::from_read_percent(pct).unwrap(),
+                    Bandwidth::from_gbs(bw),
+                )
+            })
+            .collect();
+        let check = |mut f: CurveFamily, tag: &str| {
+            let before: Vec<u64> = queries
+                .iter()
+                .map(|&(r, bw)| f.latency_at(r, bw).as_ns().to_bits())
+                .collect();
+            f.rebuild_indices();
+            let after: Vec<u64> = queries
+                .iter()
+                .map(|&(r, bw)| f.latency_at(r, bw).as_ns().to_bits())
+                .collect();
+            assert_eq!(before, after, "{tag}: rebuild changed an answer");
+        };
+        check(family(), "CurveFamily::new");
+        check(
+            family().shifted_latency(Latency::from_ns(30.0)),
+            "shifted_latency",
+        );
+        check(
+            CurveFamily::from_rows("rows", &family().to_rows()).unwrap(),
+            "from_rows",
+        );
+        check(
+            CurveFamily::from_ratio_rows("ratio-rows", &family().to_ratio_rows()).unwrap(),
+            "from_ratio_rows",
+        );
+        check(
+            crate::io::from_json(&crate::io::to_json(&family()).unwrap()).unwrap(),
+            "io::from_json loader",
+        );
+    }
+
+    #[test]
+    fn ratio_rows_preserve_fractional_ratios_exactly() {
+        // Characterized families carry arbitrary mean-composition fractions; the integer
+        // encoding rounds them, the ratio encoding must not.
+        let fraction = 0.987_654_321_012_345_6;
+        let fam = CurveFamily::new(
+            "fractional",
+            vec![
+                Curve::new(
+                    RwRatio::from_read_fraction(fraction).unwrap(),
+                    vec![
+                        CurvePoint::new(Bandwidth::from_gbs(5.0), Latency::from_ns(90.0)),
+                        CurvePoint::new(Bandwidth::from_gbs(60.0), Latency::from_ns(140.0)),
+                    ],
+                )
+                .unwrap(),
+                curve(50, 92.0, 92.0, 391.0),
+            ],
+        )
+        .unwrap();
+        let back = CurveFamily::from_ratio_rows("fractional", &fam.to_ratio_rows()).unwrap();
+        assert_eq!(back, fam);
+        assert_eq!(
+            back.curves()[1].ratio().read_fraction().to_bits(),
+            fraction.to_bits()
+        );
+        // The integer encoding demonstrably loses the fraction (rounded to 99 %).
+        let lossy = CurveFamily::from_rows("fractional", &fam.to_rows()).unwrap();
+        assert_ne!(lossy, fam);
+    }
+
+    proptest! {
+        // The satellite contract: `from_rows(to_rows(f))` is bit-identical for arbitrary
+        // valid percent-keyed families (the row encoding passes every `f64` through
+        // untouched), and the same holds for the fraction-keyed artifact encoding.
+        #[test]
+        fn prop_row_encodings_round_trip_bit_identically(
+            pcts in proptest::collection::vec(0u32..101, 1..5),
+            bws in proptest::collection::vec(0.01f64..500.0, 2..9),
+            lats in proptest::collection::vec(0.5f64..2000.0, 2..9),
+        ) {
+            let mut pcts = pcts.clone();
+            pcts.sort_unstable();
+            pcts.dedup();
+            let n = bws.len().min(lats.len());
+            let curves: Vec<Curve> = pcts
+                .iter()
+                .map(|&pct| {
+                    let points: Vec<CurvePoint> = (0..n)
+                        .map(|i| CurvePoint::new(
+                            Bandwidth::from_gbs(bws[i]),
+                            Latency::from_ns(lats[i]),
+                        ))
+                        .collect();
+                    Curve::new(RwRatio::from_read_percent(pct).unwrap(), points).unwrap()
+                })
+                .collect();
+            let fam = CurveFamily::new("prop", curves).unwrap();
+
+            let via_pct = CurveFamily::from_rows("prop", &fam.to_rows()).unwrap();
+            prop_assert_eq!(&via_pct, &fam);
+            let via_fraction = CurveFamily::from_ratio_rows("prop", &fam.to_ratio_rows()).unwrap();
+            prop_assert_eq!(&via_fraction, &fam);
+            // Equality already compares every ratio and point; additionally pin the bits
+            // of an interpolated answer through both encodings.
+            for f in [&via_pct, &via_fraction] {
+                for &(r, bw) in &[(0.6f64, 30.0f64), (1.0, 450.0)] {
+                    let ratio = RwRatio::from_read_fraction(r).unwrap();
+                    let q = Bandwidth::from_gbs(bw);
+                    prop_assert_eq!(
+                        f.latency_at(ratio, q).as_ns().to_bits(),
+                        fam.latency_at(ratio, q).as_ns().to_bits()
+                    );
+                }
+            }
+        }
     }
 }

@@ -15,6 +15,12 @@
 //!   proportional feedback-control loop of paper §V, implementing the standard
 //!   [`mess_types::MemoryBackend`] interface.
 //! * [`io`] — JSON/CSV persistence of curve families, mirroring the artifact's curve files.
+//! * [`curveset`] — the [`CurveSet`]: a versioned, provenance-carrying on-disk curve
+//!   artifact. Curve families are the *interface* between the three pillars of the Mess
+//!   methodology (the benchmark produces them, the simulator consumes them, the profiler
+//!   positions traces on them); the `CurveSet` makes that interface a durable file, so a
+//!   memory system is characterized once and reused everywhere — see the module docs for
+//!   the characterize → save → re-simulate lifecycle and the strict-loading rules.
 //!
 //! # Quickstart
 //!
@@ -36,6 +42,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod curve;
+pub mod curveset;
 pub mod family;
 pub mod io;
 pub mod metrics;
@@ -43,6 +50,7 @@ pub mod simulator;
 pub mod synthetic;
 
 pub use curve::{Curve, CurvePoint};
+pub use curveset::{CurveSet, CurveSetProvenance, CURVESET_FORMAT_VERSION};
 pub use family::CurveFamily;
 pub use metrics::{CurveMetrics, FamilyMetrics};
 pub use simulator::{MessSimulator, MessSimulatorConfig};

@@ -35,8 +35,8 @@ pub mod report;
 pub mod runner;
 pub mod simulators;
 
-pub use mess_scenario::{builtin_spec, BuiltinScenario, BUILTINS};
-pub use output::write_reports;
+pub use mess_scenario::{builtin_spec, BuiltinScenario, CurveSet, BUILTINS};
+pub use output::{write_curve_sets, write_reports};
 pub use report::{CampaignSummary, ExperimentReport, Fidelity};
 
 /// The signature every experiment driver shares.

@@ -10,6 +10,9 @@
 //! mess-harness --list                         # experiment index with paper anchors
 //! mess-harness --experiment fig2 --csv        # machine-readable stdout
 //! mess-harness --threads 1 -e fig2            # fully sequential reference run
+//! mess-harness --scenario c.json --curves-out curves/   # persist measured CurveSets
+//! mess-harness --scenario m.json --curves curves/x.json # run from a saved CurveSet
+//! mess-harness --list-curves curves/          # index the artifacts in a directory
 //! ```
 //!
 //! `--threads N` sets the process-wide `mess-exec` worker count — a true cap, because
@@ -20,13 +23,20 @@
 //!
 //! Scenario and campaign files carry their own sizing (a `--dump-spec` export bakes the
 //! chosen fidelity in), so `--quick`/`--full` only affect builtin experiment ids.
+//!
+//! `--curves-out DIR` writes every curve family the run characterizes as a versioned,
+//! provenance-carrying `CurveSet` JSON artifact; `--curves FILE` loads such an artifact
+//! and overrides every curve source in the run with it (the way to re-simulate or
+//! re-profile from a saved characterization without editing the spec). Both flags also
+//! work with builtin experiment ids, which then run through their scenario specs.
 
 use mess_exec::JobEvent;
 use mess_harness::{
-    run_experiment, run_experiments, write_reports, Fidelity, BUILTINS, EXPERIMENTS,
+    run_experiment, run_experiments, write_curve_sets, write_reports, CurveSet, Fidelity, BUILTINS,
+    EXPERIMENTS,
 };
-use mess_scenario::{CampaignSpec, ScenarioSpec};
-use std::path::PathBuf;
+use mess_scenario::{CampaignSpec, ScenarioOptions, ScenarioSpec};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// What the invocation asks for.
@@ -41,17 +51,68 @@ enum Mode {
     Campaign(PathBuf),
     /// Print the experiment index.
     List,
+    /// Print an index of the CurveSet artifacts in a directory.
+    ListCurves(PathBuf),
 }
 
 fn usage() {
     println!(
         "usage: mess-harness --experiment|-e <id|all> [--quick|--full] [--csv] [--out DIR] \
-         [--threads|-j N]\n\
+         [--threads|-j N] [--curves FILE] [--curves-out DIR]\n\
          \x20      mess-harness --dump-spec <id> [--quick|--full]\n\
-         \x20      mess-harness --scenario <file.json> [--csv] [--out DIR] [--threads|-j N]\n\
-         \x20      mess-harness --campaign <file.json> [--csv] [--out DIR] [--threads|-j N]\n\
-         \x20      mess-harness --list"
+         \x20      mess-harness --scenario <file.json> [--csv] [--out DIR] [--threads|-j N] \
+         [--curves FILE] [--curves-out DIR]\n\
+         \x20      mess-harness --campaign <file.json> [--csv] [--out DIR] [--threads|-j N] \
+         [--curves FILE] [--curves-out DIR]\n\
+         \x20      mess-harness --list\n\
+         \x20      mess-harness --list-curves <dir>"
     );
+}
+
+/// Prints a one-line summary per CurveSet artifact in `dir` (non-artifact JSON files are
+/// reported, not fatal).
+fn list_curves(dir: &Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        println!("no .json files in {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+    for path in paths {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        match CurveSet::load(&path) {
+            Ok(set) => {
+                let family = set.family();
+                let points: usize = family.curves().iter().map(|c| c.len()).sum();
+                let p = set.provenance();
+                println!(
+                    "{name}: \"{}\" v{} — platform {}, model {}, {} curves / {points} points, \
+                     unloaded {:.0} ns, max bw {:.1} GB/s [scenario {}; {}]",
+                    set.name(),
+                    set.version(),
+                    p.platform,
+                    p.model,
+                    family.len(),
+                    family.unloaded_latency().as_ns(),
+                    family.max_bandwidth().as_gbs(),
+                    p.scenario,
+                    p.sweep,
+                );
+            }
+            Err(e) => println!("{name}: not a loadable curve set ({e})"),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -60,6 +121,8 @@ fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
     let mut csv = false;
     let mut out: Option<PathBuf> = None;
+    let mut curves_out: Option<PathBuf> = None;
+    let mut curves_file: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -101,6 +164,27 @@ fn main() -> ExitCode {
                 };
                 out = Some(PathBuf::from(dir));
             }
+            "--curves-out" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--curves-out expects a directory path");
+                    return ExitCode::FAILURE;
+                };
+                curves_out = Some(PathBuf::from(dir));
+            }
+            "--curves" => {
+                let Some(file) = iter.next() else {
+                    eprintln!("--curves expects a CurveSet JSON file path");
+                    return ExitCode::FAILURE;
+                };
+                curves_file = Some(PathBuf::from(file));
+            }
+            "--list-curves" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--list-curves expects a directory path");
+                    return ExitCode::FAILURE;
+                };
+                mode = Some(Mode::ListCurves(PathBuf::from(dir)));
+            }
             "--threads" | "-j" => {
                 let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("--threads expects a positive integer");
@@ -124,9 +208,38 @@ fn main() -> ExitCode {
         }
     }
     let Some(mode) = mode else {
-        eprintln!("missing --experiment <id|all>, --scenario, --campaign, --dump-spec or --list");
+        eprintln!(
+            "missing --experiment <id|all>, --scenario, --campaign, --dump-spec, --list or \
+             --list-curves"
+        );
         return ExitCode::FAILURE;
     };
+
+    // The --curves override loads (and strictly validates) once, up front.
+    let options = match &curves_file {
+        Some(path) => match CurveSet::load(path) {
+            Ok(set) => {
+                eprintln!(
+                    "[mess-harness] curves override: \"{}\" ({} curves, platform {}, model {}) \
+                     from {}",
+                    set.name(),
+                    set.family().len(),
+                    set.provenance().platform,
+                    set.provenance().model,
+                    path.display()
+                );
+                ScenarioOptions { curves: Some(set) }
+            }
+            Err(e) => {
+                eprintln!("cannot load --curves artifact: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ScenarioOptions::default(),
+    };
+    // Builtin ids normally dispatch through their thin drivers; the curve flags need the
+    // spec pipeline's outcome (artifacts), so they reroute builtins through their specs.
+    let wants_curve_flow = curves_out.is_some() || curves_file.is_some();
 
     let print = |report: &mess_harness::ExperimentReport| {
         if csv {
@@ -161,6 +274,30 @@ fn main() -> ExitCode {
             }
         }
     };
+    let write_curves = |sets: &[CurveSet]| -> bool {
+        let Some(dir) = &curves_out else { return true };
+        if sets.is_empty() {
+            eprintln!(
+                "[mess-harness] the run measured no curve families (nothing to write to {})",
+                dir.display()
+            );
+            return true;
+        }
+        match write_curve_sets(dir, sets) {
+            Ok(written) => {
+                eprintln!(
+                    "[mess-harness] wrote {} curve artifact(s) to {}",
+                    written.len(),
+                    dir.display()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("cannot write curves to {}: {e}", dir.display());
+                false
+            }
+        }
+    };
 
     match mode {
         Mode::List => {
@@ -169,6 +306,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Mode::ListCurves(dir) => list_curves(&dir),
         Mode::DumpSpec(id) => match mess_harness::experiment_info(&id) {
             Some(info) => {
                 println!("{}", info.spec(fidelity).to_json());
@@ -179,7 +317,7 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Mode::Experiment(id) if id == "all" => {
+        Mode::Experiment(id) if id == "all" && !wants_curve_flow => {
             // The whole campaign goes through the job-graph runner: experiments execute
             // concurrently, progress is narrated on stderr, reports print in paper order.
             let reports = run_experiments(&EXPERIMENTS, fidelity, progress)
@@ -193,13 +331,70 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
-        Mode::Experiment(id) => match run_experiment(&id, fidelity) {
+        Mode::Experiment(id) if id == "all" => {
+            // Curve flags need the spec pipeline: run every builtin as a campaign of its
+            // scenario spec (same job runner, same report order).
+            let campaign = CampaignSpec {
+                name: "all".into(),
+                scenarios: EXPERIMENTS
+                    .iter()
+                    .map(|id| {
+                        mess_scenario::builtin_spec(id, fidelity).expect("builtin ids resolve")
+                    })
+                    .collect(),
+            };
+            match mess_scenario::run_campaign_with(&campaign, &options, progress) {
+                Ok(outcomes) => {
+                    let reports: Vec<_> = outcomes.iter().map(|o| o.report.clone()).collect();
+                    for report in &reports {
+                        print(report);
+                    }
+                    let sets: Vec<CurveSet> =
+                        outcomes.into_iter().flat_map(|o| o.curve_sets).collect();
+                    if write_out("all", &reports) && write_curves(&sets) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("experiment all failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Experiment(id) if !wants_curve_flow => match run_experiment(&id, fidelity) {
             Some(report) => {
                 print(&report);
                 if write_out(&report.id, std::slice::from_ref(&report)) {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Experiment(id) => match mess_harness::experiment_info(&id) {
+            Some(info) => {
+                let spec = info.spec(fidelity);
+                match mess_scenario::run_scenario_with(&spec, &options) {
+                    Ok(outcome) => {
+                        print(&outcome.report);
+                        if write_out(&outcome.report.id, std::slice::from_ref(&outcome.report))
+                            && write_curves(&outcome.curve_sets)
+                        {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("experiment {id} failed: {e}");
+                        ExitCode::FAILURE
+                    }
                 }
             }
             None => {
@@ -218,10 +413,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match mess_scenario::run_scenario(&spec) {
-                Ok(report) => {
-                    print(&report);
-                    if write_out(&spec.id, std::slice::from_ref(&report)) {
+            match mess_scenario::run_scenario_with(&spec, &options) {
+                Ok(outcome) => {
+                    print(&outcome.report);
+                    if write_out(&spec.id, std::slice::from_ref(&outcome.report))
+                        && write_curves(&outcome.curve_sets)
+                    {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE
@@ -244,12 +441,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match mess_scenario::run_campaign(&campaign, progress) {
-                Ok(reports) => {
+            match mess_scenario::run_campaign_with(&campaign, &options, progress) {
+                Ok(outcomes) => {
+                    let reports: Vec<_> = outcomes.iter().map(|o| o.report.clone()).collect();
                     for report in &reports {
                         print(report);
                     }
-                    if write_out(&campaign.name, &reports) {
+                    let sets: Vec<CurveSet> =
+                        outcomes.into_iter().flat_map(|o| o.curve_sets).collect();
+                    if write_out(&campaign.name, &reports) && write_curves(&sets) {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE

@@ -1,11 +1,13 @@
-//! File output for experiment runs (`mess-harness --out <dir>`).
+//! File output for experiment runs (`mess-harness --out <dir>` and `--curves-out <dir>`).
 //!
 //! Each report becomes `<dir>/<id>.csv` (the same CSV `--csv` prints) and the whole batch is
 //! indexed by `<dir>/campaign-summary.json` — a [`CampaignSummary`] carrying every
 //! experiment's title, row count and notes, so downstream tooling can discover the CSVs
-//! without parsing them.
+//! without parsing them. Curve artifacts measured by a run are written by
+//! [`write_curve_sets`] as one `CurveSet` JSON file each, named from their provenance.
 
 use crate::report::{CampaignSummary, ExperimentReport};
+use mess_scenario::CurveSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -32,6 +34,49 @@ pub fn write_reports(
     let summary = CampaignSummary::new(campaign_name, reports);
     fs::write(&summary_path, summary.to_json() + "\n")?;
     written.push(summary_path);
+    Ok(written)
+}
+
+/// Reduces a provenance string to a file-name-safe slug: lowercase, every run of
+/// non-alphanumeric characters collapsed to one `-`.
+fn slug(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Writes every curve artifact into `dir` (created if missing) as
+/// `<scenario>-<platform>-<model>.json` (slugged from the artifact's provenance, with a
+/// `-2`, `-3`, ... suffix on collision). Returns the paths written, in artifact order —
+/// deterministic, so CI and scripts can name the files in advance.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, disk full, ...).
+pub fn write_curve_sets(dir: &Path, sets: &[CurveSet]) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written: Vec<PathBuf> = Vec::with_capacity(sets.len());
+    let mut used: Vec<String> = Vec::with_capacity(sets.len());
+    for set in sets {
+        let p = set.provenance();
+        let base = slug(&format!("{}-{}-{}", p.scenario, p.platform, p.model));
+        let mut name = format!("{base}.json");
+        let mut n = 2;
+        while used.contains(&name) {
+            name = format!("{base}-{n}.json");
+            n += 1;
+        }
+        used.push(name.clone());
+        let path = dir.join(&name);
+        set.save(&path).map_err(io::Error::other)?;
+        written.push(path);
+    }
     Ok(written)
 }
 
@@ -70,6 +115,42 @@ mod tests {
         assert_eq!(summary.experiments[0].rows, 1);
         assert_eq!(summary.experiments[0].notes, vec!["headline".to_string()]);
 
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn curve_sets_get_deterministic_provenance_named_files() {
+        use mess_scenario::CurveSetProvenance;
+        let family = mess_platforms::PlatformId::IntelSkylake
+            .spec()
+            .reference_family();
+        let set = |scenario: &str| {
+            CurveSet::new(
+                family.clone(),
+                CurveSetProvenance::new("skylake", "detailed-dram", "test sweep", scenario),
+            )
+            .unwrap()
+        };
+        let dir = temp_dir("curves");
+        // Two identical provenances collide on the base name and get a numeric suffix.
+        let written = write_curve_sets(&dir, &[set("My Run"), set("fig2"), set("My Run")]).unwrap();
+        let names: Vec<_> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "my-run-skylake-detailed-dram.json",
+                "fig2-skylake-detailed-dram.json",
+                "my-run-skylake-detailed-dram-2.json",
+            ]
+        );
+        // Every written file loads back through the strict loader, byte-stable.
+        for path in &written {
+            let back = CurveSet::load(path).unwrap();
+            assert_eq!(back.to_json() + "\n", fs::read_to_string(path).unwrap());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

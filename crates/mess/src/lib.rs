@@ -7,8 +7,9 @@
 //!   conformance suite;
 //! * [`exec`] — deterministic parallel execution: the order-preserving `par_map` worker
 //!   pool and the job-graph runner behind every parallel sweep and experiment campaign;
-//! * [`core`] — bandwidth–latency curves, curve families, metrics and the Mess analytical
-//!   simulator (the paper's primary contribution);
+//! * [`core`] — bandwidth–latency curves, curve families, metrics, the Mess analytical
+//!   simulator (the paper's primary contribution), and the persistent `CurveSet` artifact
+//!   that carries characterized families between runs;
 //! * [`dram`] — the cycle-level multi-channel DRAM reference model;
 //! * [`memmodels`] — the fixed-latency, M/D/1 and internal-DDR baselines;
 //! * [`cxl`] — the CXL memory-expander model, manufacturer curves and remote-socket emulation;

@@ -7,6 +7,8 @@
 //! knowing their concrete types.
 
 use crate::spec::PlatformSpec;
+use mess_bench::SweepSpec;
+use mess_core::curveset::CurveSet;
 use mess_core::{CurveFamily, MessSimulator, MessSimulatorConfig};
 use mess_cxl::{CxlExpanderConfig, CxlExpanderModel};
 use mess_dram::{ApproxDramSim, ApproxProfile, DramSystem};
@@ -14,6 +16,7 @@ use mess_memmodels::{FixedLatencyModel, Md1QueueModel, SimpleDdrConfig, SimpleDd
 use mess_types::{Bandwidth, Latency, MemoryBackend, MessError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 /// Every memory model that the paper's simulator-characterization and validation experiments
 /// exercise.
@@ -272,10 +275,13 @@ impl ModelFactory {
 /// from.
 ///
 /// Only [`MemoryModelKind::Mess`] consumes curves; every other model ignores its curve
-/// source. The variants cover the paper's three curve providers: the platform's calibrated
-/// Table I reference family, the CXL expander's manufacturer curves (§V-C), and the
-/// remote-NUMA-socket emulation curves (Appendix B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// source. The first three variants are the paper's in-process curve providers: the
+/// platform's calibrated Table I reference family, the CXL expander's manufacturer curves
+/// (§V-C), and the remote-NUMA-socket emulation curves (Appendix B). The last two close
+/// the characterize → simulate loop as *data*: [`CurveSourceSpec::File`] reads a saved
+/// [`CurveSet`] artifact, and [`CurveSourceSpec::Characterized`] runs the Mess benchmark
+/// against any memory model inline and uses the measured family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CurveSourceSpec {
     /// The platform's calibrated reference family ([`PlatformSpec::reference_family`]).
     PlatformReference,
@@ -288,19 +294,86 @@ pub enum CurveSourceSpec {
     /// The remote-NUMA-socket emulation curves
     /// ([`mess_cxl::remote_socket::remote_socket_curves`] with the default configuration).
     RemoteSocket,
+    /// A saved [`CurveSet`] artifact, strictly validated on load.
+    File {
+        /// Path of the CurveSet JSON file. Relative paths resolve against the working
+        /// directory of the run (scenario files conventionally use repo-root-relative
+        /// paths).
+        path: String,
+    },
+    /// Curves measured by characterizing `model` with the Mess benchmark on the
+    /// scenario's platform — the paper's self-characterization loop (e.g. feed the Mess
+    /// simulator the curves of the detailed DRAM model it is validated against).
+    ///
+    /// Running a characterization needs the benchmark driver, so this variant is resolved
+    /// by the scenario engine (`mess_scenario::engine::resolve_curves`);
+    /// [`CurveSourceSpec::family`] rejects it with a pointer there.
+    Characterized {
+        /// The memory model to characterize (boxed: the model spec itself carries a curve
+        /// source, so the type is recursive — a finite spec tree always terminates).
+        model: Box<ModelSpec>,
+        /// The characterization sweep.
+        sweep: SweepSpec,
+    },
 }
 
 impl CurveSourceSpec {
     /// Resolves the source into a concrete curve family for `platform`.
-    pub fn family(&self, platform: &PlatformSpec) -> CurveFamily {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessError::Parse`] when a [`CurveSourceSpec::File`] artifact cannot be
+    /// read or fails its strict validation, and [`MessError::InvalidConfig`] for
+    /// [`CurveSourceSpec::Characterized`], which only the scenario engine can resolve.
+    pub fn family(&self, platform: &PlatformSpec) -> Result<CurveFamily, MessError> {
         match self {
-            CurveSourceSpec::PlatformReference => platform.reference_family(),
-            CurveSourceSpec::CxlManufacturer { host_link_ns } => {
-                mess_cxl::manufacturer::load_to_use_curves(Latency::from_ns(*host_link_ns))
-            }
-            CurveSourceSpec::RemoteSocket => mess_cxl::remote_socket::remote_socket_curves(
-                &mess_cxl::remote_socket::RemoteSocketConfig::default(),
+            CurveSourceSpec::PlatformReference => Ok(platform.reference_family()),
+            CurveSourceSpec::CxlManufacturer { host_link_ns } => Ok(
+                mess_cxl::manufacturer::load_to_use_curves(Latency::from_ns(*host_link_ns)),
             ),
+            CurveSourceSpec::RemoteSocket => Ok(mess_cxl::remote_socket::remote_socket_curves(
+                &mess_cxl::remote_socket::RemoteSocketConfig::default(),
+            )),
+            CurveSourceSpec::File { path } => Ok(CurveSet::load(Path::new(path))?.into_family()),
+            CurveSourceSpec::Characterized { .. } => Err(MessError::InvalidConfig(
+                "a Characterized curve source requires a benchmark run and is resolved by \
+                 the scenario engine (mess_scenario::engine::resolve_curves)"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Validates the source without resolving it (no file I/O, no benchmark run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessError::InvalidConfig`] for a non-finite or negative link latency, an
+    /// empty file path, or an invalid nested model/sweep.
+    pub fn validate(&self) -> Result<(), MessError> {
+        match self {
+            CurveSourceSpec::PlatformReference | CurveSourceSpec::RemoteSocket => Ok(()),
+            CurveSourceSpec::CxlManufacturer { host_link_ns } => {
+                if host_link_ns.is_finite() && *host_link_ns >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(MessError::InvalidConfig(
+                        "host_link_ns must be a non-negative latency".into(),
+                    ))
+                }
+            }
+            CurveSourceSpec::File { path } => {
+                if path.is_empty() {
+                    Err(MessError::InvalidConfig(
+                        "a File curve source needs a non-empty path".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            CurveSourceSpec::Characterized { model, sweep } => {
+                model.validate()?;
+                sweep.validate()
+            }
         }
     }
 }
@@ -310,7 +383,7 @@ impl CurveSourceSpec {
 ///
 /// This is how scenario files name memory models; [`ModelSpec::factory`] resolves a spec
 /// into the [`ModelFactory`] the parallel experiment paths consume.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelSpec {
     /// Which model to build.
     pub kind: MemoryModelKind,
@@ -332,12 +405,31 @@ impl ModelSpec {
         ModelSpec { kind, curves }
     }
 
+    /// Validates the spec without resolving it (see [`CurveSourceSpec::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the curve source's validation error.
+    pub fn validate(&self) -> Result<(), MessError> {
+        self.curves.validate()
+    }
+
     /// Resolves the spec into a reusable factory for `platform`.
-    pub fn factory(&self, platform: &PlatformSpec) -> ModelFactory {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CurveSourceSpec::family`]'s resolution errors (an unreadable or
+    /// invalid curve artifact, or a `Characterized` source, which needs the scenario
+    /// engine); only curve-driven models can fail.
+    pub fn factory(&self, platform: &PlatformSpec) -> Result<ModelFactory, MessError> {
         if self.kind.needs_curves() {
-            ModelFactory::with_curves(self.kind, platform, self.curves.family(platform))
+            Ok(ModelFactory::with_curves(
+                self.kind,
+                platform,
+                self.curves.family(platform)?,
+            ))
         } else {
-            ModelFactory::new(self.kind, platform)
+            Ok(ModelFactory::new(self.kind, platform))
         }
     }
 }
@@ -511,6 +603,7 @@ mod tests {
         // Default curve source: the platform's reference family.
         let mut mess = ModelSpec::of(MemoryModelKind::Mess)
             .factory(&platform)
+            .expect("reference curves always resolve")
             .build()
             .unwrap();
         exercise(mess.as_mut());
@@ -521,16 +614,17 @@ mod tests {
                 host_link_ns: 180.0,
             },
         );
-        let cxl_family = cxl_spec.curves.family(&platform);
+        let cxl_family = cxl_spec.curves.family(&platform).unwrap();
         assert!(
             cxl_family.unloaded_latency().as_ns()
                 > platform.reference_family().unloaded_latency().as_ns()
         );
-        let mut cxl = cxl_spec.factory(&platform).build().unwrap();
+        let mut cxl = cxl_spec.factory(&platform).unwrap().build().unwrap();
         exercise(cxl.as_mut());
         // Non-curve models ignore the curve source.
         let mut md1 = ModelSpec::of(MemoryModelKind::Md1Queue)
             .factory(&platform)
+            .unwrap()
             .build()
             .unwrap();
         exercise(md1.as_mut());
@@ -538,6 +632,89 @@ mod tests {
         let json = serde_json::to_string(&cxl_spec).unwrap();
         let back: ModelSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cxl_spec);
+    }
+
+    #[test]
+    fn file_curve_source_loads_a_saved_artifact() {
+        use mess_core::curveset::{CurveSet, CurveSetProvenance};
+        let platform = PlatformId::IntelSkylake.spec();
+        let dir = std::env::temp_dir().join(format!("mess-models-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reference.json");
+        CurveSet::new(
+            platform.reference_family(),
+            CurveSetProvenance::new("skylake", "reference", "synthetic", "unit-test"),
+        )
+        .unwrap()
+        .save(&path)
+        .unwrap();
+
+        let source = CurveSourceSpec::File {
+            path: path.to_string_lossy().into_owned(),
+        };
+        assert!(source.validate().is_ok());
+        let loaded = source.family(&platform).unwrap();
+        let reference = platform.reference_family();
+        assert_eq!(loaded.len(), reference.len());
+        // The spec builds a working Mess model from the file, and it round-trips as JSON.
+        let spec = ModelSpec::with_curves(MemoryModelKind::Mess, source.clone());
+        let mut model = spec.factory(&platform).unwrap().build().unwrap();
+        exercise(model.as_mut());
+        let back: ModelSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        // A missing file is a resolution error, not a panic.
+        let missing = CurveSourceSpec::File {
+            path: dir.join("nope.json").to_string_lossy().into_owned(),
+        };
+        assert!(missing.family(&platform).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn characterized_curve_source_defers_to_the_scenario_engine() {
+        use mess_bench::{SweepPreset, SweepSpec};
+        let platform = PlatformId::IntelSkylake.spec();
+        let source = CurveSourceSpec::Characterized {
+            model: Box::new(ModelSpec::of(MemoryModelKind::Md1Queue)),
+            sweep: SweepSpec::preset(SweepPreset::Reduced),
+        };
+        assert!(source.validate().is_ok());
+        let err = source.family(&platform).unwrap_err();
+        assert!(err.to_string().contains("scenario engine"), "{err}");
+        // The recursive spec round-trips through JSON (Box is transparent).
+        let spec = ModelSpec::with_curves(MemoryModelKind::Mess, source);
+        let back: ModelSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn curve_source_validation_rejects_bad_specs() {
+        use mess_bench::{SweepPreset, SweepSpec};
+        assert!(CurveSourceSpec::File {
+            path: String::new()
+        }
+        .validate()
+        .is_err());
+        assert!(CurveSourceSpec::CxlManufacturer { host_link_ns: -1.0 }
+            .validate()
+            .is_err());
+        assert!(CurveSourceSpec::CxlManufacturer {
+            host_link_ns: f64::NAN
+        }
+        .validate()
+        .is_err());
+        // A nested invalid source is found through the recursion.
+        let nested = CurveSourceSpec::Characterized {
+            model: Box::new(ModelSpec::with_curves(
+                MemoryModelKind::Mess,
+                CurveSourceSpec::File {
+                    path: String::new(),
+                },
+            )),
+            sweep: SweepSpec::preset(SweepPreset::Reduced),
+        };
+        assert!(nested.validate().is_err());
+        assert!(ModelSpec::of(MemoryModelKind::Md1Queue).validate().is_ok());
     }
 
     #[test]

@@ -367,6 +367,7 @@ fn fig10(fidelity: Fidelity) -> ScenarioSpec {
         platform: platform_ref(PlatformId::IntelSkylake, fidelity),
         kind: ScenarioKind::MessCurves {
             platforms,
+            curves: CurveSourceSpec::PlatformReference,
             sweep: simulator_sweep(fidelity),
         },
         notes: vec![
@@ -405,6 +406,7 @@ fn fig12(fidelity: Fidelity) -> ScenarioSpec {
         platform: platform_ref(PlatformId::AmazonGraviton3, fidelity),
         kind: ScenarioKind::MessCurves {
             platforms,
+            curves: CurveSourceSpec::PlatformReference,
             sweep: simulator_sweep(fidelity),
         },
         notes: vec![
@@ -495,6 +497,7 @@ fn fig15(fidelity: Fidelity) -> ScenarioSpec {
         kind: ScenarioKind::Profile {
             workload: WorkloadSpec::hpcg(rows),
             model: ModelSpec::of(MemoryModelKind::DetailedDram),
+            curves: CurveSourceSpec::PlatformReference,
             window_us: 2.0,
             phase_threshold: 0.5,
             max_cycles: 60_000_000,

@@ -15,6 +15,7 @@ use crate::spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
 use mess_bench::sweep::characterize_spec;
 use mess_bench::trace::{replay, RecordingBackend, Trace};
 use mess_bench::{SweepSpec, TrafficConfig};
+use mess_core::curveset::{CurveSet, CurveSetProvenance};
 use mess_core::metrics::FamilyMetrics;
 use mess_core::{CurveFamily, MessSimulator, MessSimulatorConfig};
 use mess_cpu::{Engine, OpStream, RunReport, StopCondition};
@@ -246,104 +247,316 @@ pub fn trace_to_samples(
     samples
 }
 
-/// Profiles one workload on `platform`: record its memory trace against `model`, fold it
-/// into bandwidth windows, and place every window on the platform's reference curves.
+/// Profiles one workload on `platform`: record its memory trace against a model built by
+/// `factory`, fold it into bandwidth windows, and place every window on `curves` (the
+/// platform's reference family, a loaded `CurveSet` artifact, or a freshly characterized
+/// family — whatever the caller resolved).
 pub fn profile_workload(
     platform: &PlatformSpec,
     workload: &WorkloadSpec,
-    model: &ModelSpec,
+    factory: &ModelFactory,
+    curves: CurveFamily,
     window_us: f64,
     max_cycles: u64,
 ) -> Result<Timeline, MessError> {
     let cpu = platform.cpu_config();
     let streams = workload.streams(cpu.llc.capacity_bytes, cpu.cores)?;
-    let mut recorder = RecordingBackend::new(model.factory(platform).build()?);
+    let mut recorder = RecordingBackend::new(factory.build()?);
     let mut engine = Engine::from_boxed(cpu, streams);
     let _ = engine.run(&mut recorder, StopCondition::AllStreamsDone, max_cycles);
     let (_, trace) = recorder.into_parts();
 
     let samples = trace_to_samples(&trace, platform.frequency, window_us);
-    let profiler = Profiler::new(platform.reference_family());
+    let profiler = Profiler::new(curves);
     Ok(profiler.profile(&samples))
 }
 
 /// Runs the HPCG proxy on `platform`'s reference memory and returns the profiled timeline
-/// (the §VI study behind Figs. 15 and 16).
+/// (the §VI study behind Figs. 15 and 16), placed on the platform's reference curves.
 pub fn profile_hpcg(platform: &PlatformSpec, fidelity: Fidelity) -> Timeline {
     let rows = match fidelity {
         Fidelity::Quick => 120,
         Fidelity::Full => 2_000,
     };
+    let factory = ModelSpec::of(MemoryModelKind::DetailedDram)
+        .factory(platform)
+        .expect("the detailed DRAM model needs no curves");
     profile_workload(
         platform,
         &WorkloadSpec::hpcg(rows),
-        &ModelSpec::of(MemoryModelKind::DetailedDram),
+        &factory,
+        platform.reference_family(),
         2.0,
         60_000_000,
     )
     .expect("the HPCG profiling spec is always valid")
 }
 
-/// Builds `model`'s factory for `platform` and proves one instance constructs, so spec
-/// errors surface as `Err` before any parallel leg would `expect` on them.
-fn checked_factory(model: &ModelSpec, platform: &PlatformSpec) -> Result<ModelFactory, MessError> {
-    let factory = model.factory(platform);
+// ---------------------------------------------------------------------------
+// Curve-source resolution (the characterize → save → reuse loop)
+// ---------------------------------------------------------------------------
+
+/// Per-run knobs that are *not* part of the scenario spec: operator-level overrides the
+/// harness threads through from its CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioOptions {
+    /// When set, **every** curve-source resolution in the scenario yields this artifact's
+    /// family instead of its declared source (the harness `--curves <file>` override) —
+    /// the way to re-run a mess-sim or profiling scenario from a saved characterization
+    /// without editing the spec.
+    pub curves: Option<CurveSet>,
+}
+
+/// What a scenario run produces: the report plus every curve family it measured, wrapped
+/// as provenance-carrying [`CurveSet`] artifacts ready for `--curves-out` persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The experiment's tabular report.
+    pub report: ExperimentReport,
+    /// Curve artifacts in deterministic (spec) order: one per family the scenario
+    /// characterized — the measured family of a `CurveFamily`/`PlatformTable`/
+    /// `ModelComparison` leg, or the simulated family of a `MessCurves`/`CxlHosts` leg.
+    pub curve_sets: Vec<CurveSet>,
+}
+
+/// Resolves a curve source into a concrete family for `platform`.
+///
+/// This is the one place all five [`CurveSourceSpec`] variants resolve: the three
+/// in-process providers delegate to [`CurveSourceSpec::family`], `File` loads (and
+/// strictly validates) a saved [`CurveSet`], and `Characterized` runs the Mess benchmark
+/// against the named model on `platform` — which is what closes the paper's
+/// self-characterization loop entirely from spec data. An [`ScenarioOptions::curves`]
+/// override short-circuits everything.
+///
+/// # Errors
+///
+/// Propagates artifact-load and validation errors; the characterization itself cannot
+/// fail once its sweep validates.
+pub fn resolve_curves(
+    source: &CurveSourceSpec,
+    platform: &PlatformSpec,
+    options: &ScenarioOptions,
+) -> Result<CurveFamily, MessError> {
+    if let Some(set) = &options.curves {
+        return Ok(set.family().clone());
+    }
+    match source {
+        CurveSourceSpec::Characterized { model, sweep } => {
+            let factory = resolve_factory(model, platform, options)?;
+            let c = characterize_spec(
+                platform.name,
+                &platform.cpu_config(),
+                || factory.build().expect("factory construction checked above"),
+                sweep,
+                &ExecConfig::default(),
+            )?;
+            Ok(c.family)
+        }
+        other => other.family(platform),
+    }
+}
+
+/// Builds `model`'s factory for `platform`, resolving its curve source (including the
+/// `File` and `Characterized` variants) through [`resolve_curves`], and proves one
+/// instance constructs, so spec errors surface as `Err` before any parallel leg would
+/// `expect` on them.
+///
+/// # Errors
+///
+/// Propagates curve-resolution errors and the model's own construction errors.
+pub fn resolve_factory(
+    model: &ModelSpec,
+    platform: &PlatformSpec,
+    options: &ScenarioOptions,
+) -> Result<ModelFactory, MessError> {
+    let factory = if model.kind.needs_curves() {
+        ModelFactory::with_curves(
+            model.kind,
+            platform,
+            resolve_curves(&model.curves, platform, options)?,
+        )
+    } else {
+        ModelFactory::new(model.kind, platform)
+    };
     factory.build()?;
     Ok(factory)
+}
+
+/// A curve source prepared for use inside parallel legs: either resolved once up front
+/// (fallible and platform-independent variants) or re-resolved per platform (the
+/// infallible-by-then variants), so leg closures never have an error path.
+enum CurveInput<'a> {
+    /// Resolve for each leg's platform (validated before the legs run).
+    PerPlatform(&'a CurveSourceSpec, &'a ScenarioOptions),
+    /// One family shared by every leg.
+    Fixed(CurveFamily),
+}
+
+impl CurveInput<'_> {
+    fn for_platform(&self, platform: &PlatformSpec) -> CurveFamily {
+        match self {
+            CurveInput::Fixed(family) => family.clone(),
+            CurveInput::PerPlatform(source, options) => resolve_curves(source, platform, options)
+                .expect("curve sources are validated before the parallel legs"),
+        }
+    }
+}
+
+/// Prepares `source` for per-leg use: platform-independent variants resolve (and can
+/// fail) here, once; platform-dependent variants are pre-flighted so the per-leg
+/// resolution cannot fail.
+fn prepare_curve_input<'a>(
+    source: &'a CurveSourceSpec,
+    default_platform: &PlatformSpec,
+    options: &'a ScenarioOptions,
+) -> Result<CurveInput<'a>, MessError> {
+    if options.curves.is_some() {
+        return Ok(CurveInput::Fixed(resolve_curves(
+            source,
+            default_platform,
+            options,
+        )?));
+    }
+    match source {
+        CurveSourceSpec::PlatformReference => Ok(CurveInput::PerPlatform(source, options)),
+        CurveSourceSpec::Characterized { model, sweep } => {
+            sweep.validate()?;
+            resolve_factory(model, default_platform, options)?;
+            Ok(CurveInput::PerPlatform(source, options))
+        }
+        other => Ok(CurveInput::Fixed(other.family(default_platform)?)),
+    }
+}
+
+/// One-line human-readable summary of a sweep, for artifact provenance.
+fn sweep_summary(sweep: &SweepSpec) -> String {
+    let config = sweep.config();
+    format!(
+        "{:?} preset: {} mixes x {} pauses, {} chase loads, {} cycles/point",
+        sweep.preset,
+        config.store_mixes.len(),
+        config.pause_levels.len(),
+        config.chase_loads,
+        config.max_cycles_per_point
+    )
+}
+
+/// Wraps a measured family as a provenance-carrying artifact.
+///
+/// Returns `None` when the family cannot satisfy the artifact invariants (e.g. a
+/// degenerate sweep measured every point of a curve at one bandwidth, so the set would
+/// fail its own strict loader). Artifact collection is a side product — a run whose
+/// *report* succeeded must not fail, and must not change, because one measured family is
+/// not worth persisting; the family is still fully visible in the report itself.
+fn artifact(
+    scenario_id: &str,
+    platform: &PlatformSpec,
+    model_label: &str,
+    sweep: &SweepSpec,
+    family: CurveFamily,
+) -> Option<CurveSet> {
+    CurveSet::new(
+        family,
+        CurveSetProvenance::new(
+            platform.id.key(),
+            model_label,
+            sweep_summary(sweep),
+            scenario_id,
+        ),
+    )
+    .ok()
 }
 
 // ---------------------------------------------------------------------------
 // The scenario engine
 // ---------------------------------------------------------------------------
 
-/// Resolves and executes one scenario, returning its report.
+/// Resolves and executes one scenario, returning its report (artifacts discarded — see
+/// [`run_scenario_with`] to keep them).
 ///
 /// # Errors
 ///
 /// Returns the spec's validation error, or a model/workload resolution error, without
 /// running anything; the simulation itself cannot fail.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ExperimentReport, MessError> {
+    Ok(run_scenario_with(spec, &ScenarioOptions::default())?.report)
+}
+
+/// Resolves and executes one scenario with operator options, returning the report *and*
+/// every curve family the run measured as [`CurveSet`] artifacts.
+///
+/// # Errors
+///
+/// Returns the spec's validation error, a model/workload/curve resolution error (e.g. an
+/// unreadable `--curves` artifact), without running anything; the simulation itself
+/// cannot fail.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    options: &ScenarioOptions,
+) -> Result<ScenarioOutcome, MessError> {
     spec.validate()?;
+    let mut curve_sets = Vec::new();
+    let sets = &mut curve_sets;
     let mut report = match &spec.kind {
         ScenarioKind::CurveFamily {
             model,
             sweep,
             stream_llc_multiple,
             paper_reference,
-        } => run_curve_family(spec, model, sweep, *stream_llc_multiple, *paper_reference)?,
+        } => run_curve_family(
+            spec,
+            model,
+            sweep,
+            *stream_llc_multiple,
+            *paper_reference,
+            options,
+            sets,
+        )?,
         ScenarioKind::PlatformTable {
             platforms,
             model,
             sweep,
             stream_llc_multiple,
-        } => run_platform_table(spec, platforms, model, sweep, *stream_llc_multiple)?,
+        } => run_platform_table(
+            spec,
+            platforms,
+            model,
+            sweep,
+            *stream_llc_multiple,
+            options,
+            sets,
+        )?,
         ScenarioKind::ModelComparison { models, sweep } => {
-            run_model_comparison(spec, models, sweep)?
+            run_model_comparison(spec, models, sweep, options, sets)?
         }
         ScenarioKind::TraceReplay {
             models,
             trace_ops,
             trace_pause,
             speeds,
-        } => run_trace_replay(spec, models, *trace_ops, *trace_pause, speeds)?,
+        } => run_trace_replay(spec, models, *trace_ops, *trace_pause, speeds, options)?,
         ScenarioKind::RowBuffer {
             models,
             store_mixes,
             pauses,
             max_cycles,
-        } => run_row_buffer(spec, models, store_mixes, pauses, *max_cycles)?,
-        ScenarioKind::MessCurves { platforms, sweep } => run_mess_curves(spec, platforms, sweep)?,
+        } => run_row_buffer(spec, models, store_mixes, pauses, *max_cycles, options)?,
+        ScenarioKind::MessCurves {
+            platforms,
+            curves,
+            sweep,
+        } => run_mess_curves(spec, platforms, curves, sweep, options, sets)?,
         ScenarioKind::IpcError {
             models,
             workloads,
             max_cycles,
-        } => run_ipc_error(spec, models, workloads, *max_cycles)?,
+        } => run_ipc_error(spec, models, workloads, *max_cycles, options)?,
         ScenarioKind::CxlHosts {
             hosts,
             curves,
             device_peak_gbs,
             sweep,
-        } => run_cxl_hosts(spec, hosts, curves, *device_peak_gbs, sweep)?,
+        } => run_cxl_hosts(spec, hosts, curves, *device_peak_gbs, sweep, options, sets)?,
         ScenarioKind::CxlVsRemote {
             benchmarks,
             ops_per_core,
@@ -359,10 +572,12 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ExperimentReport, MessError> 
             expander,
             emulation,
             *device_peak_gbs,
+            options,
         )?,
         ScenarioKind::Profile {
             workload,
             model,
+            curves,
             window_us,
             phase_threshold,
             max_cycles,
@@ -370,20 +585,22 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ExperimentReport, MessError> 
             spec,
             workload,
             model,
+            curves,
             *window_us,
             *phase_threshold,
             *max_cycles,
+            options,
         )?,
         ScenarioKind::Run {
             workload,
             model,
             max_cycles,
-        } => run_single(spec, workload, model, *max_cycles)?,
+        } => run_single(spec, workload, model, *max_cycles, options)?,
     };
     for note in &spec.notes {
         report.note(note.clone());
     }
-    Ok(report)
+    Ok(ScenarioOutcome { report, curve_sets })
 }
 
 /// Runs a campaign through the `mess-exec` job runner: one job per scenario, executed
@@ -398,10 +615,32 @@ pub fn run_campaign(
     campaign: &CampaignSpec,
     progress: impl FnMut(mess_exec::JobEvent<'_>),
 ) -> Result<Vec<ExperimentReport>, MessError> {
+    Ok(
+        run_campaign_with(campaign, &ScenarioOptions::default(), progress)?
+            .into_iter()
+            .map(|outcome| outcome.report)
+            .collect(),
+    )
+}
+
+/// [`run_campaign`] with operator options: every scenario receives the same
+/// [`ScenarioOptions`], and each outcome keeps its curve artifacts.
+///
+/// # Errors
+///
+/// Returns the first validation error before anything runs, or the first scenario
+/// execution error after the batch drains.
+pub fn run_campaign_with(
+    campaign: &CampaignSpec,
+    options: &ScenarioOptions,
+    progress: impl FnMut(mess_exec::JobEvent<'_>),
+) -> Result<Vec<ScenarioOutcome>, MessError> {
     campaign.validate()?;
     let mut graph = mess_exec::JobGraph::new();
     for scenario in &campaign.scenarios {
-        graph.add_job(scenario.id.clone(), &[], move || run_scenario(scenario));
+        graph.add_job(scenario.id.clone(), &[], move || {
+            run_scenario_with(scenario, options)
+        });
     }
     let results = graph
         .run(&ExecConfig::default(), progress)
@@ -419,9 +658,11 @@ fn run_curve_family(
     sweep: &SweepSpec,
     stream_llc_multiple: Option<u64>,
     paper_reference: bool,
+    options: &ScenarioOptions,
+    sets: &mut Vec<CurveSet>,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
-    let factory = checked_factory(model, &platform)?;
+    let factory = resolve_factory(model, &platform, options)?;
     let c = characterize_spec(
         platform.name,
         &platform.cpu_config(),
@@ -430,6 +671,13 @@ fn run_curve_family(
         &ExecConfig::default(),
     )?;
     let metrics = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+    sets.extend(artifact(
+        &spec.id,
+        &platform,
+        model.kind.label(),
+        sweep,
+        c.family.clone(),
+    ));
 
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -472,7 +720,17 @@ fn run_platform_table(
     model: &ModelSpec,
     sweep: &SweepSpec,
     stream_llc_multiple: u64,
+    options: &ScenarioOptions,
+    sets: &mut Vec<CurveSet>,
 ) -> Result<ExperimentReport, MessError> {
+    // Resolve one factory per platform leg up front (sequentially): File/Characterized
+    // curve sources fail here with an Err instead of panicking a worker leg, nothing is
+    // resolved twice, and the legs receive ready factories. Characterized sources
+    // characterize once per platform here — the same work the legs would otherwise do.
+    let factories: Vec<ModelFactory> = platforms
+        .iter()
+        .map(|leg| resolve_factory(model, &leg.resolve(), options))
+        .collect::<Result<_, _>>()?;
     let mut report = ExperimentReport::new(
         &spec.id,
         &spec.title,
@@ -494,62 +752,81 @@ fn run_platform_table(
     // pool workers the legs run sequentially and the parallelism moves into each leg's
     // sweep instead (for_fanout) — nested calls on a pool worker never fan out, so the two
     // schedules produce identical rows.
-    let legs = platforms.to_vec();
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, leg| {
-        let platform = leg.resolve();
-        let theoretical = platform.theoretical_bandwidth();
-        let factory = model.factory(&platform);
-        let c = characterize_spec(
-            platform.name,
-            &platform.cpu_config(),
-            || factory.build().expect("model construction is valid here"),
-            sweep,
-            &ExecConfig::default(),
-        )
-        .expect("sweep specs are validated before execution");
-        let m = FamilyMetrics::compute(&c.family, theoretical);
-        let streams = stream_bandwidths(&platform, stream_llc_multiple, &ExecConfig::default());
-        let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
-        let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-        let r = platform.reference;
-        vec![
-            leg.id.key().to_string(),
-            format!("{:.0}", theoretical.as_gbs()),
-            format!("{:.0}", m.unloaded_latency.as_ns()),
-            r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+    let legs: Vec<(PlatformRef, &ModelFactory)> =
+        platforms.iter().copied().zip(factories.iter()).collect();
+    let results: Vec<(Vec<String>, CurveFamily)> = mess_exec::par_map_with(
+        &ExecConfig::for_fanout(legs.len()),
+        legs,
+        |_, (leg, factory)| {
+            let platform = leg.resolve();
+            let theoretical = platform.theoretical_bandwidth();
+            let c = characterize_spec(
+                platform.name,
+                &platform.cpu_config(),
+                || factory.build().expect("model construction is valid here"),
+                sweep,
+                &ExecConfig::default(),
+            )
+            .expect("sweep specs are validated before execution");
+            let m = FamilyMetrics::compute(&c.family, theoretical);
+            let streams = stream_bandwidths(&platform, stream_llc_multiple, &ExecConfig::default());
+            let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
+            let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+            let r = platform.reference;
+            let row = vec![
+                leg.id.key().to_string(),
+                format!("{:.0}", theoretical.as_gbs()),
+                format!("{:.0}", m.unloaded_latency.as_ns()),
+                r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+                    .unwrap_or_default(),
+                format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
+                format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+                r.map(|r| {
+                    format!(
+                        "{:.0}-{:.0}",
+                        r.saturated_bw_low_pct, r.saturated_bw_high_pct
+                    )
+                })
                 .unwrap_or_default(),
-            format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
-            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-            r.map(|r| {
                 format!(
                     "{:.0}-{:.0}",
-                    r.saturated_bw_low_pct, r.saturated_bw_high_pct
-                )
-            })
-            .unwrap_or_default(),
-            format!(
-                "{:.0}-{:.0}",
-                m.max_latency_range.low.as_ns(),
-                m.max_latency_range.high.as_ns()
-            ),
-            r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
-                .unwrap_or_default(),
-            format!(
-                "{:.0}-{:.0}",
-                stream_low / theoretical.as_gbs() * 100.0,
-                stream_high / theoretical.as_gbs() * 100.0
-            ),
-            r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
-                .unwrap_or_default(),
-        ]
-    });
-    report.push_rows(rows);
+                    m.max_latency_range.low.as_ns(),
+                    m.max_latency_range.high.as_ns()
+                ),
+                r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
+                    .unwrap_or_default(),
+                format!(
+                    "{:.0}-{:.0}",
+                    stream_low / theoretical.as_gbs() * 100.0,
+                    stream_high / theoretical.as_gbs() * 100.0
+                ),
+                r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
+                    .unwrap_or_default(),
+            ];
+            (row, c.family)
+        },
+    );
+    for (leg, (row, family)) in platforms.iter().zip(results) {
+        report.push_row(row);
+        sets.extend(artifact(
+            &spec.id,
+            &leg.resolve(),
+            model.kind.label(),
+            sweep,
+            family,
+        ));
+    }
     Ok(report)
 }
 
-/// Characterizes one memory model for `platform` and returns its summary row. The shared
-/// factory builds a private model instance *inside* every sweep-point worker.
-fn model_row(platform: &PlatformSpec, factory: &ModelFactory, sweep: &SweepSpec) -> Vec<String> {
+/// Characterizes one memory model for `platform` and returns its summary row plus the
+/// measured family. The shared factory builds a private model instance *inside* every
+/// sweep-point worker.
+fn model_row(
+    platform: &PlatformSpec,
+    factory: &ModelFactory,
+    sweep: &SweepSpec,
+) -> (Vec<String>, CurveFamily) {
     let c = characterize_spec(
         factory.kind().label(),
         &platform.cpu_config(),
@@ -561,24 +838,27 @@ fn model_row(platform: &PlatformSpec, factory: &ModelFactory, sweep: &SweepSpec)
     )
     .expect("sweep configuration is valid");
     let m = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-    vec![
+    let row = vec![
         factory.kind().label().to_string(),
         format!("{:.0}", m.unloaded_latency.as_ns()),
         format!("{:.0}", m.max_latency_range.high.as_ns()),
         format!("{:.0}", m.saturated_bandwidth_range.high.as_gbs()),
         format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-    ]
+    ];
+    (row, c.family)
 }
 
 fn run_model_comparison(
     spec: &ScenarioSpec,
     models: &[ModelSpec],
     sweep: &SweepSpec,
+    options: &ScenarioOptions,
+    sets: &mut Vec<CurveSet>,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
         .iter()
-        .map(|model| checked_factory(model, &platform))
+        .map(|model| resolve_factory(model, &platform, options))
         .collect::<Result<_, _>>()?;
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -595,10 +875,19 @@ fn run_model_comparison(
     // is preserved. With fewer models than pool workers the legs run sequentially and each
     // leg's characterization sweep takes the pool instead (for_fanout).
     let legs: Vec<usize> = (0..factories.len()).collect();
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, i| {
+    let results = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, i| {
         model_row(&platform, &factories[i], sweep)
     });
-    report.push_rows(rows);
+    for (factory, (row, family)) in factories.iter().zip(results) {
+        report.push_row(row);
+        sets.extend(artifact(
+            &spec.id,
+            &platform,
+            factory.kind().label(),
+            sweep,
+            family,
+        ));
+    }
     report.note(format!(
         "reference platform: {} ({:.0} GB/s theoretical); the detailed-dram row plays the role \
          of the actual hardware",
@@ -614,11 +903,12 @@ fn run_trace_replay(
     trace_ops: u64,
     trace_pause: u32,
     speeds: &[f64],
+    options: &ScenarioOptions,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
         .iter()
-        .map(|model| checked_factory(model, &platform))
+        .map(|model| resolve_factory(model, &platform, options))
         .collect::<Result<_, _>>()?;
     let trace = capture_trace(&platform, trace_pause, trace_ops);
     let mut report = ExperimentReport::new(
@@ -681,11 +971,12 @@ fn run_row_buffer(
     store_mixes: &[f64],
     pauses: &[u32],
     max_cycles: u64,
+    options: &ScenarioOptions,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
         .iter()
-        .map(|model| checked_factory(model, &platform))
+        .map(|model| resolve_factory(model, &platform, options))
         .collect::<Result<_, _>>()?;
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -735,8 +1026,16 @@ fn run_row_buffer(
 fn run_mess_curves(
     spec: &ScenarioSpec,
     platforms: &[PlatformRef],
+    curves: &CurveSourceSpec,
     sweep: &SweepSpec,
+    options: &ScenarioOptions,
+    sets: &mut Vec<CurveSet>,
 ) -> Result<ExperimentReport, MessError> {
+    // The simulator's input curves: resolved once here for file/manufacturer sources (so
+    // errors surface as Err), per platform inside the legs for the platform-dependent
+    // sources (the reference family, or a fresh characterization of the leg's own
+    // backend — the paper's self-characterization loop).
+    let input_source = prepare_curve_input(curves, &spec.platform.resolve(), options)?;
     let mut report = ExperimentReport::new(
         &spec.id,
         &spec.title,
@@ -750,42 +1049,51 @@ fn run_mess_curves(
         ],
     );
     // One leg per platform; each leg characterizes its own private Mess simulator, built
-    // inside the worker from the platform's reference curves. With fewer platforms than
-    // pool workers the legs run sequentially and each sweep takes the pool (for_fanout).
+    // inside the worker from the resolved input curves. With fewer platforms than pool
+    // workers the legs run sequentially and each sweep takes the pool (for_fanout).
     let legs = platforms.to_vec();
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, leg| {
-        let platform = leg.resolve();
-        let input = platform.reference_family();
-        let factory = ModelSpec::of(MemoryModelKind::Mess).factory(&platform);
-        let c = characterize_spec(
-            "mess",
-            &platform.cpu_config(),
-            || factory.build().expect("reference families are valid"),
-            sweep,
-            // Inline under a parallel platform fan-out; parallel across sweep points when
-            // there is only one platform leg.
-            &ExecConfig::default(),
-        )
-        .expect("sweep configuration is valid");
-        let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-        let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
-        let bw_err = ipc_error_percent(
-            simulated.saturated_bandwidth_range.high.as_gbs(),
-            input_metrics.saturated_bandwidth_range.high.as_gbs(),
-        );
-        vec![
-            leg.id.key().to_string(),
-            format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
-            format!("{:.0}", simulated.unloaded_latency.as_ns()),
-            format!(
-                "{:.0}",
-                input_metrics.saturated_bandwidth_range.high.as_gbs()
-            ),
-            format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
-            format!("{bw_err:.1}"),
-        ]
-    });
-    report.push_rows(rows);
+    let results: Vec<(Vec<String>, CurveFamily)> = mess_exec::par_map_with(
+        &ExecConfig::for_fanout(legs.len()),
+        legs.clone(),
+        |_, leg| {
+            let platform = leg.resolve();
+            let input = input_source.for_platform(&platform);
+            let factory =
+                ModelFactory::with_curves(MemoryModelKind::Mess, &platform, input.clone());
+            let c = characterize_spec(
+                "mess",
+                &platform.cpu_config(),
+                || factory.build().expect("resolved curve families are valid"),
+                sweep,
+                // Inline under a parallel platform fan-out; parallel across sweep points
+                // when there is only one platform leg.
+                &ExecConfig::default(),
+            )
+            .expect("sweep configuration is valid");
+            let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+            let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
+            let bw_err = ipc_error_percent(
+                simulated.saturated_bandwidth_range.high.as_gbs(),
+                input_metrics.saturated_bandwidth_range.high.as_gbs(),
+            );
+            let row = vec![
+                leg.id.key().to_string(),
+                format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
+                format!("{:.0}", simulated.unloaded_latency.as_ns()),
+                format!(
+                    "{:.0}",
+                    input_metrics.saturated_bandwidth_range.high.as_gbs()
+                ),
+                format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
+                format!("{bw_err:.1}"),
+            ];
+            (row, c.family)
+        },
+    );
+    for (leg, (row, family)) in legs.iter().zip(results) {
+        report.push_row(row);
+        sets.extend(artifact(&spec.id, &leg.resolve(), "mess", sweep, family));
+    }
     Ok(report)
 }
 
@@ -794,11 +1102,12 @@ fn run_ipc_error(
     models: &[ModelSpec],
     workloads: &[WorkloadSpec],
     max_cycles: u64,
+    options: &ScenarioOptions,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
         .iter()
-        .map(|model| checked_factory(model, &platform))
+        .map(|model| resolve_factory(model, &platform, options))
         .collect::<Result<_, _>>()?;
 
     let mut headers: Vec<String> = vec!["memory_model".to_string()];
@@ -857,8 +1166,11 @@ fn run_cxl_hosts(
     curves: &CurveSourceSpec,
     device_peak_gbs: f64,
     sweep: &SweepSpec,
+    options: &ScenarioOptions,
+    sets: &mut Vec<CurveSet>,
 ) -> Result<ExperimentReport, MessError> {
-    let manufacturer = curves.family(&spec.platform.resolve());
+    let device_source = prepare_curve_input(curves, &spec.platform.resolve(), options)?;
+    let manufacturer = device_source.for_platform(&spec.platform.resolve());
     let reference = FamilyMetrics::compute(&manufacturer, Bandwidth::from_gbs(device_peak_gbs));
 
     let mut report = ExperimentReport::new(
@@ -884,28 +1196,40 @@ fn run_cxl_hosts(
     // simulator. With fewer hosts than pool workers the legs run sequentially and each
     // sweep takes the pool instead (for_fanout).
     let legs = hosts.to_vec();
-    let rows = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, leg| {
-        let platform = leg.resolve();
-        let factory = ModelSpec::with_curves(MemoryModelKind::Mess, *curves).factory(&platform);
-        let c = characterize_spec(
-            "cxl",
-            &platform.cpu_config(),
-            || factory.build().expect("manufacturer curves are valid"),
-            sweep,
-            // Inline under the parallel host fan-out; parallel across sweep points if the
-            // host list ever degenerates to one entry.
-            &ExecConfig::default(),
-        )
-        .expect("sweep configuration is valid");
-        let m = FamilyMetrics::compute(&c.family, Bandwidth::from_gbs(device_peak_gbs));
-        vec![
-            leg.id.key().to_string(),
-            format!("{:.0}", m.unloaded_latency.as_ns()),
-            format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
-            format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-        ]
-    });
-    report.push_rows(rows);
+    let results: Vec<(Vec<String>, CurveFamily)> = mess_exec::par_map_with(
+        &ExecConfig::for_fanout(legs.len()),
+        legs.clone(),
+        |_, leg| {
+            let platform = leg.resolve();
+            let factory = ModelFactory::with_curves(
+                MemoryModelKind::Mess,
+                &platform,
+                device_source.for_platform(&platform),
+            );
+            let c = characterize_spec(
+                "cxl",
+                &platform.cpu_config(),
+                || factory.build().expect("manufacturer curves are valid"),
+                sweep,
+                // Inline under the parallel host fan-out; parallel across sweep points if
+                // the host list ever degenerates to one entry.
+                &ExecConfig::default(),
+            )
+            .expect("sweep configuration is valid");
+            let m = FamilyMetrics::compute(&c.family, Bandwidth::from_gbs(device_peak_gbs));
+            let row = vec![
+                leg.id.key().to_string(),
+                format!("{:.0}", m.unloaded_latency.as_ns()),
+                format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
+                format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+            ];
+            (row, c.family)
+        },
+    );
+    for (leg, (row, family)) in legs.iter().zip(results) {
+        report.push_row(row);
+        sets.extend(artifact(&spec.id, &leg.resolve(), "mess", sweep, family));
+    }
     Ok(report)
 }
 
@@ -938,6 +1262,7 @@ fn run_cxl_vs_remote(
     expander: &CurveSourceSpec,
     emulation: &CurveSourceSpec,
     device_peak_gbs: f64,
+    options: &ScenarioOptions,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let suite: Vec<mess_workloads::SpecWorkload> = benchmarks
@@ -948,8 +1273,8 @@ fn run_cxl_vs_remote(
             })
         })
         .collect::<Result<_, _>>()?;
-    let cxl_curves = expander.family(&platform);
-    let remote_curves = emulation.family(&platform);
+    let cxl_curves = resolve_curves(expander, &platform, options)?;
+    let remote_curves = resolve_curves(emulation, &platform, options)?;
 
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -1001,16 +1326,21 @@ fn run_cxl_vs_remote(
     Ok(report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_profile(
     spec: &ScenarioSpec,
     workload: &WorkloadSpec,
     model: &ModelSpec,
+    curves: &CurveSourceSpec,
     window_us: f64,
     phase_threshold: f64,
     max_cycles: u64,
+    options: &ScenarioOptions,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
-    let timeline = profile_workload(&platform, workload, model, window_us, max_cycles)?;
+    let factory = resolve_factory(model, &platform, options)?;
+    let family = resolve_curves(curves, &platform, options)?;
+    let timeline = profile_workload(&platform, workload, &factory, family, window_us, max_cycles)?;
 
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -1050,11 +1380,12 @@ fn run_single(
     workload: &WorkloadSpec,
     model: &ModelSpec,
     max_cycles: u64,
+    options: &ScenarioOptions,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let cpu = platform.cpu_config();
     let streams = workload.streams(cpu.llc.capacity_bytes, cpu.cores)?;
-    let mut backend = model.factory(&platform).build()?;
+    let mut backend = resolve_factory(model, &platform, options)?.build()?;
     let run = run_streams(&platform, streams, backend.as_mut(), max_cycles);
 
     let mut report = ExperimentReport::new(
@@ -1195,6 +1526,84 @@ mod tests {
         assert_eq!(reports[1].id, "second");
         finished.sort();
         assert_eq!(finished, vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn characterization_scenarios_emit_curve_artifacts() {
+        let spec = ScenarioSpec {
+            id: "artifact-demo".into(),
+            title: "artifacts".into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::ModelComparison {
+                models: vec![
+                    ModelSpec::of(MemoryModelKind::FixedLatency),
+                    ModelSpec::of(MemoryModelKind::Md1Queue),
+                ],
+                sweep: SweepSpec::preset(SweepPreset::Reduced),
+            },
+            notes: vec![],
+        };
+        let outcome = run_scenario_with(&spec, &ScenarioOptions::default()).unwrap();
+        assert_eq!(outcome.curve_sets.len(), 2, "one artifact per model");
+        let labels: Vec<&str> = outcome
+            .curve_sets
+            .iter()
+            .map(|s| s.provenance().model.as_str())
+            .collect();
+        assert_eq!(labels, vec!["fixed-latency", "md1-queue"]);
+        for set in &outcome.curve_sets {
+            assert_eq!(set.provenance().platform, "skylake");
+            assert_eq!(set.provenance().scenario, "artifact-demo");
+            assert!(set.provenance().sweep.contains("Reduced"), "sweep summary");
+            // Artifacts survive a JSON round trip byte-identically.
+            let json = set.to_json();
+            assert_eq!(CurveSet::from_json(&json).unwrap().to_json(), json);
+        }
+        // The plain `run_scenario` path returns the identical report.
+        assert_eq!(run_scenario(&spec).unwrap(), outcome.report);
+    }
+
+    #[test]
+    fn characterized_curve_sources_resolve_through_the_engine() {
+        // The self-characterization loop in miniature: the Mess simulator fed the measured
+        // curves of the M/D/1 model, resolved entirely from spec data.
+        let platform = PlatformRef::quick(PlatformId::IntelSkylake).resolve();
+        let options = ScenarioOptions::default();
+        let source = CurveSourceSpec::Characterized {
+            model: Box::new(ModelSpec::of(MemoryModelKind::Md1Queue)),
+            sweep: SweepSpec::preset(SweepPreset::Reduced),
+        };
+        let family = resolve_curves(&source, &platform, &options).unwrap();
+        assert!(family.len() >= 2, "one curve per store mix");
+        // Resolution is deterministic: a second run yields the bit-identical family.
+        let again = resolve_curves(&source, &platform, &options).unwrap();
+        assert_eq!(again, family);
+        // And the resolved family drives a working Mess model through resolve_factory.
+        let model = ModelSpec::with_curves(MemoryModelKind::Mess, source);
+        let factory = resolve_factory(&model, &platform, &options).unwrap();
+        assert_eq!(factory.kind(), MemoryModelKind::Mess);
+    }
+
+    #[test]
+    fn the_curves_override_hijacks_every_source() {
+        use mess_core::CurveSetProvenance;
+        let platform = PlatformRef::quick(PlatformId::IntelSkylake).resolve();
+        let override_family = PlatformRef::quick(PlatformId::FujitsuA64fx)
+            .resolve()
+            .reference_family();
+        let options = ScenarioOptions {
+            curves: Some(
+                CurveSet::new(
+                    override_family.clone(),
+                    CurveSetProvenance::new("a64fx", "reference", "synthetic", "test"),
+                )
+                .unwrap(),
+            ),
+        };
+        let resolved =
+            resolve_curves(&CurveSourceSpec::PlatformReference, &platform, &options).unwrap();
+        assert_eq!(resolved, override_family);
+        assert_ne!(resolved, platform.reference_family());
     }
 
     #[test]

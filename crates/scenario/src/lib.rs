@@ -29,11 +29,16 @@ pub mod report;
 pub mod spec;
 
 pub use builtin::{builtin, builtin_spec, run_builtin, BuiltinScenario, BUILTINS};
-pub use engine::{run_campaign, run_scenario, ValidationWorkload};
+pub use engine::{
+    resolve_curves, resolve_factory, run_campaign, run_campaign_with, run_scenario,
+    run_scenario_with, ScenarioOptions, ScenarioOutcome, ValidationWorkload,
+};
 pub use report::{CampaignSummary, ExperimentReport, ExperimentSummary, Fidelity};
 pub use spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
 
-// One-stop re-exports of the lower-layer spec vocabulary.
+// One-stop re-exports of the lower-layer spec vocabulary (and the curve artifact the
+// engine produces and consumes).
 pub use mess_bench::{SweepPreset, SweepSpec};
+pub use mess_core::{CurveSet, CurveSetProvenance};
 pub use mess_platforms::{CurveSourceSpec, ModelSpec, PlatformRef};
 pub use mess_workloads::spec::WorkloadSpec;

@@ -82,11 +82,16 @@ pub enum ScenarioKind {
         max_cycles: u64,
     },
     /// Characterize the Mess analytical simulator on several platforms and compare the
-    /// measured curves with the reference curves it was fed (paper Figs. 10 and 12).
+    /// measured curves with the curves it was fed (paper Figs. 10 and 12).
     MessCurves {
         /// The host platforms to simulate.
         platforms: Vec<PlatformRef>,
-        /// The characterization sweep.
+        /// Where the simulator's input curves come from: the platform's reference family
+        /// (the builtin figures), a saved `CurveSet` artifact (`File`), or a fresh
+        /// characterization of any backend (`Characterized` — the paper's
+        /// self-characterization loop).
+        curves: CurveSourceSpec,
+        /// The characterization sweep measuring the simulator.
         sweep: SweepSpec,
     },
     /// Run several workloads on several memory models and report each model's IPC error
@@ -128,12 +133,16 @@ pub enum ScenarioKind {
         device_peak_gbs: f64,
     },
     /// Profile one workload's memory-stress timeline on the scenario platform (paper
-    /// Figs. 15-16).
+    /// Figs. 15-16): the workload's bandwidth trajectory is placed on a bandwidth–latency
+    /// family — the platform's reference curves, a loaded `CurveSet` artifact, or a
+    /// freshly characterized backend.
     Profile {
         /// The workload to profile.
         workload: WorkloadSpec,
         /// The memory model the workload runs against (and whose trace is profiled).
         model: ModelSpec,
+        /// The family the profiler positions the trajectory on.
+        curves: CurveSourceSpec,
         /// Width of the bandwidth-sampling windows in microseconds.
         window_us: f64,
         /// Stress-score threshold for the phase segmentation notes.
@@ -217,24 +226,38 @@ impl ScenarioSpec {
                 Ok(())
             }
         };
-        let curve_source = |curves: &CurveSourceSpec| match curves {
-            CurveSourceSpec::CxlManufacturer { host_link_ns }
-                if !host_link_ns.is_finite() || *host_link_ns < 0.0 =>
-            {
-                invalid("host_link_ns must be a non-negative latency".into())
-            }
-            _ => Ok(()),
+        // Curve sources and the models that embed them validate recursively
+        // (`CurveSourceSpec::validate` follows `File` paths' presence and `Characterized`
+        // nesting without touching the filesystem); wrap their errors in scenario context.
+        let curve_source = |curves: &CurveSourceSpec| {
+            curves
+                .validate()
+                .map_err(|e| MessError::InvalidConfig(format!("scenario `{}`: {e}", self.id)))
+        };
+        let model_specs = |models: &[ModelSpec]| {
+            models
+                .iter()
+                .try_for_each(|m| m.validate())
+                .map_err(|e| MessError::InvalidConfig(format!("scenario `{}`: {e}", self.id)))
         };
         match &self.kind {
-            ScenarioKind::CurveFamily { sweep, .. } => sweep.validate(),
+            ScenarioKind::CurveFamily { model, sweep, .. } => {
+                model_specs(std::slice::from_ref(model))?;
+                sweep.validate()
+            }
             ScenarioKind::PlatformTable {
-                platforms, sweep, ..
+                platforms,
+                model,
+                sweep,
+                ..
             } => {
                 nonempty("platforms", platforms.len())?;
+                model_specs(std::slice::from_ref(model))?;
                 sweep.validate()
             }
             ScenarioKind::ModelComparison { models, sweep } => {
                 nonempty("models", models.len())?;
+                model_specs(models)?;
                 sweep.validate()
             }
             ScenarioKind::TraceReplay {
@@ -248,6 +271,7 @@ impl ScenarioSpec {
                 if speeds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
                     return invalid("replay speeds must be positive".into());
                 }
+                model_specs(models)?;
                 cycles("trace_ops", *trace_ops)
             }
             ScenarioKind::RowBuffer {
@@ -259,10 +283,16 @@ impl ScenarioSpec {
                 nonempty("models", models.len())?;
                 nonempty("store_mixes", store_mixes.len())?;
                 nonempty("pauses", pauses.len())?;
+                model_specs(models)?;
                 cycles("max_cycles", *max_cycles)
             }
-            ScenarioKind::MessCurves { platforms, sweep } => {
+            ScenarioKind::MessCurves {
+                platforms,
+                curves,
+                sweep,
+            } => {
                 nonempty("platforms", platforms.len())?;
+                curve_source(curves)?;
                 sweep.validate()
             }
             ScenarioKind::IpcError {
@@ -272,6 +302,7 @@ impl ScenarioSpec {
             } => {
                 nonempty("models", models.len())?;
                 nonempty("workloads", workloads.len())?;
+                model_specs(models)?;
                 cycles("max_cycles", *max_cycles)?;
                 workloads.iter().try_for_each(|w| w.validate())
             }
@@ -306,6 +337,8 @@ impl ScenarioSpec {
             }
             ScenarioKind::Profile {
                 workload,
+                model,
+                curves,
                 window_us,
                 max_cycles,
                 ..
@@ -313,14 +346,17 @@ impl ScenarioSpec {
                 if !window_us.is_finite() || *window_us <= 0.0 {
                     return invalid("window_us must be positive".into());
                 }
+                model_specs(std::slice::from_ref(model))?;
+                curve_source(curves)?;
                 cycles("max_cycles", *max_cycles)?;
                 workload.validate()
             }
             ScenarioKind::Run {
                 workload,
+                model,
                 max_cycles,
-                ..
             } => {
+                model_specs(std::slice::from_ref(model))?;
                 cycles("max_cycles", *max_cycles)?;
                 workload.validate()
             }
@@ -488,6 +524,39 @@ mod tests {
     }
 
     #[test]
+    fn curve_sources_are_validated_recursively() {
+        // An empty artifact path is caught at validation time, before any run...
+        let mut spec = run_spec("bad-curves");
+        spec.kind = ScenarioKind::MessCurves {
+            platforms: vec![PlatformRef::quick(PlatformId::IntelSkylake)],
+            curves: CurveSourceSpec::File {
+                path: String::new(),
+            },
+            sweep: SweepSpec::preset(SweepPreset::Reduced),
+        };
+        assert!(spec.validate().is_err());
+        // ...including one buried two levels deep in a Characterized model spec.
+        spec.kind = ScenarioKind::Run {
+            workload: WorkloadSpec::gups(10),
+            model: ModelSpec::with_curves(
+                MemoryModelKind::Mess,
+                CurveSourceSpec::Characterized {
+                    model: Box::new(ModelSpec::with_curves(
+                        MemoryModelKind::Mess,
+                        CurveSourceSpec::File {
+                            path: String::new(),
+                        },
+                    )),
+                    sweep: SweepSpec::preset(SweepPreset::Reduced),
+                },
+            ),
+            max_cycles: 1_000,
+        };
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("bad-curves"), "{err}");
+    }
+
+    #[test]
     fn ids_must_be_file_name_safe() {
         // `--out` writes `<id>.csv`, so a path separator would escape the output dir.
         let mut spec = run_spec("ok");
@@ -572,6 +641,23 @@ mod tests {
             },
             ScenarioKind::MessCurves {
                 platforms: vec![platform],
+                curves: CurveSourceSpec::PlatformReference,
+                sweep: sweep.clone(),
+            },
+            // The closed-loop sources: a saved artifact and an inline characterization.
+            ScenarioKind::MessCurves {
+                platforms: vec![platform],
+                curves: CurveSourceSpec::File {
+                    path: "curves/skylake.json".into(),
+                },
+                sweep: sweep.clone(),
+            },
+            ScenarioKind::MessCurves {
+                platforms: vec![platform],
+                curves: CurveSourceSpec::Characterized {
+                    model: Box::new(ModelSpec::of(MemoryModelKind::DetailedDram)),
+                    sweep: sweep.clone(),
+                },
                 sweep: sweep.clone(),
             },
             ScenarioKind::IpcError {
@@ -600,6 +686,17 @@ mod tests {
             ScenarioKind::Profile {
                 workload: WorkloadSpec::hpcg(50),
                 model: ModelSpec::of(MemoryModelKind::DetailedDram),
+                curves: CurveSourceSpec::PlatformReference,
+                window_us: 2.0,
+                phase_threshold: 0.5,
+                max_cycles: 1_000_000,
+            },
+            ScenarioKind::Profile {
+                workload: WorkloadSpec::hpcg(50),
+                model: ModelSpec::of(MemoryModelKind::DetailedDram),
+                curves: CurveSourceSpec::File {
+                    path: "curves/skylake.json".into(),
+                },
                 window_us: 2.0,
                 phase_threshold: 0.5,
                 max_cycles: 1_000_000,
