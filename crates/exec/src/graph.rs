@@ -9,6 +9,7 @@
 //! order, and results are returned in insertion order. Only the interleaving of progress
 //! events depends on timing, which is inherent to reporting on concurrent work.
 
+use crate::cancel::CancelToken;
 use crate::pool::ExecConfig;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -162,8 +163,36 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
     pub fn run(
         self,
         config: &ExecConfig,
-        mut progress: impl FnMut(JobEvent<'_>),
+        progress: impl FnMut(JobEvent<'_>),
     ) -> Result<Vec<R>, GraphError> {
+        let slots = self.run_with_cancel(config, &CancelToken::new(), progress)?;
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("uncancelled acyclic graphs complete every job"))
+            .collect())
+    }
+
+    /// [`JobGraph::run`] with a cooperative cancellation token: once `cancel` fires, no
+    /// further ready job is dispatched (jobs already executing run to completion, so no
+    /// partial results are ever observed). Returns one slot per job in insertion order —
+    /// `None` for jobs that never ran because of the cancellation (or because a
+    /// dependency panicked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DependencyCycle`] when dependencies can never resolve,
+    /// detected before anything runs.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is resumed on the caller's thread after the already
+    /// dispatched jobs have drained, exactly as in [`JobGraph::run`].
+    pub fn run_with_cancel(
+        self,
+        config: &ExecConfig,
+        cancel: &CancelToken,
+        mut progress: impl FnMut(JobEvent<'_>),
+    ) -> Result<Vec<Option<R>>, GraphError> {
         let (mut waiting, unblocks, mut ready) = self.plan()?;
         let total = self.jobs.len();
         if total == 0 {
@@ -191,6 +220,9 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
             // ready jobs still run; only the panicking job's dependents never become ready.
             let mut completed = 0usize;
             while let Some(index) = ready.pop_front() {
+                if cancel.is_cancelled() {
+                    break;
+                }
                 let job = work[index].take().expect("jobs are dispatched once");
                 progress(JobEvent::Started {
                     id: JobId(index),
@@ -222,10 +254,7 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
             if let Some((_, payload)) = first_panic {
                 resume_unwind(payload);
             }
-            return Ok(slots
-                .into_iter()
-                .map(|slot| slot.expect("acyclic graphs complete every job"))
-                .collect());
+            return Ok(slots);
         }
 
         // Jobs flow to workers over one channel, pickup/completion messages flow back over
@@ -260,8 +289,12 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
             let mut completed = 0usize;
             loop {
                 // Enqueue everything ready, in insertion order; `Started` is emitted when a
-                // worker actually picks a job up, not here at enqueue time.
-                while let Some(index) = ready.pop_front() {
+                // worker actually picks a job up, not here at enqueue time. A fired cancel
+                // token stops dispatch — in-flight jobs drain, the rest stay `None`.
+                while !cancel.is_cancelled() {
+                    let Some(index) = ready.pop_front() else {
+                        break;
+                    };
                     let work = work[index].take().expect("jobs are dispatched once");
                     job_tx
                         .send((index, work))
@@ -310,10 +343,7 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
         if let Some((_, payload)) = first_panic {
             resume_unwind(payload);
         }
-        Ok(slots
-            .into_iter()
-            .map(|slot| slot.expect("acyclic graphs complete every job"))
-            .collect())
+        Ok(slots)
     }
 
     /// Builds the scheduling state — per-job outstanding-dependency counts, the reverse
@@ -515,6 +545,53 @@ mod tests {
                 graph.run(&ExecConfig::with_threads(8), |_| {}).unwrap()
             });
         assert_eq!(out, vec![vec![0, 1], vec![10, 11]]);
+    }
+
+    #[test]
+    fn pre_cancelled_graphs_dispatch_nothing() {
+        let ran = AtomicUsize::new(0);
+        let mut graph = JobGraph::new();
+        for i in 0..4 {
+            graph.add_job(format!("j{i}"), &[], || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let slots = graph
+            .run_with_cancel(&ExecConfig::with_threads(2), &token, |_| {})
+            .unwrap();
+        assert_eq!(slots.len(), 4);
+        assert!(slots.iter().all(Option::is_none));
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancel_mid_run_skips_undispatched_jobs() {
+        // Sequential config: the first job fires the token, so the second never runs.
+        let token = CancelToken::new();
+        let fire = token.clone();
+        let mut graph = JobGraph::new();
+        graph.add_job("first", &[], move || {
+            fire.cancel();
+            1u32
+        });
+        graph.add_job("second", &[], || 2u32);
+        let slots = graph
+            .run_with_cancel(&ExecConfig::sequential(), &token, |_| {})
+            .unwrap();
+        assert_eq!(slots, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn run_with_cancel_without_cancelling_matches_run() {
+        let mut graph = JobGraph::new();
+        let a = graph.add_job("a", &[], || 1u32);
+        graph.add_job("b", &[a], || 2u32);
+        let slots = graph
+            .run_with_cancel(&ExecConfig::with_threads(2), &CancelToken::new(), |_| {})
+            .unwrap();
+        assert_eq!(slots, vec![Some(1), Some(2)]);
     }
 
     #[test]

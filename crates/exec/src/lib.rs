@@ -68,10 +68,13 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cancel;
 pub mod graph;
 pub mod pool;
 
+pub use cancel::CancelToken;
 pub use graph::{GraphError, JobEvent, JobGraph, JobId};
 pub use pool::{
-    default_threads, in_worker, par_map, par_map_with, set_default_threads, ExecConfig, WorkerPool,
+    default_threads, in_worker, par_map, par_map_with, set_default_threads, with_default_threads,
+    ExecConfig, WorkerPool,
 };

@@ -19,6 +19,10 @@ std::thread_local! {
     /// calls check this and run inline, so the configured worker count is a *process-wide*
     /// cap rather than a per-nesting-level multiplier.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Per-thread override of the default worker count (see [`with_default_threads`]);
+    /// `0` means "no override, use the process-wide default".
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 /// `true` when the current thread is a `mess-exec` worker (a parallel call made here would
@@ -52,15 +56,45 @@ pub fn set_default_threads(threads: usize) {
     DEFAULT_THREADS.store(threads, Ordering::Relaxed);
 }
 
-/// The process-wide default worker count: the last [`set_default_threads`] value, or the
-/// available hardware parallelism (at least 1) when unset.
+/// The default worker count seen by the current thread: a [`with_default_threads`]
+/// override if one is active here, else the last [`set_default_threads`] value, else the
+/// available hardware parallelism (at least 1).
 pub fn default_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(|cell| cell.get());
+    if overridden != 0 {
+        return overridden;
+    }
     match DEFAULT_THREADS.load(Ordering::Relaxed) {
         0 => std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1),
         n => n,
     }
+}
+
+/// Runs `f` with this thread's default worker count overridden to `threads` (`0` removes
+/// the override), restoring the previous value afterwards — panic-safe.
+///
+/// This is the per-*run* counterpart to the process-wide [`set_default_threads`]: a
+/// resident service executing several runs concurrently gives each run its requested
+/// worker count by wrapping the run's top-level call, without the runs racing on one
+/// global. Parallel calls made *inside* pool workers run inline anyway (see
+/// [`in_worker`]), so overriding the spawning thread is sufficient to control the run's
+/// entire fan-out.
+pub fn with_default_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let previous = THREAD_OVERRIDE.with(|cell| {
+        let previous = cell.get();
+        cell.set(threads);
+        previous
+    });
+    let _restore = Restore(previous);
+    f()
 }
 
 /// Configuration of a parallel execution: how many workers to run.
@@ -423,6 +457,56 @@ mod tests {
         assert!(default_threads() >= 1);
         assert_eq!(ExecConfig::sequential().resolved_threads(), 1);
         assert_eq!(ExecConfig::with_threads(5).resolved_threads(), 5);
+    }
+
+    #[test]
+    fn with_default_threads_overrides_then_restores() {
+        // Run on a private thread so the process-wide DEFAULT_THREADS poked by other tests
+        // cannot interfere with the thread-local under test.
+        std::thread::spawn(|| {
+            let outside = default_threads();
+            let inside = with_default_threads(3, || {
+                assert_eq!(default_threads(), 3);
+                assert_eq!(ExecConfig::default().resolved_threads(), 3);
+                // Nested overrides shadow and restore like a stack.
+                with_default_threads(2, || assert_eq!(default_threads(), 2));
+                default_threads()
+            });
+            assert_eq!(inside, 3);
+            assert_eq!(default_threads(), outside, "override must not leak");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn with_default_threads_restores_on_panic() {
+        std::thread::spawn(|| {
+            let outside = default_threads();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                with_default_threads(7, || panic!("boom"));
+            }));
+            assert!(result.is_err());
+            assert_eq!(default_threads(), outside);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn override_caps_the_fanout_of_this_thread_only() {
+        use std::collections::HashSet;
+        use std::thread::ThreadId;
+        std::thread::spawn(|| {
+            let distinct: HashSet<ThreadId> = with_default_threads(1, || {
+                par_map((0..16).collect(), |_, _x: u32| std::thread::current().id())
+            })
+            .into_iter()
+            .collect();
+            assert_eq!(distinct.len(), 1, "a 1-thread override must run inline");
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

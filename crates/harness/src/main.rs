@@ -228,7 +228,10 @@ fn main() -> ExitCode {
                     set.provenance().model,
                     path.display()
                 );
-                ScenarioOptions { curves: Some(set) }
+                ScenarioOptions {
+                    curves: Some(set),
+                    ..Default::default()
+                }
             }
             Err(e) => {
                 eprintln!("cannot load --curves artifact: {e}");

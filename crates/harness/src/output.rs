@@ -1,165 +1,8 @@
 //! File output for experiment runs (`mess-harness --out <dir>` and `--curves-out <dir>`).
 //!
-//! Each report becomes `<dir>/<id>.csv` (the same CSV `--csv` prints) and the whole batch is
-//! indexed by `<dir>/campaign-summary.json` — a [`CampaignSummary`] carrying every
-//! experiment's title, row count and notes, so downstream tooling can discover the CSVs
-//! without parsing them. Curve artifacts measured by a run are written by
-//! [`write_curve_sets`] as one `CurveSet` JSON file each, named from their provenance.
+//! The implementation lives in [`mess_scenario::output`] so the `mess-serve` daemon writes
+//! its cached artifacts through exactly the code path the CLI uses — byte-identical files,
+//! same collision-safe naming. This module re-exports it for the harness's historical
+//! callers.
 
-use crate::report::{CampaignSummary, ExperimentReport};
-use mess_scenario::CurveSet;
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
-
-/// Writes one CSV file per report plus a `campaign-summary.json` index into `dir` (created
-/// if missing). Returns the paths written, the summary last.
-///
-/// # Errors
-///
-/// Propagates filesystem errors (unwritable directory, disk full, ...).
-pub fn write_reports(
-    dir: &Path,
-    campaign_name: &str,
-    reports: &[ExperimentReport],
-) -> io::Result<Vec<PathBuf>> {
-    fs::create_dir_all(dir)?;
-    let mut written = Vec::with_capacity(reports.len() + 1);
-    for report in reports {
-        let path = dir.join(format!("{}.csv", report.id));
-        fs::write(&path, report.to_csv())?;
-        written.push(path);
-    }
-    let summary_path = dir.join("campaign-summary.json");
-    let summary = CampaignSummary::new(campaign_name, reports);
-    fs::write(&summary_path, summary.to_json() + "\n")?;
-    written.push(summary_path);
-    Ok(written)
-}
-
-/// Reduces a provenance string to a file-name-safe slug: lowercase, every run of
-/// non-alphanumeric characters collapsed to one `-`.
-fn slug(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        if c.is_ascii_alphanumeric() {
-            out.push(c.to_ascii_lowercase());
-        } else if !out.ends_with('-') {
-            out.push('-');
-        }
-    }
-    out.trim_matches('-').to_string()
-}
-
-/// Writes every curve artifact into `dir` (created if missing) as
-/// `<scenario>-<platform>-<model>.json` (slugged from the artifact's provenance, with a
-/// `-2`, `-3`, ... suffix on collision). Returns the paths written, in artifact order —
-/// deterministic, so CI and scripts can name the files in advance.
-///
-/// # Errors
-///
-/// Propagates filesystem errors (unwritable directory, disk full, ...).
-pub fn write_curve_sets(dir: &Path, sets: &[CurveSet]) -> io::Result<Vec<PathBuf>> {
-    fs::create_dir_all(dir)?;
-    let mut written: Vec<PathBuf> = Vec::with_capacity(sets.len());
-    let mut used: Vec<String> = Vec::with_capacity(sets.len());
-    for set in sets {
-        let p = set.provenance();
-        let base = slug(&format!("{}-{}-{}", p.scenario, p.platform, p.model));
-        let mut name = format!("{base}.json");
-        let mut n = 2;
-        while used.contains(&name) {
-            name = format!("{base}-{n}.json");
-            n += 1;
-        }
-        used.push(name.clone());
-        let path = dir.join(&name);
-        set.save(&path).map_err(io::Error::other)?;
-        written.push(path);
-    }
-    Ok(written)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::report::CampaignSummary;
-
-    fn temp_dir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("mess-harness-output-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        dir
-    }
-
-    #[test]
-    fn writes_one_csv_per_report_and_a_summary_index() {
-        let dir = temp_dir("basic");
-        let mut a = ExperimentReport::new("fig0", "first", &["x", "y"]);
-        a.push_row(vec!["1".into(), "2".into()]);
-        a.note("headline");
-        let mut b = ExperimentReport::new("fig1", "second", &["z"]);
-        b.push_row(vec!["3".into()]);
-
-        let written = write_reports(&dir, "demo", &[a.clone(), b]).unwrap();
-        assert_eq!(written.len(), 3);
-        assert_eq!(written[0].file_name().unwrap(), "fig0.csv");
-        assert_eq!(written[2].file_name().unwrap(), "campaign-summary.json");
-
-        let csv = fs::read_to_string(&written[0]).unwrap();
-        assert_eq!(csv, a.to_csv());
-        let summary: CampaignSummary =
-            serde_json::from_str(&fs::read_to_string(&written[2]).unwrap()).unwrap();
-        assert_eq!(summary.name, "demo");
-        assert_eq!(summary.experiments.len(), 2);
-        assert_eq!(summary.experiments[0].rows, 1);
-        assert_eq!(summary.experiments[0].notes, vec!["headline".to_string()]);
-
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn curve_sets_get_deterministic_provenance_named_files() {
-        use mess_scenario::CurveSetProvenance;
-        let family = mess_platforms::PlatformId::IntelSkylake
-            .spec()
-            .reference_family();
-        let set = |scenario: &str| {
-            CurveSet::new(
-                family.clone(),
-                CurveSetProvenance::new("skylake", "detailed-dram", "test sweep", scenario),
-            )
-            .unwrap()
-        };
-        let dir = temp_dir("curves");
-        // Two identical provenances collide on the base name and get a numeric suffix.
-        let written = write_curve_sets(&dir, &[set("My Run"), set("fig2"), set("My Run")]).unwrap();
-        let names: Vec<_> = written
-            .iter()
-            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
-            .collect();
-        assert_eq!(
-            names,
-            vec![
-                "my-run-skylake-detailed-dram.json",
-                "fig2-skylake-detailed-dram.json",
-                "my-run-skylake-detailed-dram-2.json",
-            ]
-        );
-        // Every written file loads back through the strict loader, byte-stable.
-        for path in &written {
-            let back = CurveSet::load(path).unwrap();
-            assert_eq!(back.to_json() + "\n", fs::read_to_string(path).unwrap());
-        }
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn creates_nested_output_directories() {
-        let dir = temp_dir("nested").join("a/b");
-        let report = ExperimentReport::new("fig9", "nested", &["c"]);
-        let written = write_reports(&dir, "nested", &[report]).unwrap();
-        assert!(written.iter().all(|p| p.exists()));
-        fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).unwrap();
-    }
-}
+pub use mess_scenario::output::{write_curve_sets, write_reports};

@@ -81,6 +81,7 @@ fn closed_loop_in_process_and_file_loaded_curves_are_bit_identical() {
     // The harness-level `--curves` override reaches the same fixed point.
     let options = ScenarioOptions {
         curves: Some(CurveSet::load(&path).unwrap()),
+        ..Default::default()
     };
     let overridden = mess_scenario::run_scenario_with(
         &mess_sim_spec(CurveSourceSpec::PlatformReference),
@@ -119,6 +120,7 @@ fn characterization_scenario_persists_artifacts_that_feed_the_simulator() {
     sim.validate().expect("mess-sim scenario validates");
     let options = ScenarioOptions {
         curves: Some(CurveSet::load(&written[0]).unwrap()),
+        ..Default::default()
     };
     let outcome = mess_scenario::run_scenario_with(&sim, &options).unwrap();
     assert!(!outcome.report.rows.is_empty());

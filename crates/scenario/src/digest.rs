@@ -1,0 +1,204 @@
+//! Stable content digests of canonical spec serializations — the cache keys of the
+//! `mess-serve` result cache.
+//!
+//! A spec's digest is FNV-1a (128-bit) over its canonical pretty-printed JSON
+//! ([`ScenarioSpec::to_json`] / [`CampaignSpec::to_json`]), which is byte-stable across
+//! serialize → parse → serialize round trips. Two consequences the service relies on:
+//!
+//! * **digest equality ⇔ spec equality** (up to FNV collisions): the canonical form is a
+//!   pure function of the spec value, so semantically identical submissions — whatever
+//!   whitespace or key order the client sent — map to the same cache entry;
+//! * **run-time knobs are excluded**: worker counts, cache modes and other
+//!   `ScenarioOptions` never enter the serialization, so a cache entry produced at
+//!   `--threads 1` is (and must be, see the workspace determinism tests) byte-identical
+//!   to one produced at `--threads 8`.
+//!
+//! The hash is std-only and fixed forever — changing it would silently orphan every
+//! on-disk cache entry, which is why [`digest::tests`](self) pin known values.
+
+use crate::spec::{CampaignSpec, ScenarioSpec};
+use std::fmt;
+use std::str::FromStr;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// A 128-bit FNV-1a digest of a canonical spec serialization, printed as 32 lowercase hex
+/// characters (the cache-directory names of `mess-serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecDigest(u128);
+
+impl SpecDigest {
+    /// The raw 128-bit value.
+    pub fn as_u128(&self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpecDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for SpecDigest {
+    type Err = mess_types::MessError;
+
+    /// Parses the 32-hex-character rendering back into a digest (the inverse of
+    /// `Display`), rejecting anything that is not exactly 32 lowercase/uppercase hex
+    /// digits — which doubles as path-traversal validation for digests arriving in URLs.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(mess_types::MessError::Parse(format!(
+                "spec digest must be 32 hex characters, got `{s}`"
+            )));
+        }
+        u128::from_str_radix(s, 16)
+            .map(SpecDigest)
+            .map_err(|e| mess_types::MessError::Parse(format!("spec digest: {e}")))
+    }
+}
+
+/// FNV-1a (128-bit) over `text`'s UTF-8 bytes.
+pub fn digest_text(text: &str) -> SpecDigest {
+    let mut hash = FNV128_OFFSET;
+    for &byte in text.as_bytes() {
+        hash ^= byte as u128;
+        hash = hash.wrapping_mul(FNV128_PRIME);
+    }
+    SpecDigest(hash)
+}
+
+impl ScenarioSpec {
+    /// The spec's content digest: [`digest_text`] over [`ScenarioSpec::to_json`].
+    pub fn spec_digest(&self) -> SpecDigest {
+        digest_text(&self.to_json())
+    }
+}
+
+impl CampaignSpec {
+    /// The campaign's content digest: [`digest_text`] over [`CampaignSpec::to_json`].
+    pub fn spec_digest(&self) -> SpecDigest {
+        digest_text(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{builtin_spec, BUILTINS};
+    use crate::report::Fidelity;
+    use crate::spec::ScenarioKind;
+    use mess_platforms::{MemoryModelKind, ModelSpec, PlatformId, PlatformRef};
+    use mess_workloads::spec::WorkloadSpec;
+
+    /// The algorithm is pinned forever: changing it would orphan every on-disk cache
+    /// entry. Values computed independently from the FNV-1a reference parameters.
+    #[test]
+    fn digest_values_are_pinned() {
+        assert_eq!(
+            digest_text("").to_string(),
+            "6c62272e07bb014262b821756295c58d",
+            "empty input must yield the FNV-128 offset basis"
+        );
+        assert_eq!(
+            digest_text("mess").to_string(),
+            "6918637262757277b806e95bb6f53e15"
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let digest = digest_text("round trip");
+        let parsed: SpecDigest = digest.to_string().parse().unwrap();
+        assert_eq!(parsed, digest);
+        assert_eq!(parsed.as_u128(), digest.as_u128());
+        assert!("not-a-digest".parse::<SpecDigest>().is_err());
+        assert!("6c62272e07bb014262b821756295c58d0"
+            .parse::<SpecDigest>()
+            .is_err());
+        assert!("../../../../etc/passwd/..........."
+            .parse::<SpecDigest>()
+            .is_err());
+    }
+
+    #[test]
+    fn every_builtin_digest_is_stable_across_round_trips_and_unique() {
+        let mut seen = std::collections::HashMap::new();
+        for b in BUILTINS {
+            for fidelity in [Fidelity::Quick, Fidelity::Full] {
+                let spec = builtin_spec(b.id, fidelity).unwrap();
+                let digest = spec.spec_digest();
+                let reparsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+                assert_eq!(reparsed.spec_digest(), digest, "{} drifted", b.id);
+                if let Some(previous) = seen.insert(digest, (b.id, fidelity)) {
+                    panic!("digest collision: {:?} vs {:?}", previous, (b.id, fidelity));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_field_edit_changes_the_digest() {
+        let spec = builtin_spec("fig2", Fidelity::Quick).unwrap();
+        let base = spec.spec_digest();
+        let mut edited = spec.clone();
+        edited.id.push('x');
+        assert_ne!(edited.spec_digest(), base);
+        let mut edited = spec.clone();
+        edited.notes.push("a note".into());
+        assert_ne!(edited.spec_digest(), base);
+    }
+
+    #[test]
+    fn campaign_digests_cover_member_scenarios() {
+        let scenario = |id: &str, updates: u64| ScenarioSpec {
+            id: id.into(),
+            title: id.into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::Run {
+                workload: WorkloadSpec::gups(updates),
+                model: ModelSpec::of(MemoryModelKind::FixedLatency),
+                max_cycles: 1_000_000,
+            },
+            notes: vec![],
+        };
+        let campaign = crate::spec::CampaignSpec {
+            name: "c".into(),
+            scenarios: vec![scenario("a", 100)],
+        };
+        let digest = campaign.spec_digest();
+        let reparsed = crate::spec::CampaignSpec::from_json(&campaign.to_json()).unwrap();
+        assert_eq!(reparsed.spec_digest(), digest);
+        let mut deeper = campaign.clone();
+        deeper.scenarios[0] = scenario("a", 101);
+        assert_ne!(deeper.spec_digest(), digest, "member edits must be visible");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+        // The satellite contract: cache keys can never drift from spec equality. For
+        // arbitrary (builtin, fidelity, note, cycle-budget) combinations the digest
+        // survives serialize → parse → serialize, and differing specs differ.
+        #[test]
+        fn prop_digests_are_fixed_points_of_the_json_round_trip(
+            pick in 0.0f64..1.0,
+            quick in 0.0f64..1.0,
+            note_len in proptest::collection::vec(0.0f64..1.0, 0..3),
+        ) {
+            use proptest::prelude::*;
+            let index = ((pick * BUILTINS.len() as f64) as usize).min(BUILTINS.len() - 1);
+            let fidelity = if quick < 0.5 { Fidelity::Quick } else { Fidelity::Full };
+            let mut spec = builtin_spec(BUILTINS[index].id, fidelity).unwrap();
+            for (i, _) in note_len.iter().enumerate() {
+                spec.notes.push(format!("note-{i}"));
+            }
+            let digest = spec.spec_digest();
+            let json = spec.to_json();
+            let reparsed = ScenarioSpec::from_json(&json).unwrap();
+            prop_assert_eq!(&reparsed, &spec);
+            prop_assert_eq!(reparsed.to_json(), json);
+            prop_assert_eq!(reparsed.spec_digest(), digest);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! bandwidths, the quick-fidelity platform scaling) are the shared plumbing the old
 //! per-figure drivers each carried a copy of.
 
+use crate::progress::{NoProgress, ProgressEvent, ProgressSink};
 use crate::report::{ExperimentReport, Fidelity};
 use crate::spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
 use mess_bench::sweep::characterize_spec;
@@ -305,6 +306,11 @@ pub struct ScenarioOptions {
     /// the way to re-run a mess-sim or profiling scenario from a saved characterization
     /// without editing the spec.
     pub curves: Option<CurveSet>,
+    /// Cooperative cancellation: a fired token makes [`run_scenario_observed`] return
+    /// [`MessError::Cancelled`] before executing, and makes [`run_campaign_observed`]
+    /// skip every member scenario not yet dispatched. Work already executing always runs
+    /// to completion — partial results are never observable.
+    pub cancel: Option<mess_exec::CancelToken>,
 }
 
 /// What a scenario run produces: the report plus every curve family it measured, wrapped
@@ -494,7 +500,57 @@ pub fn run_scenario_with(
     spec: &ScenarioSpec,
     options: &ScenarioOptions,
 ) -> Result<ScenarioOutcome, MessError> {
+    run_scenario_observed(spec, options, &NoProgress)
+}
+
+/// Emits a leg's start/finish events around its body — the one place every parallel
+/// fan-out narrates itself, so event pairing is uniform across scenario kinds.
+fn observed_leg<R>(
+    sink: &dyn ProgressSink,
+    scenario: &str,
+    leg: String,
+    index: usize,
+    total: usize,
+    body: impl FnOnce() -> R,
+) -> R {
+    sink.emit(ProgressEvent::LegStarted {
+        scenario: scenario.to_string(),
+        leg: leg.clone(),
+        index,
+        total,
+    });
+    let result = body();
+    sink.emit(ProgressEvent::LegFinished {
+        scenario: scenario.to_string(),
+        leg,
+        index,
+        total,
+    });
+    result
+}
+
+/// [`run_scenario_with`] narrating its execution through `sink`: one
+/// [`ProgressEvent::ScenarioStarted`] after validation, a started/finished pair per
+/// parallel leg, and one [`ProgressEvent::ScenarioFinished`] with the final row and
+/// artifact counts. The sink receives events from the engine's worker threads; it
+/// observes scheduling, never influences results.
+///
+/// # Errors
+///
+/// As [`run_scenario_with`]; additionally returns [`MessError::Cancelled`] when
+/// [`ScenarioOptions::cancel`] fired before execution started.
+pub fn run_scenario_observed(
+    spec: &ScenarioSpec,
+    options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
+) -> Result<ScenarioOutcome, MessError> {
     spec.validate()?;
+    if options.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        return Err(MessError::Cancelled);
+    }
+    sink.emit(ProgressEvent::ScenarioStarted {
+        scenario: spec.id.clone(),
+    });
     let mut curve_sets = Vec::new();
     let sets = &mut curve_sets;
     let mut report = match &spec.kind {
@@ -511,6 +567,7 @@ pub fn run_scenario_with(
             *paper_reference,
             options,
             sets,
+            sink,
         )?,
         ScenarioKind::PlatformTable {
             platforms,
@@ -525,38 +582,64 @@ pub fn run_scenario_with(
             *stream_llc_multiple,
             options,
             sets,
+            sink,
         )?,
         ScenarioKind::ModelComparison { models, sweep } => {
-            run_model_comparison(spec, models, sweep, options, sets)?
+            run_model_comparison(spec, models, sweep, options, sets, sink)?
         }
         ScenarioKind::TraceReplay {
             models,
             trace_ops,
             trace_pause,
             speeds,
-        } => run_trace_replay(spec, models, *trace_ops, *trace_pause, speeds, options)?,
+        } => run_trace_replay(
+            spec,
+            models,
+            *trace_ops,
+            *trace_pause,
+            speeds,
+            options,
+            sink,
+        )?,
         ScenarioKind::RowBuffer {
             models,
             store_mixes,
             pauses,
             max_cycles,
-        } => run_row_buffer(spec, models, store_mixes, pauses, *max_cycles, options)?,
+        } => run_row_buffer(
+            spec,
+            models,
+            store_mixes,
+            pauses,
+            *max_cycles,
+            options,
+            sink,
+        )?,
         ScenarioKind::MessCurves {
             platforms,
             curves,
             sweep,
-        } => run_mess_curves(spec, platforms, curves, sweep, options, sets)?,
+        } => run_mess_curves(spec, platforms, curves, sweep, options, sets, sink)?,
         ScenarioKind::IpcError {
             models,
             workloads,
             max_cycles,
-        } => run_ipc_error(spec, models, workloads, *max_cycles, options)?,
+        } => run_ipc_error(spec, models, workloads, *max_cycles, options, sink)?,
         ScenarioKind::CxlHosts {
             hosts,
             curves,
             device_peak_gbs,
             sweep,
-        } => run_cxl_hosts(spec, hosts, curves, *device_peak_gbs, sweep, options, sets)?,
+        } => run_cxl_hosts(
+            spec,
+            hosts,
+            curves,
+            *device_peak_gbs,
+            sweep,
+            options,
+            sets,
+            sink,
+        )?,
         ScenarioKind::CxlVsRemote {
             benchmarks,
             ops_per_core,
@@ -573,6 +656,7 @@ pub fn run_scenario_with(
             emulation,
             *device_peak_gbs,
             options,
+            sink,
         )?,
         ScenarioKind::Profile {
             workload,
@@ -590,16 +674,22 @@ pub fn run_scenario_with(
             *phase_threshold,
             *max_cycles,
             options,
+            sink,
         )?,
         ScenarioKind::Run {
             workload,
             model,
             max_cycles,
-        } => run_single(spec, workload, model, *max_cycles, options)?,
+        } => run_single(spec, workload, model, *max_cycles, options, sink)?,
     };
     for note in &spec.notes {
         report.note(note.clone());
     }
+    sink.emit(ProgressEvent::ScenarioFinished {
+        scenario: spec.id.clone(),
+        rows: report.rows.len(),
+        artifacts: curve_sets.len(),
+    });
     Ok(ScenarioOutcome { report, curve_sets })
 }
 
@@ -648,10 +738,42 @@ pub fn run_campaign_with(
     results.into_iter().collect()
 }
 
+/// [`run_campaign_with`] narrating every member scenario through `sink` (see
+/// [`run_scenario_observed`]) and honouring [`ScenarioOptions::cancel`]: once the token
+/// fires, members not yet dispatched never run and surface as [`MessError::Cancelled`].
+///
+/// # Errors
+///
+/// Returns the first validation error before anything runs, then the first member error
+/// in campaign order — which, after a cancellation, is the first skipped member's
+/// [`MessError::Cancelled`].
+pub fn run_campaign_observed(
+    campaign: &CampaignSpec,
+    options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
+) -> Result<Vec<ScenarioOutcome>, MessError> {
+    campaign.validate()?;
+    let cancel = options.cancel.clone().unwrap_or_default();
+    let mut graph = mess_exec::JobGraph::new();
+    for scenario in &campaign.scenarios {
+        graph.add_job(scenario.id.clone(), &[], move || {
+            run_scenario_observed(scenario, options, sink)
+        });
+    }
+    let slots = graph
+        .run_with_cancel(&ExecConfig::default(), &cancel, |_| {})
+        .expect("campaign jobs declare no dependencies");
+    slots
+        .into_iter()
+        .map(|slot| slot.ok_or(MessError::Cancelled).and_then(|outcome| outcome))
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Per-kind execution (ported from the hand-written per-figure drivers)
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn run_curve_family(
     spec: &ScenarioSpec,
     model: &ModelSpec,
@@ -660,16 +782,19 @@ fn run_curve_family(
     paper_reference: bool,
     options: &ScenarioOptions,
     sets: &mut Vec<CurveSet>,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factory = resolve_factory(model, &platform, options)?;
-    let c = characterize_spec(
-        platform.name,
-        &platform.cpu_config(),
-        || factory.build().expect("checked above"),
-        sweep,
-        &ExecConfig::default(),
-    )?;
+    let c = observed_leg(sink, &spec.id, model.kind.label().to_string(), 0, 1, || {
+        characterize_spec(
+            platform.name,
+            &platform.cpu_config(),
+            || factory.build().expect("checked above"),
+            sweep,
+            &ExecConfig::default(),
+        )
+    })?;
     let metrics = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
     sets.extend(artifact(
         &spec.id,
@@ -714,6 +839,7 @@ fn run_curve_family(
     Ok(report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_platform_table(
     spec: &ScenarioSpec,
     platforms: &[PlatformRef],
@@ -722,6 +848,7 @@ fn run_platform_table(
     stream_llc_multiple: u64,
     options: &ScenarioOptions,
     sets: &mut Vec<CurveSet>,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     // Resolve one factory per platform leg up front (sequentially): File/Characterized
     // curve sources fail here with an Err instead of panicking a worker leg, nothing is
@@ -754,56 +881,60 @@ fn run_platform_table(
     // schedules produce identical rows.
     let legs: Vec<(PlatformRef, &ModelFactory)> =
         platforms.iter().copied().zip(factories.iter()).collect();
+    let total = legs.len();
     let results: Vec<(Vec<String>, CurveFamily)> = mess_exec::par_map_with(
         &ExecConfig::for_fanout(legs.len()),
         legs,
-        |_, (leg, factory)| {
-            let platform = leg.resolve();
-            let theoretical = platform.theoretical_bandwidth();
-            let c = characterize_spec(
-                platform.name,
-                &platform.cpu_config(),
-                || factory.build().expect("model construction is valid here"),
-                sweep,
-                &ExecConfig::default(),
-            )
-            .expect("sweep specs are validated before execution");
-            let m = FamilyMetrics::compute(&c.family, theoretical);
-            let streams = stream_bandwidths(&platform, stream_llc_multiple, &ExecConfig::default());
-            let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
-            let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-            let r = platform.reference;
-            let row = vec![
-                leg.id.key().to_string(),
-                format!("{:.0}", theoretical.as_gbs()),
-                format!("{:.0}", m.unloaded_latency.as_ns()),
-                r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+        |i, (leg, factory)| {
+            observed_leg(sink, &spec.id, leg.id.key().to_string(), i, total, || {
+                let platform = leg.resolve();
+                let theoretical = platform.theoretical_bandwidth();
+                let c = characterize_spec(
+                    platform.name,
+                    &platform.cpu_config(),
+                    || factory.build().expect("model construction is valid here"),
+                    sweep,
+                    &ExecConfig::default(),
+                )
+                .expect("sweep specs are validated before execution");
+                let m = FamilyMetrics::compute(&c.family, theoretical);
+                let streams =
+                    stream_bandwidths(&platform, stream_llc_multiple, &ExecConfig::default());
+                let stream_low = streams.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
+                let stream_high = streams.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+                let r = platform.reference;
+                let row = vec![
+                    leg.id.key().to_string(),
+                    format!("{:.0}", theoretical.as_gbs()),
+                    format!("{:.0}", m.unloaded_latency.as_ns()),
+                    r.map(|r| format!("{:.0}", r.unloaded_latency_ns))
+                        .unwrap_or_default(),
+                    format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
+                    format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+                    r.map(|r| {
+                        format!(
+                            "{:.0}-{:.0}",
+                            r.saturated_bw_low_pct, r.saturated_bw_high_pct
+                        )
+                    })
                     .unwrap_or_default(),
-                format!("{:.0}", m.saturated_bandwidth_range.low_fraction * 100.0),
-                format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-                r.map(|r| {
                     format!(
                         "{:.0}-{:.0}",
-                        r.saturated_bw_low_pct, r.saturated_bw_high_pct
-                    )
-                })
-                .unwrap_or_default(),
-                format!(
-                    "{:.0}-{:.0}",
-                    m.max_latency_range.low.as_ns(),
-                    m.max_latency_range.high.as_ns()
-                ),
-                r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
-                    .unwrap_or_default(),
-                format!(
-                    "{:.0}-{:.0}",
-                    stream_low / theoretical.as_gbs() * 100.0,
-                    stream_high / theoretical.as_gbs() * 100.0
-                ),
-                r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
-                    .unwrap_or_default(),
-            ];
-            (row, c.family)
+                        m.max_latency_range.low.as_ns(),
+                        m.max_latency_range.high.as_ns()
+                    ),
+                    r.map(|r| format!("{:.0}-{:.0}", r.max_latency_low_ns, r.max_latency_high_ns))
+                        .unwrap_or_default(),
+                    format!(
+                        "{:.0}-{:.0}",
+                        stream_low / theoretical.as_gbs() * 100.0,
+                        stream_high / theoretical.as_gbs() * 100.0
+                    ),
+                    r.map(|r| format!("{:.0}-{:.0}", r.stream_low_pct, r.stream_high_pct))
+                        .unwrap_or_default(),
+                ];
+                (row, c.family)
+            })
         },
     );
     for (leg, (row, family)) in platforms.iter().zip(results) {
@@ -854,6 +985,7 @@ fn run_model_comparison(
     sweep: &SweepSpec,
     options: &ScenarioOptions,
     sets: &mut Vec<CurveSet>,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
@@ -875,8 +1007,12 @@ fn run_model_comparison(
     // is preserved. With fewer models than pool workers the legs run sequentially and each
     // leg's characterization sweep takes the pool instead (for_fanout).
     let legs: Vec<usize> = (0..factories.len()).collect();
+    let total = legs.len();
     let results = mess_exec::par_map_with(&ExecConfig::for_fanout(legs.len()), legs, |_, i| {
-        model_row(&platform, &factories[i], sweep)
+        let label = factories[i].kind().label().to_string();
+        observed_leg(sink, &spec.id, label, i, total, || {
+            model_row(&platform, &factories[i], sweep)
+        })
     });
     for (factory, (row, family)) in factories.iter().zip(results) {
         report.push_row(row);
@@ -897,6 +1033,7 @@ fn run_model_comparison(
     Ok(report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_trace_replay(
     spec: &ScenarioSpec,
     models: &[ModelSpec],
@@ -904,6 +1041,7 @@ fn run_trace_replay(
     trace_pause: u32,
     speeds: &[f64],
     options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
@@ -932,17 +1070,21 @@ fn run_trace_replay(
     for i in 0..factories.len() {
         legs.extend(speeds.iter().map(|&speed| (i, speed)));
     }
-    let rows = mess_exec::par_map(legs, |_, (i, speed)| {
-        let mut backend = factories[i]
-            .build()
-            .expect("model construction is valid here");
-        let r = replay(&trace, backend.as_mut(), platform.frequency, speed);
-        vec![
-            factories[i].kind().label().to_string(),
-            format!("{speed:.1}"),
-            format!("{:.2}", r.bandwidth.as_gbs()),
-            format!("{:.1}", r.latency.as_ns()),
-        ]
+    let total = legs.len();
+    let rows = mess_exec::par_map(legs, |leg_index, (i, speed)| {
+        let label = format!("{}@{speed:.1}x", factories[i].kind().label());
+        observed_leg(sink, &spec.id, label, leg_index, total, || {
+            let mut backend = factories[i]
+                .build()
+                .expect("model construction is valid here");
+            let r = replay(&trace, backend.as_mut(), platform.frequency, speed);
+            vec![
+                factories[i].kind().label().to_string(),
+                format!("{speed:.1}"),
+                format!("{:.2}", r.bandwidth.as_gbs()),
+                format!("{:.1}", r.latency.as_ns()),
+            ]
+        })
     });
     report.push_rows(rows);
     Ok(report)
@@ -965,6 +1107,7 @@ fn row_buffer_stats(
     (report.bandwidth.as_gbs(), report.memory.row_buffer)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_row_buffer(
     spec: &ScenarioSpec,
     models: &[ModelSpec],
@@ -972,6 +1115,7 @@ fn run_row_buffer(
     pauses: &[u32],
     max_cycles: u64,
     options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
@@ -999,30 +1143,38 @@ fn run_row_buffer(
             legs.extend(pauses.iter().map(|&pause| (i, mix, pause)));
         }
     }
-    let rows = mess_exec::par_map(legs, |_, (i, mix, pause)| {
-        let mut backend = factories[i]
-            .build()
-            .expect("model construction is valid here");
+    let total = legs.len();
+    let rows = mess_exec::par_map(legs, |leg_index, (i, mix, pause)| {
         let traffic_label = if mix == 0.0 {
             "100%-read".to_string()
         } else {
             format!("{:.0}%-store", mix * 100.0)
         };
-        let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
-        vec![
-            factories[i].kind().label().to_string(),
-            traffic_label,
-            pause.to_string(),
-            format!("{bw:.1}"),
-            format!("{:.0}", rb.hit_rate() * 100.0),
-            format!("{:.0}", rb.empty_rate() * 100.0),
-            format!("{:.0}", rb.miss_rate() * 100.0),
-        ]
+        let label = format!(
+            "{} {traffic_label} pause {pause}",
+            factories[i].kind().label()
+        );
+        observed_leg(sink, &spec.id, label, leg_index, total, || {
+            let mut backend = factories[i]
+                .build()
+                .expect("model construction is valid here");
+            let (bw, rb) = row_buffer_stats(&platform, backend.as_mut(), mix, pause, max_cycles);
+            vec![
+                factories[i].kind().label().to_string(),
+                traffic_label.clone(),
+                pause.to_string(),
+                format!("{bw:.1}"),
+                format!("{:.0}", rb.hit_rate() * 100.0),
+                format!("{:.0}", rb.empty_rate() * 100.0),
+                format!("{:.0}", rb.miss_rate() * 100.0),
+            ]
+        })
     });
     report.push_rows(rows);
     Ok(report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_mess_curves(
     spec: &ScenarioSpec,
     platforms: &[PlatformRef],
@@ -1030,6 +1182,7 @@ fn run_mess_curves(
     sweep: &SweepSpec,
     options: &ScenarioOptions,
     sets: &mut Vec<CurveSet>,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     // The simulator's input curves: resolved once here for file/manufacturer sources (so
     // errors surface as Err), per platform inside the legs for the platform-dependent
@@ -1052,42 +1205,46 @@ fn run_mess_curves(
     // inside the worker from the resolved input curves. With fewer platforms than pool
     // workers the legs run sequentially and each sweep takes the pool (for_fanout).
     let legs = platforms.to_vec();
+    let total = legs.len();
     let results: Vec<(Vec<String>, CurveFamily)> = mess_exec::par_map_with(
         &ExecConfig::for_fanout(legs.len()),
         legs.clone(),
-        |_, leg| {
-            let platform = leg.resolve();
-            let input = input_source.for_platform(&platform);
-            let factory =
-                ModelFactory::with_curves(MemoryModelKind::Mess, &platform, input.clone());
-            let c = characterize_spec(
-                "mess",
-                &platform.cpu_config(),
-                || factory.build().expect("resolved curve families are valid"),
-                sweep,
-                // Inline under a parallel platform fan-out; parallel across sweep points
-                // when there is only one platform leg.
-                &ExecConfig::default(),
-            )
-            .expect("sweep configuration is valid");
-            let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
-            let input_metrics = FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
-            let bw_err = ipc_error_percent(
-                simulated.saturated_bandwidth_range.high.as_gbs(),
-                input_metrics.saturated_bandwidth_range.high.as_gbs(),
-            );
-            let row = vec![
-                leg.id.key().to_string(),
-                format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
-                format!("{:.0}", simulated.unloaded_latency.as_ns()),
-                format!(
-                    "{:.0}",
-                    input_metrics.saturated_bandwidth_range.high.as_gbs()
-                ),
-                format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
-                format!("{bw_err:.1}"),
-            ];
-            (row, c.family)
+        |i, leg| {
+            observed_leg(sink, &spec.id, leg.id.key().to_string(), i, total, || {
+                let platform = leg.resolve();
+                let input = input_source.for_platform(&platform);
+                let factory =
+                    ModelFactory::with_curves(MemoryModelKind::Mess, &platform, input.clone());
+                let c = characterize_spec(
+                    "mess",
+                    &platform.cpu_config(),
+                    || factory.build().expect("resolved curve families are valid"),
+                    sweep,
+                    // Inline under a parallel platform fan-out; parallel across sweep points
+                    // when there is only one platform leg.
+                    &ExecConfig::default(),
+                )
+                .expect("sweep configuration is valid");
+                let simulated = FamilyMetrics::compute(&c.family, platform.theoretical_bandwidth());
+                let input_metrics =
+                    FamilyMetrics::compute(&input, platform.theoretical_bandwidth());
+                let bw_err = ipc_error_percent(
+                    simulated.saturated_bandwidth_range.high.as_gbs(),
+                    input_metrics.saturated_bandwidth_range.high.as_gbs(),
+                );
+                let row = vec![
+                    leg.id.key().to_string(),
+                    format!("{:.0}", input_metrics.unloaded_latency.as_ns()),
+                    format!("{:.0}", simulated.unloaded_latency.as_ns()),
+                    format!(
+                        "{:.0}",
+                        input_metrics.saturated_bandwidth_range.high.as_gbs()
+                    ),
+                    format!("{:.0}", simulated.saturated_bandwidth_range.high.as_gbs()),
+                    format!("{bw_err:.1}"),
+                ];
+                (row, c.family)
+            })
         },
     );
     for (leg, (row, family)) in legs.iter().zip(results) {
@@ -1103,6 +1260,7 @@ fn run_ipc_error(
     workloads: &[WorkloadSpec],
     max_cycles: u64,
     options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factories: Vec<ModelFactory> = models
@@ -1118,9 +1276,13 @@ fn run_ipc_error(
 
     // Reference IPCs from the detailed DRAM model, one private DRAM system per workload leg.
     let indices: Vec<usize> = (0..workloads.len()).collect();
+    let reference_total = indices.len();
     let reference: Vec<f64> = mess_exec::par_map(indices, |_, i| {
-        let mut dram = platform.build_dram();
-        spec_workload_ipc(&workloads[i], &platform, &mut dram, max_cycles)
+        let label = format!("reference:{}", workloads[i].label());
+        observed_leg(sink, &spec.id, label, i, reference_total, || {
+            let mut dram = platform.build_dram();
+            spec_workload_ipc(&workloads[i], &platform, &mut dram, max_cycles)
+        })
     });
 
     // The full (model × workload) grid runs in parallel; every leg builds a private model
@@ -1134,18 +1296,29 @@ fn run_ipc_error(
             grid.push((model_idx, i, reference[i]));
         }
     }
-    let errors = mess_exec::par_map(grid, |_, (model_idx, workload_idx, reference_ipc)| {
-        let mut backend = factories[model_idx]
-            .build()
-            .expect("model construction is valid here");
-        let ipc = spec_workload_ipc(
-            &workloads[workload_idx],
-            &platform,
-            backend.as_mut(),
-            max_cycles,
-        );
-        ipc_error_percent(ipc, reference_ipc)
-    });
+    let grid_total = grid.len();
+    let errors = mess_exec::par_map(
+        grid,
+        |leg_index, (model_idx, workload_idx, reference_ipc)| {
+            let label = format!(
+                "{}:{}",
+                models[model_idx].kind.label(),
+                workloads[workload_idx].label()
+            );
+            observed_leg(sink, &spec.id, label, leg_index, grid_total, || {
+                let mut backend = factories[model_idx]
+                    .build()
+                    .expect("model construction is valid here");
+                let ipc = spec_workload_ipc(
+                    &workloads[workload_idx],
+                    &platform,
+                    backend.as_mut(),
+                    max_cycles,
+                );
+                ipc_error_percent(ipc, reference_ipc)
+            })
+        },
+    );
     for (model, model_errors) in models.iter().zip(errors.chunks(workloads.len())) {
         let mut cells = vec![model.kind.label().to_string()];
         cells.extend(model_errors.iter().map(|err| format!("{err:.1}")));
@@ -1160,6 +1333,7 @@ fn run_ipc_error(
     Ok(report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cxl_hosts(
     spec: &ScenarioSpec,
     hosts: &[PlatformRef],
@@ -1168,6 +1342,7 @@ fn run_cxl_hosts(
     sweep: &SweepSpec,
     options: &ScenarioOptions,
     sets: &mut Vec<CurveSet>,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let device_source = prepare_curve_input(curves, &spec.platform.resolve(), options)?;
     let manufacturer = device_source.for_platform(&spec.platform.resolve());
@@ -1196,34 +1371,37 @@ fn run_cxl_hosts(
     // simulator. With fewer hosts than pool workers the legs run sequentially and each
     // sweep takes the pool instead (for_fanout).
     let legs = hosts.to_vec();
+    let total = legs.len();
     let results: Vec<(Vec<String>, CurveFamily)> = mess_exec::par_map_with(
         &ExecConfig::for_fanout(legs.len()),
         legs.clone(),
-        |_, leg| {
-            let platform = leg.resolve();
-            let factory = ModelFactory::with_curves(
-                MemoryModelKind::Mess,
-                &platform,
-                device_source.for_platform(&platform),
-            );
-            let c = characterize_spec(
-                "cxl",
-                &platform.cpu_config(),
-                || factory.build().expect("manufacturer curves are valid"),
-                sweep,
-                // Inline under the parallel host fan-out; parallel across sweep points if
-                // the host list ever degenerates to one entry.
-                &ExecConfig::default(),
-            )
-            .expect("sweep configuration is valid");
-            let m = FamilyMetrics::compute(&c.family, Bandwidth::from_gbs(device_peak_gbs));
-            let row = vec![
-                leg.id.key().to_string(),
-                format!("{:.0}", m.unloaded_latency.as_ns()),
-                format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
-                format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
-            ];
-            (row, c.family)
+        |i, leg| {
+            observed_leg(sink, &spec.id, leg.id.key().to_string(), i, total, || {
+                let platform = leg.resolve();
+                let factory = ModelFactory::with_curves(
+                    MemoryModelKind::Mess,
+                    &platform,
+                    device_source.for_platform(&platform),
+                );
+                let c = characterize_spec(
+                    "cxl",
+                    &platform.cpu_config(),
+                    || factory.build().expect("manufacturer curves are valid"),
+                    sweep,
+                    // Inline under the parallel host fan-out; parallel across sweep points if
+                    // the host list ever degenerates to one entry.
+                    &ExecConfig::default(),
+                )
+                .expect("sweep configuration is valid");
+                let m = FamilyMetrics::compute(&c.family, Bandwidth::from_gbs(device_peak_gbs));
+                let row = vec![
+                    leg.id.key().to_string(),
+                    format!("{:.0}", m.unloaded_latency.as_ns()),
+                    format!("{:.1}", m.saturated_bandwidth_range.high.as_gbs()),
+                    format!("{:.0}", m.saturated_bandwidth_range.high_fraction * 100.0),
+                ];
+                (row, c.family)
+            })
         },
     );
     for (leg, (row, family)) in legs.iter().zip(results) {
@@ -1263,6 +1441,7 @@ fn run_cxl_vs_remote(
     emulation: &CurveSourceSpec,
     device_peak_gbs: f64,
     options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let suite: Vec<mess_workloads::SpecWorkload> = benchmarks
@@ -1290,37 +1469,40 @@ fn run_cxl_vs_remote(
     );
     // One leg per benchmark: both the CXL and the remote-socket runs of a benchmark happen
     // on the same worker (they feed one row), different benchmarks run concurrently.
-    let rows = mess_exec::par_map(suite, |_, w| {
-        let (ipc_cxl, utilisation) = run_spec_on(
-            &platform,
-            &w,
-            cxl_curves.clone(),
-            ops_per_core,
-            max_cycles,
-            device_peak_gbs,
-        );
-        let (ipc_remote, _) = run_spec_on(
-            &platform,
-            &w,
-            remote_curves.clone(),
-            ops_per_core,
-            max_cycles,
-            device_peak_gbs,
-        );
-        let diff = (ipc_remote - ipc_cxl) / ipc_cxl.max(1e-12) * 100.0;
-        let class = match classify_utilisation(utilisation) {
-            IntensityClass::Low => "low",
-            IntensityClass::Medium => "medium",
-            IntensityClass::High => "high",
-        };
-        vec![
-            w.name.to_string(),
-            format!("{:.0}", utilisation * 100.0),
-            class.to_string(),
-            format!("{ipc_cxl:.3}"),
-            format!("{ipc_remote:.3}"),
-            format!("{diff:+.1}"),
-        ]
+    let suite_total = suite.len();
+    let rows = mess_exec::par_map(suite, |i, w| {
+        observed_leg(sink, &spec.id, w.name.to_string(), i, suite_total, || {
+            let (ipc_cxl, utilisation) = run_spec_on(
+                &platform,
+                &w,
+                cxl_curves.clone(),
+                ops_per_core,
+                max_cycles,
+                device_peak_gbs,
+            );
+            let (ipc_remote, _) = run_spec_on(
+                &platform,
+                &w,
+                remote_curves.clone(),
+                ops_per_core,
+                max_cycles,
+                device_peak_gbs,
+            );
+            let diff = (ipc_remote - ipc_cxl) / ipc_cxl.max(1e-12) * 100.0;
+            let class = match classify_utilisation(utilisation) {
+                IntensityClass::Low => "low",
+                IntensityClass::Medium => "medium",
+                IntensityClass::High => "high",
+            };
+            vec![
+                w.name.to_string(),
+                format!("{:.0}", utilisation * 100.0),
+                class.to_string(),
+                format!("{ipc_cxl:.3}"),
+                format!("{ipc_remote:.3}"),
+                format!("{diff:+.1}"),
+            ]
+        })
     });
     report.push_rows(rows);
     Ok(report)
@@ -1336,11 +1518,14 @@ fn run_profile(
     phase_threshold: f64,
     max_cycles: u64,
     options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let factory = resolve_factory(model, &platform, options)?;
     let family = resolve_curves(curves, &platform, options)?;
-    let timeline = profile_workload(&platform, workload, &factory, family, window_us, max_cycles)?;
+    let timeline = observed_leg(sink, &spec.id, workload.label(), 0, 1, || {
+        profile_workload(&platform, workload, &factory, family, window_us, max_cycles)
+    })?;
 
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -1381,12 +1566,15 @@ fn run_single(
     model: &ModelSpec,
     max_cycles: u64,
     options: &ScenarioOptions,
+    sink: &dyn ProgressSink,
 ) -> Result<ExperimentReport, MessError> {
     let platform = spec.platform.resolve();
     let cpu = platform.cpu_config();
     let streams = workload.streams(cpu.llc.capacity_bytes, cpu.cores)?;
     let mut backend = resolve_factory(model, &platform, options)?.build()?;
-    let run = run_streams(&platform, streams, backend.as_mut(), max_cycles);
+    let run = observed_leg(sink, &spec.id, workload.label(), 0, 1, || {
+        run_streams(&platform, streams, backend.as_mut(), max_cycles)
+    });
 
     let mut report = ExperimentReport::new(
         &spec.id,
@@ -1599,11 +1787,100 @@ mod tests {
                 )
                 .unwrap(),
             ),
+            ..Default::default()
         };
         let resolved =
             resolve_curves(&CurveSourceSpec::PlatformReference, &platform, &options).unwrap();
         assert_eq!(resolved, override_family);
         assert_ne!(resolved, platform.reference_family());
+    }
+
+    #[test]
+    fn observed_runs_narrate_legs_without_changing_results() {
+        use std::sync::Mutex;
+        let spec = ScenarioSpec {
+            id: "observed".into(),
+            title: "observed".into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::ModelComparison {
+                models: vec![
+                    ModelSpec::of(MemoryModelKind::FixedLatency),
+                    ModelSpec::of(MemoryModelKind::Md1Queue),
+                ],
+                sweep: SweepSpec::preset(SweepPreset::Reduced),
+            },
+            notes: vec![],
+        };
+        let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let sink = |event: ProgressEvent| events.lock().unwrap().push(event);
+        let observed = run_scenario_observed(&spec, &ScenarioOptions::default(), &sink).unwrap();
+        let silent = run_scenario_with(&spec, &ScenarioOptions::default()).unwrap();
+        assert_eq!(
+            observed.report, silent.report,
+            "the sink must not perturb results"
+        );
+        assert_eq!(observed.curve_sets, silent.curve_sets);
+
+        let events = events.into_inner().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(ProgressEvent::ScenarioStarted { .. })
+        ));
+        assert!(
+            matches!(events.last(), Some(ProgressEvent::ScenarioFinished { rows, .. }) if *rows == 2)
+        );
+        let started = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::LegStarted { .. }))
+            .count();
+        let finished = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::LegFinished { .. }))
+            .count();
+        assert_eq!(started, 2, "one leg per model");
+        assert_eq!(finished, 2);
+        assert!(events.iter().all(|e| e.scenario() == "observed"));
+    }
+
+    #[test]
+    fn cancelled_scenarios_and_campaign_members_never_run() {
+        let scenario = |id: &str| ScenarioSpec {
+            id: id.into(),
+            title: id.into(),
+            platform: PlatformRef::quick(PlatformId::IntelSkylake),
+            kind: ScenarioKind::Run {
+                workload: WorkloadSpec::gups(100),
+                model: ModelSpec::of(MemoryModelKind::FixedLatency),
+                max_cycles: 1_000_000,
+            },
+            notes: vec![],
+        };
+        let token = mess_exec::CancelToken::new();
+        token.cancel();
+        let options = ScenarioOptions {
+            cancel: Some(token),
+            ..Default::default()
+        };
+        assert_eq!(
+            run_scenario_observed(&scenario("solo"), &options, &NoProgress).unwrap_err(),
+            MessError::Cancelled
+        );
+        let campaign = CampaignSpec {
+            name: "cancelled".into(),
+            scenarios: vec![scenario("a"), scenario("b")],
+        };
+        assert_eq!(
+            run_campaign_observed(&campaign, &options, &NoProgress).unwrap_err(),
+            MessError::Cancelled
+        );
+        // An unfired token runs everything.
+        let live = ScenarioOptions {
+            cancel: Some(mess_exec::CancelToken::new()),
+            ..Default::default()
+        };
+        let outcomes = run_campaign_observed(&campaign, &live, &NoProgress).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].report.id, "a");
     }
 
     #[test]

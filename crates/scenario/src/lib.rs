@@ -24,15 +24,22 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod digest;
 pub mod engine;
+pub mod output;
+pub mod progress;
 pub mod report;
 pub mod spec;
 
 pub use builtin::{builtin, builtin_spec, run_builtin, BuiltinScenario, BUILTINS};
+pub use digest::{digest_text, SpecDigest};
 pub use engine::{
-    resolve_curves, resolve_factory, run_campaign, run_campaign_with, run_scenario,
-    run_scenario_with, ScenarioOptions, ScenarioOutcome, ValidationWorkload,
+    resolve_curves, resolve_factory, run_campaign, run_campaign_observed, run_campaign_with,
+    run_scenario, run_scenario_observed, run_scenario_with, ScenarioOptions, ScenarioOutcome,
+    ValidationWorkload,
 };
+pub use output::{write_curve_sets, write_reports};
+pub use progress::{NoProgress, ProgressEvent, ProgressSink};
 pub use report::{CampaignSummary, ExperimentReport, ExperimentSummary, Fidelity};
 pub use spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
 

@@ -1,0 +1,262 @@
+//! File output for experiment runs — shared by the harness (`--out` / `--curves-out`)
+//! and the `mess-serve` result cache.
+//!
+//! Each report becomes `<dir>/<id>.csv` (the same CSV `--csv` prints) and the whole batch
+//! is indexed by `<dir>/campaign-summary.json` — a [`CampaignSummary`] carrying every
+//! experiment's title, row count and notes, so downstream tooling can discover the CSVs
+//! without parsing them. Curve artifacts measured by a run are written by
+//! [`write_curve_sets`] as one `CurveSet` JSON file each, named from their provenance.
+//!
+//! Naming is deterministic and collision-safe: identical artifacts map to one file
+//! (idempotent re-writes), artifacts whose provenance slugs coincide but whose contents
+//! differ are disambiguated by a content-digest suffix — never silently overwritten,
+//! whether the collision happens within one batch or across invocations into the same
+//! directory.
+
+use crate::digest::digest_text;
+use crate::report::{CampaignSummary, ExperimentReport};
+use mess_core::CurveSet;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes one CSV file per report plus a `campaign-summary.json` index into `dir` (created
+/// if missing). Returns the paths written, the summary last.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, disk full, ...).
+pub fn write_reports(
+    dir: &Path,
+    campaign_name: &str,
+    reports: &[ExperimentReport],
+) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(reports.len() + 1);
+    for report in reports {
+        let path = dir.join(format!("{}.csv", report.id));
+        fs::write(&path, report.to_csv())?;
+        written.push(path);
+    }
+    let summary_path = dir.join("campaign-summary.json");
+    let summary = CampaignSummary::new(campaign_name, reports);
+    fs::write(&summary_path, summary.to_json() + "\n")?;
+    written.push(summary_path);
+    Ok(written)
+}
+
+/// Reduces a provenance string to a file-name-safe slug: lowercase, every run of
+/// non-alphanumeric characters collapsed to one `-`.
+fn slug(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// `true` when `name` (in this batch or on disk in `dir`) already holds content other
+/// than `contents` — the silent-overwrite case [`write_curve_sets`] must disambiguate.
+fn taken_by_other(
+    dir: &Path,
+    claimed: &HashMap<String, String>,
+    name: &str,
+    contents: &str,
+) -> io::Result<bool> {
+    if let Some(existing) = claimed.get(name) {
+        return Ok(existing != contents);
+    }
+    match fs::read_to_string(dir.join(name)) {
+        Ok(existing) => Ok(existing != contents),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes every curve artifact into `dir` (created if missing) as
+/// `<scenario>-<platform>-<model>.json`, slugged from the artifact's provenance. Returns
+/// the paths written, in artifact order — deterministic, so CI and scripts can name the
+/// files in advance.
+///
+/// Two artifacts may slug to the same base name (within one batch, or across invocations
+/// into the same directory). Byte-identical artifacts simply share the file — re-writing
+/// is idempotent. Artifacts with *different* contents get a `-<hhhhhhhh>` content-digest
+/// suffix instead of silently overwriting each other; the suffix is a pure function of
+/// the artifact bytes, so the name is as reproducible as the base one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, and reports a collision error in the (digest-collision)
+/// case where even the suffixed name already holds different content.
+pub fn write_curve_sets(dir: &Path, sets: &[CurveSet]) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written: Vec<PathBuf> = Vec::with_capacity(sets.len());
+    let mut claimed: HashMap<String, String> = HashMap::new();
+    for set in sets {
+        let p = set.provenance();
+        let base = slug(&format!("{}-{}-{}", p.scenario, p.platform, p.model));
+        let contents = set.to_json() + "\n";
+        let mut name = format!("{base}.json");
+        if taken_by_other(dir, &claimed, &name, &contents)? {
+            let short = &digest_text(&contents).to_string()[..8];
+            name = format!("{base}-{short}.json");
+            if taken_by_other(dir, &claimed, &name, &contents)? {
+                return Err(io::Error::other(format!(
+                    "curve artifact name collision: `{name}` already holds different content"
+                )));
+            }
+        }
+        let path = dir.join(&name);
+        if claimed.insert(name, contents.clone()).is_none() {
+            fs::write(&path, &contents)?;
+        }
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CampaignSummary;
+    use mess_core::CurveSetProvenance;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mess-scenario-output-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_one_csv_per_report_and_a_summary_index() {
+        let dir = temp_dir("basic");
+        let mut a = ExperimentReport::new("fig0", "first", &["x", "y"]);
+        a.push_row(vec!["1".into(), "2".into()]);
+        a.note("headline");
+        let mut b = ExperimentReport::new("fig1", "second", &["z"]);
+        b.push_row(vec!["3".into()]);
+
+        let written = write_reports(&dir, "demo", &[a.clone(), b]).unwrap();
+        assert_eq!(written.len(), 3);
+        assert_eq!(written[0].file_name().unwrap(), "fig0.csv");
+        assert_eq!(written[2].file_name().unwrap(), "campaign-summary.json");
+
+        let csv = fs::read_to_string(&written[0]).unwrap();
+        assert_eq!(csv, a.to_csv());
+        let summary: CampaignSummary =
+            serde_json::from_str(&fs::read_to_string(&written[2]).unwrap()).unwrap();
+        assert_eq!(summary.name, "demo");
+        assert_eq!(summary.experiments.len(), 2);
+        assert_eq!(summary.experiments[0].rows, 1);
+        assert_eq!(summary.experiments[0].notes, vec!["headline".to_string()]);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn skylake_set(scenario: &str) -> CurveSet {
+        let family = mess_platforms::PlatformId::IntelSkylake
+            .spec()
+            .reference_family();
+        CurveSet::new(
+            family,
+            CurveSetProvenance::new("skylake", "detailed-dram", "test sweep", scenario),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn curve_sets_get_deterministic_provenance_named_files() {
+        let dir = temp_dir("curves");
+        // Identical artifacts with identical provenance share one file (idempotent), so
+        // the repeated "My Run" artifact maps back to the first file.
+        let written = write_curve_sets(
+            &dir,
+            &[
+                skylake_set("My Run"),
+                skylake_set("fig2"),
+                skylake_set("My Run"),
+            ],
+        )
+        .unwrap();
+        let names: Vec<_> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "my-run-skylake-detailed-dram.json",
+                "fig2-skylake-detailed-dram.json",
+                "my-run-skylake-detailed-dram.json",
+            ]
+        );
+        // Every written file loads back through the strict loader, byte-stable.
+        for path in &written {
+            let back = CurveSet::load(path).unwrap();
+            assert_eq!(back.to_json() + "\n", fs::read_to_string(path).unwrap());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn colliding_slugs_with_different_content_get_digest_suffixes() {
+        // Regression test for the silent-overwrite bug: "My Run" and "my run" slug to the
+        // same base name but carry different curve families — the second must land in its
+        // own file, not clobber the first, and the disambiguated name must be stable
+        // across separate invocations into the same directory.
+        let a = skylake_set("My Run");
+        let family_b = mess_platforms::PlatformId::AmdZen2
+            .spec()
+            .reference_family();
+        let b = CurveSet::new(
+            family_b,
+            CurveSetProvenance::new("skylake", "detailed-dram", "test sweep", "my run"),
+        )
+        .unwrap();
+
+        let dir = temp_dir("collide");
+        let written = write_curve_sets(&dir, &[a.clone(), b.clone()]).unwrap();
+        let names: Vec<_> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names[0], "my-run-skylake-detailed-dram.json");
+        assert!(
+            names[1].starts_with("my-run-skylake-detailed-dram-") && names[1].ends_with(".json"),
+            "colliding content must get a digest suffix, got {}",
+            names[1]
+        );
+        assert_ne!(names[0], names[1]);
+        // Neither artifact overwrote the other.
+        assert_eq!(CurveSet::load(&written[0]).unwrap().to_json(), a.to_json());
+        assert_eq!(CurveSet::load(&written[1]).unwrap().to_json(), b.to_json());
+
+        // A cross-invocation collision resolves to the same names: writing `b` alone into
+        // the directory where `a` already owns the base name reuses the suffixed file.
+        let again = write_curve_sets(&dir, std::slice::from_ref(&b)).unwrap();
+        assert_eq!(
+            again[0].file_name().unwrap().to_string_lossy(),
+            names[1],
+            "disambiguated names must be stable across invocations"
+        );
+        // And re-writing identical content is idempotent — still only the two files.
+        let count = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(count, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_nested_output_directories() {
+        let dir = temp_dir("nested").join("a/b");
+        let report = ExperimentReport::new("fig9", "nested", &["c"]);
+        let written = write_reports(&dir, "nested", &[report]).unwrap();
+        assert!(written.iter().all(|p| p.exists()));
+        fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Reusable progress reporting for scenario runs.
+//!
+//! The engine used to narrate nothing (the harness printed job lines around whole
+//! scenarios); a resident service needs finer grain — which *leg* of a run is executing —
+//! delivered through a pluggable sink instead of stderr. [`ProgressSink`] is that hook:
+//! the harness keeps its quiet default ([`NoProgress`]), `mess-serve` forwards every
+//! event to the run's newline-delimited JSON event stream, and tests collect events into
+//! a `Vec` through the blanket closure impl.
+//!
+//! Events carry owned strings (not borrows into the spec) so sinks can queue them beyond
+//! the run's lifetime. Emission order is deterministic *per leg* — a leg's `LegStarted`
+//! always precedes its `LegFinished` — but legs of one scenario run concurrently, so
+//! events of different legs interleave according to the actual schedule. That interleaving
+//! is reporting-only: the run's outputs stay byte-identical at any worker count.
+
+/// One step of a scenario run, as reported to a [`ProgressSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// The scenario validated and is about to execute.
+    ScenarioStarted {
+        /// The scenario's id.
+        scenario: String,
+    },
+    /// A parallel leg (one platform, model, workload, ... of the fan-out) was picked up.
+    LegStarted {
+        /// The scenario's id.
+        scenario: String,
+        /// Human-readable leg label (platform key, model label, workload name, ...).
+        leg: String,
+        /// The leg's index in spec order.
+        index: usize,
+        /// Total legs of this fan-out.
+        total: usize,
+    },
+    /// A parallel leg finished computing its rows.
+    LegFinished {
+        /// The scenario's id.
+        scenario: String,
+        /// Human-readable leg label (platform key, model label, workload name, ...).
+        leg: String,
+        /// The leg's index in spec order.
+        index: usize,
+        /// Total legs of this fan-out.
+        total: usize,
+    },
+    /// The scenario's report (and artifacts) are complete.
+    ScenarioFinished {
+        /// The scenario's id.
+        scenario: String,
+        /// Rows in the final report.
+        rows: usize,
+        /// Curve artifacts the run produced.
+        artifacts: usize,
+    },
+}
+
+impl ProgressEvent {
+    /// The scenario id the event belongs to.
+    pub fn scenario(&self) -> &str {
+        match self {
+            ProgressEvent::ScenarioStarted { scenario }
+            | ProgressEvent::LegStarted { scenario, .. }
+            | ProgressEvent::LegFinished { scenario, .. }
+            | ProgressEvent::ScenarioFinished { scenario, .. } => scenario,
+        }
+    }
+}
+
+/// Receives [`ProgressEvent`]s from a running scenario. `Sync` because the engine emits
+/// from its parallel leg workers.
+pub trait ProgressSink: Sync {
+    /// Delivers one event. Implementations must be cheap (or buffer internally): they run
+    /// on the engine's worker threads.
+    fn emit(&self, event: ProgressEvent);
+}
+
+/// The silent sink: the default for CLI runs and everything that predates the service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl ProgressSink for NoProgress {
+    fn emit(&self, _event: ProgressEvent) {}
+}
+
+/// Any `Sync` closure is a sink, e.g. `|e| tx.send(e).unwrap()` over a mutex-guarded
+/// queue.
+impl<F: Fn(ProgressEvent) + Sync> ProgressSink for F {
+    fn emit(&self, event: ProgressEvent) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn closures_and_no_progress_are_sinks() {
+        let seen: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let sink = |event: ProgressEvent| seen.lock().unwrap().push(event);
+        let as_dyn: &dyn ProgressSink = &sink;
+        as_dyn.emit(ProgressEvent::ScenarioStarted {
+            scenario: "s".into(),
+        });
+        NoProgress.emit(ProgressEvent::ScenarioFinished {
+            scenario: "s".into(),
+            rows: 0,
+            artifacts: 0,
+        });
+        let events = seen.into_inner().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].scenario(), "s");
+    }
+}

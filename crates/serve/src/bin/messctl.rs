@@ -1,0 +1,204 @@
+//! `messctl` — the thin client for a running `messd`.
+//!
+//! ```text
+//! messctl [--addr HOST:PORT] <command> [args]
+//!
+//!   submit <spec.json> [--campaign] [--threads N] [--cache use|refresh|bypass] [--wait]
+//!   status <run>
+//!   wait <run>
+//!   events <run> [--from N]          # prints the NDJSON stream
+//!   report <run>                     # prints the run's CSV
+//!   artifacts <run> [--out <dir>]    # lists artifacts, or writes them into <dir>
+//!   cancel <run>
+//!   stats
+//!   health
+//! ```
+//!
+//! Output is plain `key value` lines (one fact per line) so shell scripts can
+//! `messctl submit ... | awk '/^run /{print $2}'`.
+
+use mess_serve::{CacheMode, RunKind, RunStatus, ServeClient};
+use std::process::ExitCode;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7070";
+
+fn print_status(status: &RunStatus) {
+    println!("run {}", status.run);
+    println!("digest {}", status.digest);
+    println!("kind {}", status.kind);
+    println!("state {}", status.state);
+    println!("cached {}", status.cached);
+    println!("reports {}", status.reports);
+    println!("artifacts {}", status.artifacts);
+    if let Some(identical) = status.refresh_identical {
+        println!("refresh_identical {identical}");
+    }
+    if let Some(error) = &status.error {
+        println!("error {error}");
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = DEFAULT_ADDR.to_string();
+    if let Some(i) = args.iter().position(|a| a == "--addr") {
+        if i + 1 >= args.len() {
+            return Err("--addr requires a value".into());
+        }
+        addr = args.remove(i + 1);
+        args.remove(i);
+    }
+    let client = ServeClient::new(addr);
+    let take_flag_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) if i + 1 < args.len() => {
+                let value = args.remove(i + 1);
+                args.remove(i);
+                Ok(Some(value))
+            }
+            Some(_) => Err(format!("{flag} requires a value")),
+        }
+    };
+    let take_switch = |args: &mut Vec<String>, flag: &str| -> bool {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => {
+                args.remove(i);
+                true
+            }
+            None => false,
+        }
+    };
+
+    let command = if args.is_empty() {
+        return Err("usage: messctl [--addr HOST:PORT] <submit|status|wait|events|report|artifacts|cancel|stats|health> ...".into());
+    } else {
+        args.remove(0)
+    };
+
+    match command.as_str() {
+        "submit" => {
+            let campaign = take_switch(&mut args, "--campaign");
+            let wait = take_switch(&mut args, "--wait");
+            let threads: usize = match take_flag_value(&mut args, "--threads")? {
+                None => 0,
+                Some(raw) => raw.parse().map_err(|e| format!("--threads: {e}"))?,
+            };
+            let cache = match take_flag_value(&mut args, "--cache")? {
+                None => CacheMode::Use,
+                Some(raw) => CacheMode::parse(&raw)
+                    .ok_or_else(|| format!("bad cache mode `{raw}` (use | refresh | bypass)"))?,
+            };
+            let path = args
+                .first()
+                .ok_or("submit requires a spec file".to_string())?;
+            let spec = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let kind = if campaign {
+                RunKind::Campaign
+            } else {
+                RunKind::Scenario
+            };
+            let receipt = client
+                .submit(kind, &spec, threads, cache)
+                .map_err(|e| e.to_string())?;
+            println!("run {}", receipt.run);
+            println!("digest {}", receipt.digest);
+            println!("cached {}", receipt.cached);
+            println!("deduplicated {}", receipt.deduplicated);
+            println!("state {}", receipt.state);
+            if wait && receipt.state != "done" {
+                let status = client.wait(&receipt.run).map_err(|e| e.to_string())?;
+                println!("state {}", status.state);
+            }
+            Ok(())
+        }
+        "status" => {
+            let run = args.first().ok_or("status requires a run id".to_string())?;
+            print_status(&client.status(run).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "wait" => {
+            let run = args.first().ok_or("wait requires a run id".to_string())?;
+            print_status(&client.wait(run).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "events" => {
+            let from: usize = match take_flag_value(&mut args, "--from")? {
+                None => 0,
+                Some(raw) => raw.parse().map_err(|e| format!("--from: {e}"))?,
+            };
+            let run = args.first().ok_or("events requires a run id".to_string())?;
+            client
+                .stream_events(run, from, |record| {
+                    println!(
+                        "{}",
+                        serde_json::to_string(&record).expect("events re-serialize")
+                    );
+                })
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "report" => {
+            let run = args.first().ok_or("report requires a run id".to_string())?;
+            print!("{}", client.report_csv(run).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "artifacts" => {
+            let out = take_flag_value(&mut args, "--out")?;
+            let run = args
+                .first()
+                .ok_or("artifacts requires a run id".to_string())?;
+            let listing = client.artifacts(run).map_err(|e| e.to_string())?;
+            match out {
+                None => {
+                    for (i, name) in listing.artifacts.iter().enumerate() {
+                        println!("artifact {i} {name}");
+                    }
+                }
+                Some(dir) => {
+                    std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+                    for (i, name) in listing.artifacts.iter().enumerate() {
+                        let bytes = client.artifact(run, i).map_err(|e| e.to_string())?;
+                        let path = std::path::Path::new(&dir).join(name);
+                        std::fs::write(&path, bytes)
+                            .map_err(|e| format!("{}: {e}", path.display()))?;
+                        println!("wrote {}", path.display());
+                    }
+                }
+            }
+            Ok(())
+        }
+        "cancel" => {
+            let run = args.first().ok_or("cancel requires a run id".to_string())?;
+            print_status(&client.cancel(run).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("runs_executed {}", stats.runs_executed);
+            println!("cache_hits {}", stats.cache_hits);
+            println!("cache_misses {}", stats.cache_misses);
+            println!("deduplicated {}", stats.deduplicated);
+            println!("evicted {}", stats.evicted);
+            println!("cache_entries {}", stats.cache_entries);
+            println!("active_runs {}", stats.active_runs);
+            Ok(())
+        }
+        "health" => {
+            client.healthz().map_err(|e| e.to_string())?;
+            println!("status ok");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("messctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `messd` — the resident scenario daemon.
+//!
+//! ```text
+//! messd [--addr 127.0.0.1] [--port 0] [--port-file <path>] [--cache-dir <dir>]
+//!       [--admission N] [--threads N] [--max-cache-entries N]
+//! ```
+//!
+//! Binds `<addr>:<port>` (port 0 picks an ephemeral port), prints the bound address on
+//! stdout (and to `--port-file`, for scripts that need to discover the port), then serves
+//! until killed.
+
+use mess_serve::{DaemonConfig, Server};
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    port: u16,
+    port_file: Option<String>,
+    config: DaemonConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1".into(),
+        port: 7070,
+        port_file: None,
+        config: DaemonConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--cache-dir" => args.config.cache_dir = value("--cache-dir")?.into(),
+            "--admission" => {
+                args.config.admission = value("--admission")?
+                    .parse()
+                    .map_err(|e| format!("--admission: {e}"))?
+            }
+            "--threads" => {
+                args.config.default_threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-cache-entries" => {
+                args.config.max_cache_entries = value("--max-cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("--max-cache-entries: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "messd [--addr A] [--port P] [--port-file F] [--cache-dir D] \
+                     [--admission N] [--threads N] [--max-cache-entries N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("messd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bind = format!("{}:{}", args.addr, args.port);
+    let server = match Server::start(&bind, args.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("messd: cannot start on {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    println!("messd listening on {addr}");
+    println!(
+        "messd cache at {} (admission {}, default threads {})",
+        args.config.cache_dir.display(),
+        args.config.admission,
+        args.config.default_threads
+    );
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("messd: cannot write --port-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,281 @@
+//! The content-addressed result cache behind `messd`.
+//!
+//! Layout: one directory per entry, named by the spec's 32-hex [`SpecDigest`]
+//! (`<root>/<digest>/`), holding
+//!
+//! * `entry.json` — the [`CacheEntryMeta`]: run kind, the canonical spec JSON the digest
+//!   was computed over, every report, and the artifact file names;
+//! * `artifacts/` — the run's `CurveSet` files, written through the same
+//!   [`mess_scenario::write_curve_sets`] path the CLI's `--curves-out` uses, so a cached
+//!   artifact is byte-identical to what a fresh CLI run would have written.
+//!
+//! Stores are atomic: everything is written into a hidden sibling directory and
+//! `rename(2)`d into place, so a crash mid-store leaves no half-entry a later `lookup`
+//! could mistake for a result, and readers never observe a partially written entry.
+//! Corrupt or unreadable entries degrade to cache misses, never to errors.
+//!
+//! The cache is bounded: when a store pushes the entry count past the configured cap, the
+//! least-recently-written entries (by directory mtime) are evicted.
+
+use crate::protocol::RunKind;
+use mess_scenario::{CurveSet, ExperimentReport, SpecDigest};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The `entry.json` payload of one cache entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntryMeta {
+    /// The entry's digest (redundant with the directory name, kept for self-description).
+    pub digest: String,
+    /// `scenario` or `campaign`.
+    pub kind: String,
+    /// The canonical spec JSON the digest was computed over.
+    pub spec: String,
+    /// Every report the run produced (1 for a scenario, one per member for a campaign).
+    pub reports: Vec<ExperimentReport>,
+    /// Artifact file names under `artifacts/`, in production order.
+    pub artifacts: Vec<String>,
+}
+
+/// A bounded, content-addressed, on-disk store of finished run results.
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+    max_entries: usize,
+    evicted: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache rooted at `root`, keeping at most
+    /// `max_entries` entries.
+    pub fn open(root: &Path, max_entries: usize) -> io::Result<ResultCache> {
+        fs::create_dir_all(root)?;
+        Ok(ResultCache {
+            root: root.to_path_buf(),
+            max_entries: max_entries.max(1),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    fn entry_dir(&self, digest: &SpecDigest) -> PathBuf {
+        self.root.join(digest.to_string())
+    }
+
+    /// The on-disk path of artifact `name` of `digest`'s entry. `name` must come from the
+    /// entry's own [`CacheEntryMeta::artifacts`] list (the server only addresses
+    /// artifacts by index into it, so clients can never supply a path).
+    pub fn artifact_path(&self, digest: &SpecDigest, name: &str) -> PathBuf {
+        self.entry_dir(digest).join("artifacts").join(name)
+    }
+
+    /// Looks up `digest`, returning its metadata on a hit. Missing, partial or corrupt
+    /// entries are misses, never errors.
+    pub fn lookup(&self, digest: &SpecDigest) -> Option<CacheEntryMeta> {
+        let text = fs::read_to_string(self.entry_dir(digest).join("entry.json")).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Stores a finished run under `digest`, atomically. With `replace` the existing
+    /// entry (if any) is overwritten; without it an existing entry wins and the new
+    /// result is discarded (content-addressing makes them interchangeable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing or publishing the entry.
+    pub fn store(
+        &self,
+        digest: &SpecDigest,
+        kind: RunKind,
+        spec: &str,
+        reports: &[ExperimentReport],
+        curve_sets: &[CurveSet],
+        replace: bool,
+    ) -> io::Result<CacheEntryMeta> {
+        let staging = self.root.join(format!(".staging-{digest}"));
+        let _ = fs::remove_dir_all(&staging);
+        fs::create_dir_all(&staging)?;
+        let written = mess_scenario::write_curve_sets(&staging.join("artifacts"), curve_sets)?;
+        let artifacts = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        let meta = CacheEntryMeta {
+            digest: digest.to_string(),
+            kind: kind.label().to_string(),
+            spec: spec.to_string(),
+            reports: reports.to_vec(),
+            artifacts,
+        };
+        let json = serde_json::to_string_pretty(&meta).map_err(io::Error::other)?;
+        fs::write(staging.join("entry.json"), json + "\n")?;
+
+        let dest = self.entry_dir(digest);
+        if replace {
+            let _ = fs::remove_dir_all(&dest);
+        }
+        match fs::rename(&staging, &dest) {
+            Ok(()) => {}
+            Err(_) if dest.join("entry.json").exists() => {
+                // Lost a publish race (or a concurrent duplicate run finished first):
+                // content-addressing makes the entries interchangeable, keep the winner.
+                let _ = fs::remove_dir_all(&staging);
+            }
+            Err(e) => {
+                let _ = fs::remove_dir_all(&staging);
+                return Err(e);
+            }
+        }
+        self.evict_over_cap();
+        Ok(meta)
+    }
+
+    fn entry_dirs(&self) -> Vec<PathBuf> {
+        let Ok(read) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        read.flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.parse::<SpecDigest>().is_ok())
+            })
+            .collect()
+    }
+
+    fn evict_over_cap(&self) {
+        let mut dirs = self.entry_dirs();
+        if dirs.len() <= self.max_entries {
+            return;
+        }
+        // Oldest mtime first; tie-break on the name so eviction order is deterministic.
+        dirs.sort_by_key(|p| {
+            let mtime = fs::metadata(p).and_then(|m| m.modified()).ok();
+            (mtime, p.file_name().map(|n| n.to_os_string()))
+        });
+        let excess = dirs.len() - self.max_entries;
+        for dir in dirs.into_iter().take(excess) {
+            if fs::remove_dir_all(&dir).is_ok() {
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The cache's root directory (also used for the daemon's scratch space, so
+    /// everything the service writes lives under one configurable path).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Entries currently on disk.
+    pub fn entries(&self) -> u64 {
+        self.entry_dirs().len() as u64
+    }
+
+    /// Entries evicted over this cache handle's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mess_scenario::{digest_text, CurveSetProvenance};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mess-serve-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn curve_set(scenario: &str) -> CurveSet {
+        let family = mess_platforms::PlatformId::IntelSkylake
+            .spec()
+            .reference_family();
+        CurveSet::new(
+            family,
+            CurveSetProvenance::new("skylake", "detailed-dram", "test", scenario),
+        )
+        .unwrap()
+    }
+
+    fn report() -> ExperimentReport {
+        let mut r = ExperimentReport::new("fig0", "t", &["a"]);
+        r.push_row(vec!["1".into()]);
+        r
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_reports_and_artifacts() {
+        let root = temp_root("roundtrip");
+        let cache = ResultCache::open(&root, 8).unwrap();
+        let digest = digest_text("spec one");
+        assert!(cache.lookup(&digest).is_none());
+
+        let set = curve_set("entry");
+        let meta = cache
+            .store(
+                &digest,
+                RunKind::Scenario,
+                "spec one",
+                &[report()],
+                std::slice::from_ref(&set),
+                false,
+            )
+            .unwrap();
+        let found = cache.lookup(&digest).expect("stored entry is a hit");
+        assert_eq!(found, meta);
+        assert_eq!(found.kind, "scenario");
+        assert_eq!(found.reports, vec![report()]);
+        assert_eq!(found.artifacts.len(), 1);
+
+        // The cached artifact is byte-identical to what the CLI writer produces.
+        let bytes = fs::read_to_string(cache.artifact_path(&digest, &found.artifacts[0])).unwrap();
+        assert_eq!(bytes, set.to_json() + "\n");
+        assert_eq!(cache.entries(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let root = temp_root("corrupt");
+        let cache = ResultCache::open(&root, 8).unwrap();
+        let digest = digest_text("broken");
+        let dir = root.join(digest.to_string());
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("entry.json"), "not json").unwrap();
+        assert!(cache.lookup(&digest).is_none());
+        // A store over the corrupt entry repairs it.
+        cache
+            .store(&digest, RunKind::Scenario, "broken", &[report()], &[], true)
+            .unwrap();
+        assert!(cache.lookup(&digest).is_some());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stores_beyond_the_cap_evict_the_oldest_entries() {
+        let root = temp_root("evict");
+        let cache = ResultCache::open(&root, 2).unwrap();
+        let digests: Vec<_> = ["a", "b", "c"].iter().map(|s| digest_text(s)).collect();
+        for digest in &digests {
+            cache
+                .store(digest, RunKind::Scenario, "s", &[report()], &[], false)
+                .unwrap();
+            // Distinct mtimes so eviction order is the store order.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evicted(), 1);
+        assert!(cache.lookup(&digests[0]).is_none(), "oldest entry evicted");
+        assert!(cache.lookup(&digests[1]).is_some());
+        assert!(cache.lookup(&digests[2]).is_some());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! The client side of the service: a tiny HTTP/1.1 client over `TcpStream`, used by
+//! `messctl` and the integration tests.
+//!
+//! Every call is one connection (the server speaks `Connection: close`), so responses —
+//! including NDJSON event streams — are simply "read until EOF". API errors
+//! (non-2xx responses) are surfaced as [`ClientError::Api`] carrying the status and the
+//! server's structured error message.
+
+use crate::protocol::{
+    ArtifactList, CacheMode, ErrorBody, EventRecord, RunKind, RunStatus, StatsBody, SubmitReceipt,
+};
+use serde::Deserialize;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection itself failed (daemon not running, timeout, ...).
+    Io(io::Error),
+    /// The daemon answered with an error status.
+    Api {
+        /// The HTTP status code.
+        status: u16,
+        /// The server's error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Api { status, message } => write!(f, "server said {status}: {message}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A raw response: status code and body bytes.
+#[derive(Debug)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body (read to EOF).
+    pub body: Vec<u8>,
+}
+
+/// A handle on one daemon address (`host:port`).
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// A client for the daemon at `addr` (e.g. `127.0.0.1:7070`).
+    pub fn new(addr: impl Into<String>) -> ServeClient {
+        ServeClient { addr: addr.into() }
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(stream)
+    }
+
+    /// Performs one request and reads the whole response (body until EOF).
+    ///
+    /// # Errors
+    ///
+    /// Only on transport failures; HTTP error statuses are returned in the [`Response`].
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+        let mut stream = self.connect()?;
+        let body_bytes = body.unwrap_or("").as_bytes();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body_bytes.len()
+        )?;
+        stream.write_all(body_bytes)?;
+        stream.flush()?;
+        read_response(&mut BufReader::new(stream))
+    }
+
+    fn json_call<T: Deserialize>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<T, ClientError> {
+        let response = self.request(method, path, body)?;
+        let text = String::from_utf8_lossy(&response.body).into_owned();
+        if !(200..300).contains(&response.status) {
+            let message = serde_json::from_str::<ErrorBody>(&text)
+                .map(|e| e.error)
+                .unwrap_or(text);
+            return Err(ClientError::Api {
+                status: response.status,
+                message,
+            });
+        }
+        serde_json::from_str(&text).map_err(|e| ClientError::Api {
+            status: response.status,
+            message: format!("unparseable response body: {e}"),
+        })
+    }
+
+    /// Liveness probe: `Ok` when the daemon answers `GET /v1/healthz`.
+    pub fn healthz(&self) -> Result<(), ClientError> {
+        let _: crate::protocol::HealthBody = self.json_call("GET", "/v1/healthz", None)?;
+        Ok(())
+    }
+
+    /// The daemon's lifetime counters.
+    pub fn stats(&self) -> Result<StatsBody, ClientError> {
+        self.json_call("GET", "/v1/stats", None)
+    }
+
+    /// Submits a spec (scenario or campaign JSON). `threads` 0 means the daemon default.
+    pub fn submit(
+        &self,
+        kind: RunKind,
+        spec_json: &str,
+        threads: usize,
+        cache_mode: CacheMode,
+    ) -> Result<SubmitReceipt, ClientError> {
+        let endpoint = match kind {
+            RunKind::Scenario => "scenarios",
+            RunKind::Campaign => "campaigns",
+        };
+        let cache = match cache_mode {
+            CacheMode::Use => "use",
+            CacheMode::Refresh => "refresh",
+            CacheMode::Bypass => "bypass",
+        };
+        let path = format!("/v1/{endpoint}?threads={threads}&cache={cache}");
+        self.json_call("POST", &path, Some(spec_json))
+    }
+
+    /// The run's current status.
+    pub fn status(&self, run: &str) -> Result<RunStatus, ClientError> {
+        self.json_call("GET", &format!("/v1/runs/{run}"), None)
+    }
+
+    /// Requests cancellation; returns the post-cancel status.
+    pub fn cancel(&self, run: &str) -> Result<RunStatus, ClientError> {
+        self.json_call("DELETE", &format!("/v1/runs/{run}"), None)
+    }
+
+    /// Streams the run's events from sequence `from`, invoking `on_event` per record,
+    /// until the stream completes. Returns the number of records seen.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, non-2xx responses, and unparseable event lines.
+    pub fn stream_events(
+        &self,
+        run: &str,
+        from: usize,
+        mut on_event: impl FnMut(EventRecord),
+    ) -> Result<usize, ClientError> {
+        let mut stream = self.connect()?;
+        write!(
+            stream,
+            "GET /v1/runs/{run}/events?from={from} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status_and_headers(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            reader.read_to_string(&mut body)?;
+            let message = serde_json::from_str::<ErrorBody>(&body)
+                .map(|e| e.error)
+                .unwrap_or(body);
+            return Err(ClientError::Api { status, message });
+        }
+        let mut seen = 0;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue; // keep-alive
+            }
+            let record: EventRecord =
+                serde_json::from_str(&line).map_err(|e| ClientError::Api {
+                    status: 200,
+                    message: format!("unparseable event line `{line}`: {e}"),
+                })?;
+            seen += 1;
+            on_event(record);
+        }
+        Ok(seen)
+    }
+
+    /// Blocks until the run is terminal (by following its event stream) and returns the
+    /// final status.
+    pub fn wait(&self, run: &str) -> Result<RunStatus, ClientError> {
+        self.stream_events(run, 0, |_| {})?;
+        self.status(run)
+    }
+
+    /// The run's report(s) as CSV.
+    pub fn report_csv(&self, run: &str) -> Result<String, ClientError> {
+        let response = self.request("GET", &format!("/v1/runs/{run}/report"), None)?;
+        expect_text(response)
+    }
+
+    /// The run's artifact listing.
+    pub fn artifacts(&self, run: &str) -> Result<ArtifactList, ClientError> {
+        self.json_call("GET", &format!("/v1/runs/{run}/artifacts"), None)
+    }
+
+    /// One artifact's bytes, by index into [`ServeClient::artifacts`].
+    pub fn artifact(&self, run: &str, index: usize) -> Result<String, ClientError> {
+        let response = self.request("GET", &format!("/v1/runs/{run}/artifacts/{index}"), None)?;
+        expect_text(response)
+    }
+
+    /// The artifact listing of a cache entry, by digest.
+    pub fn cache_entry(&self, digest: &str) -> Result<ArtifactList, ClientError> {
+        self.json_call("GET", &format!("/v1/cache/{digest}"), None)
+    }
+
+    /// One cached artifact's bytes.
+    pub fn cache_artifact(&self, digest: &str, index: usize) -> Result<String, ClientError> {
+        let response = self.request(
+            "GET",
+            &format!("/v1/cache/{digest}/artifacts/{index}"),
+            None,
+        )?;
+        expect_text(response)
+    }
+}
+
+fn expect_text(response: Response) -> Result<String, ClientError> {
+    let text = String::from_utf8_lossy(&response.body).into_owned();
+    if !(200..300).contains(&response.status) {
+        let message = serde_json::from_str::<ErrorBody>(&text)
+            .map(|e| e.error)
+            .unwrap_or(text);
+        return Err(ClientError::Api {
+            status: response.status,
+            message,
+        });
+    }
+    Ok(text)
+}
+
+fn read_status_and_headers(reader: &mut impl BufRead) -> io::Result<u16> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::other(format!("malformed status line `{status_line}`")))?;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim_end_matches(['\r', '\n']).is_empty() {
+            break;
+        }
+    }
+    Ok(status)
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
+    let status = read_status_and_headers(reader)?;
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    Ok(Response { status, body })
+}

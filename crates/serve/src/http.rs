@@ -1,0 +1,274 @@
+//! A deliberately small HTTP/1.1 layer over `std::net` — just enough protocol for a
+//! localhost control plane: `Content-Length` bodies, a handful of status codes, and
+//! `Connection: close` framing for the newline-delimited JSON event streams.
+//!
+//! No keep-alive, no chunked encoding, no TLS: every request is one connection, which
+//! keeps both ends std-only and makes "read until EOF" a correct client strategy for
+//! streamed responses. Requests are hard-capped ([`MAX_BODY`], [`MAX_HEADER_BYTES`]) so a
+//! misbehaving client cannot balloon the daemon; a body shorter than its declared
+//! `Content-Length` (a truncated upload) is a `400`, not a hang, thanks to the socket
+//! read timeout installed by the server.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body: a spec JSON is a few KB, so 8 MB is generous headroom
+/// while still bounding memory per connection.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Largest accepted header section.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// One parsed request: method, split path/query, and the (possibly empty) body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// The path with the query string stripped (`/v1/runs/run-1`).
+    pub path: String,
+    /// Decoded `key=value` query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The last value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request that could not be read; carries the HTTP status to answer with.
+#[derive(Debug)]
+pub struct RequestError {
+    /// HTTP status code (400 or 413).
+    pub status: u16,
+    /// Human-readable reason, returned in the structured error body.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        RequestError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| RequestError::bad_request(format!("connection error: {e}")))?;
+    if n == 0 {
+        return Err(RequestError::bad_request("connection closed mid-request"));
+    }
+    *budget = budget.checked_sub(n).ok_or_else(|| RequestError {
+        status: 431,
+        message: format!("header section exceeds {MAX_HEADER_BYTES} bytes"),
+    })?;
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, `Content-Length` body) from
+/// `reader`.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] carrying the status to answer with: `400` for malformed
+/// request lines, bad `Content-Length` values, or bodies truncated before their declared
+/// length; `413` when the declared body exceeds [`MAX_BODY`]; `431` for oversized header
+/// sections.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => {
+            return Err(RequestError::bad_request(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::bad_request(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers: HashMap<String, String> = HashMap::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+
+    let content_length = match headers.get("content-length") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| RequestError::bad_request(format!("invalid content-length `{raw}`")))?,
+    };
+    if content_length > MAX_BODY {
+        return Err(RequestError {
+            status: 413,
+            message: format!(
+                "request body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
+            ),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            RequestError::bad_request(format!(
+                "request body truncated before its declared {content_length} bytes: {e}"
+            ))
+        })?;
+    }
+
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_raw
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a `Content-Length` body and closes the exchange.
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response (the payload is already serialized).
+pub fn respond_json(stream: &mut impl Write, status: u16, json: &str) -> io::Result<()> {
+    respond(stream, status, "application/json", json.as_bytes())
+}
+
+/// Starts a streamed `application/x-ndjson` response: headers only, no `Content-Length` —
+/// the caller writes newline-delimited JSON lines and the close of the connection
+/// terminates the stream (the framing `Connection: close` promises).
+pub fn begin_event_stream(stream: &mut impl Write) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_request_with_query_and_body() {
+        let request = parse(
+            "POST /v1/scenarios?threads=4&cache=refresh HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/scenarios");
+        assert_eq!(request.query_param("threads"), Some("4"));
+        assert_eq!(request.query_param("cache"), Some("refresh"));
+        assert_eq!(request.query_param("absent"), None);
+        assert_eq!(request.body, b"body");
+    }
+
+    #[test]
+    fn truncated_bodies_and_bad_framing_are_rejected_as_400() {
+        let truncated = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert_eq!(truncated.status, 400);
+        assert!(
+            truncated.message.contains("truncated"),
+            "{}",
+            truncated.message
+        );
+
+        assert_eq!(parse("NOT-HTTP\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_rejected_as_413_before_reading() {
+        // No body bytes follow at all: the limit check fires on the declared length.
+        let err = parse(&format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        ))
+        .unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn responses_carry_content_length_and_close() {
+        let mut out = Vec::new();
+        respond_json(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

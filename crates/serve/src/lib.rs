@@ -1,0 +1,40 @@
+//! `mess-serve`: a resident scenario service with a content-addressed result cache.
+//!
+//! The CLI pipeline (`mess-harness --scenario ...`) pays full price for every invocation:
+//! process start, and — far more importantly — a complete re-characterization even when
+//! the identical spec ran a minute ago. This crate makes the scenario engine *resident*:
+//!
+//! * **`messd`** — a std-only HTTP daemon on localhost. Clients `POST` the same
+//!   `ScenarioSpec`/`CampaignSpec` JSON the CLI consumes; the daemon validates with the
+//!   strict loaders, queues runs through the `mess-exec` job machinery behind a
+//!   configurable admission limit, and streams per-leg progress as newline-delimited
+//!   JSON.
+//! * **The result cache** — content-addressed by [`mess_scenario::SpecDigest`] (a stable
+//!   hash of the canonical spec serialization). A second request for an
+//!   already-characterized platform is a cache *hit*: it returns byte-identical reports
+//!   and `CurveSet` artifacts without re-running anything, which the engine's
+//!   thread-count-independent determinism makes sound.
+//! * **`messctl`** — a thin CLI client: submit, follow events, fetch reports and
+//!   artifacts, cancel, read daemon stats.
+//!
+//! Module map: [`http`] (minimal HTTP/1.1 framing) → [`server`] (routes) → [`queue`] (run
+//! registry, workers, coalescing) → [`cache`] (the on-disk store), with [`protocol`]
+//! defining every wire body and [`client`] the reusable client side.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheEntryMeta, ResultCache};
+pub use client::{ClientError, ServeClient};
+pub use protocol::{
+    ArtifactList, CacheMode, ErrorBody, EventRecord, RunEvent, RunKind, RunStatus, StatsBody,
+    SubmitReceipt,
+};
+pub use queue::{Daemon, DaemonConfig, Run, RunPhase, SubmitError};
+pub use server::Server;

@@ -1,0 +1,321 @@
+//! The wire vocabulary of the service: every JSON body `messd` emits or accepts, plus the
+//! cache-mode query parameter.
+//!
+//! All bodies are plain serde structs round-tripped through the workspace serde stand-ins,
+//! so `messctl`, the integration tests and any curl-wielding user parse exactly what the
+//! daemon serializes. Progress is streamed as newline-delimited [`EventRecord`]s — one
+//! JSON object per line, each carrying a monotonically increasing `seq` so clients can
+//! resume a dropped stream with `?from=<seq>`.
+
+use serde::{Deserialize, Serialize};
+
+/// How a submission interacts with the content-addressed result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Default: serve a hit from the cache without running; store a miss after running.
+    Use,
+    /// Always re-run, then overwrite the cache entry — and report whether the fresh
+    /// result was byte-identical to the stored one (the determinism probe).
+    Refresh,
+    /// Run without consulting or updating the cache.
+    Bypass,
+}
+
+impl CacheMode {
+    /// Parses the `cache=` query parameter.
+    pub fn parse(raw: &str) -> Option<CacheMode> {
+        match raw {
+            "use" => Some(CacheMode::Use),
+            "refresh" => Some(CacheMode::Refresh),
+            "bypass" => Some(CacheMode::Bypass),
+            _ => None,
+        }
+    }
+}
+
+/// What a run submission is: a single scenario or a campaign of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// One `ScenarioSpec`.
+    Scenario,
+    /// A `CampaignSpec` fanning out over member scenarios.
+    Campaign,
+}
+
+impl RunKind {
+    /// The wire name (`scenario` / `campaign`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunKind::Scenario => "scenario",
+            RunKind::Campaign => "campaign",
+        }
+    }
+}
+
+/// Response to `POST /v1/scenarios` and `POST /v1/campaigns`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitReceipt {
+    /// The run handle (`run-<n>`) all further requests address.
+    pub run: String,
+    /// The spec's content digest — the cache key.
+    pub digest: String,
+    /// `true` when the result came straight from the cache (the run is already `done`).
+    pub cached: bool,
+    /// `true` when the submission was coalesced onto an in-flight run of the same digest
+    /// (`run` then names that existing run).
+    pub deduplicated: bool,
+    /// The run's state at submission time (`queued`, or `done` for a cache hit /
+    /// already-finished coalesced run).
+    pub state: String,
+}
+
+/// Response to `GET /v1/runs/<id>` (and `DELETE /v1/runs/<id>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStatus {
+    /// The run handle.
+    pub run: String,
+    /// The spec's content digest.
+    pub digest: String,
+    /// `scenario` or `campaign`.
+    pub kind: String,
+    /// `queued`, `running`, `done`, `failed` or `cancelled`.
+    pub state: String,
+    /// `true` when the result was served from the cache without executing.
+    pub cached: bool,
+    /// The failure message when `state` is `failed`.
+    pub error: Option<String>,
+    /// Reports produced (1 for a scenario, one per member for a campaign).
+    pub reports: usize,
+    /// Curve artifacts produced.
+    pub artifacts: usize,
+    /// For `cache=refresh` runs: whether the re-run reproduced the previously cached
+    /// result byte-for-byte. `null` until the run finishes (or for other cache modes).
+    pub refresh_identical: Option<bool>,
+}
+
+/// One line of the `GET /v1/runs/<id>/events` stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotonic position in the run's event log (0-based); resume with `?from=<seq+1>`.
+    pub seq: usize,
+    /// The event payload.
+    pub event: RunEvent,
+}
+
+/// Everything a run reports while it moves through the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// The submission validated and was admitted (always the first event).
+    Accepted {
+        /// The run handle.
+        run: String,
+        /// The spec's content digest.
+        digest: String,
+        /// `true` when the result was served from the cache (a `Done` event follows
+        /// immediately; nothing executes).
+        cached: bool,
+    },
+    /// A scenario started executing (once per scenario; campaigns emit one per member).
+    ScenarioStarted {
+        /// The scenario's id.
+        scenario: String,
+    },
+    /// One parallel leg of a scenario's fan-out was picked up.
+    LegStarted {
+        /// The scenario's id.
+        scenario: String,
+        /// Human-readable leg label.
+        leg: String,
+        /// The leg's index in spec order.
+        index: usize,
+        /// Total legs of the fan-out.
+        total: usize,
+    },
+    /// One parallel leg finished.
+    LegFinished {
+        /// The scenario's id.
+        scenario: String,
+        /// Human-readable leg label.
+        leg: String,
+        /// The leg's index in spec order.
+        index: usize,
+        /// Total legs of the fan-out.
+        total: usize,
+    },
+    /// A scenario's report and artifacts are complete.
+    ScenarioFinished {
+        /// The scenario's id.
+        scenario: String,
+        /// Rows in the report.
+        rows: usize,
+        /// Curve artifacts produced.
+        artifacts: usize,
+    },
+    /// The run reached a terminal state (always the last event).
+    Done {
+        /// `done`, `failed` or `cancelled`.
+        state: String,
+        /// `true` when the result was served from the cache.
+        cached: bool,
+        /// See [`RunStatus::refresh_identical`].
+        refresh_identical: Option<bool>,
+    },
+}
+
+impl From<mess_scenario::ProgressEvent> for RunEvent {
+    fn from(event: mess_scenario::ProgressEvent) -> Self {
+        use mess_scenario::ProgressEvent as P;
+        match event {
+            P::ScenarioStarted { scenario } => RunEvent::ScenarioStarted { scenario },
+            P::LegStarted {
+                scenario,
+                leg,
+                index,
+                total,
+            } => RunEvent::LegStarted {
+                scenario,
+                leg,
+                index,
+                total,
+            },
+            P::LegFinished {
+                scenario,
+                leg,
+                index,
+                total,
+            } => RunEvent::LegFinished {
+                scenario,
+                leg,
+                index,
+                total,
+            },
+            P::ScenarioFinished {
+                scenario,
+                rows,
+                artifacts,
+            } => RunEvent::ScenarioFinished {
+                scenario,
+                rows,
+                artifacts,
+            },
+        }
+    }
+}
+
+/// Response to `GET /v1/runs/<id>/artifacts` and `GET /v1/cache/<digest>` (artifact
+/// file names, fetchable by index).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactList {
+    /// The owning run (empty for cache-addressed listings).
+    pub run: String,
+    /// The spec's content digest.
+    pub digest: String,
+    /// Artifact file names, in deterministic production order.
+    pub artifacts: Vec<String>,
+}
+
+/// Response to `GET /v1/stats`: the daemon's lifetime counters. `runs_executed` is the
+/// run-counter the cache tests pin: a cache hit must not increment it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Runs that actually executed the engine.
+    pub runs_executed: u64,
+    /// Submissions answered straight from the cache.
+    pub cache_hits: u64,
+    /// `cache=use` submissions that missed and were enqueued.
+    pub cache_misses: u64,
+    /// Submissions coalesced onto an in-flight run of the same digest.
+    pub deduplicated: u64,
+    /// Cache entries evicted to honour the entry cap.
+    pub evicted: u64,
+    /// Cache entries currently on disk.
+    pub cache_entries: u64,
+    /// Runs currently queued or running.
+    pub active_runs: u64,
+}
+
+/// Response to `GET /v1/healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Always `ok` (the daemon answered).
+    pub status: String,
+}
+
+/// The structured error body every non-2xx response carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable description of what was wrong with the request.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bodies_round_trip() {
+        let receipt = SubmitReceipt {
+            run: "run-1".into(),
+            digest: "00ff".into(),
+            cached: false,
+            deduplicated: false,
+            state: "queued".into(),
+        };
+        let json = serde_json::to_string(&receipt).unwrap();
+        let back: SubmitReceipt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, receipt);
+
+        let record = EventRecord {
+            seq: 3,
+            event: RunEvent::LegFinished {
+                scenario: "s".into(),
+                leg: "skylake".into(),
+                index: 1,
+                total: 4,
+            },
+        };
+        let line = serde_json::to_string(&record).unwrap();
+        assert!(!line.contains('\n'), "event lines must be newline-free");
+        let back: EventRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, record);
+
+        let done = EventRecord {
+            seq: 4,
+            event: RunEvent::Done {
+                state: "done".into(),
+                cached: false,
+                refresh_identical: Some(true),
+            },
+        };
+        let back: EventRecord =
+            serde_json::from_str(&serde_json::to_string(&done).unwrap()).unwrap();
+        assert_eq!(back, done);
+    }
+
+    #[test]
+    fn cache_modes_parse_strictly() {
+        assert_eq!(CacheMode::parse("use"), Some(CacheMode::Use));
+        assert_eq!(CacheMode::parse("refresh"), Some(CacheMode::Refresh));
+        assert_eq!(CacheMode::parse("bypass"), Some(CacheMode::Bypass));
+        assert_eq!(CacheMode::parse("USE"), None);
+        assert_eq!(CacheMode::parse(""), None);
+    }
+
+    #[test]
+    fn progress_events_map_onto_wire_events() {
+        let wire: RunEvent = mess_scenario::ProgressEvent::ScenarioFinished {
+            scenario: "s".into(),
+            rows: 7,
+            artifacts: 2,
+        }
+        .into();
+        assert_eq!(
+            wire,
+            RunEvent::ScenarioFinished {
+                scenario: "s".into(),
+                rows: 7,
+                artifacts: 2
+            }
+        );
+    }
+}

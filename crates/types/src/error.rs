@@ -19,6 +19,8 @@ pub enum MessError {
     Parse(String),
     /// An experiment required a component that is not present in the platform configuration.
     MissingComponent(String),
+    /// The run was cancelled (operator request or service shutdown) before it executed.
+    Cancelled,
 }
 
 impl fmt::Display for MessError {
@@ -35,6 +37,7 @@ impl fmt::Display for MessError {
             MessError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MessError::Parse(msg) => write!(f, "parse error: {msg}"),
             MessError::MissingComponent(msg) => write!(f, "missing component: {msg}"),
+            MessError::Cancelled => write!(f, "run cancelled before execution"),
         }
     }
 }
@@ -63,6 +66,7 @@ mod tests {
                 MessError::MissingComponent("cxl".into()),
                 "missing component",
             ),
+            (MessError::Cancelled, "cancelled"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
