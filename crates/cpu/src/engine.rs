@@ -175,6 +175,9 @@ pub struct Engine {
     /// Reusable completion-drain buffer: one allocation for the engine's lifetime, shared
     /// across runs, so the steady-state drain path never touches the allocator.
     drain_buf: Vec<Completion>,
+    /// Requests accepted by the backend during the current run (a plain local tally,
+    /// flushed to the metric registry at run end when observability is enabled).
+    run_issued: u64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -222,6 +225,7 @@ impl Engine {
             issue_batch: Vec::new(),
             issue_meta: Vec::new(),
             drain_buf: Vec::new(),
+            run_issued: 0,
             streams,
             config,
         }
@@ -268,13 +272,23 @@ impl Engine {
         let mut completions = std::mem::take(&mut self.drain_buf);
         let mut now = 0u64;
         let mut hit_cycle_limit = true;
+        // Observability tallies: plain locals (plus `run_issued`), unconditionally
+        // maintained — a few integer adds per *event*, not per cycle — and flushed to the
+        // registry once at run end. The hot loop never touches an atomic.
+        let mut ticks = 0u64;
+        let mut drain_batches = 0u64;
+        self.run_issued = 0;
 
         while now < max_cycles {
+            ticks += 1;
             backend.tick(Cycle::new(now));
 
             // Collect completions and unblock cores.
             completions.clear();
             backend.drain_completed(&mut completions);
+            if !completions.is_empty() {
+                drain_batches += 1;
+            }
             for c in &completions {
                 completed_memory_ops += 1;
                 if c.kind == AccessKind::Write {
@@ -368,6 +382,19 @@ impl Engine {
 
         completions.clear();
         self.drain_buf = completions;
+        if let Some(metrics) = crate::obs::EngineMetrics::if_enabled() {
+            let labels = [("backend", backend.name())];
+            metrics.runs.with(&labels).inc();
+            metrics.ticks.with(&labels).add(ticks);
+            metrics.cycles.with(&labels).add(now);
+            metrics
+                .cycles_skipped
+                .with(&labels)
+                .add(now.saturating_sub(ticks));
+            metrics.sim_ops.with(&labels).add(completed_memory_ops);
+            metrics.issued.with(&labels).add(self.run_issued);
+            metrics.drain_batches.with(&labels).add(drain_batches);
+        }
         let memory = window.measure(backend);
         let bandwidth = memory.bandwidth_over(Cycle::new(now.max(1)), self.config.frequency);
         RunReport {
@@ -410,6 +437,7 @@ impl Engine {
         let mut start = 0;
         while start < self.issue_batch.len() {
             let outcome = backend.issue(&self.issue_batch[start..]);
+            self.run_issued += outcome.accepted as u64;
             for (request, meta) in self.issue_batch[start..]
                 .iter()
                 .zip(&self.issue_meta[start..])

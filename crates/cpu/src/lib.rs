@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod core;
 pub mod engine;
+mod obs;
 pub mod ops;
 
 pub use cache::{CacheConfig, CacheStats, LastLevelCache};

@@ -1,0 +1,81 @@
+//! Engine metric handles, labeled by backend kind and registered once.
+//!
+//! The engine's cycle loop never touches these: [`crate::engine::Engine::run`] tallies
+//! plain local integers unconditionally (a handful of `u64` adds per simulated *event*,
+//! not per cycle) and flushes them here once per run, only when `mess_obs::enabled()`.
+//! That keeps the enabled and disabled hot paths literally identical.
+
+use std::sync::OnceLock;
+
+use mess_obs::{CounterVec, Registry};
+
+pub(crate) struct EngineMetrics {
+    /// `mess_engine_runs_total{backend=}`: engine runs completed.
+    pub runs: CounterVec,
+    /// `mess_engine_ticks_total{backend=}`: cycles actually ticked (loop iterations).
+    pub ticks: CounterVec,
+    /// `mess_engine_cycles_total{backend=}`: simulated cycles elapsed.
+    pub cycles: CounterVec,
+    /// `mess_engine_cycles_skipped_total{backend=}`: cycles jumped over by event skipping.
+    pub cycles_skipped: CounterVec,
+    /// `mess_engine_sim_ops_total{backend=}`: memory operations completed.
+    pub sim_ops: CounterVec,
+    /// `mess_engine_issued_requests_total{backend=}`: requests accepted by the backend.
+    pub issued: CounterVec,
+    /// `mess_engine_drain_batches_total{backend=}`: non-empty completion drains (mean
+    /// batch size = `sim_ops / drain_batches`).
+    pub drain_batches: CounterVec,
+}
+
+impl EngineMetrics {
+    pub(crate) fn get() -> &'static EngineMetrics {
+        static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let registry = Registry::global();
+            let expect = "mess_engine metric names are registered once";
+            EngineMetrics {
+                runs: registry
+                    .counter_vec("mess_engine_runs_total", "Engine runs completed")
+                    .expect(expect),
+                ticks: registry
+                    .counter_vec(
+                        "mess_engine_ticks_total",
+                        "Cycles actually ticked by the main loop",
+                    )
+                    .expect(expect),
+                cycles: registry
+                    .counter_vec("mess_engine_cycles_total", "Simulated cycles elapsed")
+                    .expect(expect),
+                cycles_skipped: registry
+                    .counter_vec(
+                        "mess_engine_cycles_skipped_total",
+                        "Cycles jumped over by event skipping (cycles - ticks)",
+                    )
+                    .expect(expect),
+                sim_ops: registry
+                    .counter_vec(
+                        "mess_engine_sim_ops_total",
+                        "Memory operations completed (drained)",
+                    )
+                    .expect(expect),
+                issued: registry
+                    .counter_vec(
+                        "mess_engine_issued_requests_total",
+                        "Memory requests accepted by the backend",
+                    )
+                    .expect(expect),
+                drain_batches: registry
+                    .counter_vec(
+                        "mess_engine_drain_batches_total",
+                        "Non-empty completion drains; mean batch = sim_ops / drain_batches",
+                    )
+                    .expect(expect),
+            }
+        })
+    }
+
+    /// The handles when observability is enabled, `None` (one relaxed load) otherwise.
+    pub(crate) fn if_enabled() -> Option<&'static EngineMetrics> {
+        mess_obs::enabled().then(EngineMetrics::get)
+    }
+}

@@ -27,7 +27,12 @@ impl CancelToken {
 
     /// Requests cancellation. Idempotent; visible to every clone of the token.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::SeqCst);
+        let was_cancelled = self.flag.swap(true, Ordering::SeqCst);
+        if !was_cancelled {
+            if let Some(m) = crate::obs::ExecMetrics::if_enabled() {
+                m.cancels.inc();
+            }
+        }
     }
 
     /// `true` once any clone has called [`CancelToken::cancel`].

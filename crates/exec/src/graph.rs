@@ -199,6 +199,7 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
             return Ok(Vec::new());
         }
         let names: Vec<String> = self.jobs.iter().map(|j| j.name.clone()).collect();
+        let metrics = crate::obs::ExecMetrics::if_enabled();
 
         // Like par_map, a graph run from inside a mess-exec worker degrades to one worker:
         // the configured count caps the process, it does not multiply per nesting level.
@@ -228,7 +229,15 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
                     id: JobId(index),
                     name: &names[index],
                 });
-                match catch_unwind(AssertUnwindSafe(job)) {
+                if let Some(m) = metrics {
+                    m.graph_jobs.inc();
+                }
+                let run_start = metrics.map(|_| std::time::Instant::now());
+                let result = catch_unwind(AssertUnwindSafe(job));
+                if let (Some(m), Some(start)) = (metrics, run_start) {
+                    m.run.observe(start.elapsed().as_secs_f64());
+                }
+                match result {
                     Ok(value) => {
                         completed += 1;
                         progress(JobEvent::Finished {
@@ -254,6 +263,12 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
             if let Some((_, payload)) = first_panic {
                 resume_unwind(payload);
             }
+            if let Some(m) = metrics {
+                if cancel.is_cancelled() {
+                    m.skipped
+                        .add(slots.iter().filter(|slot| slot.is_none()).count() as u64);
+                }
+            }
             return Ok(slots);
         }
 
@@ -276,7 +291,11 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
                         if done_tx.send(WorkerMessage::Started(index)).is_err() {
                             return;
                         }
+                        let run_start = metrics.map(|_| std::time::Instant::now());
                         let result = catch_unwind(AssertUnwindSafe(work));
+                        if let (Some(m), Some(start)) = (metrics, run_start) {
+                            m.run.observe(start.elapsed().as_secs_f64());
+                        }
                         if done_tx.send(WorkerMessage::Done(index, result)).is_err() {
                             return;
                         }
@@ -305,10 +324,15 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
                     break;
                 }
                 match done_rx.recv().expect("workers outlive collection") {
-                    WorkerMessage::Started(index) => progress(JobEvent::Started {
-                        id: JobId(index),
-                        name: &names[index],
-                    }),
+                    WorkerMessage::Started(index) => {
+                        if let Some(m) = metrics {
+                            m.graph_jobs.inc();
+                        }
+                        progress(JobEvent::Started {
+                            id: JobId(index),
+                            name: &names[index],
+                        });
+                    }
                     WorkerMessage::Done(index, Ok(value)) => {
                         in_flight -= 1;
                         completed += 1;
@@ -342,6 +366,12 @@ impl<'scope, R: Send + 'scope> JobGraph<'scope, R> {
 
         if let Some((_, payload)) = first_panic {
             resume_unwind(payload);
+        }
+        if let Some(m) = metrics {
+            if cancel.is_cancelled() {
+                m.skipped
+                    .add(slots.iter().filter(|slot| slot.is_none()).count() as u64);
+            }
         }
         Ok(slots)
     }

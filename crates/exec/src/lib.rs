@@ -70,6 +70,7 @@
 
 pub mod cancel;
 pub mod graph;
+mod obs;
 pub mod pool;
 
 pub use cancel::CancelToken;

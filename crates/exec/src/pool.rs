@@ -236,6 +236,15 @@ where
             .collect();
     }
 
+    // Metrics are one relaxed load when observability is off; when on, the gauge tracks
+    // not-yet-pulled items (add n, dec per pull, drain the remainder after the scope so a
+    // cancelled run leaves the gauge balanced).
+    let metrics = crate::obs::ExecMetrics::if_enabled();
+    let map_start = metrics.map(|m| {
+        m.queue_depth.add(n as i64);
+        std::time::Instant::now()
+    });
+
     let queue = Mutex::new(items.into_iter().enumerate());
     let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
@@ -260,7 +269,16 @@ where
                     else {
                         return;
                     };
+                    if let (Some(m), Some(start)) = (metrics, map_start) {
+                        m.items.inc();
+                        m.queue_depth.dec();
+                        m.wait.observe(start.elapsed().as_secs_f64());
+                    }
+                    let run_start = metrics.map(|_| std::time::Instant::now());
                     let result = catch_unwind(AssertUnwindSafe(|| f(index, item)));
+                    if let (Some(m), Some(start)) = (metrics, run_start) {
+                        m.run.observe(start.elapsed().as_secs_f64());
+                    }
                     if result.is_err() {
                         cancelled.store(true, Ordering::Relaxed);
                     }
@@ -282,6 +300,10 @@ where
         }
     });
 
+    if let Some(m) = metrics {
+        let leftover = queue.lock().expect("work queue poisoned").len();
+        m.queue_depth.add(-(leftover as i64));
+    }
     if let Some((_, payload)) = first_panic {
         resume_unwind(payload);
     }

@@ -29,15 +29,38 @@
 //! and overrides every curve source in the run with it (the way to re-simulate or
 //! re-profile from a saved characterization without editing the spec). Both flags also
 //! work with builtin experiment ids, which then run through their scenario specs.
+//!
+//! Observability (see the "Observability" section of this crate's README):
+//! `--progress` narrates every scenario/leg event on stderr, `--trace-out FILE` writes
+//! the run's span timeline as NDJSON, and `--metrics` appends the process metric
+//! registry (Prometheus text) to stdout after the reports. All three are reporting-only:
+//! reports, artifacts and digests stay byte-identical with them on or off.
 
 use mess_exec::JobEvent;
 use mess_harness::{
     run_experiment, run_experiments, write_curve_sets, write_reports, CurveSet, Fidelity, BUILTINS,
     EXPERIMENTS,
 };
-use mess_scenario::{CampaignSpec, ScenarioOptions, ScenarioSpec};
+use mess_scenario::{CampaignSpec, ProgressSink, ScenarioOptions, ScenarioSpec, TraceProgress};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// The CLI's composite progress sink: optional stderr narration (the event's canonical
+/// one-line `Display`) plus the span recorder feeding `--trace-out`. Both halves are
+/// read-only observers — wrapping a run with this sink cannot change its outputs.
+struct CliSink {
+    narrate: bool,
+    trace: TraceProgress,
+}
+
+impl ProgressSink for CliSink {
+    fn emit(&self, event: mess_scenario::ProgressEvent) {
+        if self.narrate {
+            eprintln!("[mess-harness] {event}");
+        }
+        self.trace.emit(event);
+    }
+}
 
 /// What the invocation asks for.
 enum Mode {
@@ -58,12 +81,13 @@ enum Mode {
 fn usage() {
     println!(
         "usage: mess-harness --experiment|-e <id|all> [--quick|--full] [--csv] [--out DIR] \
-         [--threads|-j N] [--curves FILE] [--curves-out DIR]\n\
+         [--threads|-j N] [--curves FILE] [--curves-out DIR] [--progress] \
+         [--trace-out FILE] [--metrics]\n\
          \x20      mess-harness --dump-spec <id> [--quick|--full]\n\
          \x20      mess-harness --scenario <file.json> [--csv] [--out DIR] [--threads|-j N] \
-         [--curves FILE] [--curves-out DIR]\n\
+         [--curves FILE] [--curves-out DIR] [--progress] [--trace-out FILE] [--metrics]\n\
          \x20      mess-harness --campaign <file.json> [--csv] [--out DIR] [--threads|-j N] \
-         [--curves FILE] [--curves-out DIR]\n\
+         [--curves FILE] [--curves-out DIR] [--progress] [--trace-out FILE] [--metrics]\n\
          \x20      mess-harness --list\n\
          \x20      mess-harness --list-curves <dir>"
     );
@@ -123,6 +147,9 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut curves_out: Option<PathBuf> = None;
     let mut curves_file: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut narrate = false;
+    let mut metrics = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -178,6 +205,15 @@ fn main() -> ExitCode {
                 };
                 curves_file = Some(PathBuf::from(file));
             }
+            "--trace-out" => {
+                let Some(file) = iter.next() else {
+                    eprintln!("--trace-out expects a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace_out = Some(PathBuf::from(file));
+            }
+            "--progress" => narrate = true,
+            "--metrics" => metrics = true,
             "--list-curves" => {
                 let Some(dir) = iter.next() else {
                     eprintln!("--list-curves expects a directory path");
@@ -215,6 +251,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    // Observability setup. Metrics and tracing both hang off the single process-global
+    // enable; the root `run` span anchors every timeline so the trace accounts for the
+    // whole invocation's wall time.
+    if metrics || trace_out.is_some() {
+        mess_obs::set_enabled(true);
+    }
+    if trace_out.is_some() {
+        mess_obs::trace::start();
+    }
+    let root_span = trace_out
+        .as_ref()
+        .map(|_| mess_obs::Span::start("run").entered());
+
     // The --curves override loads (and strictly validates) once, up front.
     let options = match &curves_file {
         Some(path) => match CurveSet::load(path) {
@@ -241,8 +290,21 @@ fn main() -> ExitCode {
         None => ScenarioOptions::default(),
     };
     // Builtin ids normally dispatch through their thin drivers; the curve flags need the
-    // spec pipeline's outcome (artifacts), so they reroute builtins through their specs.
-    let wants_curve_flow = curves_out.is_some() || curves_file.is_some();
+    // spec pipeline's outcome (artifacts) and the observability flags need its
+    // `ProgressSink` seam, so any of them reroutes builtins through their specs.
+    let observed = narrate || metrics || trace_out.is_some();
+    let wants_curve_flow = curves_out.is_some() || curves_file.is_some() || observed;
+    let sink = CliSink {
+        narrate,
+        trace: TraceProgress::new(),
+    };
+    let run_scenario_any = |spec: &ScenarioSpec| {
+        if observed {
+            mess_scenario::run_scenario_observed(spec, &options, &sink)
+        } else {
+            mess_scenario::run_scenario_with(spec, &options)
+        }
+    };
 
     let print = |report: &mess_harness::ExperimentReport| {
         if csv {
@@ -259,6 +321,16 @@ fn main() -> ExitCode {
             total,
             ..
         } => eprintln!("[mess-harness] {name} finished ({completed}/{total})"),
+    };
+    // Campaigns narrate coarse per-scenario job lines by default; with observability on
+    // they go through the `ProgressSink` seam instead, which narrates finer (per leg)
+    // and feeds the span recorder.
+    let run_campaign_any = |campaign: &CampaignSpec| {
+        if observed {
+            mess_scenario::run_campaign_observed(campaign, &options, &sink)
+        } else {
+            mess_scenario::run_campaign_with(campaign, &options, progress)
+        }
     };
     let write_out = |name: &str, reports: &[mess_harness::ExperimentReport]| -> bool {
         let Some(dir) = &out else { return true };
@@ -302,7 +374,7 @@ fn main() -> ExitCode {
         }
     };
 
-    match mode {
+    let code = match mode {
         Mode::List => {
             for b in &BUILTINS {
                 println!("{:<8} {} [{}]", b.id, b.description, b.anchor);
@@ -346,7 +418,7 @@ fn main() -> ExitCode {
                     })
                     .collect(),
             };
-            match mess_scenario::run_campaign_with(&campaign, &options, progress) {
+            match run_campaign_any(&campaign) {
                 Ok(outcomes) => {
                     let reports: Vec<_> = outcomes.iter().map(|o| o.report.clone()).collect();
                     for report in &reports {
@@ -383,7 +455,7 @@ fn main() -> ExitCode {
         Mode::Experiment(id) => match mess_harness::experiment_info(&id) {
             Some(info) => {
                 let spec = info.spec(fidelity);
-                match mess_scenario::run_scenario_with(&spec, &options) {
+                match run_scenario_any(&spec) {
                     Ok(outcome) => {
                         print(&outcome.report);
                         if write_out(&outcome.report.id, std::slice::from_ref(&outcome.report))
@@ -416,7 +488,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match mess_scenario::run_scenario_with(&spec, &options) {
+            match run_scenario_any(&spec) {
                 Ok(outcome) => {
                     print(&outcome.report);
                     if write_out(&spec.id, std::slice::from_ref(&outcome.report))
@@ -444,7 +516,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match mess_scenario::run_campaign_with(&campaign, &options, progress) {
+            match run_campaign_any(&campaign) {
                 Ok(outcomes) => {
                     let reports: Vec<_> = outcomes.iter().map(|o| o.report.clone()).collect();
                     for report in &reports {
@@ -464,5 +536,31 @@ fn main() -> ExitCode {
                 }
             }
         }
+    };
+
+    // Close the root span before collecting, so its duration covers everything above.
+    drop(root_span);
+    if let Some(path) = &trace_out {
+        let records = mess_obs::trace::finish();
+        let written = std::fs::File::create(path)
+            .and_then(|mut file| mess_obs::trace::write_ndjson(&records, &mut file));
+        match written {
+            Ok(()) => eprintln!(
+                "[mess-harness] wrote {} trace record(s) to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write trace to {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    if metrics {
+        // The summary block goes to stdout *after* every report, so reports themselves
+        // (and their files under --out) stay byte-identical with or without it.
+        println!("\n== metrics ==");
+        print!("{}", mess_obs::Registry::global().render_prometheus());
+    }
+    code
 }

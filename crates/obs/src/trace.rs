@@ -1,0 +1,437 @@
+//! Hierarchical timed spans, collected in memory and written as an NDJSON trace.
+//!
+//! # Model
+//!
+//! A [`Span`] is a named interval with a parent, forming a tree: the harness opens a root
+//! `run` span, the scenario layer opens one span per scenario and one per leg (via its
+//! `ProgressSink` recorder), and engine phases (`characterize`) nest under the leg that
+//! runs them. Parents resolve two ways:
+//!
+//! * **Explicitly** — [`Span::child_of`] pins a parent id, which is how the scenario
+//!   recorder links leg spans to their scenario span across worker threads.
+//! * **By thread** — [`Span::start`] adopts the innermost span *entered* on the current
+//!   thread ([`Span::entered`] / [`push_thread_span`]). Since a leg body runs start to
+//!   finish on one worker thread, phase spans opened inside it nest correctly without
+//!   any plumbing.
+//!
+//! # Cost and determinism
+//!
+//! Collection is off until [`start`] installs a buffer; every constructor checks
+//! [`active`] (one relaxed load) first and returns an inert span, so disabled tracing
+//! allocates nothing. Timestamps are **wall-clock-free**: microseconds since the
+//! [`start`] instant, never absolute time, so traces are comparable across runs and
+//! machines. Nothing in the simulation ever reads a span — tracing cannot perturb
+//! results.
+//!
+//! # NDJSON schema (stable, version 1)
+//!
+//! [`write_ndjson`] emits one JSON object per line:
+//!
+//! ```text
+//! {"type":"meta","format":"mess-obs-trace","version":1,"records":N}
+//! {"type":"span","id":1,"parent":0,"name":"run","start_us":0,"dur_us":5123,"args":{}}
+//! {"type":"event","id":7,"parent":1,"name":"cache-hit","start_us":40,"dur_us":0,"args":{"digest":"00ff"}}
+//! ```
+//!
+//! `id` is unique within the trace, `parent` is `0` for roots, and records are sorted by
+//! (`start_us`, `id`). `dur_us` is always `0` for events.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use std::fmt::Write as _;
+
+static COLLECTOR: OnceLock<Mutex<Option<Collector>>> = OnceLock::new();
+static ACTIVE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+thread_local! {
+    static CURRENT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Collector {
+    epoch: Instant,
+    next_id: u64,
+    records: Vec<TraceRecord>,
+}
+
+fn collector() -> &'static Mutex<Option<Collector>> {
+    COLLECTOR.get_or_init(|| Mutex::new(None))
+}
+
+/// `true` while a trace buffer is installed. One relaxed load — the whole cost of a
+/// disabled span.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Installs a fresh trace buffer and starts the trace clock. A previously collected
+/// (unfinished) trace is discarded.
+pub fn start() {
+    let mut slot = collector().lock().expect("trace collector poisoned");
+    *slot = Some(Collector {
+        epoch: Instant::now(),
+        next_id: 0,
+        records: Vec::new(),
+    });
+    ACTIVE.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Stops collection and returns every record, sorted by (`start_us`, `id`). Spans still
+/// alive when the trace stops are discarded when they drop.
+pub fn finish() -> Vec<TraceRecord> {
+    let mut slot = collector().lock().expect("trace collector poisoned");
+    ACTIVE.store(false, std::sync::atomic::Ordering::Relaxed);
+    let mut records = slot.take().map(|c| c.records).unwrap_or_default();
+    records.sort_by_key(|r| (r.start_us, r.id));
+    records
+}
+
+/// The kind of a [`TraceRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A timed interval.
+    Span,
+    /// An instantaneous point (`dur_us` is 0).
+    Event,
+}
+
+/// One line of a finished trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Unique id within the trace (1-based).
+    pub id: u64,
+    /// Parent span id, `0` for roots.
+    pub parent: u64,
+    /// The span/event name.
+    pub name: String,
+    /// Start, in microseconds since [`start`].
+    pub start_us: u64,
+    /// Duration in microseconds (`0` for events).
+    pub dur_us: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(String, String)>,
+}
+
+/// An opaque span identity, used to pin parents across threads. `SpanId::NONE` (id 0)
+/// is "no parent" — also what every span gets while tracing is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent parent.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// The innermost span entered on this thread (`SpanId::NONE` when the stack is empty).
+pub fn current() -> SpanId {
+    CURRENT.with(|stack| SpanId(stack.borrow().last().copied().unwrap_or(0)))
+}
+
+/// Makes `id` the current span for this thread until [`pop_thread_span`]. This is the
+/// escape hatch for bracketing APIs (the scenario progress recorder pushes the leg span
+/// on `LegStarted` and pops it on `LegFinished`, both of which run on the leg's worker
+/// thread). Prefer [`Span::entered`] for scoped code. No-op for `SpanId::NONE`.
+pub fn push_thread_span(id: SpanId) {
+    if id.0 != 0 {
+        CURRENT.with(|stack| stack.borrow_mut().push(id.0));
+    }
+}
+
+/// Undoes [`push_thread_span`]: removes the innermost occurrence of `id` from this
+/// thread's stack. No-op for `SpanId::NONE` or an id that was never pushed.
+pub fn pop_thread_span(id: SpanId) {
+    if id.0 == 0 {
+        return;
+    }
+    CURRENT.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&x| x == id.0) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// Records an instantaneous event under the current thread's span.
+pub fn event(name: &str, args: &[(&str, &str)]) {
+    if !active() {
+        return;
+    }
+    let parent = current().0;
+    let mut slot = collector().lock().expect("trace collector poisoned");
+    let Some(collector) = slot.as_mut() else {
+        return;
+    };
+    collector.next_id += 1;
+    let record = TraceRecord {
+        kind: RecordKind::Event,
+        id: collector.next_id,
+        parent,
+        name: name.to_string(),
+        start_us: collector.epoch.elapsed().as_micros() as u64,
+        dur_us: 0,
+        args: args
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    };
+    collector.records.push(record);
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: String,
+    start_us: u64,
+    args: Vec<(String, String)>,
+}
+
+/// A timed interval, recorded into the trace buffer when dropped (or [`Span::finish`]ed).
+/// Inert — no allocation, id [`SpanId::NONE`] — while tracing is off.
+#[derive(Debug)]
+pub struct Span(Option<Box<ActiveSpan>>);
+
+impl Span {
+    /// Opens a span whose parent is the innermost span entered on this thread.
+    pub fn start(name: &str) -> Span {
+        Span::child_of(name, current())
+    }
+
+    /// Opens a span with an explicit parent (use [`SpanId::NONE`] for a root).
+    pub fn child_of(name: &str, parent: SpanId) -> Span {
+        if !active() {
+            return Span(None);
+        }
+        let mut slot = collector().lock().expect("trace collector poisoned");
+        let Some(collector) = slot.as_mut() else {
+            return Span(None);
+        };
+        collector.next_id += 1;
+        Span(Some(Box::new(ActiveSpan {
+            id: collector.next_id,
+            parent: parent.0,
+            name: name.to_string(),
+            start_us: collector.epoch.elapsed().as_micros() as u64,
+            args: Vec::new(),
+        })))
+    }
+
+    /// This span's identity, for use as an explicit parent. [`SpanId::NONE`] when
+    /// tracing is off.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.0.as_ref().map_or(0, |s| s.id))
+    }
+
+    /// Attaches a key/value argument (builder style).
+    pub fn arg(mut self, key: &str, value: &str) -> Span {
+        if let Some(span) = self.0.as_mut() {
+            span.args.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+
+    /// Enters the span on this thread: spans opened with [`Span::start`] inside the
+    /// guard's scope become children. The guard records the span when dropped.
+    pub fn entered(self) -> EnteredSpan {
+        push_thread_span(self.id());
+        EnteredSpan(self)
+    }
+
+    /// Ends the span now (identical to dropping it — provided for explicitness).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(span) = self.0.take() else {
+            return;
+        };
+        let mut slot = collector().lock().expect("trace collector poisoned");
+        let Some(collector) = slot.as_mut() else {
+            return; // trace finished while the span was alive
+        };
+        let end_us = collector.epoch.elapsed().as_micros() as u64;
+        collector.records.push(TraceRecord {
+            kind: RecordKind::Span,
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            start_us: span.start_us,
+            dur_us: end_us.saturating_sub(span.start_us),
+            args: span.args,
+        });
+    }
+}
+
+/// RAII guard from [`Span::entered`]: leaves the thread's span stack and records the
+/// span on drop.
+pub struct EnteredSpan(Span);
+
+impl EnteredSpan {
+    /// The entered span's identity.
+    pub fn id(&self) -> SpanId {
+        self.0.id()
+    }
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        pop_thread_span(self.0.id());
+    }
+}
+
+/// Writes records as NDJSON (schema in the [module docs](self)), one meta line followed
+/// by one line per record.
+pub fn write_ndjson<W: Write>(records: &[TraceRecord], writer: &mut W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "{{\"type\":\"meta\",\"format\":\"mess-obs-trace\",\"version\":1,\"records\":{}}}",
+        records.len()
+    )?;
+    for record in records {
+        let mut line = String::new();
+        let kind = match record.kind {
+            RecordKind::Span => "span",
+            RecordKind::Event => "event",
+        };
+        let _ = write!(
+            line,
+            "{{\"type\":\"{kind}\",\"id\":{},\"parent\":{},\"name\":{},\"start_us\":{},\"dur_us\":{},\"args\":{{",
+            record.id,
+            record.parent,
+            json_string(&record.name),
+            record.start_us,
+            record.dur_us,
+        );
+        for (i, (key, value)) in record.args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{}:{}", json_string(key), json_string(value));
+        }
+        line.push_str("}}");
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global, so every test that collects must hold this lock:
+    // cargo runs #[test] fns of one binary concurrently.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        // No start(): spans are id 0 and record nothing.
+        let span = Span::start("ghost");
+        assert_eq!(span.id(), SpanId::NONE);
+        drop(span);
+        event("ghost-event", &[]);
+        assert!(!active());
+    }
+
+    #[test]
+    fn thread_entered_spans_nest() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        start();
+        {
+            let root = Span::start("root").entered();
+            let root_id = root.id();
+            let child = Span::start("child");
+            assert_eq!(current(), root_id);
+            drop(child);
+        }
+        let records = finish();
+        assert_eq!(records.len(), 2);
+        let root = records.iter().find(|r| r.name == "root").unwrap();
+        let child = records.iter().find(|r| r.name == "child").unwrap();
+        assert_eq!(root.parent, 0);
+        assert_eq!(child.parent, root.id);
+        assert_eq!(current(), SpanId::NONE, "guard must pop the thread stack");
+    }
+
+    #[test]
+    fn explicit_parents_link_across_threads() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        start();
+        let scenario = Span::start("scenario");
+        let scenario_id = scenario.id();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                push_thread_span(scenario_id);
+                let leg = Span::start("leg").arg("index", "0");
+                drop(leg);
+                pop_thread_span(scenario_id);
+                assert_eq!(current(), SpanId::NONE);
+            });
+        });
+        drop(scenario);
+        let records = finish();
+        let leg = records.iter().find(|r| r.name == "leg").unwrap();
+        assert_eq!(leg.parent, scenario_id.0);
+        assert_eq!(leg.args, vec![("index".to_string(), "0".to_string())]);
+    }
+
+    #[test]
+    fn ndjson_is_one_escaped_object_per_line() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        start();
+        event("na\"me\n", &[("k", "v\\")]);
+        let records = finish();
+        let mut out = Vec::new();
+        write_ndjson(&records, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"format\":\"mess-obs-trace\""), "{text}");
+        assert!(lines[0].contains("\"records\":1"), "{text}");
+        assert!(lines[1].contains("\"name\":\"na\\\"me\\n\""), "{text}");
+        assert!(lines[1].contains("\"args\":{\"k\":\"v\\\\\"}"), "{text}");
+        assert!(lines[1].contains("\"dur_us\":0"), "{text}");
+    }
+
+    #[test]
+    fn records_come_back_sorted_by_start() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        start();
+        let outer = Span::start("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let inner = Span::child_of("inner", outer.id());
+        drop(inner); // inner finishes (and is pushed) before outer…
+        drop(outer);
+        let records = finish();
+        // …but sorting restores start order: outer first.
+        assert_eq!(records[0].name, "outer");
+        assert_eq!(records[1].name, "inner");
+        assert!(records[0].dur_us >= records[1].dur_us);
+    }
+}

@@ -348,6 +348,15 @@ pub fn resolve_curves(
     }
     match source {
         CurveSourceSpec::Characterized { model, sweep } => {
+            // The characterize phase is the classic hot spot of a curve-driven run, so it
+            // gets its own span (nesting under the leg span when one is entered on this
+            // thread) and its own counter.
+            let _span = mess_obs::Span::start("characterize")
+                .arg("platform", platform.name)
+                .arg("model", model.kind.label());
+            if let Some(metrics) = crate::obs::ScenarioMetrics::if_enabled() {
+                metrics.characterizations.inc();
+            }
             let factory = resolve_factory(model, platform, options)?;
             let c = characterize_spec(
                 platform.name,
@@ -519,6 +528,9 @@ fn observed_leg<R>(
         index,
         total,
     });
+    if let Some(metrics) = crate::obs::ScenarioMetrics::if_enabled() {
+        metrics.legs.inc();
+    }
     let result = body();
     sink.emit(ProgressEvent::LegFinished {
         scenario: scenario.to_string(),
@@ -551,6 +563,9 @@ pub fn run_scenario_observed(
     sink.emit(ProgressEvent::ScenarioStarted {
         scenario: spec.id.clone(),
     });
+    if let Some(metrics) = crate::obs::ScenarioMetrics::if_enabled() {
+        metrics.runs.inc();
+    }
     let mut curve_sets = Vec::new();
     let sets = &mut curve_sets;
     let mut report = match &spec.kind {

@@ -26,6 +26,7 @@
 pub mod builtin;
 pub mod digest;
 pub mod engine;
+mod obs;
 pub mod output;
 pub mod progress;
 pub mod report;
@@ -39,7 +40,7 @@ pub use engine::{
     ValidationWorkload,
 };
 pub use output::{write_curve_sets, write_reports};
-pub use progress::{NoProgress, ProgressEvent, ProgressSink};
+pub use progress::{NoProgress, ProgressEvent, ProgressSink, TraceProgress};
 pub use report::{CampaignSummary, ExperimentReport, ExperimentSummary, Fidelity};
 pub use spec::{CampaignSpec, ScenarioKind, ScenarioSpec};
 

@@ -11,6 +11,7 @@
 //!   artifacts <run> [--out <dir>]    # lists artifacts, or writes them into <dir>
 //!   cancel <run>
 //!   stats
+//!   metrics                          # prints the Prometheus text exposition
 //!   health
 //! ```
 //!
@@ -35,6 +36,9 @@ fn print_status(status: &RunStatus) {
     }
     if let Some(error) = &status.error {
         println!("error {error}");
+    }
+    for span in &status.spans {
+        println!("span {} {} {}", span.name, span.start_ms, span.end_ms);
     }
 }
 
@@ -71,7 +75,7 @@ fn run() -> Result<(), String> {
     };
 
     let command = if args.is_empty() {
-        return Err("usage: messctl [--addr HOST:PORT] <submit|status|wait|events|report|artifacts|cancel|stats|health> ...".into());
+        return Err("usage: messctl [--addr HOST:PORT] <submit|status|wait|events|report|artifacts|cancel|stats|metrics|health> ...".into());
     } else {
         args.remove(0)
     };
@@ -182,6 +186,12 @@ fn run() -> Result<(), String> {
             println!("evicted {}", stats.evicted);
             println!("cache_entries {}", stats.cache_entries);
             println!("active_runs {}", stats.active_runs);
+            println!("queued_runs {}", stats.queued_runs);
+            println!("running_runs {}", stats.running_runs);
+            Ok(())
+        }
+        "metrics" => {
+            print!("{}", client.metrics_text().map_err(|e| e.to_string())?);
             Ok(())
         }
         "health" => {

@@ -119,9 +119,15 @@ impl ServeClient {
         Ok(())
     }
 
-    /// The daemon's lifetime counters.
+    /// The daemon's lifetime counters and current gauges.
     pub fn stats(&self) -> Result<StatsBody, ClientError> {
         self.json_call("GET", "/v1/stats", None)
+    }
+
+    /// The daemon's metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        let response = self.request("GET", "/v1/metrics", None)?;
+        expect_text(response)
     }
 
     /// Submits a spec (scenario or campaign JSON). `threads` 0 means the daemon default.

@@ -26,6 +26,7 @@
 pub mod cache;
 pub mod client;
 pub mod http;
+mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -33,8 +34,8 @@ pub mod server;
 pub use cache::{CacheEntryMeta, ResultCache};
 pub use client::{ClientError, ServeClient};
 pub use protocol::{
-    ArtifactList, CacheMode, ErrorBody, EventRecord, RunEvent, RunKind, RunStatus, StatsBody,
-    SubmitReceipt,
+    ArtifactList, CacheMode, ErrorBody, EventRecord, RunEvent, RunKind, RunStatus, SpanSummary,
+    StatsBody, SubmitReceipt,
 };
 pub use queue::{Daemon, DaemonConfig, Run, RunPhase, SubmitError};
 pub use server::Server;

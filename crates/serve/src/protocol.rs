@@ -91,6 +91,9 @@ pub struct RunStatus {
     /// For `cache=refresh` runs: whether the re-run reproduced the previously cached
     /// result byte-for-byte. `null` until the run finishes (or for other cache modes).
     pub refresh_identical: Option<bool>,
+    /// Completed scenario/leg intervals (grows while the run executes; empty for
+    /// cache hits, which execute nothing).
+    pub spans: Vec<SpanSummary>,
 }
 
 /// One line of the `GET /v1/runs/<id>/events` stream.
@@ -98,11 +101,19 @@ pub struct RunStatus {
 pub struct EventRecord {
     /// Monotonic position in the run's event log (0-based); resume with `?from=<seq+1>`.
     pub seq: usize,
+    /// Milliseconds since the run record was created — a monotonic, wall-clock-free
+    /// per-run timeline (non-decreasing with `seq`), so traces from different daemon
+    /// lifetimes remain comparable.
+    pub elapsed_ms: u64,
     /// The event payload.
     pub event: RunEvent,
 }
 
 /// Everything a run reports while it moves through the service.
+///
+/// Engine progress is embedded as the *canonical* [`mess_scenario::ProgressEvent`] —
+/// its JSON shape is owned by `mess-scenario`, not redeclared here, so the stream a
+/// client parses and the events a harness narrates are the same vocabulary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RunEvent {
     /// The submission validated and was admitted (always the first event).
@@ -115,42 +126,8 @@ pub enum RunEvent {
         /// immediately; nothing executes).
         cached: bool,
     },
-    /// A scenario started executing (once per scenario; campaigns emit one per member).
-    ScenarioStarted {
-        /// The scenario's id.
-        scenario: String,
-    },
-    /// One parallel leg of a scenario's fan-out was picked up.
-    LegStarted {
-        /// The scenario's id.
-        scenario: String,
-        /// Human-readable leg label.
-        leg: String,
-        /// The leg's index in spec order.
-        index: usize,
-        /// Total legs of the fan-out.
-        total: usize,
-    },
-    /// One parallel leg finished.
-    LegFinished {
-        /// The scenario's id.
-        scenario: String,
-        /// Human-readable leg label.
-        leg: String,
-        /// The leg's index in spec order.
-        index: usize,
-        /// Total legs of the fan-out.
-        total: usize,
-    },
-    /// A scenario's report and artifacts are complete.
-    ScenarioFinished {
-        /// The scenario's id.
-        scenario: String,
-        /// Rows in the report.
-        rows: usize,
-        /// Curve artifacts produced.
-        artifacts: usize,
-    },
+    /// One engine progress event (scenario/leg started/finished), verbatim.
+    Progress(mess_scenario::ProgressEvent),
     /// The run reached a terminal state (always the last event).
     Done {
         /// `done`, `failed` or `cancelled`.
@@ -164,42 +141,21 @@ pub enum RunEvent {
 
 impl From<mess_scenario::ProgressEvent> for RunEvent {
     fn from(event: mess_scenario::ProgressEvent) -> Self {
-        use mess_scenario::ProgressEvent as P;
-        match event {
-            P::ScenarioStarted { scenario } => RunEvent::ScenarioStarted { scenario },
-            P::LegStarted {
-                scenario,
-                leg,
-                index,
-                total,
-            } => RunEvent::LegStarted {
-                scenario,
-                leg,
-                index,
-                total,
-            },
-            P::LegFinished {
-                scenario,
-                leg,
-                index,
-                total,
-            } => RunEvent::LegFinished {
-                scenario,
-                leg,
-                index,
-                total,
-            },
-            P::ScenarioFinished {
-                scenario,
-                rows,
-                artifacts,
-            } => RunEvent::ScenarioFinished {
-                scenario,
-                rows,
-                artifacts,
-            },
-        }
+        RunEvent::Progress(event)
     }
+}
+
+/// One completed interval of a run's timeline, distilled from its event log: the whole
+/// scenario, or one leg (`scenario/leg` name). Millisecond timestamps share the run's
+/// `elapsed_ms` clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSummary {
+    /// `<scenario>` for scenario spans, `<scenario>/<leg>` for leg spans.
+    pub name: String,
+    /// Start, in ms since the run record was created.
+    pub start_ms: u64,
+    /// End, in ms since the run record was created.
+    pub end_ms: u64,
 }
 
 /// Response to `GET /v1/runs/<id>/artifacts` and `GET /v1/cache/<digest>` (artifact
@@ -214,8 +170,9 @@ pub struct ArtifactList {
     pub artifacts: Vec<String>,
 }
 
-/// Response to `GET /v1/stats`: the daemon's lifetime counters. `runs_executed` is the
-/// run-counter the cache tests pin: a cache hit must not increment it.
+/// Response to `GET /v1/stats`: the daemon's lifetime counters plus its current gauges.
+/// `runs_executed` is the run-counter the cache tests pin: a cache hit must not
+/// increment it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
     /// Runs that actually executed the engine.
@@ -228,10 +185,14 @@ pub struct StatsBody {
     pub deduplicated: u64,
     /// Cache entries evicted to honour the entry cap.
     pub evicted: u64,
-    /// Cache entries currently on disk.
+    /// Cache entries currently on disk (gauge).
     pub cache_entries: u64,
-    /// Runs currently queued or running.
+    /// Runs currently queued or running (gauge).
     pub active_runs: u64,
+    /// Runs currently waiting for a worker (gauge).
+    pub queued_runs: u64,
+    /// Runs currently executing on a worker (gauge).
+    pub running_runs: u64,
 }
 
 /// Response to `GET /v1/healthz`.
@@ -267,20 +228,27 @@ mod tests {
 
         let record = EventRecord {
             seq: 3,
-            event: RunEvent::LegFinished {
+            elapsed_ms: 120,
+            event: RunEvent::Progress(mess_scenario::ProgressEvent::LegFinished {
                 scenario: "s".into(),
                 leg: "skylake".into(),
                 index: 1,
                 total: 4,
-            },
+            }),
         };
         let line = serde_json::to_string(&record).unwrap();
         assert!(!line.contains('\n'), "event lines must be newline-free");
+        // The embedded progress event keeps its canonical mess-scenario JSON shape.
+        assert!(
+            line.contains(r#""Progress":{"LegFinished":{"scenario":"s","leg":"skylake","#),
+            "progress events must embed the canonical shape, got: {line}"
+        );
         let back: EventRecord = serde_json::from_str(&line).unwrap();
         assert_eq!(back, record);
 
         let done = EventRecord {
             seq: 4,
+            elapsed_ms: 121,
             event: RunEvent::Done {
                 state: "done".into(),
                 cached: false,
@@ -290,6 +258,15 @@ mod tests {
         let back: EventRecord =
             serde_json::from_str(&serde_json::to_string(&done).unwrap()).unwrap();
         assert_eq!(back, done);
+
+        let span = SpanSummary {
+            name: "s/skylake".into(),
+            start_ms: 5,
+            end_ms: 120,
+        };
+        let back: SpanSummary =
+            serde_json::from_str(&serde_json::to_string(&span).unwrap()).unwrap();
+        assert_eq!(back, span);
     }
 
     #[test]
@@ -303,19 +280,12 @@ mod tests {
 
     #[test]
     fn progress_events_map_onto_wire_events() {
-        let wire: RunEvent = mess_scenario::ProgressEvent::ScenarioFinished {
+        let event = mess_scenario::ProgressEvent::ScenarioFinished {
             scenario: "s".into(),
             rows: 7,
             artifacts: 2,
-        }
-        .into();
-        assert_eq!(
-            wire,
-            RunEvent::ScenarioFinished {
-                scenario: "s".into(),
-                rows: 7,
-                artifacts: 2
-            }
-        );
+        };
+        let wire: RunEvent = event.clone().into();
+        assert_eq!(wire, RunEvent::Progress(event));
     }
 }

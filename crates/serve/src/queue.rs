@@ -19,8 +19,9 @@
 //! on. Nothing poisons the queue or the daemon.
 
 use crate::cache::ResultCache;
+use crate::metrics::ServeMetrics;
 use crate::protocol::{
-    CacheMode, EventRecord, RunEvent, RunKind, RunStatus, StatsBody, SubmitReceipt,
+    CacheMode, EventRecord, RunEvent, RunKind, RunStatus, SpanSummary, StatsBody, SubmitReceipt,
 };
 use mess_exec::{with_default_threads, CancelToken};
 use mess_scenario::{
@@ -35,7 +36,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a daemon is set up: where the cache lives and how much it may run at once.
 #[derive(Debug, Clone)]
@@ -112,6 +113,10 @@ struct RunInner {
     artifacts: Vec<(String, String)>,
     /// Serialized [`EventRecord`] lines, in emission order.
     events: Vec<String>,
+    /// Scenario/leg intervals still open (name, start in the run's `elapsed_ms` clock).
+    open_spans: Vec<(String, u64)>,
+    /// Completed scenario/leg intervals, in completion order.
+    spans: Vec<SpanSummary>,
 }
 
 /// One accepted submission and everything it produces.
@@ -131,6 +136,8 @@ pub struct Run {
     pub cache_mode: CacheMode,
     /// Cooperative cancellation handle (stops queued work; running legs complete).
     pub cancel: CancelToken,
+    /// When the run record was created — the zero of its `elapsed_ms` event clock.
+    started: Instant,
     inner: Mutex<RunInner>,
     cond: Condvar,
 }
@@ -152,6 +159,7 @@ impl Run {
             threads,
             cache_mode,
             cancel: CancelToken::new(),
+            started: Instant::now(),
             inner: Mutex::new(RunInner {
                 phase: RunPhase::Queued,
                 cached: false,
@@ -160,14 +168,24 @@ impl Run {
                 reports: Vec::new(),
                 artifacts: Vec::new(),
                 events: Vec::new(),
+                open_spans: Vec::new(),
+                spans: Vec::new(),
             }),
             cond: Condvar::new(),
         })
     }
 
-    fn record_event(inner: &mut RunInner, event: RunEvent) {
+    /// Serializes `event` into the log with its `seq` and `elapsed_ms` stamps — the one
+    /// place an [`EventRecord`] is built, so the timeline is monotone by construction:
+    /// `Instant` never goes backwards and appends are serialized by the run's lock.
+    fn record_event(&self, inner: &mut RunInner, event: RunEvent) {
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        if let RunEvent::Progress(progress) = &event {
+            Run::update_spans(inner, progress, elapsed_ms);
+        }
         let record = EventRecord {
             seq: inner.events.len(),
+            elapsed_ms,
             event,
         };
         inner.events.push(
@@ -175,10 +193,40 @@ impl Run {
         );
     }
 
+    /// Folds a progress event into the run's span summaries: starts open an interval,
+    /// finishes close the innermost one of the same name.
+    fn update_spans(inner: &mut RunInner, event: &ProgressEvent, now_ms: u64) {
+        match event {
+            ProgressEvent::ScenarioStarted { scenario } => {
+                inner.open_spans.push((scenario.clone(), now_ms));
+            }
+            ProgressEvent::LegStarted { scenario, leg, .. } => {
+                inner.open_spans.push((format!("{scenario}/{leg}"), now_ms));
+            }
+            ProgressEvent::LegFinished { scenario, leg, .. } => {
+                Run::close_span(inner, &format!("{scenario}/{leg}"), now_ms);
+            }
+            ProgressEvent::ScenarioFinished { scenario, .. } => {
+                Run::close_span(inner, scenario, now_ms);
+            }
+        }
+    }
+
+    fn close_span(inner: &mut RunInner, name: &str, now_ms: u64) {
+        if let Some(pos) = inner.open_spans.iter().rposition(|(n, _)| n == name) {
+            let (name, start_ms) = inner.open_spans.remove(pos);
+            inner.spans.push(SpanSummary {
+                name,
+                start_ms,
+                end_ms: now_ms,
+            });
+        }
+    }
+
     /// Appends `event` to the run's log and wakes every stream waiting on it.
     pub fn push_event(&self, event: RunEvent) {
         let mut inner = self.inner.lock().unwrap();
-        Run::record_event(&mut inner, event);
+        self.record_event(&mut inner, event);
         self.cond.notify_all();
     }
 
@@ -195,6 +243,7 @@ impl Run {
             reports: inner.reports.len(),
             artifacts: inner.artifacts.len(),
             refresh_identical: inner.refresh_identical,
+            spans: inner.spans.clone(),
         }
     }
 
@@ -313,6 +362,9 @@ impl Daemon {
     ///
     /// Fails when the cache directory cannot be created.
     pub fn new(config: DaemonConfig) -> io::Result<Arc<Daemon>> {
+        // A resident service is always observable: its whole point is to be asked how
+        // it is doing. Results stay byte-identical either way (pinned by tests).
+        mess_obs::set_enabled(true);
         let cache = ResultCache::open(&config.cache_dir, config.max_cache_entries)?;
         Ok(Arc::new(Daemon {
             cache,
@@ -350,16 +402,19 @@ impl Daemon {
         self.table.lock().unwrap().runs.get(id).cloned()
     }
 
-    /// The daemon's lifetime counters.
+    /// The daemon's lifetime counters and current gauges.
     pub fn stats(&self) -> StatsBody {
-        let active = {
+        let (mut queued, mut running) = (0u64, 0u64);
+        {
             let table = self.table.lock().unwrap();
-            table
-                .runs
-                .values()
-                .filter(|run| !run.phase().is_terminal())
-                .count() as u64
-        };
+            for run in table.runs.values() {
+                match run.phase() {
+                    RunPhase::Queued => queued += 1,
+                    RunPhase::Running => running += 1,
+                    _ => {}
+                }
+            }
+        }
         StatsBody {
             runs_executed: self.stats.runs_executed.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
@@ -367,7 +422,9 @@ impl Daemon {
             deduplicated: self.stats.deduplicated.load(Ordering::Relaxed),
             evicted: self.cache.evicted(),
             cache_entries: self.cache.entries(),
-            active_runs: active,
+            active_runs: queued + running,
+            queued_runs: queued,
+            running_runs: running,
         }
     }
 
@@ -426,6 +483,9 @@ impl Daemon {
                     let phase = existing.phase();
                     if !phase.is_terminal() {
                         self.stats.deduplicated.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = ServeMetrics::if_enabled() {
+                            m.deduplicated.inc();
+                        }
                         return Ok(SubmitReceipt {
                             run: existing_id,
                             digest: digest.to_string(),
@@ -452,8 +512,14 @@ impl Daemon {
 
         if cache_mode == CacheMode::Use {
             self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = ServeMetrics::if_enabled() {
+                m.cache_misses.inc();
+            }
         }
         self.queue.lock().unwrap().push_back(run);
+        if let Some(m) = ServeMetrics::if_enabled() {
+            m.queue_depth.inc();
+        }
         self.queue_cond.notify_one();
         Ok(SubmitReceipt {
             run: id,
@@ -500,7 +566,7 @@ impl Daemon {
             inner.cached = true;
             inner.reports = meta.reports.clone();
             inner.artifacts = artifacts;
-            Run::record_event(
+            run.record_event(
                 &mut inner,
                 RunEvent::Accepted {
                     run: id.clone(),
@@ -508,7 +574,7 @@ impl Daemon {
                     cached: true,
                 },
             );
-            Run::record_event(
+            run.record_event(
                 &mut inner,
                 RunEvent::Done {
                     state: RunPhase::Done.label().to_string(),
@@ -520,6 +586,9 @@ impl Daemon {
         table.runs.insert(id.clone(), Arc::clone(&run));
         drop(table);
         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = ServeMetrics::if_enabled() {
+            m.cache_hits.inc();
+        }
         Some(SubmitReceipt {
             run: id,
             digest: digest.to_string(),
@@ -540,7 +609,7 @@ impl Daemon {
             let mut inner = run.inner.lock().unwrap();
             if inner.phase == RunPhase::Queued {
                 inner.phase = RunPhase::Cancelled;
-                Run::record_event(
+                run.record_event(
                     &mut inner,
                     RunEvent::Done {
                         state: RunPhase::Cancelled.label().to_string(),
@@ -572,6 +641,9 @@ impl Daemon {
                         return;
                     }
                     if let Some(run) = queue.pop_front() {
+                        if let Some(m) = ServeMetrics::if_enabled() {
+                            m.queue_depth.dec();
+                        }
                         break run;
                     }
                     queue = self.queue_cond.wait(queue).unwrap();
@@ -591,6 +663,10 @@ impl Daemon {
             inner.phase = RunPhase::Running;
             run.cond.notify_all();
         }
+        let metrics = ServeMetrics::if_enabled();
+        if let Some(m) = metrics {
+            m.running_runs.inc();
+        }
 
         let result = catch_unwind(AssertUnwindSafe(|| self.run_engine(run)));
         let outcome = match result {
@@ -608,6 +684,9 @@ impl Daemon {
         match outcome {
             Ok((reports, curve_sets)) => {
                 self.stats.runs_executed.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.runs_executed.inc();
+                }
                 match self.publish(run, &reports, &curve_sets) {
                     Ok((artifacts, refresh_identical)) => {
                         let mut inner = run.inner.lock().unwrap();
@@ -615,7 +694,7 @@ impl Daemon {
                         inner.reports = reports;
                         inner.artifacts = artifacts;
                         inner.refresh_identical = refresh_identical;
-                        Run::record_event(
+                        run.record_event(
                             &mut inner,
                             RunEvent::Done {
                                 state: RunPhase::Done.label().to_string(),
@@ -631,6 +710,9 @@ impl Daemon {
             Err(MessError::Cancelled) => self.fail(run, "", RunPhase::Cancelled),
             Err(e) => self.fail(run, &e.to_string(), RunPhase::Failed),
         }
+        if let Some(m) = metrics {
+            m.running_runs.dec();
+        }
         self.clear_inflight(run);
     }
 
@@ -640,7 +722,7 @@ impl Daemon {
         if !message.is_empty() {
             inner.error = Some(message.to_string());
         }
-        Run::record_event(
+        run.record_event(
             &mut inner,
             RunEvent::Done {
                 state: phase.label().to_string(),
@@ -749,6 +831,11 @@ impl Daemon {
                     curve_sets,
                     refresh,
                 )?;
+                if refresh {
+                    if let Some(m) = ServeMetrics::if_enabled() {
+                        m.cache_refresh.inc();
+                    }
+                }
                 let artifacts = meta
                     .artifacts
                     .iter()

@@ -6,7 +6,8 @@
 //! | method + path | body / response |
 //! |---|---|
 //! | `GET /v1/healthz` | liveness probe |
-//! | `GET /v1/stats` | lifetime counters ([`StatsBody`](crate::protocol::StatsBody)) |
+//! | `GET /v1/stats` | lifetime counters and current gauges ([`StatsBody`](crate::protocol::StatsBody)) |
+//! | `GET /v1/metrics` | every registered metric, Prometheus text exposition v0.0.4 |
 //! | `POST /v1/scenarios` | `ScenarioSpec` JSON → [`SubmitReceipt`](crate::protocol::SubmitReceipt) |
 //! | `POST /v1/campaigns` | `CampaignSpec` JSON → [`SubmitReceipt`](crate::protocol::SubmitReceipt) |
 //! | `GET /v1/runs/<id>` | [`RunStatus`](crate::protocol::RunStatus) |
@@ -151,7 +152,16 @@ fn handle_connection(daemon: &Arc<Daemon>, mut stream: TcpStream) {
             return;
         }
     };
+    // Request accounting brackets the whole route (event streams included), so the
+    // latency histogram measures what a client actually waited.
+    let start = crate::metrics::ServeMetrics::if_enabled().map(|m| {
+        m.requests.inc();
+        std::time::Instant::now()
+    });
     route(daemon, &mut stream, &request);
+    if let (Some(m), Some(start)) = (crate::metrics::ServeMetrics::if_enabled(), start) {
+        m.request_latency.observe(start.elapsed().as_secs_f64());
+    }
 }
 
 fn route(daemon: &Arc<Daemon>, stream: &mut TcpStream, request: &Request) {
@@ -165,6 +175,15 @@ fn route(daemon: &Arc<Daemon>, stream: &mut TcpStream, request: &Request) {
             },
         ),
         ("GET", ["v1", "stats"]) => send_json(stream, 200, &daemon.stats()),
+        ("GET", ["v1", "metrics"]) => {
+            let body = mess_obs::Registry::global().render_prometheus();
+            let _ = http::respond(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+            );
+        }
         ("POST", ["v1", "scenarios"]) => submit(daemon, stream, request, RunKind::Scenario),
         ("POST", ["v1", "campaigns"]) => submit(daemon, stream, request, RunKind::Campaign),
         ("GET", ["v1", "runs", id]) => match daemon.run(id) {
@@ -254,13 +273,14 @@ fn route(daemon: &Arc<Daemon>, stream: &mut TcpStream, request: &Request) {
                 Err((status, message)) => send_error(stream, status, message),
             }
         }
-        (_, ["v1", "healthz" | "stats" | "scenarios" | "campaigns" | "runs" | "cache", ..]) => {
-            send_error(
-                stream,
-                405,
-                format!("method {} not allowed on {}", request.method, request.path),
-            )
-        }
+        (
+            _,
+            ["v1", "healthz" | "stats" | "metrics" | "scenarios" | "campaigns" | "runs" | "cache", ..],
+        ) => send_error(
+            stream,
+            405,
+            format!("method {} not allowed on {}", request.method, request.path),
+        ),
         _ => send_error(stream, 404, format!("no such endpoint `{}`", request.path)),
     }
 }

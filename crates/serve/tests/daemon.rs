@@ -4,7 +4,7 @@
 //! and thread-count bit-identity through the service path.
 
 use mess_platforms::{MemoryModelKind, ModelSpec, PlatformId, PlatformRef};
-use mess_scenario::{ScenarioKind, ScenarioSpec, SweepPreset, SweepSpec};
+use mess_scenario::{ProgressEvent, ScenarioKind, ScenarioSpec, SweepPreset, SweepSpec};
 use mess_serve::{CacheMode, DaemonConfig, RunEvent, RunKind, ServeClient, Server};
 use mess_workloads::spec::WorkloadSpec;
 use std::io::{Read, Write};
@@ -95,14 +95,23 @@ fn submit_stream_fetch_and_cache_hit_round_trip() {
         events.iter().enumerate().all(|(i, r)| r.seq == i),
         "seqs are dense"
     );
+    // The per-run timeline is monotone alongside seq — one wall-clock-free clock,
+    // anchored at the run record's creation.
+    assert!(
+        events
+            .windows(2)
+            .all(|pair| pair[0].elapsed_ms <= pair[1].elapsed_ms),
+        "elapsed_ms must be non-decreasing with seq: {events:?}"
+    );
     assert!(matches!(
         events[0].event,
         RunEvent::Accepted { cached: false, .. }
     ));
     assert!(
-        events
-            .iter()
-            .any(|r| matches!(r.event, RunEvent::LegStarted { .. })),
+        events.iter().any(|r| matches!(
+            r.event,
+            RunEvent::Progress(ProgressEvent::LegStarted { .. })
+        )),
         "at least one progress event while running: {events:?}"
     );
     assert!(matches!(
@@ -121,6 +130,28 @@ fn submit_stream_fetch_and_cache_hit_round_trip() {
     assert_eq!(status.state, "done");
     assert_eq!(status.reports, 1);
     assert_eq!(status.artifacts, 1);
+
+    // The run distilled its event log into span summaries: one per leg
+    // (`scenario/leg`), one for the whole scenario, each a closed interval on the
+    // run's elapsed_ms clock.
+    assert!(
+        status
+            .spans
+            .iter()
+            .any(|s| s.name == "characterize-skylake"),
+        "scenario span present: {:?}",
+        status.spans
+    );
+    assert!(
+        status.spans.iter().any(|s| s.name.contains('/')),
+        "leg span present: {:?}",
+        status.spans
+    );
+    assert!(
+        status.spans.iter().all(|s| s.start_ms <= s.end_ms),
+        "spans are well-formed intervals: {:?}",
+        status.spans
+    );
 
     let csv = client.report_csv(&first.run).expect("report is served");
     assert!(csv.lines().count() >= 2, "header plus rows: {csv}");
@@ -186,6 +217,91 @@ fn submit_stream_fetch_and_cache_hit_round_trip() {
         client.cache_artifact(&first.digest, 0).unwrap(),
         artifact_first
     );
+
+    // `/v1/metrics` speaks Prometheus text and covers the service families. The metric
+    // registry is process-global (tests in this binary share it), so assert lower
+    // bounds, not exact values — the single-daemon exact checks live in the CI smoke.
+    let metrics = client.metrics_text().expect("metrics endpoint answers");
+    let sample = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .unwrap_or_else(|| panic!("metric `{name}` missing from:\n{metrics}"))
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(metrics.contains("# TYPE mess_serve_cache_hits_total counter"));
+    assert!(sample("mess_serve_cache_hits_total") >= 1.0);
+    assert!(sample("mess_serve_runs_executed_total") >= 1.0);
+    assert!(
+        sample("mess_serve_request_latency_seconds_count") >= 1.0,
+        "every request lands in the latency histogram"
+    );
+    // The queue-depth gauge exists, but other tests in this binary may hold queued
+    // runs at scrape time, so only its presence and sign can be asserted here.
+    assert!(sample("mess_serve_queue_depth") >= 0.0);
+    // The instrumented layers below the service report through the same registry,
+    // labeled per backend.
+    assert!(
+        metrics
+            .lines()
+            .any(|l| l.starts_with("mess_engine_runs_total{backend=")),
+        "engine metrics flow through the shared registry:\n{metrics}"
+    );
+    assert!(sample("mess_scenario_runs_total") >= 1.0);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn stats_expose_live_gauges_while_a_run_executes() {
+    let (server, client, cache_dir) = start_server("gauges", 1);
+
+    // One worker: the slow blocker runs, the characterization queues behind it.
+    let blocker = client
+        .submit(
+            RunKind::Scenario,
+            &slow_spec("gauge-blocker"),
+            0,
+            CacheMode::Use,
+        )
+        .unwrap();
+    let queued = client
+        .submit(
+            RunKind::Scenario,
+            &md1_characterization("gauge-queued"),
+            0,
+            CacheMode::Use,
+        )
+        .unwrap();
+    assert_eq!(queued.state, "queued");
+
+    // Poll until the blocker is actually on the worker (the submit itself races the
+    // pickup), then observe both gauges mid-run.
+    let mut observed = None;
+    for _ in 0..200 {
+        let stats = client.stats().unwrap();
+        if stats.running_runs == 1 && stats.queued_runs == 1 {
+            observed = Some(stats);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let stats = observed.expect("saw one running and one queued run mid-flight");
+    assert_eq!(stats.active_runs, 2, "active = queued + running");
+    assert_eq!(stats.cache_entries, 0, "nothing published yet");
+
+    client.wait(&blocker.run).unwrap();
+    client.wait(&queued.run).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.running_runs, 0);
+    assert_eq!(stats.queued_runs, 0);
+    assert_eq!(stats.active_runs, 0);
+    assert_eq!(stats.runs_executed, 2);
 
     server.stop();
     let _ = std::fs::remove_dir_all(&cache_dir);
