@@ -5,7 +5,7 @@
 //! serially and the average load-to-use latency is simply `elapsed / loads` — which is exactly
 //! how [`mess_cpu::RunReport::dependent_load_latency`] computes it for the probe core.
 
-use mess_cpu::{Op, OpStream};
+use mess_cpu::{Op, OpBlock, OpStream, PackedOp};
 use mess_types::CACHE_LINE_BYTES;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -75,6 +75,19 @@ impl OpStream for PointerChaseStream {
         Some(Op::dependent_load(addr))
     }
 
+    fn fill_block(&mut self, out: &mut OpBlock) -> usize {
+        // Compiled refill: walk the pre-built permutation table in a tight packed loop.
+        out.clear();
+        while !out.is_full() && self.remaining > 0 {
+            self.remaining -= 1;
+            out.push(PackedOp::dependent_load(
+                CHASE_BASE + self.current as u64 * CACHE_LINE_BYTES,
+            ));
+            self.current = self.next_line[self.current as usize];
+        }
+        out.len()
+    }
+
     fn label(&self) -> &str {
         &self.label
     }
@@ -134,6 +147,36 @@ mod tests {
             assert!(seen.insert(addr));
         }
         assert_eq!(seen.len(), lines as usize);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn block_refill_matches_next_op_for_any_seed_and_size(
+            lines in 2u64..600,
+            loads in 0u64..1500,
+            seed in 0u64..1_000_000,
+        ) {
+            // The compiled (fill_block) walk must be op-for-op identical to the interpreted
+            // one, including exhaustion at the load cap and block-boundary crossings.
+            let config = PointerChaseConfig {
+                array_bytes: lines * CACHE_LINE_BYTES,
+                loads,
+                seed,
+            };
+            let mut interpreted = config.stream();
+            let mut compiled = config.stream();
+            let mut expected = Vec::new();
+            while let Some(op) = interpreted.next_op() {
+                expected.push(op);
+            }
+            let mut got = Vec::new();
+            let mut block = mess_cpu::OpBlock::new();
+            while compiled.fill_block(&mut block) > 0 {
+                got.extend(block.as_slice().iter().map(|p| p.unpack()));
+            }
+            proptest::prop_assert_eq!(got, expected);
+            proptest::prop_assert_eq!(compiled.fill_block(&mut block), 0);
+        }
     }
 
     #[test]

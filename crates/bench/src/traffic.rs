@@ -6,7 +6,7 @@
 //! compute cycles between memory operations, the op-stream equivalent of the benchmark's
 //! `nop` loop (`nopCount`).
 
-use mess_cpu::{Op, OpStream};
+use mess_cpu::{Op, OpBlock, OpStream, PackedOp};
 use mess_types::CACHE_LINE_BYTES;
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +112,37 @@ impl OpStream for TrafficStream {
         Some(op)
     }
 
+    fn fill_block(&mut self, out: &mut OpBlock) -> usize {
+        // Compiled refill. The lane is NOT a periodic program: `store_accum` is a float
+        // accumulator, and fractional store mixes (e.g. 0.3) drift in binary floating point
+        // rather than repeating exactly — so the block replays the accumulator logic
+        // verbatim instead of materializing a "repeating" body that would diverge from the
+        // interpreted sequence after a few laps.
+        out.clear();
+        while !out.is_full() {
+            if self.pause_pending {
+                self.pause_pending = false;
+                out.push(PackedOp::compute(self.config.pause_cycles));
+                continue;
+            }
+            if self.config.pause_cycles > 0 {
+                self.pause_pending = true;
+            }
+            self.store_accum += self.config.store_mix;
+            if self.store_accum >= 1.0 {
+                self.store_accum -= 1.0;
+                let addr = self.store_base() + self.store_line * CACHE_LINE_BYTES;
+                self.store_line = (self.store_line + 1) % self.lines;
+                out.push(PackedOp::store(addr));
+            } else {
+                let addr = self.load_base() + self.load_line * CACHE_LINE_BYTES;
+                self.load_line = (self.load_line + 1) % self.lines;
+                out.push(PackedOp::load(addr));
+            }
+        }
+        out.len()
+    }
+
     fn label(&self) -> &str {
         &self.label
     }
@@ -177,6 +208,29 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn block_refill_matches_next_op_for_any_mix_and_pause(
+            mix in 0.0f64..=1.0,
+            pause in 0u32..100,
+            lane in 0u32..4,
+        ) {
+            // The lane's float accumulator makes its op sequence non-periodic, so the
+            // compiled refill replays the generator logic — and must track the interpreted
+            // stream exactly, including across block boundaries.
+            let config = TrafficConfig { store_mix: mix, pause_cycles: pause, array_bytes: 1 << 16 };
+            let mut interpreted = TrafficStream::new(config, lane);
+            let mut compiled = TrafficStream::new(config, lane);
+            let mut block = mess_cpu::OpBlock::new();
+            let mut drained = Vec::new();
+            for _ in 0..5 {
+                prop_assert!(compiled.fill_block(&mut block) > 0, "traffic lanes are infinite");
+                drained.extend(block.as_slice().iter().map(|p| p.unpack()));
+            }
+            for got in drained {
+                prop_assert_eq!(Some(got), interpreted.next_op());
+            }
+        }
+
         #[test]
         fn store_mix_is_respected_within_one_percent(mix in 0.0f64..=1.0) {
             let (loads, stores, _) = mix_of(TrafficConfig::new(mix, 0, 1 << 20), 20_000);

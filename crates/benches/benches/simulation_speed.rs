@@ -16,12 +16,20 @@
 //!   (the detailed DRAM model before its event engine) drags the whole simulation into
 //!   per-cycle lockstep here.
 //!
+//! A fourth group, `workload-compile/<spec>`, times the *compile stage* on its own — the
+//! `WorkloadSpec` → `CompiledWorkload` lowering that runs once per scenario leg, before
+//! any engine cycle (simlin's `bytecode_compile`-vs-VM split). Keeping the two stages in
+//! one bench file keeps their ratio honest: a compile-pass regression cannot hide inside
+//! an execution win or vice versa.
+//!
 //! # Machine-readable output
 //!
-//! Besides the Criterion timings, the bench prints one plain line per (shape, model):
+//! Besides the Criterion timings, the bench prints one plain line per (shape, model) and
+//! one per compile case:
 //!
 //! ```text
 //! sim_ops_per_sec shape=pointer-chase model=detailed-dram value=123456.7
+//! compiles_per_sec workload=multichase value=123.4
 //! ```
 //!
 //! and writes `BENCH_simspeed.json` into the working directory (`crates/benches/` under
@@ -40,6 +48,7 @@ use mess_cpu::{Engine, OpStream, StopCondition};
 use mess_harness::runner::scaled_platform;
 use mess_harness::Fidelity;
 use mess_platforms::{build_memory_model, MemoryModelKind, PlatformId};
+use mess_workloads::{StreamKernel, WorkloadSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -168,6 +177,30 @@ impl Fixture {
     }
 }
 
+/// The workload-compile stage cases: specs spanning the compile pass's cost range, from
+/// header-only lowering (STREAM: a four-op body plus trip counts) to materializing a full
+/// Sattolo lap (multichase: one packed op per working-set line).
+fn compile_cases() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        ("stream-triad", WorkloadSpec::stream(StreamKernel::Triad, 4)),
+        ("lat-mem-rd", WorkloadSpec::lat_mem_rd(4_000)),
+        ("multichase", WorkloadSpec::multichase(4_000)),
+        ("gups", WorkloadSpec::gups(4_000)),
+    ]
+}
+
+/// One timed compile-rate measurement (outside Criterion, for machine-readable output).
+fn measure_compiles_per_sec(spec: &WorkloadSpec, llc_bytes: u64, cores: u32, iters: u32) -> f64 {
+    // Warm-up compile, then a timed loop.
+    let _ = spec.compile(llc_bytes, cores).expect("workload compiles");
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(spec.compile(llc_bytes, cores).expect("workload compiles"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    iters as f64 / elapsed.max(1e-9)
+}
+
 fn simulation_speed(c: &mut Criterion) {
     let quick = quick_mode();
     let (stream_ops, chase_ops) = if quick { (2_000, 500) } else { (20_000, 4_000) };
@@ -193,6 +226,23 @@ fn simulation_speed(c: &mut Criterion) {
         group.finish();
     }
 
+    // The per-stage split (simlin's bytecode_compile vs VM benches): the workload-compile
+    // pass timed apart from engine execution, so a compile-cost regression is visible
+    // separately from a hot-loop one.
+    let cpu = fixture.platform.cpu_config();
+    let compile_iters = if quick { 20 } else { 200 };
+    let mut group = c.benchmark_group("workload-compile");
+    group.sample_size(if quick { 2 } else { 10 });
+    for (name, spec) in compile_cases() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                spec.compile(cpu.llc.capacity_bytes, cpu.cores)
+                    .expect("workload compiles")
+            });
+        });
+    }
+    group.finish();
+
     // Plain per-model throughput lines + BENCH_simspeed.json, the perf trajectory record.
     let mut json = String::from("{\n  \"benchmark\": \"simulation_speed\",\n  \"unit\": \"sim_ops_per_sec\",\n  \"shapes\": {\n");
     for (i, (shape, ops)) in shapes.into_iter().enumerate() {
@@ -210,7 +260,17 @@ fn simulation_speed(c: &mut Criterion) {
         let comma = if i + 1 < shapes.len() { "," } else { "" };
         let _ = writeln!(json, "    }}{comma}");
     }
-    json.push_str("  }\n}\n");
+    json.push_str(
+        "  },\n  \"compile\": {\n    \"unit\": \"compiles_per_sec\",\n    \"workloads\": {\n",
+    );
+    let cases = compile_cases();
+    for (j, (name, spec)) in cases.iter().enumerate() {
+        let rate = measure_compiles_per_sec(spec, cpu.llc.capacity_bytes, cpu.cores, compile_iters);
+        println!("compiles_per_sec workload={name} value={rate:.1}");
+        let comma = if j + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(json, "      \"{name}\": {rate:.1}{comma}");
+    }
+    json.push_str("    }\n  }\n}\n");
     if let Err(err) = std::fs::write("BENCH_simspeed.json", &json) {
         eprintln!("warning: could not write BENCH_simspeed.json: {err}");
     }

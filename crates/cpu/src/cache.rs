@@ -105,31 +105,34 @@ impl CacheStats {
     }
 }
 
-/// One cache line's tag state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    /// LRU timestamp (monotone access counter).
-    last_used: u64,
-    valid: bool,
-}
-
-impl Line {
-    const INVALID: Line = Line {
-        tag: 0,
-        dirty: false,
-        last_used: 0,
-        valid: false,
-    };
-}
+/// Valid marker folded into a stored tag word (bit 62).
+///
+/// A tag value is `line / sets` with `line = addr / 64`, so it never exceeds 58 bits and the
+/// two top bits are free for metadata. Invalid ways store `0` (no valid bit), which can
+/// never collide with a real line.
+const TAG_VALID: u64 = 1 << 62;
+/// Dirty marker folded into a stored tag word (bit 63).
+const TAG_DIRTY: u64 = 1 << 63;
+/// Mask of the tag value itself.
+const TAG_VALUE: u64 = TAG_VALID - 1;
 
 /// A set-associative, write-allocate, write-back last-level cache model.
+///
+/// Tag state is stored structure-of-arrays: one `u64` word per way (tag value + valid/dirty
+/// bits) and one LRU timestamp per way, each set-major and contiguous. The hit scan — the
+/// hottest loop in the whole engine, run once per memory instruction — therefore touches
+/// `ways * 8` contiguous bytes instead of an array of padded line structs, and the LRU
+/// victim scan (miss path only) reads the timestamp array alone.
 #[derive(Debug, Clone)]
 pub struct LastLevelCache {
     config: CacheConfig,
     sets: usize,
-    lines: Vec<Line>,
+    /// Stored tag words, `tags[set * ways..(set + 1) * ways]`: `TAG_VALID | dirty | value`,
+    /// or `0` for an invalid way.
+    tags: Vec<u64>,
+    /// LRU timestamps parallel to `tags`; `0` for an invalid way (the access clock starts
+    /// at 1, so a valid line's timestamp is always non-zero).
+    last_used: Vec<u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -138,10 +141,12 @@ impl LastLevelCache {
     /// Builds the cache described by `config`.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        let lines = sets * config.ways as usize;
         LastLevelCache {
             config,
             sets,
-            lines: vec![Line::INVALID; sets * config.ways as usize],
+            tags: vec![0; lines],
+            last_used: vec![0; lines],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -164,11 +169,6 @@ impl LastLevelCache {
         (set, tag)
     }
 
-    fn set_slice(&mut self, set: usize) -> &mut [Line] {
-        let ways = self.config.ways as usize;
-        &mut self.lines[set * ways..(set + 1) * ways]
-    }
-
     /// Performs a load or store access.
     ///
     /// On a miss the line is allocated immediately (the fill request is issued by the caller);
@@ -189,43 +189,45 @@ impl LastLevelCache {
         let clock = self.clock;
         let (set, tag) = self.index(addr);
         let sets = self.sets;
-        let lines = self.set_slice(set);
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        let tags = &mut self.tags[base..base + ways];
 
-        // Hit path.
-        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_used = clock;
+        // Hit path: one masked compare per way over a contiguous word array.
+        let stored = TAG_VALID | tag;
+        if let Some(way) = tags.iter().position(|w| *w & !TAG_DIRTY == stored) {
             if is_store {
-                line.dirty = true;
+                tags[way] |= TAG_DIRTY;
                 self.stats.store_hits += 1;
             } else {
                 self.stats.load_hits += 1;
             }
+            self.last_used[base + way] = clock;
             return AccessResult {
                 hit: true,
                 writeback: None,
             };
         }
 
-        // Miss: pick the LRU victim (or an invalid way).
-        let victim_idx = lines
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.last_used + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("cache sets have at least one way");
-        let victim = lines[victim_idx];
-        let writeback = if victim.valid && victim.dirty {
-            // Reconstruct the victim's address from its tag and this set index.
-            Some((victim.tag * sets as u64 + set as u64) * CACHE_LINE_BYTES)
+        // Miss: pick the LRU victim — the way with the smallest timestamp, first index on a
+        // tie. Invalid ways hold timestamp 0 and valid ones are ≥ 1, so "first invalid way,
+        // else least recently used" falls out of the plain minimum.
+        let stamps = &self.last_used[base..base + ways];
+        let mut victim = 0;
+        for (way, &stamp) in stamps.iter().enumerate().skip(1) {
+            if stamp < stamps[victim] {
+                victim = way;
+            }
+        }
+        let old = tags[victim];
+        let writeback = if old & TAG_DIRTY != 0 {
+            // Reconstruct the victim's address from its tag value and this set index.
+            Some(((old & TAG_VALUE) * sets as u64 + set as u64) * CACHE_LINE_BYTES)
         } else {
             None
         };
-        lines[victim_idx] = Line {
-            tag,
-            dirty: is_store,
-            last_used: clock,
-            valid: true,
-        };
+        tags[victim] = stored | if is_store { TAG_DIRTY } else { 0 };
+        self.last_used[base + victim] = clock;
 
         if is_store {
             self.stats.store_misses += 1;

@@ -2,7 +2,8 @@
 
 use crate::cache::{CacheConfig, CacheStats, LastLevelCache};
 use crate::core::{Core, CoreStats};
-use crate::ops::{Op, OpStream};
+use crate::ops::OpStream;
+use crate::program::OpBlock;
 use mess_types::{
     AccessKind, Bandwidth, Completion, Cycle, Frequency, Latency, MemoryBackend, MemoryStats,
     Request, RequestId, StatsWindow,
@@ -157,6 +158,11 @@ pub struct Engine {
     config: CpuConfig,
     cores: Vec<Core>,
     streams: Vec<Box<dyn OpStream>>,
+    /// Per-core refill buffers of packed ops: the core-advance fast path is an array read
+    /// from here, with one virtual `fill_block` call per [`OpBlock`] instead of per op.
+    blocks: Vec<OpBlock>,
+    /// Per-core cursor into `blocks` (index of the next unexecuted op).
+    block_pos: Vec<usize>,
     llc: LastLevelCache,
     next_request_id: u64,
     /// In-flight read fills, one slab per issuing core. A core holds at most
@@ -216,6 +222,8 @@ impl Engine {
         );
         Engine {
             cores: (0..config.cores).map(Core::new).collect(),
+            blocks: (0..config.cores).map(|_| OpBlock::new()).collect(),
+            block_pos: vec![0; config.cores as usize],
             llc: LastLevelCache::new(config.llc),
             next_request_id: 0,
             in_flight: (0..config.cores).map(|_| Vec::new()).collect(),
@@ -297,24 +305,20 @@ impl Engine {
                 // Backends echo `request.core` into the completion (the conformance suite
                 // enforces it), which routes the lookup to one short slab; fall back to a
                 // full scan rather than leaking the entry if a backend mislabels a core.
-                let slab_idx = self
+                let found = self
                     .in_flight
                     .get(c.core as usize)
-                    .and_then(|slab| slab.iter().any(|f| f.id == c.id).then_some(c.core as usize))
+                    .and_then(|slab| slab.iter().position(|f| f.id == c.id))
+                    .map(|pos| (c.core as usize, pos))
                     .or_else(|| {
-                        self.in_flight
-                            .iter()
-                            .position(|slab| slab.iter().any(|f| f.id == c.id))
+                        self.in_flight.iter().enumerate().find_map(|(idx, slab)| {
+                            slab.iter().position(|f| f.id == c.id).map(|pos| (idx, pos))
+                        })
                     });
-                let Some(slab_idx) = slab_idx else {
+                let Some((slab_idx, pos)) = found else {
                     continue;
                 };
-                let slab = &mut self.in_flight[slab_idx];
-                let pos = slab
-                    .iter()
-                    .position(|f| f.id == c.id)
-                    .expect("slab was just checked to contain the id");
-                let meta = slab.swap_remove(pos);
+                let meta = self.in_flight[slab_idx].swap_remove(pos);
                 self.in_flight_count -= 1;
                 let core = &mut self.cores[slab_idx];
                 core.outstanding = core.outstanding.saturating_sub(1);
@@ -323,9 +327,11 @@ impl Engine {
                     let usable = c.complete_cycle.as_u64() + on_chip_cycles;
                     core.busy_until = core.busy_until.max(usable);
                     core.blocked_on = None;
+                    // The dependent-load latency and the stall it caused are the same
+                    // difference; compute it once and book it into both counters.
                     let latency = usable.saturating_sub(meta.issued_at);
                     core.stats.dependent_load_latency_cycles += latency;
-                    core.stats.stall_cycles += usable.saturating_sub(meta.issued_at);
+                    core.stats.stall_cycles += latency;
                 }
             }
 
@@ -344,7 +350,19 @@ impl Engine {
                 if !can_issue {
                     continue;
                 }
-                let Some(op) = self.streams[core_idx].next_op() else {
+                // Buffered block cursor: the steady-state path is an array read plus a
+                // branch. The stream's virtual `fill_block` runs once per block, and a
+                // zero-length refill marks exhaustion exactly where `next_op() == None`
+                // used to — streams are pure deterministic generators, so pulling ops a
+                // block ahead is observably identical.
+                let pos = self.block_pos[core_idx];
+                let packed = if pos < self.blocks[core_idx].len() {
+                    self.block_pos[core_idx] = pos + 1;
+                    self.blocks[core_idx].get(pos)
+                } else if self.streams[core_idx].fill_block(&mut self.blocks[core_idx]) > 0 {
+                    self.block_pos[core_idx] = 1;
+                    self.blocks[core_idx].get(0)
+                } else {
                     let core = &mut self.cores[core_idx];
                     if !core.done {
                         core.done = true;
@@ -352,7 +370,7 @@ impl Engine {
                     }
                     continue;
                 };
-                self.execute(core_idx, op, now, hit_cycles);
+                self.execute(core_idx, packed, now, hit_cycles);
             }
 
             // One virtual call hands the whole cycle's requests to the backend.
@@ -505,23 +523,51 @@ impl Engine {
         }
     }
 
-    /// Executes one operation on one core at cycle `now`; memory requests are appended to
-    /// the issue batch.
-    fn execute(&mut self, core_idx: usize, op: Op, now: u64, hit_cycles: u64) {
+    /// Executes one packed operation on one core at cycle `now`; memory requests are
+    /// appended to the issue batch.
+    ///
+    /// Dispatches on the packed tag bits directly — the hot loop never rebuilds the [`Op`]
+    /// enum it would immediately match apart again.
+    fn execute(
+        &mut self,
+        core_idx: usize,
+        op: crate::program::PackedOp,
+        now: u64,
+        hit_cycles: u64,
+    ) {
         let request_path_cycles = 1u64;
-        match op {
-            Op::Compute { cycles } => {
+        let payload = op.payload();
+        match op.tag() {
+            crate::program::TAG_COMPUTE => {
                 let core = &mut self.cores[core_idx];
-                core.stats.instructions += cycles as u64;
-                core.busy_until = now + cycles as u64;
+                core.stats.instructions += payload;
+                core.busy_until = now + payload;
             }
-            Op::Load { addr, dependent } => {
+            crate::program::TAG_STORE => {
+                {
+                    let core = &mut self.cores[core_idx];
+                    core.stats.instructions += 1;
+                    core.stats.stores += 1;
+                    core.busy_until = now + 1;
+                }
+                let result = self.llc.access(payload, true);
+                if !result.hit {
+                    // Write-allocate: the fill read is issued on behalf of the store, but the
+                    // core does not wait for it.
+                    self.issue_fill(core_idx, payload, false, now + request_path_cycles);
+                }
+                if let Some(victim) = result.writeback {
+                    self.issue_writeback(core_idx, victim, now + request_path_cycles);
+                }
+            }
+            tag => {
+                let dependent = tag == crate::program::TAG_DEPENDENT_LOAD;
                 self.cores[core_idx].stats.instructions += 1;
                 self.cores[core_idx].stats.loads += 1;
                 if dependent {
                     self.cores[core_idx].stats.dependent_loads += 1;
                 }
-                let result = self.llc.access(addr, false);
+                let result = self.llc.access(payload, false);
                 if result.hit {
                     let core = &mut self.cores[core_idx];
                     if dependent {
@@ -531,24 +577,7 @@ impl Engine {
                         core.busy_until = now + 1;
                     }
                 } else {
-                    self.issue_fill(core_idx, addr, dependent, now + request_path_cycles);
-                }
-                if let Some(victim) = result.writeback {
-                    self.issue_writeback(core_idx, victim, now + request_path_cycles);
-                }
-            }
-            Op::Store { addr } => {
-                {
-                    let core = &mut self.cores[core_idx];
-                    core.stats.instructions += 1;
-                    core.stats.stores += 1;
-                    core.busy_until = now + 1;
-                }
-                let result = self.llc.access(addr, true);
-                if !result.hit {
-                    // Write-allocate: the fill read is issued on behalf of the store, but the
-                    // core does not wait for it.
-                    self.issue_fill(core_idx, addr, false, now + request_path_cycles);
+                    self.issue_fill(core_idx, payload, dependent, now + request_path_cycles);
                 }
                 if let Some(victim) = result.writeback {
                     self.issue_writeback(core_idx, victim, now + request_path_cycles);
@@ -598,12 +627,41 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::VecStream;
+    use crate::ops::{Op, VecStream};
     use mess_memmodels::FixedLatencyModel;
     use mess_types::CACHE_LINE_BYTES;
 
     fn fixed_backend(ns: f64, freq: Frequency) -> FixedLatencyModel {
         FixedLatencyModel::new(Latency::from_ns(ns), freq)
+    }
+
+    #[test]
+    fn dependent_load_stall_accounting_is_booked_once_per_completion() {
+        // A disabled cache makes every dependent load miss, so each one stalls the core for
+        // exactly the backend latency plus the on-chip return path. Both the latency and the
+        // stall counters must book that same difference once per load — no double counting,
+        // no drift between the two.
+        let freq = Frequency::from_ghz(1.0);
+        let config = CpuConfig {
+            cores: 1,
+            frequency: freq,
+            llc: CacheConfig::disabled(),
+            mshrs_per_core: 4,
+            llc_hit_latency: Latency::from_ns(1.0),
+            on_chip_latency: Latency::from_ns(10.0),
+        };
+        let loads = 8u64;
+        let ops: Vec<Op> = (0..loads)
+            .map(|i| Op::dependent_load(i * CACHE_LINE_BYTES))
+            .collect();
+        let mut backend = fixed_backend(60.0, freq);
+        let mut engine = Engine::new(config, vec![VecStream::new(ops)]);
+        let report = engine.run(&mut backend, StopCondition::AllStreamsDone, 1_000_000);
+        let stats = &report.core_stats[0];
+        assert_eq!(stats.dependent_loads, loads);
+        // 60 cycles of backend latency + 10 cycles on-chip return path per load.
+        assert_eq!(stats.dependent_load_latency_cycles, loads * 70);
+        assert_eq!(stats.stall_cycles, stats.dependent_load_latency_cycles);
     }
 
     #[test]

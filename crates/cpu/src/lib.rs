@@ -36,8 +36,10 @@ pub mod core;
 pub mod engine;
 mod obs;
 pub mod ops;
+pub mod program;
 
 pub use cache::{CacheConfig, CacheStats, LastLevelCache};
 pub use core::{Core, CoreStats};
 pub use engine::{CpuConfig, Engine, RunReport, StopCondition};
 pub use ops::{Op, OpStream, VecStream};
+pub use program::{OpBlock, OpProgram, PackedOp, ProgramStream, OP_BLOCK_CAPACITY};

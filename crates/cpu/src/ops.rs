@@ -1,5 +1,6 @@
 //! Abstract operations executed by the simulated cores.
 
+use crate::program::{OpBlock, PackedOp};
 use serde::{Deserialize, Serialize};
 
 /// One operation of a core's instruction stream.
@@ -86,6 +87,31 @@ pub trait OpStream: Send {
     /// Produces the next operation, or `None` when the stream is exhausted.
     fn next_op(&mut self) -> Option<Op>;
 
+    /// Clears `out` and refills it with the next batch of operations, returning the new
+    /// length. Returning `0` means the stream is exhausted — exactly when `next_op` would
+    /// return `None`; a *partial* block does **not** imply exhaustion until a subsequent
+    /// call returns `0`.
+    ///
+    /// This is the engine's hot-path entry point: one virtual call buys up to
+    /// [`OP_BLOCK_CAPACITY`](crate::program::OP_BLOCK_CAPACITY) operations. The default
+    /// implementation delegates to `next_op`, which monomorphizes per concrete stream type —
+    /// so even streams that don't override it stop paying per-op virtual dispatch. Compiled
+    /// streams ([`ProgramStream`](crate::program::ProgramStream) and the generator overrides
+    /// in `mess-workloads`/`mess-bench`) refill with a tight packed loop instead.
+    ///
+    /// The block sequence must match the `next_op` sequence op-for-op; the equivalence
+    /// suites in `mess-workloads` and `mess-bench` pin this for every shipped stream.
+    fn fill_block(&mut self, out: &mut OpBlock) -> usize {
+        out.clear();
+        while !out.is_full() {
+            match self.next_op() {
+                Some(op) => out.push(PackedOp::pack(op)),
+                None => break,
+            }
+        }
+        out.len()
+    }
+
     /// A short label used in reports.
     fn label(&self) -> &str {
         "stream"
@@ -122,6 +148,17 @@ impl OpStream for VecStream {
         self.ops.next()
     }
 
+    fn fill_block(&mut self, out: &mut OpBlock) -> usize {
+        out.clear();
+        while !out.is_full() {
+            match self.ops.next() {
+                Some(op) => out.push(PackedOp::pack(op)),
+                None => break,
+            }
+        }
+        out.len()
+    }
+
     fn label(&self) -> &str {
         &self.label
     }
@@ -153,11 +190,11 @@ impl<F: FnMut() -> Op + Send> OpStream for FnStream<F> {
     }
 }
 
-impl std::fmt::Debug for FnStream<fn() -> Op> {
+impl<F: FnMut() -> Op> std::fmt::Debug for FnStream<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FnStream")
             .field("label", &self.label)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -202,6 +239,44 @@ mod tests {
         assert_eq!(s.next_op(), Some(Op::store(64)));
         assert_eq!(s.next_op(), None);
         assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn default_fill_block_matches_next_op_including_exhaustion() {
+        let ops: Vec<Op> = (0..600).map(|i| Op::load(i * 64)).collect();
+        let mut by_op = VecStream::new(ops.clone());
+        let mut by_block = VecStream::new(ops);
+        let mut expected = Vec::new();
+        while let Some(op) = by_op.next_op() {
+            expected.push(op);
+        }
+        let mut got = Vec::new();
+        let mut block = crate::program::OpBlock::new();
+        loop {
+            let n = by_block.fill_block(&mut block);
+            assert_eq!(n, block.len());
+            if n == 0 {
+                break;
+            }
+            got.extend(block.as_slice().iter().map(|p| p.unpack()));
+        }
+        assert_eq!(got, expected);
+        // Once exhausted, every further refill stays empty.
+        assert_eq!(by_block.fill_block(&mut block), 0);
+    }
+
+    #[test]
+    fn fn_stream_debug_works_for_closures() {
+        let mut n = 0u64;
+        let s = FnStream::new(
+            move || {
+                n += 64;
+                Op::load(n)
+            },
+            "lane 3",
+        );
+        let rendered = format!("{s:?}");
+        assert!(rendered.contains("lane 3"), "got {rendered}");
     }
 
     #[test]

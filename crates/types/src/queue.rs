@@ -14,7 +14,7 @@ use crate::backend::MemoryStats;
 use crate::request::Completion;
 use crate::units::Cycle;
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One scheduled completion, ordered by (cycle, sequence).
 #[derive(Debug, Clone, Copy)]
@@ -41,9 +41,20 @@ impl Ord for Scheduled {
     }
 }
 
-/// A min-heap of scheduled completions with ordered, zero-allocation drains.
+/// A min-queue of scheduled completions with ordered, zero-allocation drains.
+///
+/// Internally a two-lane structure exploiting how the analytical backends actually
+/// schedule: completion times decided at acceptance are (almost) always non-decreasing, so
+/// the common case is a plain ring-buffer append and pop — no sift, no per-request
+/// `O(log n)` heap traffic. A schedule that arrives *out* of order (e.g. a short-latency
+/// channel overtaking a queued long one) spills to a min-heap, and drains merge the two
+/// lanes by `(cycle, sequence)` — the observable order is identical to a single heap in
+/// every case.
 #[derive(Debug, Clone, Default)]
 pub struct CompletionQueue {
+    /// The monotone fast lane: entries here are in non-decreasing `(at, seq)` order.
+    fifo: VecDeque<Scheduled>,
+    /// Spill lane for schedules that arrive out of order relative to the fifo's tail.
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
 }
@@ -71,16 +82,27 @@ impl CompletionQueue {
     /// acceptance sequence here so same-cycle drains still follow the documented order.
     pub fn schedule_with_seq(&mut self, seq: u64, completion: Completion) {
         self.seq = self.seq.max(seq + 1);
-        self.heap.push(Reverse(Scheduled {
+        let entry = Scheduled {
             at: completion.complete_cycle.as_u64(),
             seq,
             completion,
-        }));
+        };
+        match self.fifo.back() {
+            Some(back) if entry < *back => self.heap.push(Reverse(entry)),
+            _ => self.fifo.push_back(entry),
+        }
     }
 
     /// The cycle of the earliest scheduled completion, if any — a backend's `next_event`.
     pub fn next_ready(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(s)| Cycle::new(s.at))
+        let fifo = self.fifo.front();
+        let heap = self.heap.peek().map(|Reverse(s)| s);
+        match (fifo, heap) {
+            (Some(f), Some(h)) => Some(Cycle::new(f.at.min(h.at))),
+            (Some(f), None) => Some(Cycle::new(f.at)),
+            (None, Some(h)) => Some(Cycle::new(h.at)),
+            (None, None) => None,
+        }
     }
 
     /// Appends every completion due at or before `now` to `out` (ordered by cycle then
@@ -93,11 +115,35 @@ impl CompletionQueue {
     ) -> usize {
         let now = now.as_u64();
         let mut drained = 0;
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.at > now {
-                break;
-            }
-            let Reverse(s) = self.heap.pop().expect("peeked entry exists");
+        loop {
+            // Two-lane merge: take whichever head is smaller by (cycle, sequence); the
+            // smaller head is the earliest entry overall, so if it is not due, nothing is.
+            let take_fifo = match (self.fifo.front(), self.heap.peek()) {
+                (Some(f), Some(Reverse(h))) => {
+                    if f.at.min(h.at) > now {
+                        break;
+                    }
+                    *f < *h
+                }
+                (Some(f), None) => {
+                    if f.at > now {
+                        break;
+                    }
+                    true
+                }
+                (None, Some(Reverse(h))) => {
+                    if h.at > now {
+                        break;
+                    }
+                    false
+                }
+                (None, None) => break,
+            };
+            let s = if take_fifo {
+                self.fifo.pop_front().expect("peeked entry exists")
+            } else {
+                self.heap.pop().expect("peeked entry exists").0
+            };
             stats.record_completion(&s.completion);
             out.push(s.completion);
             drained += 1;
@@ -107,12 +153,12 @@ impl CompletionQueue {
 
     /// Number of scheduled, undrained completions.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.fifo.len() + self.heap.len()
     }
 
     /// `true` when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.fifo.is_empty() && self.heap.is_empty()
     }
 }
 

@@ -1,0 +1,172 @@
+//! The workload → compiled-program pass: [`WorkloadSpec`] in, [`CompiledWorkload`] out.
+//!
+//! Mirroring simlin's compiler/VM split, workload resolution is split into two stages:
+//! a **compile** stage that pre-resolves everything expensive — STREAM kernels become
+//! literal per-line [`mess_cpu::OpProgram`] bodies with trip counts, the latency benchmarks
+//! pre-materialize their strided walk or Sattolo-cycle lap once, and GUPS hoists its RNG
+//! out of the per-op path by pre-generating address chunks — and an **execution** stage
+//! where the engine consumes packed [`mess_cpu::OpBlock`]s with no per-op virtual dispatch.
+//!
+//! The compiled streams are op-for-op identical to the interpreted ones (the
+//! `compiled_equivalence` suite pins this per family across seeds, sizes and block
+//! boundaries), so every report, CurveSet artifact and spec digest is byte-identical
+//! whichever path runs. [`WorkloadSpec::streams`] routes through this pass by default;
+//! setting `MESS_INTERPRETED=1` forces the legacy interpreted path
+//! ([`WorkloadSpec::interpreted_streams`]), which CI uses to `cmp` the two paths' report
+//! bytes. The SPEC CPU2006-like suite stays on its generator (its RNG draw sequence is
+//! data-dependent, so there is nothing to hoist) and runs through the default
+//! [`mess_cpu::OpStream::fill_block`] — the monomorphized fallback `next_op` path.
+
+use crate::spec::{pad_single_core, WorkloadSpec, MIN_STREAM_BYTES};
+use crate::spec_suite;
+use crate::{GupsConfig, HpcgConfig, LatMemRdConfig, MultichaseConfig, StreamConfig};
+use mess_cpu::OpStream;
+use mess_types::MessError;
+use std::sync::OnceLock;
+
+/// `true` when `MESS_INTERPRETED=1` (or `true`) forces the legacy interpreted workload
+/// path. Read once per process; the compiled path is the default.
+pub fn interpreted_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("MESS_INTERPRETED")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}
+
+/// The result of compiling one [`WorkloadSpec`] for a concrete platform: per-core streams
+/// whose hot path is block-based, plus the compile-stage materialization tally.
+pub struct CompiledWorkload {
+    streams: Vec<Box<dyn OpStream>>,
+    materialized_ops: u64,
+}
+
+impl CompiledWorkload {
+    /// Number of per-core streams (one per platform core).
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of packed ops materialized at compile time (program bodies; streams that
+    /// generate on refill, like GUPS, materialize nothing up front). This is the
+    /// compile-stage cost the per-stage bench reports.
+    pub fn materialized_ops(&self) -> u64 {
+        self.materialized_ops
+    }
+
+    /// Consumes the compiled workload, yielding the per-core streams for an engine.
+    pub fn into_streams(self) -> Vec<Box<dyn OpStream>> {
+        self.streams
+    }
+}
+
+impl std::fmt::Debug for CompiledWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledWorkload")
+            .field("streams", &self.streams.len())
+            .field("materialized_ops", &self.materialized_ops)
+            .finish()
+    }
+}
+
+/// Compiles `spec` for a platform with `llc_bytes` of LLC and `cores` cores.
+///
+/// Sizing rules are identical to [`WorkloadSpec::interpreted_streams`]; only the stream
+/// construction differs (compiled program forms instead of per-op state machines).
+///
+/// # Errors
+///
+/// Propagates [`WorkloadSpec::validate`].
+pub fn compile(
+    spec: &WorkloadSpec,
+    llc_bytes: u64,
+    cores: u32,
+) -> Result<CompiledWorkload, MessError> {
+    spec.validate()?;
+    let streams = match spec {
+        WorkloadSpec::Stream {
+            kernel,
+            llc_multiple,
+            iterations,
+        } => StreamConfig {
+            kernel: *kernel,
+            array_bytes: (llc_bytes * llc_multiple).max(MIN_STREAM_BYTES),
+            iterations: *iterations,
+            cores,
+        }
+        .compiled_streams(),
+        WorkloadSpec::LatMemRd {
+            llc_multiple,
+            stride_bytes,
+            loads,
+        } => {
+            let config = LatMemRdConfig {
+                array_bytes: llc_bytes * llc_multiple,
+                stride_bytes: *stride_bytes,
+                loads: *loads,
+            };
+            pad_single_core(config.compiled_stream(), cores)
+        }
+        WorkloadSpec::Multichase {
+            llc_multiple,
+            loads,
+            seed,
+        } => {
+            let config = MultichaseConfig {
+                array_bytes: llc_bytes * llc_multiple,
+                loads: *loads,
+                seed: *seed,
+            };
+            pad_single_core(config.compiled_stream(), cores)
+        }
+        WorkloadSpec::Gups {
+            llc_multiple,
+            updates_per_core,
+            seed,
+        } => GupsConfig {
+            table_bytes: (llc_bytes * llc_multiple).next_power_of_two(),
+            updates_per_core: *updates_per_core,
+            cores: cores.max(1),
+            seed: *seed,
+        }
+        .compiled_streams(),
+        WorkloadSpec::Hpcg {
+            rows_per_core,
+            nonzeros_per_row,
+            vector_llc_multiple,
+            seed,
+        } => HpcgConfig {
+            rows_per_core: *rows_per_core,
+            nonzeros_per_row: *nonzeros_per_row,
+            vector_bytes: llc_bytes * vector_llc_multiple,
+            cores: cores.max(1),
+            seed: *seed,
+        }
+        .compiled_streams(),
+        WorkloadSpec::SpecCpu2006 {
+            benchmark,
+            ops_per_core,
+        } => spec_suite::find(benchmark)
+            .expect("validated above")
+            .multiprogrammed(cores, *ops_per_core),
+    };
+    let materialized_ops = match spec {
+        WorkloadSpec::Stream { kernel, .. } => {
+            // Per core: the kernel's per-line micro-sequence (2 loads + store + compute for
+            // Add/Triad, load + store + compute for Copy/Scale).
+            (2 + kernel.source_arrays()) * cores.max(1) as u64
+        }
+        WorkloadSpec::LatMemRd { .. } => 1,
+        WorkloadSpec::Multichase { llc_multiple, .. } => {
+            ((llc_bytes * llc_multiple) / mess_types::CACHE_LINE_BYTES).max(2)
+        }
+        WorkloadSpec::Gups { .. }
+        | WorkloadSpec::Hpcg { .. }
+        | WorkloadSpec::SpecCpu2006 { .. } => 0,
+    };
+    Ok(CompiledWorkload {
+        streams,
+        materialized_ops,
+    })
+}

@@ -6,7 +6,7 @@
 //! validate the Mess unloaded-latency measurements (§II-B) and as low-bandwidth workloads in
 //! the IPC-error comparison (Figs. 11 and 13).
 
-use mess_cpu::{Op, OpStream};
+use mess_cpu::{Op, OpProgram, OpStream, PackedOp};
 use mess_types::CACHE_LINE_BYTES;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -41,6 +41,20 @@ impl LatMemRdConfig {
     /// The op stream of the benchmark (a single-core workload).
     pub fn stream(&self) -> Box<dyn OpStream> {
         Box::new(LatMemRdStream::new(*self))
+    }
+
+    /// Compiled form: a one-op program body (a dependent load at the working set's base)
+    /// whose per-trip stride wraps modulo the working-set size — op-for-op identical to
+    /// [`LatMemRdConfig::stream`] with no per-op state machine.
+    pub fn compiled_stream(&self) -> Box<dyn OpStream> {
+        let body = vec![PackedOp::pack(Op::dependent_load(CHASE_BASE))];
+        Box::new(
+            OpProgram::new(body, 1)
+                .with_stride(self.stride_bytes)
+                .with_wrap(self.array_bytes)
+                .with_total_ops(self.loads)
+                .stream("lmbench:lat_mem_rd"),
+        )
     }
 }
 
@@ -105,6 +119,29 @@ impl MultichaseConfig {
     /// The op stream of the benchmark (a single-core workload).
     pub fn stream(&self) -> Box<dyn OpStream> {
         Box::new(MultichaseStream::new(*self))
+    }
+
+    /// Compiled form: the Sattolo-cycle walk is materialized **once** as a literal one-lap
+    /// program body (the single-cycle property closes the lap after exactly `lines` hops),
+    /// repeated until the load count is reached — op-for-op identical to
+    /// [`MultichaseConfig::stream`] with no per-op table lookup.
+    pub fn compiled_stream(&self) -> Box<dyn OpStream> {
+        let lines = (self.array_bytes / CACHE_LINE_BYTES).max(2) as u32;
+        let next_line = sattolo_cycle(lines, self.seed);
+        let mut body = Vec::with_capacity(lines as usize);
+        let mut current = 0u32;
+        for _ in 0..lines {
+            body.push(PackedOp::pack(Op::dependent_load(
+                CHASE_BASE + current as u64 * CACHE_LINE_BYTES,
+            )));
+            current = next_line[current as usize];
+        }
+        debug_assert_eq!(current, 0, "a Sattolo cycle closes after one full lap");
+        Box::new(
+            OpProgram::new(body, 1)
+                .with_total_ops(self.loads)
+                .stream("multichase:pointer-chase"),
+        )
     }
 }
 

@@ -32,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod latency;
 pub mod random;
 pub mod spec;
 pub mod spec_suite;
 pub mod stream;
 
+pub use compile::CompiledWorkload;
 pub use latency::{LatMemRdConfig, MultichaseConfig};
 pub use random::{GupsConfig, HpcgConfig};
 pub use spec::WorkloadSpec;

@@ -6,7 +6,7 @@
 //! here as op-stream workloads so the profiling and IPC experiments can run them on any
 //! platform model.
 
-use mess_cpu::{Op, OpStream};
+use mess_cpu::{Op, OpBlock, OpStream, PackedOp};
 use mess_types::CACHE_LINE_BYTES;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -48,6 +48,15 @@ impl GupsConfig {
     pub fn streams(&self) -> Vec<Box<dyn OpStream>> {
         (0..self.cores)
             .map(|core| Box::new(GupsStream::new(*self, core)) as Box<dyn OpStream>)
+            .collect()
+    }
+
+    /// Compiled per-core streams: op-for-op identical to [`GupsConfig::streams`], but the
+    /// RNG is hoisted out of the per-op path — table addresses are pre-generated in
+    /// `GUPS_CHUNK`-sized chunks and the block-refill path is a tight packed loop.
+    pub fn compiled_streams(&self) -> Vec<Box<dyn OpStream>> {
+        (0..self.cores)
+            .map(|core| Box::new(CompiledGupsStream::new(*self, core)) as Box<dyn OpStream>)
             .collect()
     }
 }
@@ -100,6 +109,99 @@ impl OpStream for GupsStream {
     }
 }
 
+/// Table addresses pre-generated per chunk by [`CompiledGupsStream`]: one RNG pass every
+/// 4096 updates instead of one RNG dispatch per update.
+const GUPS_CHUNK: usize = 4096;
+
+/// The compiled form of [`GupsStream`]: the same seed, the same RNG draw sequence and the
+/// same load/store alternation, but addresses come from a pre-generated chunk and block
+/// refills run a tight packed loop.
+#[derive(Debug, Clone)]
+pub struct CompiledGupsStream {
+    rng: StdRng,
+    mask: u64,
+    remaining: u64,
+    pending_store: Option<u64>,
+    /// Pre-generated table addresses, consumed front to back.
+    chunk: Vec<u64>,
+    chunk_pos: usize,
+    label: String,
+}
+
+impl CompiledGupsStream {
+    /// Creates the compiled stream for `core` (seeded exactly like [`GupsStream::new`]).
+    pub fn new(config: GupsConfig, core: u32) -> Self {
+        let lines = (config.table_bytes / CACHE_LINE_BYTES)
+            .next_power_of_two()
+            .max(2);
+        CompiledGupsStream {
+            rng: StdRng::seed_from_u64(config.seed ^ (core as u64).wrapping_mul(0x9e37_79b9)),
+            mask: lines - 1,
+            remaining: config.updates_per_core,
+            pending_store: None,
+            chunk: Vec::new(),
+            chunk_pos: 0,
+            label: format!("gups[core {core}]"),
+        }
+    }
+
+    /// The next pre-generated table address, refilling the chunk when it runs dry. Never
+    /// draws more RNG words than there are updates left, so the draw sequence matches the
+    /// interpreted stream exactly.
+    #[inline]
+    fn next_addr(&mut self) -> u64 {
+        if self.chunk_pos == self.chunk.len() {
+            let n = self.remaining.min(GUPS_CHUNK as u64) as usize;
+            self.chunk.clear();
+            for _ in 0..n {
+                let line = self.rng.gen::<u64>() & self.mask;
+                self.chunk.push(GUPS_BASE + line * CACHE_LINE_BYTES);
+            }
+            self.chunk_pos = 0;
+        }
+        let addr = self.chunk[self.chunk_pos];
+        self.chunk_pos += 1;
+        addr
+    }
+}
+
+impl OpStream for CompiledGupsStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if let Some(addr) = self.pending_store.take() {
+            return Some(Op::store(addr));
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        let addr = self.next_addr();
+        self.remaining -= 1;
+        self.pending_store = Some(addr);
+        Some(Op::dependent_load(addr))
+    }
+
+    fn fill_block(&mut self, out: &mut OpBlock) -> usize {
+        out.clear();
+        while !out.is_full() {
+            if let Some(addr) = self.pending_store.take() {
+                out.push(PackedOp::store(addr));
+                continue;
+            }
+            if self.remaining == 0 {
+                break;
+            }
+            let addr = self.next_addr();
+            self.remaining -= 1;
+            out.push(PackedOp::dependent_load(addr));
+            self.pending_store = Some(addr);
+        }
+        out.len()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
 /// Configuration of the HPCG-proxy workload (sparse matrix-vector product plus dot products).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HpcgConfig {
@@ -132,6 +234,15 @@ impl HpcgConfig {
     pub fn streams(&self) -> Vec<Box<dyn OpStream>> {
         (0..self.cores)
             .map(|core| Box::new(HpcgStream::new(*self, core)) as Box<dyn OpStream>)
+            .collect()
+    }
+
+    /// Compiled per-core streams: op-for-op identical to [`HpcgConfig::streams`], but each
+    /// row is materialized straight into packed emission order (no back-to-front queue) and
+    /// block refills run a tight packed loop.
+    pub fn compiled_streams(&self) -> Vec<Box<dyn OpStream>> {
+        (0..self.cores)
+            .map(|core| Box::new(CompiledHpcgStream::new(*self, core)) as Box<dyn OpStream>)
             .collect()
     }
 }
@@ -203,6 +314,106 @@ impl OpStream for HpcgStream {
             self.refill();
         }
         self.queue.pop()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The compiled form of [`HpcgStream`]: identical seed, RNG draw order and emission order,
+/// with each row materialized directly into packed front-to-back order.
+#[derive(Debug, Clone)]
+pub struct CompiledHpcgStream {
+    config: HpcgConfig,
+    rng: StdRng,
+    row: u64,
+    matrix_offset: u64,
+    vector_lines: u64,
+    /// The current row's ops in emission order, consumed via `pos`.
+    pending: Vec<PackedOp>,
+    pos: usize,
+    /// Scratch for the row's gather lines (drawn in RNG order, emitted reversed — matching
+    /// the interpreted stream's back-to-front queue).
+    gather_buf: Vec<u64>,
+    label: String,
+}
+
+impl CompiledHpcgStream {
+    /// Creates the compiled stream for `core` (seeded exactly like [`HpcgStream::new`]).
+    pub fn new(config: HpcgConfig, core: u32) -> Self {
+        let stripe_bytes = config.rows_per_core * config.nonzeros_per_row as u64 * 12;
+        CompiledHpcgStream {
+            rng: StdRng::seed_from_u64(config.seed ^ core as u64),
+            row: 0,
+            matrix_offset: core as u64 * stripe_bytes.next_multiple_of(CACHE_LINE_BYTES),
+            vector_lines: (config.vector_bytes / CACHE_LINE_BYTES).max(1),
+            pending: Vec::new(),
+            pos: 0,
+            gather_buf: Vec::new(),
+            label: format!("hpcg[core {core}]"),
+            config,
+        }
+    }
+
+    /// Materializes the next row into `pending` (left empty once the rows run out).
+    fn refill(&mut self) {
+        self.pending.clear();
+        self.pos = 0;
+        if self.row >= self.config.rows_per_core {
+            return;
+        }
+        let row = self.row;
+        self.row += 1;
+        let row_bytes = self.config.nonzeros_per_row as u64 * 12;
+        let row_base = HPCG_MATRIX_BASE + self.matrix_offset + row * row_bytes;
+        let matrix_lines = row_bytes.div_ceil(CACHE_LINE_BYTES).max(1);
+        for l in 0..matrix_lines {
+            self.pending
+                .push(PackedOp::load(row_base + l * CACHE_LINE_BYTES));
+        }
+        let gathers = (self.config.nonzeros_per_row / 4).max(1);
+        self.gather_buf.clear();
+        for _ in 0..gathers {
+            self.gather_buf
+                .push(self.rng.gen_range(0..self.vector_lines));
+        }
+        for &line in self.gather_buf.iter().rev() {
+            self.pending.push(PackedOp::load(
+                HPCG_VECTOR_BASE + 0x1000_0000 + line * CACHE_LINE_BYTES,
+            ));
+        }
+        self.pending
+            .push(PackedOp::compute(2 * self.config.nonzeros_per_row));
+        self.pending.push(PackedOp::store(
+            HPCG_VECTOR_BASE + (row * 8) / CACHE_LINE_BYTES * CACHE_LINE_BYTES,
+        ));
+    }
+}
+
+impl OpStream for CompiledHpcgStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.pos == self.pending.len() {
+            self.refill();
+        }
+        let op = self.pending.get(self.pos)?;
+        self.pos += 1;
+        Some(op.unpack())
+    }
+
+    fn fill_block(&mut self, out: &mut OpBlock) -> usize {
+        out.clear();
+        while !out.is_full() {
+            if self.pos == self.pending.len() {
+                self.refill();
+                if self.pending.is_empty() {
+                    break;
+                }
+            }
+            out.push(self.pending[self.pos]);
+            self.pos += 1;
+        }
+        out.len()
     }
 
     fn label(&self) -> &str {

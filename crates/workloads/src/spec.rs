@@ -245,10 +245,50 @@ impl WorkloadSpec {
     /// `cores` cores. Single-core workloads (the latency benchmarks) are padded with idle
     /// streams so an engine still models every core.
     ///
+    /// By default this routes through the compile pass ([`crate::compile::compile`]) — the
+    /// streams are pre-resolved program forms whose refill path has no per-op virtual
+    /// dispatch or RNG, yielding an op-for-op identical sequence. Setting
+    /// `MESS_INTERPRETED=1` forces the legacy interpreted generators
+    /// ([`WorkloadSpec::interpreted_streams`]) instead.
+    ///
     /// # Errors
     ///
     /// Propagates [`WorkloadSpec::validate`].
     pub fn streams(&self, llc_bytes: u64, cores: u32) -> Result<Vec<Box<dyn OpStream>>, MessError> {
+        if crate::compile::interpreted_forced() {
+            self.interpreted_streams(llc_bytes, cores)
+        } else {
+            Ok(crate::compile::compile(self, llc_bytes, cores)?.into_streams())
+        }
+    }
+
+    /// Compiles the spec into a [`crate::compile::CompiledWorkload`] (the explicit form of
+    /// the default [`WorkloadSpec::streams`] path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WorkloadSpec::validate`].
+    pub fn compile(
+        &self,
+        llc_bytes: u64,
+        cores: u32,
+    ) -> Result<crate::compile::CompiledWorkload, MessError> {
+        crate::compile::compile(self, llc_bytes, cores)
+    }
+
+    /// Resolves the spec through the legacy interpreted generators (per-op state machines
+    /// pulled via `next_op`). Sizing rules are identical to the compiled path; the op
+    /// sequences are op-for-op identical. Kept as the reference implementation the
+    /// equivalence suite and the CI bit-identity job compare against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WorkloadSpec::validate`].
+    pub fn interpreted_streams(
+        &self,
+        llc_bytes: u64,
+        cores: u32,
+    ) -> Result<Vec<Box<dyn OpStream>>, MessError> {
         self.validate()?;
         Ok(match self {
             WorkloadSpec::Stream {

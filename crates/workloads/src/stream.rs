@@ -9,7 +9,7 @@
 //! every store line also produces a fill read).
 
 use crate::partition_lines;
-use mess_cpu::{Op, OpStream};
+use mess_cpu::{Op, OpProgram, OpStream, PackedOp};
 use mess_types::CACHE_LINE_BYTES;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -123,6 +123,28 @@ impl StreamConfig {
         let elements = self.array_bytes / 8;
         elements * self.kernel.stream_bytes_per_element() * self.iterations as u64
     }
+
+    /// Compiled per-core streams: op-for-op identical to [`StreamConfig::streams`], but each
+    /// core gets a flat [`OpProgram`] — the kernel's per-line micro-sequence as a literal
+    /// packed body, a 64-byte per-trip stride, one trip per array line and one pass per
+    /// iteration — instead of the line/micro state machine.
+    pub fn compiled_streams(&self) -> Vec<Box<dyn OpStream>> {
+        let lines = self.array_bytes / CACHE_LINE_BYTES;
+        (0..self.cores)
+            .map(|core| {
+                let (start, end) = partition_lines(lines, self.cores, core);
+                let body: Vec<PackedOp> = (0..4u8)
+                    .filter_map(|micro| line_ops(self.kernel, start, micro))
+                    .map(PackedOp::pack)
+                    .collect();
+                let program = OpProgram::new(body, end.saturating_sub(start))
+                    .with_stride(CACHE_LINE_BYTES)
+                    .with_passes(self.iterations as u64)
+                    .stream(format!("stream-{}[core {}]", self.kernel, core));
+                Box::new(program) as Box<dyn OpStream>
+            })
+            .collect()
+    }
 }
 
 /// Base addresses of the three STREAM arrays, spaced far apart so they never alias in the LLC
@@ -165,35 +187,41 @@ impl StreamStream {
 
     /// The micro-sequence of operations for one cache line of the kernel.
     fn micro_op(&self, line: u64, micro: u8) -> Option<Op> {
-        let k = self.config.kernel;
-        let ops: [Option<Op>; 4] = match k {
-            StreamKernel::Copy => [
-                Some(Op::load(Self::addr(ARRAY_A_BASE, line))),
-                Some(Op::store(Self::addr(ARRAY_C_BASE, line))),
-                Some(Op::compute(k.compute_cycles())),
-                None,
-            ],
-            StreamKernel::Scale => [
-                Some(Op::load(Self::addr(ARRAY_C_BASE, line))),
-                Some(Op::store(Self::addr(ARRAY_B_BASE, line))),
-                Some(Op::compute(k.compute_cycles())),
-                None,
-            ],
-            StreamKernel::Add => [
-                Some(Op::load(Self::addr(ARRAY_A_BASE, line))),
-                Some(Op::load(Self::addr(ARRAY_B_BASE, line))),
-                Some(Op::store(Self::addr(ARRAY_C_BASE, line))),
-                Some(Op::compute(k.compute_cycles())),
-            ],
-            StreamKernel::Triad => [
-                Some(Op::load(Self::addr(ARRAY_B_BASE, line))),
-                Some(Op::load(Self::addr(ARRAY_C_BASE, line))),
-                Some(Op::store(Self::addr(ARRAY_A_BASE, line))),
-                Some(Op::compute(k.compute_cycles())),
-            ],
-        };
-        ops.get(micro as usize).copied().flatten()
+        line_ops(self.config.kernel, line, micro)
     }
+}
+
+/// The `micro`-th operation of `kernel`'s micro-sequence for cache line `line` — the single
+/// source of truth shared by the interpreted state machine and the compiled program bodies.
+fn line_ops(kernel: StreamKernel, line: u64, micro: u8) -> Option<Op> {
+    let addr = StreamStream::addr;
+    let ops: [Option<Op>; 4] = match kernel {
+        StreamKernel::Copy => [
+            Some(Op::load(addr(ARRAY_A_BASE, line))),
+            Some(Op::store(addr(ARRAY_C_BASE, line))),
+            Some(Op::compute(kernel.compute_cycles())),
+            None,
+        ],
+        StreamKernel::Scale => [
+            Some(Op::load(addr(ARRAY_C_BASE, line))),
+            Some(Op::store(addr(ARRAY_B_BASE, line))),
+            Some(Op::compute(kernel.compute_cycles())),
+            None,
+        ],
+        StreamKernel::Add => [
+            Some(Op::load(addr(ARRAY_A_BASE, line))),
+            Some(Op::load(addr(ARRAY_B_BASE, line))),
+            Some(Op::store(addr(ARRAY_C_BASE, line))),
+            Some(Op::compute(kernel.compute_cycles())),
+        ],
+        StreamKernel::Triad => [
+            Some(Op::load(addr(ARRAY_B_BASE, line))),
+            Some(Op::load(addr(ARRAY_C_BASE, line))),
+            Some(Op::store(addr(ARRAY_A_BASE, line))),
+            Some(Op::compute(kernel.compute_cycles())),
+        ],
+    };
+    ops.get(micro as usize).copied().flatten()
 }
 
 impl OpStream for StreamStream {

@@ -1,0 +1,200 @@
+//! Compiled ≡ interpreted equivalence suite.
+//!
+//! The compile pass (`mess_workloads::compile`) promises that every compiled stream yields
+//! the op-for-op identical sequence as its interpreted counterpart — same ops, same order,
+//! same exhaustion point — across seeds, sizes, core counts and block-boundary crossings.
+//! These tests pin that promise per workload family and for all 25 workloads of the
+//! SPEC-like suite, because the entire "every byte of experiment output is unchanged"
+//! guarantee of the compiled path rests on it.
+
+use mess_cpu::{Op, OpBlock, OpStream};
+use mess_workloads::spec::WorkloadSpec;
+use mess_workloads::stream::StreamKernel;
+use mess_workloads::{
+    spec2006_suite, GupsConfig, HpcgConfig, LatMemRdConfig, MultichaseConfig, StreamConfig,
+};
+use proptest::prelude::*;
+
+/// Drains `stream` through `next_op`, up to `cap` ops.
+fn drain_ops(stream: &mut dyn OpStream, cap: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    while ops.len() < cap {
+        match stream.next_op() {
+            Some(op) => ops.push(op),
+            None => break,
+        }
+    }
+    ops
+}
+
+/// Drains `stream` through `fill_block`, up to `cap` ops (block granularity), asserting the
+/// refill contract (`len()` returned, zero only at exhaustion).
+fn drain_blocks(stream: &mut dyn OpStream, cap: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut block = OpBlock::new();
+    while ops.len() < cap {
+        let n = stream.fill_block(&mut block);
+        assert_eq!(n, block.len(), "fill_block must return the refilled length");
+        if n == 0 {
+            break;
+        }
+        ops.extend(block.as_slice().iter().map(|p| p.unpack()));
+    }
+    ops
+}
+
+/// Asserts that the compiled and interpreted forms of one finite stream pair agree — both
+/// pulled per-op and pulled per-block — including the exhaustion point.
+fn assert_equivalent_finite(
+    mut interpreted: Box<dyn OpStream>,
+    mut compiled: Box<dyn OpStream>,
+    context: &str,
+) {
+    const CAP: usize = 2_000_000;
+    assert_eq!(
+        interpreted.label(),
+        compiled.label(),
+        "{context}: labels must match"
+    );
+    let expected = drain_ops(interpreted.as_mut(), CAP);
+    assert!(expected.len() < CAP, "{context}: stream is not finite");
+    let got = drain_blocks(compiled.as_mut(), CAP);
+    assert_eq!(got, expected, "{context}: compiled block path diverges");
+    let mut block = OpBlock::new();
+    assert_eq!(
+        compiled.fill_block(&mut block),
+        0,
+        "{context}: exhausted stream must keep returning empty blocks"
+    );
+    assert_eq!(
+        compiled.next_op(),
+        None,
+        "{context}: exhausted stream must keep returning None"
+    );
+}
+
+const LLC: u64 = 256 * 1024;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_kernels_compile_to_identical_sequences(
+        kernel_idx in 0usize..4,
+        lines in 0u64..300,
+        iterations in 0u32..4,
+        cores in 1u32..5,
+    ) {
+        let config = StreamConfig {
+            kernel: StreamKernel::ALL[kernel_idx],
+            array_bytes: lines * 64,
+            iterations,
+            cores,
+        };
+        let interpreted = config.streams();
+        let compiled = config.compiled_streams();
+        for (i, c) in interpreted.into_iter().zip(compiled) {
+            assert_equivalent_finite(i, c, &format!("{config:?}"));
+        }
+    }
+
+    #[test]
+    fn lat_mem_rd_compiles_to_identical_sequences(
+        array_bytes in 1u64..200_000,
+        stride_bytes in 1u64..5_000,
+        loads in 0u64..2_000,
+    ) {
+        let config = LatMemRdConfig { array_bytes, stride_bytes, loads };
+        assert_equivalent_finite(config.stream(), config.compiled_stream(), &format!("{config:?}"));
+    }
+
+    #[test]
+    fn multichase_compiles_to_identical_sequences(
+        lines in 2u64..600,
+        loads in 0u64..2_000,
+        seed in 0u64..1_000_000,
+    ) {
+        // `loads` both below one lap and across several laps of the Sattolo cycle.
+        let config = MultichaseConfig { array_bytes: lines * 64, loads, seed };
+        assert_equivalent_finite(config.stream(), config.compiled_stream(), &format!("{config:?}"));
+    }
+
+    #[test]
+    fn gups_compiles_to_identical_sequences(
+        table_bytes in (1u64 << 12)..(1u64 << 21),
+        updates_per_core in 0u64..2_000,
+        cores in 1u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let config = GupsConfig { table_bytes, updates_per_core, cores, seed };
+        for (i, c) in config.streams().into_iter().zip(config.compiled_streams()) {
+            assert_equivalent_finite(i, c, &format!("{config:?}"));
+        }
+    }
+
+    #[test]
+    fn hpcg_compiles_to_identical_sequences(
+        rows_per_core in 0u64..120,
+        nonzeros_per_row in 1u32..40,
+        vector_bytes in 64u64..(1u64 << 20),
+        cores in 1u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let config = HpcgConfig { rows_per_core, nonzeros_per_row, vector_bytes, cores, seed };
+        for (i, c) in config.streams().into_iter().zip(config.compiled_streams()) {
+            assert_equivalent_finite(i, c, &format!("{config:?}"));
+        }
+    }
+}
+
+#[test]
+fn every_spec_suite_workload_is_block_identical() {
+    // The SPEC-like generators stay on the fallback `next_op` path; the default
+    // `fill_block` must still produce the identical sequence (701 ops per core straddles
+    // the 256-op block boundary twice, plus a final partial block).
+    for workload in spec2006_suite() {
+        let spec = WorkloadSpec::spec_cpu2006(workload.name, 701);
+        let interpreted = spec.interpreted_streams(LLC, 2).unwrap();
+        let compiled = spec.compile(LLC, 2).unwrap().into_streams();
+        for (i, c) in interpreted.into_iter().zip(compiled) {
+            assert_equivalent_finite(i, c, workload.name);
+        }
+    }
+}
+
+#[test]
+fn every_spec_kind_is_equivalent_at_block_boundaries() {
+    // Op counts straddling exact OpBlock capacity multiples (256) — the refill edge the
+    // engine's cursor exercises hardest — for every spec kind through the public API.
+    for ops in [255u64, 256, 257, 511, 512, 513] {
+        let specs = [
+            WorkloadSpec::stream(StreamKernel::Triad, 1),
+            WorkloadSpec::lat_mem_rd(ops),
+            WorkloadSpec::multichase(ops),
+            WorkloadSpec::gups(ops),
+            WorkloadSpec::hpcg(ops / 8 + 1),
+            WorkloadSpec::spec_cpu2006("lbm", ops),
+        ];
+        for spec in specs {
+            let interpreted = spec.interpreted_streams(LLC, 3).unwrap();
+            let compiled = spec.compile(LLC, 3).unwrap().into_streams();
+            for (i, c) in interpreted.into_iter().zip(compiled) {
+                assert_equivalent_finite(i, c, &format!("{} ops={ops}", spec.label()));
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_workload_reports_materialization() {
+    let compiled = WorkloadSpec::multichase(1_000).compile(LLC, 4).unwrap();
+    assert_eq!(compiled.num_streams(), 4);
+    // One lap body: every line of the 4×LLC working set.
+    assert_eq!(compiled.materialized_ops(), 4 * LLC / 64);
+    let gups = WorkloadSpec::gups(1_000).compile(LLC, 4).unwrap();
+    assert_eq!(
+        gups.materialized_ops(),
+        0,
+        "GUPS generates per refill, nothing is materialized at compile time"
+    );
+}
